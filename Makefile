@@ -1,0 +1,33 @@
+# Mr. Scan reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep: every paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation artifact (measured + modeled rows).
+experiments:
+	$(GO) run ./cmd/experiments
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

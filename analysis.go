@@ -1,0 +1,80 @@
+package mrscan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// ClusterStat summarizes one cluster of a labeled output. The Weight
+// field aggregates the optional per-point weight the input format carries
+// ("an optional weight that can be used for analysis of the clustered
+// output", §3) — e.g. tweet counts or detection fluxes.
+type ClusterStat struct {
+	// Cluster is the global cluster ID.
+	Cluster int
+	// Points is the number of member points.
+	Points int
+	// Weight is the sum of member weights.
+	Weight float64
+	// Centroid is the unweighted mean position of the members.
+	Centroid Point
+	// Bounds is the members' bounding rectangle.
+	Bounds Rect
+}
+
+// String renders the stat for reports.
+func (s ClusterStat) String() string {
+	return fmt.Sprintf("cluster %d: %d points (weight %.6g) at (%.4f, %.4f)",
+		s.Cluster, s.Points, s.Weight, s.Centroid.X, s.Centroid.Y)
+}
+
+// ClusterStats aggregates a labeled clustering into per-cluster
+// statistics, sorted by descending point count (ties by cluster ID).
+// labels must align with pts; negative labels (noise) are skipped.
+func ClusterStats(pts []Point, labels []int) ([]ClusterStat, error) {
+	if len(pts) != len(labels) {
+		return nil, fmt.Errorf("mrscan: %d points with %d labels", len(pts), len(labels))
+	}
+	acc := map[int]*ClusterStat{}
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		s := acc[l]
+		if s == nil {
+			s = &ClusterStat{Cluster: l, Bounds: geom.EmptyRect()}
+			acc[l] = s
+		}
+		s.Points++
+		s.Weight += pts[i].Weight
+		s.Centroid.X += pts[i].X
+		s.Centroid.Y += pts[i].Y
+		s.Bounds = s.Bounds.Extend(pts[i])
+	}
+	out := make([]ClusterStat, 0, len(acc))
+	for _, s := range acc {
+		s.Centroid.X /= float64(s.Points)
+		s.Centroid.Y /= float64(s.Points)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Points != out[b].Points {
+			return out[a].Points > out[b].Points
+		}
+		return out[a].Cluster < out[b].Cluster
+	})
+	return out, nil
+}
+
+// NoiseCount returns the number of noise-labeled points.
+func NoiseCount(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l < 0 {
+			n++
+		}
+	}
+	return n
+}

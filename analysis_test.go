@@ -1,0 +1,97 @@
+package mrscan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusterStats(t *testing.T) {
+	pts := []Point{
+		{ID: 0, X: 0, Y: 0, Weight: 1},
+		{ID: 1, X: 2, Y: 2, Weight: 3},
+		{ID: 2, X: 10, Y: 10, Weight: 5},
+		{ID: 3, X: 50, Y: 50, Weight: 7}, // noise
+	}
+	labels := []int{0, 0, 1, -1}
+	stats, err := ClusterStats(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(stats))
+	}
+	// Sorted by size: cluster 0 (2 points) first.
+	if stats[0].Cluster != 0 || stats[0].Points != 2 {
+		t.Errorf("stats[0] = %+v", stats[0])
+	}
+	if stats[0].Weight != 4 {
+		t.Errorf("weight = %v, want 4", stats[0].Weight)
+	}
+	if math.Abs(stats[0].Centroid.X-1) > 1e-12 || math.Abs(stats[0].Centroid.Y-1) > 1e-12 {
+		t.Errorf("centroid = %+v, want (1,1)", stats[0].Centroid)
+	}
+	if stats[0].Bounds.MinX != 0 || stats[0].Bounds.MaxX != 2 {
+		t.Errorf("bounds = %+v", stats[0].Bounds)
+	}
+	if stats[1].Cluster != 1 || stats[1].Points != 1 || stats[1].Weight != 5 {
+		t.Errorf("stats[1] = %+v", stats[1])
+	}
+	if s := stats[0].String(); s == "" {
+		t.Error("empty string rendering")
+	}
+	if got := NoiseCount(labels); got != 1 {
+		t.Errorf("NoiseCount = %d, want 1", got)
+	}
+}
+
+func TestClusterStatsValidation(t *testing.T) {
+	if _, err := ClusterStats([]Point{{}}, nil); err == nil {
+		t.Error("mismatched lengths must fail")
+	}
+	stats, err := ClusterStats(nil, nil)
+	if err != nil || len(stats) != 0 {
+		t.Errorf("empty input: %v, %v", stats, err)
+	}
+}
+
+func TestClusterStatsTieOrder(t *testing.T) {
+	pts := []Point{{ID: 0}, {ID: 1}}
+	labels := []int{7, 3}
+	stats, err := ClusterStats(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Cluster != 3 || stats[1].Cluster != 7 {
+		t.Errorf("equal sizes must order by ID: %+v", stats)
+	}
+}
+
+func TestClusterStatsEndToEnd(t *testing.T) {
+	pts := Twitter(10000, 21)
+	_, labels, err := RunPoints(pts, Default(0.1, 40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ClusterStats(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("expected clusters")
+	}
+	total := NoiseCount(labels)
+	for _, s := range stats {
+		total += s.Points
+		if !s.Bounds.Contains(s.Centroid) {
+			t.Errorf("cluster %d centroid outside bounds", s.Cluster)
+		}
+	}
+	if total != len(pts) {
+		t.Errorf("stats cover %d points, want %d", total, len(pts))
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Points > stats[i-1].Points {
+			t.Error("stats not sorted by size")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package mrscan reproduces "Mr. Scan: Extreme Scale Density-Based
+// Clustering using a Tree-Based Network of GPGPU Nodes" (Welton, Samanas
+// & Miller, SC13) as a pure-Go library.
+//
+// Mr. Scan is a distributed DBSCAN with four phases — partition, cluster,
+// merge, sweep — executed over an MRNet-style tree of processes whose
+// leaves run a GPGPU DBSCAN with the paper's dense-box optimization. The
+// hardware of the paper's testbed (Cray Titan: K20 GPUs, Lustre, ALPS) is
+// provided as faithful simulators; see DESIGN.md for the substitution
+// table.
+//
+// Quick start:
+//
+//	pts := mrscan.Twitter(100_000, 42)
+//	res, labels, err := mrscan.RunPoints(pts, mrscan.Default(0.1, 40, 8))
+//
+// The package is a facade over the internal packages; applications that
+// need the substrates directly (the tree network, the GPGPU simulator,
+// the parallel file system) can use the exported wrappers here, while the
+// experiment harness in cmd/experiments regenerates every table and
+// figure of the paper's evaluation.
+package mrscan
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/lustre"
+	"repro/internal/mrscan"
+	"repro/internal/ptio"
+	"repro/internal/quality"
+	"repro/internal/sweep"
+)
+
+// Point is a single input datum: unique ID, planar coordinates, optional
+// analysis weight.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle, used to bound generated datasets.
+type Rect = geom.Rect
+
+// Noise is the label reported for points in low-density regions.
+const Noise = dbscan.Noise
+
+// Config configures a full Mr. Scan run. The zero value is invalid; start
+// from Default.
+type Config = mrscan.Config
+
+// Result reports a completed run: cluster count, per-phase times
+// (partition / cluster / merge / sweep / GPGPU DBSCAN) and run statistics.
+type Result = mrscan.Result
+
+// PhaseTimes is the per-phase wall-clock breakdown (the units of the
+// paper's Figures 8–10).
+type PhaseTimes = mrscan.PhaseTimes
+
+// FS is the simulated Lustre-style parallel file system runs execute
+// against.
+type FS = lustre.FS
+
+// LabeledPoint is one output record: a point plus its global cluster ID.
+type LabeledPoint = ptio.LabeledPoint
+
+// Default returns the paper's experimental configuration: dense box on,
+// partition rebalancing on, 256-way tree fanout, one simulated K20 per
+// leaf.
+func Default(eps float64, minPts, leaves int) Config {
+	return mrscan.Default(eps, minPts, leaves)
+}
+
+// NewFS creates a simulated parallel file system with Titan-like striping
+// and bandwidth parameters.
+func NewFS() *FS {
+	return lustre.New(lustre.Titan(), nil)
+}
+
+// WriteDataset stores pts as an MRSC dataset file on fs.
+func WriteDataset(fs *FS, name string, pts []Point, hasWeight bool) error {
+	return ptio.WriteDataset(fs.Create(name), pts, hasWeight)
+}
+
+// ReadOutput loads every labeled record from a run's output file.
+func ReadOutput(fs *FS, name string) ([]LabeledPoint, error) {
+	return sweep.ReadOutput(fs, name)
+}
+
+// Run executes the full four-phase pipeline against inputFile on fs,
+// writing labeled output to outputFile.
+func Run(fs *FS, inputFile, outputFile string, cfg Config) (*Result, error) {
+	return mrscan.Run(fs, inputFile, outputFile, cfg)
+}
+
+// RunPoints is the in-memory convenience entry point: it provisions a
+// fresh simulated file system, stores pts, runs the pipeline, and returns
+// per-point global cluster labels aligned with pts (-1 = noise).
+func RunPoints(pts []Point, cfg Config) (*Result, []int, error) {
+	return mrscan.RunPoints(pts, cfg)
+}
+
+// DBSCAN runs the reference sequential DBSCAN (Ester et al., KDD'96) with
+// a grid index — the implementation Mr. Scan's quality is measured
+// against. Returns per-point labels (-1 = noise).
+func DBSCAN(pts []Point, eps float64, minPts int) ([]int, error) {
+	res, err := dbscan.Cluster(pts, dbscan.Params{Eps: eps, MinPts: minPts}, dbscan.IndexGrid)
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+// Quality computes the DBDC quality metric of §5.1.3: the mean over
+// points of |A∩B|/|A∪B| between reference and candidate clusters, 0 for
+// noise mismatches, 1.0 for identical clusterings.
+func Quality(ref, got []int) (float64, error) {
+	return quality.Score(ref, got)
+}
+
+// Twitter generates n points from the Twitter-like geospatial
+// distribution of §4.1 (a weighted mixture over world population centers
+// plus background noise), deterministically from seed.
+func Twitter(n int, seed int64) []Point {
+	return dataset.Twitter(n, seed)
+}
+
+// SDSS generates n points resembling Sloan Digital Sky Survey γ-frame
+// photo-object detections (§4.2), deterministically from seed.
+func SDSS(n int, seed int64) []Point {
+	return dataset.SDSS(n, seed)
+}
+
+// Uniform generates n points uniformly over r.
+func Uniform(n int, seed int64, r Rect) []Point {
+	return dataset.Uniform(n, seed, r)
+}
+
+// Blobs generates n points in k Gaussian blobs over r — a controlled
+// workload for cluster-count tests.
+func Blobs(n, k int, sigma float64, seed int64, r Rect) []Point {
+	return dataset.Blobs(n, k, sigma, seed, r)
+}

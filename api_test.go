@@ -1,0 +1,62 @@
+package mrscan
+
+import "testing"
+
+func TestQuickstartFlow(t *testing.T) {
+	pts := Twitter(5000, 42)
+	res, labels, err := RunPoints(pts, Default(0.1, 40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters < 1 {
+		t.Fatal("expected clusters in Twitter data")
+	}
+	ref, err := DBSCAN(pts, 0.1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quality(ref, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.995 {
+		t.Errorf("quality = %.4f, want >= 0.995", q)
+	}
+}
+
+func TestFileBasedFlow(t *testing.T) {
+	fs := NewFS()
+	pts := SDSS(3000, 7)
+	if err := WriteDataset(fs, "in.mrsc", pts, false); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default(0.00015, 5, 2)
+	res, err := Run(fs, "in.mrsc", "out.mrsl", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadOutput(fs, "out.mrsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no clustered points written")
+	}
+	if int64(len(out)) != res.Stats.OutputPoints {
+		t.Errorf("output holds %d records, result says %d", len(out), res.Stats.OutputPoints)
+	}
+	for _, lp := range out {
+		if lp.Cluster < 0 || lp.Cluster >= int64(res.NumClusters) {
+			t.Fatalf("record %d has cluster %d of %d", lp.Point.ID, lp.Cluster, res.NumClusters)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if n := len(Uniform(100, 1, Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})); n != 100 {
+		t.Errorf("Uniform produced %d points", n)
+	}
+	if n := len(Blobs(100, 3, 0.1, 1, Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})); n != 100 {
+		t.Errorf("Blobs produced %d points", n)
+	}
+}

@@ -1,0 +1,125 @@
+// Command mrscan-dist runs Mr. Scan with the cluster phase distributed
+// across real worker processes: the coordinator partitions the input,
+// spawns N copies of itself in worker mode, ships each partition over
+// TCP, and merges the returned summaries — the deployment shape of the
+// real system (MRNet backends on separate nodes), in one binary.
+//
+// Usage:
+//
+//	mrscan-dist -input tweets.mrsc -output clusters.mrsl -workers 4 -leaves 16
+//
+// The worker mode (-worker -connect addr) is normally invoked only by the
+// coordinator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/distrib"
+	"repro/internal/ptio"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "input MRSC dataset file (required in coordinator mode)")
+		output  = flag.String("output", "clusters.mrsl", "output labeled file")
+		eps     = flag.Float64("eps", 0.1, "DBSCAN Eps")
+		minPts  = flag.Int("minpts", 40, "DBSCAN MinPts")
+		leaves  = flag.Int("leaves", 8, "partitions (round-robined over workers)")
+		workers = flag.Int("workers", 2, "worker processes to spawn")
+		noise   = flag.Bool("noise", false, "include noise points in the output")
+		worker  = flag.Bool("worker", false, "run as a worker (internal)")
+		connect = flag.String("connect", "", "coordinator address (worker mode)")
+	)
+	flag.Parse()
+	if *worker {
+		if err := distrib.Worker(*connect, os.Getpid()); err != nil {
+			fmt.Fprintln(os.Stderr, "mrscan-dist worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "mrscan-dist: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := coordinate(*input, *output, *eps, *minPts, *leaves, *workers, *noise); err != nil {
+		fmt.Fprintln(os.Stderr, "mrscan-dist:", err)
+		os.Exit(1)
+	}
+}
+
+func coordinate(input, output string, eps float64, minPts, leaves, workers int, noise bool) error {
+	f, err := os.Open(input)
+	if err != nil {
+		return err
+	}
+	pts, err := ptio.ReadDataset(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	c, err := distrib.NewCoordinator()
+	if err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	procs := make([]*exec.Cmd, workers)
+	for i := range procs {
+		cmd := exec.Command(exe, "-worker", "-connect", c.Addr())
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		procs[i] = cmd
+	}
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Wait()
+			}
+		}
+	}()
+	if err := c.AcceptWorkers(workers); err != nil {
+		return err
+	}
+	fmt.Printf("clustering %d points on %d worker processes (%d partitions)...\n",
+		len(pts), workers, leaves)
+	res, err := c.Run(pts, distrib.Options{Eps: eps, MinPts: minPts, Leaves: leaves, DenseBox: true})
+	c.Shutdown()
+	if err != nil {
+		return err
+	}
+
+	var records []ptio.LabeledPoint
+	skipped := 0
+	for i, l := range res.Labels {
+		if l < 0 && !noise {
+			skipped++
+			continue
+		}
+		records = append(records, ptio.LabeledPoint{Point: pts[i], Cluster: int64(l)})
+	}
+	out, err := os.Create(output)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := ptio.WriteLabeled(out, records); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("clusters found:   %d\n", res.NumClusters)
+	fmt.Printf("points in output: %d (noise skipped: %d)\n", len(records), skipped)
+	return nil
+}

@@ -1,0 +1,141 @@
+// Command quality evaluates a Mr. Scan output with the paper's §5.1.3
+// metric (the DBDC score, Figure 11): either against a sequential DBSCAN
+// run on the original input, or against a second labeled output.
+//
+// Usage:
+//
+//	quality -input tweets.mrsc -output clusters.mrsl -eps 0.1 -minpts 40
+//	quality -a run1.mrsl -b run2.mrsl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dbscan"
+	"repro/internal/ptio"
+	"repro/internal/quality"
+)
+
+func main() {
+	var (
+		input  = flag.String("input", "", "MRSC input dataset (reference mode)")
+		output = flag.String("output", "", "MRSL labeled output to score (reference mode)")
+		eps    = flag.Float64("eps", 0.1, "DBSCAN Eps for the reference run")
+		minPts = flag.Int("minpts", 40, "DBSCAN MinPts for the reference run")
+		fileA  = flag.String("a", "", "first MRSL output (comparison mode)")
+		fileB  = flag.String("b", "", "second MRSL output (comparison mode)")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *fileA != "" && *fileB != "":
+		err = compareOutputs(*fileA, *fileB)
+	case *input != "" && *output != "":
+		err = scoreAgainstReference(*input, *output, *eps, *minPts)
+	default:
+		fmt.Fprintln(os.Stderr, "quality: need either -input/-output or -a/-b")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quality:", err)
+		os.Exit(1)
+	}
+}
+
+func readLabeled(name string) (map[uint64]int64, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := ptio.ReadLabeled(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]int64, len(records))
+	for _, lp := range records {
+		if _, dup := out[lp.Point.ID]; dup {
+			return nil, fmt.Errorf("%s: point %d labeled twice", name, lp.Point.ID)
+		}
+		out[lp.Point.ID] = lp.Cluster
+	}
+	return out, nil
+}
+
+func scoreAgainstReference(input, output string, eps float64, minPts int) error {
+	in, err := os.Open(input)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	pts, err := ptio.ReadDataset(in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running sequential DBSCAN on %d points (eps=%g minPts=%d)...\n", len(pts), eps, minPts)
+	ref, err := dbscan.Cluster(pts, dbscan.Params{Eps: eps, MinPts: minPts}, dbscan.IndexGrid)
+	if err != nil {
+		return err
+	}
+	got, err := readLabeled(output)
+	if err != nil {
+		return err
+	}
+	labels := make([]int, len(pts))
+	for i, p := range pts {
+		if c, ok := got[p.ID]; ok {
+			labels[i] = int(c)
+		} else {
+			labels[i] = quality.Noise
+		}
+	}
+	score, err := quality.Score(ref.Labels, labels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference clusters: %d\n", ref.NumClusters)
+	fmt.Printf("quality score:      %.5f  (paper's Figure 11 floor: 0.995)\n", score)
+	return nil
+}
+
+func compareOutputs(fileA, fileB string) error {
+	a, err := readLabeled(fileA)
+	if err != nil {
+		return err
+	}
+	b, err := readLabeled(fileB)
+	if err != nil {
+		return err
+	}
+	// Align by point ID over the union of both outputs; absent = noise.
+	ids := make(map[uint64]bool, len(a)+len(b))
+	for id := range a {
+		ids[id] = true
+	}
+	for id := range b {
+		ids[id] = true
+	}
+	la := make([]int, 0, len(ids))
+	lb := make([]int, 0, len(ids))
+	for id := range ids {
+		la = append(la, labelOf(a, id))
+		lb = append(lb, labelOf(b, id))
+	}
+	score, err := quality.Score(la, lb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("points compared: %d\n", len(ids))
+	fmt.Printf("quality score:   %.5f\n", score)
+	return nil
+}
+
+func labelOf(m map[uint64]int64, id uint64) int {
+	if c, ok := m[id]; ok {
+		return int(c)
+	}
+	return quality.Noise
+}

@@ -1,0 +1,81 @@
+// Command render draws a clustered output (MRSL file) as a PPM image or
+// ASCII art — the quickest way to eyeball a Mr. Scan result, in the
+// spirit of the paper's Figure 2 renderings of partitioned tweets.
+//
+// Usage:
+//
+//	render -input clusters.mrsl -o clusters.ppm -w 1200 -h 800
+//	render -input clusters.mrsl -ascii -w 120 -h 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/ptio"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		input  = flag.String("input", "", "MRSL labeled file (required)")
+		out    = flag.String("o", "clusters.ppm", "output PPM file")
+		width  = flag.Int("w", 1024, "raster width")
+		height = flag.Int("h", 768, "raster height")
+		ascii  = flag.Bool("ascii", false, "print ASCII art to stdout instead of writing a PPM")
+		noise  = flag.Bool("noise", true, "draw noise points (gray / ',')")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "render: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*input, *out, *width, *height, *ascii, *noise); err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input, out string, width, height int, ascii, noise bool) error {
+	f, err := os.Open(input)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := ptio.ReadLabeled(f)
+	if err != nil {
+		return err
+	}
+	pts := make([]geom.Point, len(records))
+	labels := make([]int, len(records))
+	for i, lp := range records {
+		pts[i] = lp.Point
+		labels[i] = int(lp.Cluster)
+	}
+	if ascii {
+		art, err := viz.ASCII(pts, labels, width, height, noise)
+		if err != nil {
+			return err
+		}
+		fmt.Print(art)
+		return nil
+	}
+	dst, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	if err := viz.WritePPM(dst, pts, labels, viz.Options{
+		Width: width, Height: height, ShowNoise: noise,
+	}); err != nil {
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("rendered %d points to %s (%dx%d)\n", len(records), out, width, height)
+	return nil
+}

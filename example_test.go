@@ -1,0 +1,79 @@
+package mrscan_test
+
+import (
+	"fmt"
+
+	mrscan "repro"
+)
+
+// ExampleRunPoints clusters a small controlled dataset: three well
+// separated Gaussian blobs plus scattered noise.
+func ExampleRunPoints() {
+	// Three tight blobs of 200 points each, far apart.
+	var pts []mrscan.Point
+	id := uint64(0)
+	for _, c := range [][2]float64{{0, 0}, {10, 0}, {0, 10}} {
+		for i := 0; i < 200; i++ {
+			pts = append(pts, mrscan.Point{
+				ID: id,
+				X:  c[0] + float64(i%20)*0.004,
+				Y:  c[1] + float64(i/20)*0.004,
+			})
+			id++
+		}
+	}
+	res, labels, err := mrscan.RunPoints(pts, mrscan.Default(0.1, 4, 2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.NumClusters)
+	fmt.Println("noise:", mrscan.NoiseCount(labels))
+	// Output:
+	// clusters: 3
+	// noise: 0
+}
+
+// ExampleDBSCAN runs the sequential reference implementation directly.
+func ExampleDBSCAN() {
+	pts := []mrscan.Point{
+		{ID: 0, X: 0.00, Y: 0}, {ID: 1, X: 0.05, Y: 0}, {ID: 2, X: 0.10, Y: 0},
+		{ID: 3, X: 5, Y: 5}, // isolated
+	}
+	labels, err := mrscan.DBSCAN(pts, 0.1, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(labels)
+	// Output:
+	// [0 0 0 -1]
+}
+
+// ExampleQuality scores a clustering against a reference with the
+// paper's §5.1.3 metric.
+func ExampleQuality() {
+	ref := []int{0, 0, 1, 1, -1}
+	got := []int{7, 7, 3, 3, -1} // same partition, renamed IDs
+	q, err := mrscan.Quality(ref, got)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", q)
+	// Output:
+	// 1.00
+}
+
+// ExampleClusterStats aggregates a labeled output.
+func ExampleClusterStats() {
+	pts := []mrscan.Point{
+		{ID: 0, X: 1, Y: 1, Weight: 2},
+		{ID: 1, X: 3, Y: 3, Weight: 4},
+		{ID: 2, X: 9, Y: 9, Weight: 1},
+	}
+	stats, err := mrscan.ClusterStats(pts, []int{0, 0, -1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(stats[0])
+	// Output:
+	// cluster 0: 2 points (weight 6) at (2.0000, 2.0000)
+}

@@ -1,0 +1,50 @@
+// Quickstart: cluster a small geospatial dataset with Mr. Scan and
+// compare the output against sequential DBSCAN.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mrscan "repro"
+)
+
+func main() {
+	// 1. Generate 50k points from the Twitter-like world distribution.
+	pts := mrscan.Twitter(50_000, 42)
+
+	// 2. Run the full four-phase pipeline on 8 simulated GPGPU leaves
+	//    with the paper's Twitter parameters (Eps = 0.1°, MinPts = 40).
+	cfg := mrscan.Default(0.1, 40, 8)
+	res, labels, err := mrscan.RunPoints(pts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered %d points into %d clusters\n", len(pts), res.NumClusters)
+	fmt.Printf("phases: partition=%v cluster=%v merge=%v sweep=%v (total %v)\n",
+		res.Times.Partition, res.Times.Cluster, res.Times.Merge, res.Times.Sweep, res.Times.Total)
+	fmt.Printf("dense box eliminated %d points in %d boxes\n",
+		res.Stats.DenseBoxPoints, res.Stats.DenseBoxes)
+
+	// 3. Sanity-check against the reference sequential DBSCAN with the
+	//    paper's quality metric (Figure 11 holds >= 0.995).
+	ref, err := mrscan.DBSCAN(pts, 0.1, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := mrscan.Quality(ref, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality vs sequential DBSCAN: %.5f\n", q)
+
+	noise := 0
+	for _, l := range labels {
+		if l < 0 {
+			noise++
+		}
+	}
+	fmt.Printf("noise points: %d (%.1f%%)\n", noise, 100*float64(noise)/float64(len(pts)))
+}

@@ -1,0 +1,74 @@
+// Twitter: the paper's §4.1 workload — cluster geolocated-tweet-like data
+// to find urban activity centers, reporting per-phase times and the
+// largest clusters with their geographic centroids.
+//
+//	go run ./examples/twitter [-n 200000] [-leaves 16] [-minpts 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	mrscan "repro"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 200_000, "number of points")
+		leaves = flag.Int("leaves", 16, "cluster-phase leaves (simulated GPGPU nodes)")
+		minPts = flag.Int("minpts", 40, "DBSCAN MinPts")
+		eps    = flag.Float64("eps", 0.1, "DBSCAN Eps in degrees")
+		seed   = flag.Int64("seed", 7, "dataset seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("generating %d tweet-like points (seed %d)...\n", *n, *seed)
+	pts := mrscan.Twitter(*n, *seed)
+
+	cfg := mrscan.Default(*eps, *minPts, *leaves)
+	res, labels, err := mrscan.RunPoints(pts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d clusters from %d points on %d leaves\n", res.NumClusters, len(pts), *leaves)
+	fmt.Printf("phase breakdown: partition=%v cluster=%v (gpu %v) merge=%v sweep=%v\n",
+		res.Times.Partition, res.Times.Cluster, res.Times.GPUDBSCAN, res.Times.Merge, res.Times.Sweep)
+	fmt.Printf("simulated Titan hardware time: %v\n", res.Stats.SimNow)
+
+	// Aggregate clusters: size and centroid (the weight field could carry
+	// tweet counts for weighted analysis; here every weight is 1).
+	type agg struct {
+		n    int
+		x, y float64
+	}
+	clusters := map[int]*agg{}
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		a := clusters[l]
+		if a == nil {
+			a = &agg{}
+			clusters[l] = a
+		}
+		a.n++
+		a.x += pts[i].X
+		a.y += pts[i].Y
+	}
+	ids := make([]int, 0, len(clusters))
+	for id := range clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return clusters[ids[a]].n > clusters[ids[b]].n })
+	fmt.Println("\nlargest activity centers (cluster, points, centroid lon/lat):")
+	for i, id := range ids {
+		if i >= 12 {
+			break
+		}
+		a := clusters[id]
+		fmt.Printf("  #%-4d %8d points at (%8.2f, %7.2f)\n", id, a.n, a.x/float64(a.n), a.y/float64(a.n))
+	}
+}

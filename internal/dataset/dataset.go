@@ -1,0 +1,314 @@
+// Package dataset generates the synthetic workloads of the paper's
+// evaluation (§4).
+//
+// Twitter: the paper collected 8.5M geolocated tweets and "used the
+// distribution of these tweets to generate random datasets of arbitrary
+// size". That empirical distribution is not redistributable, so Twitter
+// points are drawn from the closest available stand-in: a weighted mixture
+// over ~130 world population centers (tweet volume tracks population and
+// urbanization) with per-city Gaussian spread plus a uniform rural
+// background. Latitude and longitude are treated as 2D Cartesian
+// coordinates, exactly as the paper does.
+//
+// SDSS: the Sloan Digital Sky Survey γ-frame photo objects are point
+// sources (stars, galaxies) at very small angular scale — the experiment
+// uses Eps = 0.00015. The generator scatters compact "objects" of a few
+// pixels each over a frame, plus sparse background detections.
+//
+// All generators are deterministic given a seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// city is one population center of the Twitter mixture.
+type city struct {
+	lat, lon float64
+	weight   float64 // relative tweet volume (≈ metro population, millions)
+}
+
+// cities approximates the global distribution of geolocated tweets. The
+// list spans every inhabited continent; weights are metro populations in
+// millions, which is the first-order driver of tweet volume.
+var cities = []city{
+	{40.71, -74.01, 20.1}, {34.05, -118.24, 13.2}, {41.88, -87.63, 9.5},
+	{29.76, -95.37, 7.1}, {33.45, -112.07, 4.9}, {39.95, -75.17, 6.1},
+	{29.42, -98.49, 2.6}, {32.72, -117.16, 3.3}, {32.78, -96.80, 7.6},
+	{37.34, -121.89, 2.0}, {30.27, -97.74, 2.3}, {39.10, -94.58, 2.2},
+	{25.76, -80.19, 6.2}, {33.75, -84.39, 6.1}, {42.36, -71.06, 4.9},
+	{47.61, -122.33, 4.0}, {38.91, -77.04, 6.3}, {44.98, -93.27, 3.7},
+	{36.17, -115.14, 2.3}, {45.52, -122.68, 2.5}, {35.22, -80.84, 2.7},
+	{39.74, -104.99, 3.0}, {43.65, -79.38, 6.3}, {45.50, -73.57, 4.3},
+	{49.28, -123.12, 2.6}, {19.43, -99.13, 21.8}, {20.67, -103.35, 5.3},
+	{25.69, -100.32, 5.3}, {23.13, -82.38, 2.1}, {18.47, -69.89, 3.3},
+	{14.63, -90.51, 3.0}, {9.93, -84.08, 2.2}, {8.98, -79.52, 1.9},
+	{4.71, -74.07, 10.7}, {10.49, -66.88, 2.9}, {-12.05, -77.04, 10.7},
+	{-33.45, -70.67, 6.8},
+}
+
+// citiesTail continues the table (split into blocks for readability).
+var citiesTail = []city{
+	{-34.60, -58.38, 15.2}, {-23.55, -46.63, 22.0}, {-22.91, -43.17, 13.5},
+	{-15.79, -47.88, 4.7}, {-30.03, -51.23, 4.3}, {-3.73, -38.52, 4.0},
+	{-8.05, -34.88, 4.1}, {-19.92, -43.94, 6.0}, {-34.90, -56.16, 1.8},
+	{-25.26, -57.58, 3.3}, {-0.18, -78.47, 2.8}, {-2.19, -79.89, 3.1},
+	{51.51, -0.13, 14.3}, {48.86, 2.35, 13.0}, {52.52, 13.40, 6.1},
+	{40.42, -3.70, 6.7}, {41.39, 2.17, 5.6}, {41.90, 12.50, 4.3},
+	{45.46, 9.19, 4.3}, {52.37, 4.90, 2.5}, {50.85, 4.35, 2.1},
+	{48.21, 16.37, 2.9}, {52.23, 21.01, 3.1}, {50.08, 14.44, 2.7},
+	{47.50, 19.04, 3.0}, {44.43, 26.10, 2.3}, {37.98, 23.73, 3.8},
+	{41.01, 28.98, 15.5}, {55.76, 37.62, 17.1}, {59.93, 30.34, 5.4},
+	{50.45, 30.52, 3.0}, {53.90, 27.57, 2.0}, {59.33, 18.07, 2.4},
+	{59.91, 10.75, 1.7}, {55.68, 12.57, 2.1}, {60.17, 24.94, 1.5},
+	{53.35, -6.26, 2.0}, {38.72, -9.14, 2.9}, {30.04, 31.24, 20.9},
+	{6.52, 3.38, 14.8}, {9.06, 7.49, 3.6}, {-1.29, 36.82, 4.7},
+	{-6.79, 39.21, 6.4}, {-26.20, 28.05, 9.6}, {-33.92, 18.42, 4.6},
+	{-29.86, 31.02, 3.9}, {33.57, -7.59, 3.7}, {36.75, 3.06, 2.8},
+	{36.81, 10.18, 2.4}, {5.36, -4.01, 5.2}, {5.56, -0.20, 2.5},
+	{14.72, -17.47, 3.1}, {12.37, -1.53, 2.8}, {15.59, 32.53, 5.8},
+	{9.03, 38.74, 4.8}, {-4.44, 15.27, 14.3}, {-8.84, 13.23, 8.3},
+	{35.69, 139.69, 37.4}, {34.69, 135.50, 19.2}, {35.18, 136.91, 9.5},
+	{33.59, 130.40, 5.5}, {43.06, 141.35, 2.7}, {37.57, 126.98, 25.6},
+	{35.18, 129.08, 3.4}, {39.90, 116.41, 20.4}, {31.23, 121.47, 27.1},
+	{23.13, 113.26, 13.3}, {22.54, 114.06, 12.4}, {30.57, 104.07, 9.1},
+	{29.56, 106.55, 8.5}, {22.32, 114.17, 7.5}, {25.03, 121.57, 7.0},
+	{14.60, 120.98, 13.9}, {-6.21, 106.85, 10.6},
+}
+
+var citiesTail2 = []city{
+	{-7.25, 112.75, 2.9}, {3.14, 101.69, 8.0}, {1.35, 103.82, 5.7},
+	{13.76, 100.50, 10.5}, {10.82, 106.63, 9.0}, {21.03, 105.85, 8.1},
+	{23.81, 90.41, 21.0}, {28.61, 77.21, 31.0}, {19.08, 72.88, 20.7},
+	{12.97, 77.59, 12.3}, {13.08, 80.27, 11.0}, {17.38, 78.49, 10.0},
+	{22.57, 88.36, 14.9}, {18.52, 73.86, 6.6}, {23.02, 72.57, 8.1},
+	{24.86, 67.01, 16.1}, {31.55, 74.34, 12.6}, {33.69, 73.06, 1.2},
+	{34.53, 69.17, 4.4}, {35.69, 51.39, 9.5}, {33.31, 44.37, 7.5},
+	{24.71, 46.68, 7.7}, {21.49, 39.19, 4.7}, {25.20, 55.27, 3.5},
+	{31.95, 35.93, 2.2}, {32.09, 34.78, 4.3}, {33.89, 35.50, 2.4},
+	{-33.87, 151.21, 5.4}, {-37.81, 144.96, 5.2}, {-27.47, 153.03, 2.6},
+	{-31.95, 115.86, 2.1}, {-36.85, 174.76, 1.7}, {41.29, 69.24, 2.6},
+	{43.24, 76.89, 2.0}, {55.03, 82.92, 1.7}, {56.84, 60.61, 1.5},
+}
+
+func init() {
+	// Merge the table blocks and precompute prefix weights for sampling.
+	cities = append(cities, citiesTail...)
+	cities = append(cities, citiesTail2...)
+	prefix = make([]float64, len(cities))
+	total := 0.0
+	for i, c := range cities {
+		total += c.weight
+		prefix[i] = total
+	}
+	totalWeight = total
+}
+
+var (
+	prefix      []float64
+	totalWeight float64
+)
+
+// TwitterOptions tunes the Twitter-like generator. Each urban point is
+// drawn from a two-level Gaussian around its city: a dense downtown core
+// (most tweets) and a wide suburban halo — which reproduces the extreme
+// density variation driving Mr. Scan's load-balance problem (§1: "the
+// running time of DBSCAN increases as a function of spatial density").
+type TwitterOptions struct {
+	// CoreSigma is the Gaussian spread (degrees) of a city's downtown.
+	CoreSigma float64
+	// CoreFrac is the fraction of a city's points drawn from the core.
+	CoreFrac float64
+	// SuburbSigma is the Gaussian spread of the suburban halo.
+	SuburbSigma float64
+	// BackgroundFrac is the fraction of points drawn uniformly over the
+	// inhabited band instead of around a city.
+	BackgroundFrac float64
+}
+
+// DefaultTwitterOptions sizes city cores at the 0.1-degree Eps scale of
+// the experiments: downtown cores are a few Eps cells wide and far denser
+// than their halos.
+func DefaultTwitterOptions() TwitterOptions {
+	return TwitterOptions{
+		CoreSigma:      0.03,
+		CoreFrac:       0.7,
+		SuburbSigma:    0.3,
+		BackgroundFrac: 0.03,
+	}
+}
+
+// Twitter generates n points from the Twitter-like distribution.
+// Coordinates are (longitude, latitude) used as plain 2D values (§4.1).
+// IDs are 0..n-1 and every weight is 1.
+func Twitter(n int, seed int64) []geom.Point {
+	return TwitterWith(n, seed, DefaultTwitterOptions())
+}
+
+// TwitterWith generates n points with explicit options.
+func TwitterWith(n int, seed int64, opt TwitterOptions) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		var x, y float64
+		if rng.Float64() < opt.BackgroundFrac {
+			// Rural background over the inhabited latitude band.
+			x = rng.Float64()*360 - 180
+			y = rng.Float64()*130 - 55
+		} else {
+			c := cities[pickCity(rng)]
+			sigma := opt.SuburbSigma
+			if rng.Float64() < opt.CoreFrac {
+				sigma = opt.CoreSigma
+			}
+			// Heavier cities spread a little wider (bigger metro areas).
+			sigma *= 0.5 + 0.5*math.Log1p(c.weight)/math.Log1p(40)
+			x = c.lon + rng.NormFloat64()*sigma
+			y = c.lat + rng.NormFloat64()*sigma*0.8
+		}
+		pts[i] = geom.Point{ID: uint64(i), X: x, Y: y, Weight: 1}
+	}
+	return pts
+}
+
+// pickCity samples a city index proportionally to weight.
+func pickCity(rng *rand.Rand) int {
+	r := rng.Float64() * totalWeight
+	return sort.SearchFloat64s(prefix, r)
+}
+
+// SDSSOptions tunes the sky-survey generator.
+type SDSSOptions struct {
+	// FrameSize is the square frame's side length in degrees.
+	FrameSize float64
+	// ObjectFrac is the fraction of points belonging to compact objects
+	// (the rest are background detections / noise).
+	ObjectFrac float64
+	// PointsPerObject is the mean number of detections per object.
+	PointsPerObject int
+	// ObjectSigma is the Gaussian radius of one object in degrees.
+	ObjectSigma float64
+}
+
+// DefaultSDSSOptions sizes objects for the paper's SDSS parameters
+// (Eps = 0.00015, MinPts = 5): object detections fall well within Eps of
+// each other while distinct objects almost never overlap.
+func DefaultSDSSOptions() SDSSOptions {
+	return SDSSOptions{
+		FrameSize:       1.0,
+		ObjectFrac:      0.85,
+		PointsPerObject: 12,
+		ObjectSigma:     0.00004,
+	}
+}
+
+// SDSS generates n points resembling γ-frame photo-object detections.
+func SDSS(n int, seed int64) []geom.Point {
+	return SDSSWith(n, seed, DefaultSDSSOptions())
+}
+
+// SDSSWith generates n points with explicit options.
+func SDSSWith(n int, seed int64, opt SDSSOptions) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+	id := uint64(0)
+	objectPoints := int(float64(n) * opt.ObjectFrac)
+	for len(pts) < objectPoints {
+		// One object: a compact knot of detections.
+		cx := rng.Float64() * opt.FrameSize
+		cy := rng.Float64() * opt.FrameSize
+		k := 1 + rng.Intn(2*opt.PointsPerObject)
+		for j := 0; j < k && len(pts) < objectPoints; j++ {
+			pts = append(pts, geom.Point{
+				ID:     id,
+				X:      cx + rng.NormFloat64()*opt.ObjectSigma,
+				Y:      cy + rng.NormFloat64()*opt.ObjectSigma,
+				Weight: 1,
+			})
+			id++
+		}
+	}
+	for len(pts) < n {
+		pts = append(pts, geom.Point{
+			ID:     id,
+			X:      rng.Float64() * opt.FrameSize,
+			Y:      rng.Float64() * opt.FrameSize,
+			Weight: 1,
+		})
+		id++
+	}
+	return pts
+}
+
+// Uniform generates n points uniformly over r.
+func Uniform(n int, seed int64, r geom.Rect) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			ID:     uint64(i),
+			X:      r.MinX + rng.Float64()*r.Width(),
+			Y:      r.MinY + rng.Float64()*r.Height(),
+			Weight: 1,
+		}
+	}
+	return pts
+}
+
+// Moons generates the classic two-interleaved-half-moons shape: the
+// canonical non-convex clustering benchmark, exercising DBSCAN's headline
+// ability to "find irregularly shaped clusters" (§1). The two moons
+// interlock but never come within `gap` of each other.
+func Moons(n int, seed int64, noise float64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		t := rng.Float64() * math.Pi
+		var x, y float64
+		if i%2 == 0 {
+			// Upper moon: half circle centered at origin.
+			x = math.Cos(t)
+			y = math.Sin(t)
+		} else {
+			// Lower moon: shifted, flipped half circle.
+			x = 1 - math.Cos(t)
+			y = 0.5 - math.Sin(t)
+		}
+		pts[i] = geom.Point{
+			ID:     uint64(i),
+			X:      x + rng.NormFloat64()*noise,
+			Y:      y + rng.NormFloat64()*noise,
+			Weight: 1,
+		}
+	}
+	return pts
+}
+
+// Blobs generates n points in k Gaussian blobs with the given sigma,
+// centers drawn uniformly over r. Useful for controlled cluster-count
+// tests.
+func Blobs(n, k int, sigma float64, seed int64, r geom.Rect) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Point{
+			X: r.MinX + rng.Float64()*r.Width(),
+			Y: r.MinY + rng.Float64()*r.Height(),
+		}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[i%k]
+		pts[i] = geom.Point{
+			ID:     uint64(i),
+			X:      c.X + rng.NormFloat64()*sigma,
+			Y:      c.Y + rng.NormFloat64()*sigma,
+			Weight: 1,
+		}
+	}
+	return pts
+}

@@ -1,0 +1,227 @@
+// Package distrib runs Mr. Scan's cluster phase across real operating
+// system process boundaries: a coordinator partitions the input and ships
+// each partition over TCP to worker processes, which run the GPGPU DBSCAN
+// locally and return cluster summaries and labels; the coordinator then
+// merges and sweeps exactly as the in-process pipeline does.
+//
+// This is the deployment shape of the real system — MRNet backends on
+// separate Titan nodes receiving work from the tree — realized with
+// nothing but the standard library: gob-encoded messages over
+// length-delimited TCP streams. The in-process pipeline (internal/mrscan)
+// remains the fast path; this package exists so the clustering protocol
+// demonstrably survives a process boundary.
+package distrib
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/dbscan"
+	"repro/internal/gdbscan"
+	"repro/internal/geom"
+	"repro/internal/gpusim"
+	"repro/internal/grid"
+	"repro/internal/merge"
+)
+
+// WorkRequest is one partition shipped to a worker.
+type WorkRequest struct {
+	Leaf     int
+	Eps      float64
+	MinPts   int
+	DenseBox bool
+	// Owned points first; Shadow completes the Eps-neighborhoods.
+	Owned  []geom.Point
+	Shadow []geom.Point
+	// Done tells the worker to exit after acknowledging.
+	Done bool
+}
+
+// WorkResponse is a worker's result for one partition.
+type WorkResponse struct {
+	Leaf        int
+	Summaries   []*merge.Summary
+	Labels      []int32 // over Owned only
+	NumClusters int
+	// Err carries a worker-side failure (gob cannot encode error values).
+	Err string
+}
+
+// Hello is the first message a worker sends after dialing in.
+type Hello struct {
+	Pid int
+}
+
+// Worker dials the coordinator and serves work requests until a Done
+// request or connection loss. Each request runs the same GPGPU DBSCAN +
+// summary construction as an in-process leaf.
+func Worker(coordAddr string, pid int) error {
+	conn, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("distrib: worker dialing coordinator: %w", err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(Hello{Pid: pid}); err != nil {
+		return fmt.Errorf("distrib: worker hello: %w", err)
+	}
+	for {
+		var req WorkRequest
+		if err := dec.Decode(&req); err != nil {
+			return fmt.Errorf("distrib: worker receiving: %w", err)
+		}
+		if req.Done {
+			return nil
+		}
+		resp := serve(&req)
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("distrib: worker replying: %w", err)
+		}
+	}
+}
+
+// serve executes one partition, exactly like a cluster-phase leaf.
+func serve(req *WorkRequest) *WorkResponse {
+	resp := &WorkResponse{Leaf: req.Leaf}
+	combined := make([]geom.Point, 0, len(req.Owned)+len(req.Shadow))
+	combined = append(combined, req.Owned...)
+	combined = append(combined, req.Shadow...)
+	dev := gpusim.New(gpusim.K20(), nil)
+	res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
+		Params:   dbscan.Params{Eps: req.Eps, MinPts: req.MinPts},
+		DenseBox: req.DenseBox,
+	})
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	g := grid.New(req.Eps)
+	sums, err := merge.BuildSummaries(g, req.Leaf, combined, len(req.Owned), res.Labels, res.Core, res.NumClusters)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Summaries = sums
+	resp.Labels = res.Labels[:len(req.Owned)]
+	resp.NumClusters = res.NumClusters
+	return resp
+}
+
+// Coordinator accepts worker connections and dispatches partitions.
+type Coordinator struct {
+	ln      net.Listener
+	mu      sync.Mutex
+	workers []*workerConn
+}
+
+type workerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	pid  int
+}
+
+// NewCoordinator listens for workers on a loopback port.
+func NewCoordinator() (*Coordinator, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("distrib: coordinator listen: %w", err)
+	}
+	return &Coordinator{ln: ln}, nil
+}
+
+// Addr returns the address workers must dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// AcceptWorkers blocks until n workers have dialed in and identified
+// themselves.
+func (c *Coordinator) AcceptWorkers(n int) error {
+	for i := 0; i < n; i++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("distrib: accepting worker %d: %w", i, err)
+		}
+		w := &workerConn{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		}
+		var hello Hello
+		if err := w.dec.Decode(&hello); err != nil {
+			conn.Close()
+			return fmt.Errorf("distrib: worker %d hello: %w", i, err)
+		}
+		w.pid = hello.Pid
+		c.mu.Lock()
+		c.workers = append(c.workers, w)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// NumWorkers returns the number of connected workers.
+func (c *Coordinator) NumWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Dispatch ships every partition to the worker pool (round-robin, each
+// worker handling its share sequentially) and collects responses indexed
+// by leaf.
+func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
+	c.mu.Lock()
+	workers := append([]*workerConn(nil), c.workers...)
+	c.mu.Unlock()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("distrib: no workers connected")
+	}
+	responses := make([]*WorkResponse, len(reqs))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *workerConn) {
+			defer wg.Done()
+			for ri := wi; ri < len(reqs); ri += len(workers) {
+				if err := w.enc.Encode(&reqs[ri]); err != nil {
+					errs[wi] = fmt.Errorf("distrib: sending leaf %d to worker %d: %w", reqs[ri].Leaf, wi, err)
+					return
+				}
+				var resp WorkResponse
+				if err := w.dec.Decode(&resp); err != nil {
+					errs[wi] = fmt.Errorf("distrib: receiving leaf %d from worker %d: %w", reqs[ri].Leaf, wi, err)
+					return
+				}
+				if resp.Err != "" {
+					errs[wi] = fmt.Errorf("distrib: worker %d leaf %d: %s", wi, resp.Leaf, resp.Err)
+					return
+				}
+				r := resp
+				responses[ri] = &r
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return responses, nil
+}
+
+// Shutdown tells every worker to exit and closes the listener.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		_ = w.enc.Encode(&WorkRequest{Done: true})
+		w.conn.Close()
+	}
+	c.workers = nil
+	c.ln.Close()
+}

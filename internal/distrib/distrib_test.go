@@ -1,0 +1,142 @@
+package distrib
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dbscan"
+	"repro/internal/quality"
+)
+
+// startWorkers launches n protocol workers as goroutines dialing the
+// coordinator over real TCP (the protocol is identical whether the other
+// end is a goroutine or a separate process; TestMain exercises the
+// process case).
+func startWorkers(t *testing.T, c *Coordinator, n int) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := Worker(c.Addr(), 1000+i); err != nil && !isClosedErr(err) {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	if err := c.AcceptWorkers(n); err != nil {
+		t.Fatal(err)
+	}
+	return &wg
+}
+
+func isClosedErr(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "use of closed network connection") ||
+		strings.Contains(s, "EOF") ||
+		strings.Contains(s, "connection reset")
+}
+
+func TestDistributedMatchesReference(t *testing.T) {
+	pts := dataset.Twitter(10000, 1)
+	ref, err := dbscan.Cluster(pts, dbscan.Params{Eps: 0.1, MinPts: 40}, dbscan.IndexGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := startWorkers(t, c, 3)
+	res, err := c.Run(pts, Options{Eps: 0.1, MinPts: 40, Leaves: 8, DenseBox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	wg.Wait()
+	if res.NumClusters != ref.NumClusters {
+		t.Errorf("NumClusters = %d, want %d", res.NumClusters, ref.NumClusters)
+	}
+	score, err := quality.Score(ref.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.995 {
+		t.Errorf("quality = %.4f, want >= 0.995", score)
+	}
+}
+
+func TestDistributedMoreLeavesThanWorkers(t *testing.T) {
+	pts := dataset.Twitter(6000, 2)
+	c, err := NewCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := startWorkers(t, c, 2)
+	// 11 partitions over 2 workers: each worker serves several leaves
+	// sequentially over its single connection.
+	res, err := c.Run(pts, Options{Eps: 0.1, MinPts: 10, Leaves: 11, DenseBox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	wg.Wait()
+	ref, err := dbscan.Cluster(pts, dbscan.Params{Eps: 0.1, MinPts: 10}, dbscan.IndexGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := quality.Score(ref.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.995 {
+		t.Errorf("quality = %.4f", score)
+	}
+}
+
+func TestDispatchWithoutWorkers(t *testing.T) {
+	c, err := NewCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Dispatch([]WorkRequest{{}}); err == nil {
+		t.Error("dispatch with no workers must fail")
+	}
+	if _, err := c.Run(nil, Options{Eps: 0.1, MinPts: 4, Leaves: 0}); err == nil {
+		t.Error("zero leaves must fail")
+	}
+}
+
+func TestWorkerErrorPropagates(t *testing.T) {
+	c, err := NewCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := startWorkers(t, c, 1)
+	// Invalid parameters surface from the worker as a response error.
+	reqs := []WorkRequest{{Leaf: 0, Eps: -1, MinPts: 4}}
+	_, err = c.Dispatch(reqs)
+	if err == nil || !strings.Contains(err.Error(), "Eps") {
+		t.Errorf("err = %v, want worker-side Eps validation error", err)
+	}
+	c.Shutdown()
+	wg.Wait()
+}
+
+// TestMain doubles as the worker-process entry point: when the test
+// binary is re-executed with MRSCAN_DISTRIB_WORKER set, it runs the
+// worker loop instead of the tests — letting TestRealProcessWorkers spawn
+// genuine OS processes without a separate binary.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("MRSCAN_DISTRIB_WORKER"); addr != "" {
+		if err := Worker(addr, os.Getpid()); err != nil && !isClosedErr(err) {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,95 @@
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/merge"
+	"repro/internal/partition"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	Eps      float64
+	MinPts   int
+	Leaves   int // partitions to produce (≥ workers; round-robined)
+	DenseBox bool
+}
+
+// Result is a completed distributed run.
+type Result struct {
+	// Labels aligns with the input points (-1 = noise).
+	Labels      []int
+	NumClusters int
+}
+
+// Run executes the full algorithm with the cluster phase on the
+// coordinator's connected workers: partition locally, dispatch each
+// partition over TCP, merge the returned summaries, and resolve global
+// labels. It is the distributed counterpart of mrscan.RunPoints.
+func (c *Coordinator) Run(pts []geom.Point, opt Options) (*Result, error) {
+	if opt.Leaves < 1 {
+		return nil, fmt.Errorf("distrib: need at least one leaf, got %d", opt.Leaves)
+	}
+	g := grid.New(opt.Eps)
+	h := g.HistogramOf(pts)
+	plan, err := partition.MakePlan(g, h, opt.Leaves, opt.MinPts, true)
+	if err != nil {
+		return nil, err
+	}
+	split, err := partition.Split(plan, pts, partition.SplitOptions{})
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]WorkRequest, opt.Leaves)
+	for leaf := 0; leaf < opt.Leaves; leaf++ {
+		reqs[leaf] = WorkRequest{
+			Leaf:     leaf,
+			Eps:      opt.Eps,
+			MinPts:   opt.MinPts,
+			DenseBox: opt.DenseBox,
+			Owned:    split.Partitions[leaf],
+			Shadow:   split.Shadows[leaf],
+		}
+	}
+	responses, err := c.Dispatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge the summaries exactly as the tree root would (a flat
+	// combine is a one-level tree).
+	groups := make([][]*merge.Summary, 0, len(responses))
+	for _, r := range responses {
+		groups = append(groups, r.Summaries)
+	}
+	final := merge.Combine(g, opt.Eps, groups)
+	mapping := merge.AssignGlobalIDs(final)
+
+	// Sweep: resolve owned labels to global IDs, align by point ID.
+	byID := make(map[uint64]int, len(pts))
+	for leaf, r := range responses {
+		for i, p := range reqs[leaf].Owned {
+			l := r.Labels[i]
+			if l < 0 {
+				byID[p.ID] = -1
+				continue
+			}
+			gid, ok := mapping[merge.ClusterKey{Leaf: int32(leaf), Local: l}]
+			if !ok {
+				return nil, fmt.Errorf("distrib: leaf %d cluster %d missing from mapping", leaf, l)
+			}
+			byID[p.ID] = int(gid)
+		}
+	}
+	labels := make([]int, len(pts))
+	for i, p := range pts {
+		l, ok := byID[p.ID]
+		if !ok {
+			return nil, fmt.Errorf("distrib: point %d not returned by any worker", p.ID)
+		}
+		labels[i] = l
+	}
+	return &Result{Labels: labels, NumClusters: len(final)}, nil
+}

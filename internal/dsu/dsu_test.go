@@ -1,0 +1,248 @@
+package dsu
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, d.Find(i), i)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	d := New(6)
+	if !d.Union(0, 1) {
+		t.Error("first union must merge")
+	}
+	if d.Union(0, 1) {
+		t.Error("repeated union must not merge")
+	}
+	d.Union(2, 3)
+	d.Union(1, 2) // {0,1,2,3}
+	if !d.Same(0, 3) {
+		t.Error("0 and 3 must be connected")
+	}
+	if d.Same(0, 4) {
+		t.Error("0 and 4 must not be connected")
+	}
+	if d.Count() != 3 {
+		t.Errorf("Count = %d, want 3 ({0..3},{4},{5})", d.Count())
+	}
+}
+
+func TestLabelsDense(t *testing.T) {
+	d := New(5)
+	d.Union(0, 2)
+	d.Union(3, 4)
+	labels := d.Labels()
+	if labels[0] != labels[2] {
+		t.Error("0 and 2 must share a label")
+	}
+	if labels[3] != labels[4] {
+		t.Error("3 and 4 must share a label")
+	}
+	if labels[0] == labels[1] || labels[0] == labels[3] || labels[1] == labels[3] {
+		t.Errorf("distinct sets must have distinct labels: %v", labels)
+	}
+	// Labels must be dense 0..k-1.
+	max := 0
+	for _, l := range labels {
+		if l < 0 {
+			t.Fatalf("negative label in %v", labels)
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max != 2 {
+		t.Errorf("labels must be dense 0..2, got %v", labels)
+	}
+}
+
+// TestTransitivityProperty checks that connectivity via DSU matches
+// reachability in the union graph.
+func TestTransitivityProperty(t *testing.T) {
+	f := func(edges []uint16, nSeed uint8) bool {
+		n := int(nSeed)%60 + 2
+		d := New(n)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i+1 < len(edges); i += 2 {
+			a, b := int(edges[i])%n, int(edges[i+1])%n
+			d.Union(a, b)
+			adj[a][b], adj[b][a] = true, true
+		}
+		reach := bfsClosure(adj)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if d.Same(a, b) != reach[a][b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bfsClosure(adj [][]bool) [][]bool {
+	n := len(adj)
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		queue := []int{s}
+		reach[s][s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for w := 0; w < n; w++ {
+				if adj[v][w] && !reach[s][w] {
+					reach[s][w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+func TestConcurrentParallelUnions(t *testing.T) {
+	const n = 1000
+	c := NewConcurrent(n)
+	var wg sync.WaitGroup
+	// Build a chain 0-1-2-...-999 from 8 workers with overlapping ranges.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n-1; i += 8 {
+				c.Union(i, i+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	root := c.Find(0)
+	for i := 1; i < n; i++ {
+		if c.Find(i) != root {
+			t.Fatalf("element %d not connected to chain", i)
+		}
+	}
+	unions, messages := c.Stats()
+	if unions != n-1 {
+		t.Errorf("unions = %d, want %d", unions, n-1)
+	}
+	if messages <= unions {
+		t.Errorf("message proxy %d must exceed union count %d", messages, unions)
+	}
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 200
+	type edge struct{ a, b int }
+	edges := make([]edge, 300)
+	for i := range edges {
+		edges[i] = edge{rng.Intn(n), rng.Intn(n)}
+	}
+	seq := New(n)
+	con := NewConcurrent(n)
+	var wg sync.WaitGroup
+	for _, e := range edges {
+		seq.Union(e.a, e.b)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(edges); i += 4 {
+				con.Union(edges[i].a, edges[i].b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if seq.Same(a, b) != (con.Find(a) == con.Find(b)) {
+				t.Fatalf("connectivity of (%d,%d) differs between sequential and concurrent", a, b)
+			}
+		}
+	}
+}
+
+func TestConcurrentLabels(t *testing.T) {
+	c := NewConcurrent(5)
+	c.Union(0, 2)
+	c.Union(3, 4)
+	labels := c.Labels()
+	if labels[0] != labels[2] || labels[3] != labels[4] {
+		t.Errorf("connected elements must share labels: %v", labels)
+	}
+	if labels[0] == labels[1] || labels[1] == labels[3] || labels[0] == labels[3] {
+		t.Errorf("distinct sets must differ: %v", labels)
+	}
+}
+
+func TestKeyedUnionFind(t *testing.T) {
+	type key struct{ leaf, cluster int }
+	d := NewKeyed[key]()
+	a := key{0, 1}
+	b := key{1, 0}
+	c := key{2, 7}
+	d.Union(a, b)
+	if !d.Same(a, b) {
+		t.Error("a and b must be connected")
+	}
+	if d.Same(a, c) {
+		t.Error("a and c must not be connected")
+	}
+	d.Union(b, c)
+	if !d.Same(a, c) {
+		t.Error("transitivity: a and c must be connected after b-c union")
+	}
+	if len(d.Keys()) != 3 {
+		t.Errorf("Keys = %d entries, want 3", len(d.Keys()))
+	}
+}
+
+func TestKeyedFindRegistersSingleton(t *testing.T) {
+	d := NewKeyed[string]()
+	if got := d.Find("x"); got != "x" {
+		t.Errorf("Find on fresh key = %q, want %q", got, "x")
+	}
+	if d.Union("x", "x") {
+		t.Error("self union must report no merge")
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}

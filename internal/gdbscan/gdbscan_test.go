@@ -1,0 +1,390 @@
+package gdbscan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/gpusim"
+)
+
+func testDevice() *gpusim.Device {
+	cfg := gpusim.K20()
+	cfg.SMs = 8
+	return gpusim.New(cfg, nil)
+}
+
+func blob(rng *rand.Rand, idBase uint64, n int, cx, cy, r float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			ID: idBase + uint64(i),
+			X:  cx + (rng.Float64()*2-1)*r,
+			Y:  cy + (rng.Float64()*2-1)*r,
+		}
+	}
+	return pts
+}
+
+// mixedDataset builds blobs of varying density plus uniform noise,
+// resembling the geospatial data Mr. Scan targets.
+func mixedDataset(seed int64, n int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []geom.Point
+	id := uint64(0)
+	centers := [][3]float64{
+		{0, 0, 0.3}, {2, 1, 0.15}, {-1.5, 2, 0.08}, {3, -2, 0.5}, {-2, -2, 0.04},
+	}
+	per := n * 9 / 10 / len(centers)
+	for _, c := range centers {
+		b := blob(rng, id, per, c[0], c[1], c[2])
+		pts = append(pts, b...)
+		id += uint64(per)
+	}
+	for len(pts) < n {
+		pts = append(pts, geom.Point{ID: id, X: rng.Float64()*12 - 6, Y: rng.Float64()*12 - 6})
+		id++
+	}
+	return pts
+}
+
+// validate checks a gdbscan result against the reference sequential
+// DBSCAN. Core flags and the partition of core points must match exactly;
+// border points may legally differ in cluster assignment (DBSCAN order
+// dependence, §2.1) but must be attached to a cluster with a core
+// neighbor within Eps; noise sets must match exactly.
+func validate(t *testing.T, pts []geom.Point, params dbscan.Params, res *Result) {
+	t.Helper()
+	ref, err := dbscan.Cluster(pts, params, dbscan.IndexGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != len(pts) || len(res.Core) != len(pts) {
+		t.Fatalf("result sizes %d/%d, want %d", len(res.Labels), len(res.Core), len(pts))
+	}
+	for i := range pts {
+		if res.Core[i] != ref.Core[i] {
+			t.Fatalf("core flag of point %d = %v, want %v", i, res.Core[i], ref.Core[i])
+		}
+	}
+	// Partition of core points: bidirectional label mapping.
+	refToGot := map[int]int32{}
+	gotToRef := map[int32]int{}
+	for i := range pts {
+		if !ref.Core[i] {
+			continue
+		}
+		r, g := ref.Labels[i], res.Labels[i]
+		if g < 0 {
+			t.Fatalf("core point %d unlabeled", i)
+		}
+		if prev, ok := refToGot[r]; ok && prev != g {
+			t.Fatalf("ref cluster %d split into %d and %d (point %d)", r, prev, g, i)
+		}
+		if prev, ok := gotToRef[g]; ok && prev != r {
+			t.Fatalf("got cluster %d merges ref clusters %d and %d (point %d)", g, prev, r, i)
+		}
+		refToGot[r] = g
+		gotToRef[g] = r
+	}
+	// Noise must match exactly.
+	eps2 := params.Eps * params.Eps
+	for i := range pts {
+		refNoise := ref.Labels[i] == dbscan.Noise
+		gotNoise := res.Labels[i] == dbscan.Noise
+		if refNoise != gotNoise {
+			t.Fatalf("noise status of point %d = %v, want %v", i, gotNoise, refNoise)
+		}
+		// Border points: must have a core neighbor in the same got-cluster.
+		if !gotNoise && !res.Core[i] {
+			ok := false
+			for j := range pts {
+				if j != i && res.Core[j] && res.Labels[j] == res.Labels[i] &&
+					geom.Dist2(pts[i], pts[j]) <= eps2 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("border point %d not adjacent to a core of its cluster %d", i, res.Labels[i])
+			}
+		}
+	}
+}
+
+func TestMatchesReferenceSmall(t *testing.T) {
+	pts := mixedDataset(1, 800)
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	for _, dense := range []bool{false, true} {
+		name := "densebox=off"
+		if dense {
+			name = "densebox=on"
+		}
+		t.Run(name, func(t *testing.T) {
+			res, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: dense})
+			if err != nil {
+				t.Fatal(err)
+			}
+			validate(t, pts, params, res)
+		})
+	}
+}
+
+func TestMatchesReferenceAcrossMinPts(t *testing.T) {
+	pts := mixedDataset(2, 1500)
+	for _, minPts := range []int{2, 4, 10, 40} {
+		res, err := Cluster(testDevice(), pts, Options{
+			Params:   dbscan.Params{Eps: 0.1, MinPts: minPts},
+			DenseBox: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		validate(t, pts, dbscan.Params{Eps: 0.1, MinPts: minPts}, res)
+	}
+}
+
+func TestDenseBoxActivates(t *testing.T) {
+	// A single very dense blob: dense boxes must eliminate most points.
+	rng := rand.New(rand.NewSource(3))
+	pts := blob(rng, 0, 4000, 0, 0, 0.02) // everything within one Eps region
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	res, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: true, LeafSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DenseBoxes == 0 {
+		t.Fatal("dense data must produce dense boxes")
+	}
+	if res.Stats.DenseBoxPoints < len(pts)/2 {
+		t.Errorf("dense boxes eliminated only %d of %d points", res.Stats.DenseBoxPoints, len(pts))
+	}
+	if res.NumClusters != 1 {
+		t.Errorf("NumClusters = %d, want 1 (all boxes must link)", res.NumClusters)
+	}
+	validate(t, pts, params, res)
+}
+
+func TestDenseBoxAdjacentBlobsMerge(t *testing.T) {
+	// Two dense micro-blobs ~0.05 apart: both become dense boxes (or box
+	// + expanded region); box↔box linking must merge them.
+	rng := rand.New(rand.NewSource(4))
+	var pts []geom.Point
+	pts = append(pts, blob(rng, 0, 200, 0, 0, 0.01)...)
+	pts = append(pts, blob(rng, 1000, 200, 0.05, 0, 0.01)...)
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	res, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: true, LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1", res.NumClusters)
+	}
+	validate(t, pts, params, res)
+}
+
+func TestDenseBoxBorderAttach(t *testing.T) {
+	// A dense box plus one lone point within Eps of it: the lone point is
+	// a border point whose only core neighbors live in the box; the
+	// border-attach pass must claim it.
+	// Deterministic construction. Box 1: 15 points on a line spanning
+	// x ∈ [0, 0.07] (diagonal 0.07 ≤ Eps, count = MinPts → dense box).
+	// The border point at x = 0.17 is within Eps of exactly one box
+	// point (distance 0.1 to x = 0.07), so it is non-core and its only
+	// core neighbor is a dense-box member. Box 2 at x ≈ 1 forces the
+	// KD-tree to split box 1 into its own leaf.
+	var pts []geom.Point
+	for i := 0; i < 15; i++ {
+		pts = append(pts, geom.Point{ID: uint64(i), X: float64(i) * 0.005, Y: 0})
+	}
+	borderIdx := len(pts)
+	pts = append(pts, geom.Point{ID: 100, X: 0.17, Y: 0})
+	for i := 0; i < 15; i++ {
+		pts = append(pts, geom.Point{ID: 200 + uint64(i), X: 1 + float64(i)*0.005, Y: 0})
+	}
+	params := dbscan.Params{Eps: 0.1, MinPts: 15}
+	res, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: true, LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DenseBoxes == 0 {
+		t.Fatal("box 1 must be eliminated as a dense box for this test to be meaningful")
+	}
+	if res.Core[borderIdx] {
+		t.Fatal("border point must not be core")
+	}
+	if res.Labels[borderIdx] == dbscan.Noise {
+		t.Fatal("point within Eps of a dense box must be a border member, not noise")
+	}
+	if res.Labels[borderIdx] != res.Labels[0] {
+		t.Errorf("border point joined cluster %d, want the box cluster %d", res.Labels[borderIdx], res.Labels[0])
+	}
+	validate(t, pts, params, res)
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	res, err := Cluster(testDevice(), nil, Options{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Errorf("empty input: NumClusters = %d", res.NumClusters)
+	}
+	res, err = Cluster(testDevice(), []geom.Point{{ID: 1}}, Options{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || res.Labels[0] != dbscan.Noise {
+		t.Errorf("single point must be noise, got %+v", res)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if _, err := Cluster(testDevice(), nil, Options{Params: dbscan.Params{Eps: -1, MinPts: 4}}); err == nil {
+		t.Error("negative Eps must be rejected")
+	}
+}
+
+func TestCUDADClustModeMatchesOutput(t *testing.T) {
+	pts := mixedDataset(6, 700)
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	res, err := Cluster(testDevice(), pts, Options{Params: params, Mode: ModeCUDADClust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, pts, params, res)
+}
+
+func TestCUDADClustModeTransferCost(t *testing.T) {
+	// §3.2.2: the baseline's per-iteration synchronous copies must show up
+	// as many more device transfers than Mr. Scan's single round trip.
+	pts := mixedDataset(7, 3000)
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+
+	devA := testDevice()
+	resA, err := Cluster(devA, pts, Options{Params: params, DenseBox: true, Blocks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB := testDevice()
+	resB, err := Cluster(devB, pts, Options{Params: params, Mode: ModeCUDADClust, Blocks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Stats.DeviceTransfers != 2 {
+		t.Errorf("Mr. Scan mode made %d transfers, want exactly 2 (one round trip)", resA.Stats.DeviceTransfers)
+	}
+	if resB.Stats.DeviceTransfers <= resA.Stats.DeviceTransfers {
+		t.Errorf("CUDA-DClust mode made %d transfers, want more than %d",
+			resB.Stats.DeviceTransfers, resA.Stats.DeviceTransfers)
+	}
+	if devB.Clock().Resource(devB.Config().Name+"/pcie") <= devA.Clock().Resource(devA.Config().Name+"/pcie") {
+		t.Error("CUDA-DClust mode must accumulate more simulated PCIe time")
+	}
+}
+
+func TestDenseBoxReducesExpansionWork(t *testing.T) {
+	pts := mixedDataset(8, 5000)
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	on, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.DenseBoxPoints == 0 {
+		t.Fatal("mixed dataset must trigger dense boxes")
+	}
+	if on.Stats.SeedRounds >= off.Stats.SeedRounds {
+		t.Errorf("dense box must reduce seed rounds: on=%d off=%d",
+			on.Stats.SeedRounds, off.Stats.SeedRounds)
+	}
+	// Same clustering either way.
+	validate(t, pts, params, on)
+	validate(t, pts, params, off)
+}
+
+func TestHighMinPtsWeakensDenseBox(t *testing.T) {
+	// §5.1.1: "Since our dense box optimization is based on finding
+	// MinPts points in a small area, it is not as effective when MinPts
+	// is higher."
+	pts := mixedDataset(9, 5000)
+	eliminated := func(minPts int) int {
+		res, err := Cluster(testDevice(), pts, Options{
+			Params:   dbscan.Params{Eps: 0.1, MinPts: minPts},
+			DenseBox: true,
+			LeafSize: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.DenseBoxPoints
+	}
+	low := eliminated(4)
+	high := eliminated(400)
+	if high >= low {
+		t.Errorf("dense box eliminated %d points at MinPts=400, want fewer than %d at MinPts=4", high, low)
+	}
+}
+
+func TestRingShape(t *testing.T) {
+	// Non-convex cluster through the GPU path.
+	rng := rand.New(rand.NewSource(10))
+	var pts []geom.Point
+	for i := 0; i < 720; i++ {
+		a := float64(i) / 720 * 2 * math.Pi
+		pts = append(pts, geom.Point{ID: uint64(i), X: math.Cos(a) + rng.Float64()*0.001, Y: math.Sin(a) + rng.Float64()*0.001})
+	}
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	res, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("ring must be one cluster, got %d", res.NumClusters)
+	}
+	validate(t, pts, params, res)
+}
+
+func TestDeterministicCorePartitionUnderConcurrency(t *testing.T) {
+	// Block-level races may reassign border points between runs, but the
+	// partition of core points must be stable. Run repeatedly.
+	pts := mixedDataset(11, 2000)
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	ref, err := dbscan.Cluster(pts, params, dbscan.IndexGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		res, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumClusters != ref.NumClusters {
+			t.Fatalf("run %d: NumClusters = %d, want %d", run, res.NumClusters, ref.NumClusters)
+		}
+	}
+}
+
+func BenchmarkGPUDBSCAN(b *testing.B) {
+	pts := mixedDataset(12, 20000)
+	params := dbscan.Params{Eps: 0.1, MinPts: 4}
+	for _, dense := range []bool{false, true} {
+		name := "densebox=off"
+		if dense {
+			name = "densebox=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: dense}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package gdbscan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+)
+
+// TestPropertyMatchesReference fuzzes the GPU DBSCAN against the
+// sequential reference on random small datasets, random parameters, and
+// random tuning knobs. Core flags and the core-point partition must
+// always agree (border assignment is legally order-dependent).
+func TestPropertyMatchesReference(t *testing.T) {
+	f := func(seed int64, nRaw uint16, minRaw, blocksRaw, leafRaw uint8, dense bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%400 + 10
+		minPts := int(minRaw)%12 + 2
+		blocks := int(blocksRaw)%16 + 1
+		leafSize := int(leafRaw)%48 + 4
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			// A mix of clumps and scatter in a small window so clusters
+			// actually form.
+			if i%3 == 0 {
+				pts[i] = geom.Point{ID: uint64(i), X: rng.Float64() * 2, Y: rng.Float64() * 2}
+			} else {
+				cx := float64(i%5) * 0.35
+				pts[i] = geom.Point{
+					ID: uint64(i),
+					X:  cx + rng.NormFloat64()*0.03,
+					Y:  0.5 + rng.NormFloat64()*0.03,
+				}
+			}
+		}
+		params := dbscan.Params{Eps: 0.1, MinPts: minPts}
+		res, err := Cluster(testDevice(), pts, Options{
+			Params:   params,
+			DenseBox: dense,
+			Blocks:   blocks,
+			LeafSize: leafSize,
+		})
+		if err != nil {
+			return false
+		}
+		ref, err := dbscan.Cluster(pts, params, dbscan.IndexBrute)
+		if err != nil {
+			return false
+		}
+		// Core flags exact.
+		for i := range pts {
+			if res.Core[i] != ref.Core[i] {
+				return false
+			}
+		}
+		// Core partition bijective.
+		refToGot := map[int]int32{}
+		gotToRef := map[int32]int{}
+		for i := range pts {
+			if !ref.Core[i] {
+				continue
+			}
+			r, g := ref.Labels[i], res.Labels[i]
+			if g < 0 {
+				return false
+			}
+			if prev, ok := refToGot[r]; ok && prev != g {
+				return false
+			}
+			if prev, ok := gotToRef[g]; ok && prev != r {
+				return false
+			}
+			refToGot[r] = g
+			gotToRef[g] = r
+		}
+		// Noise exact.
+		for i := range pts {
+			if (ref.Labels[i] == dbscan.Noise) != (res.Labels[i] == dbscan.Noise) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLatticeAndDegenerate exercises structured inputs that
+// stress the KD-tree and dense-box geometry.
+func TestPropertyLatticeAndDegenerate(t *testing.T) {
+	cases := map[string][]geom.Point{
+		"lattice":    latticePoints(20, 20, 0.05),
+		"duplicates": duplicatePoints(300),
+		"collinear":  collinearPoints(300, 0.01),
+		"two-lines":  append(collinearPoints(150, 0.01), shiftY(collinearPoints(150, 0.01), 5)...),
+	}
+	for name, pts := range cases {
+		t.Run(name, func(t *testing.T) {
+			params := dbscan.Params{Eps: 0.1, MinPts: 4}
+			res, err := Cluster(testDevice(), pts, Options{Params: params, DenseBox: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			validate(t, pts, params, res)
+		})
+	}
+}
+
+func latticePoints(w, h int, step float64) []geom.Point {
+	pts := make([]geom.Point, 0, w*h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			pts = append(pts, geom.Point{
+				ID: uint64(x*h + y),
+				X:  float64(x) * step,
+				Y:  float64(y) * step,
+			})
+		}
+	}
+	return pts
+}
+
+func duplicatePoints(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{ID: uint64(i), X: 1.5, Y: -2.5}
+	}
+	return pts
+}
+
+func collinearPoints(n int, step float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{ID: uint64(i), X: float64(i) * step, Y: 0}
+	}
+	return pts
+}
+
+func shiftY(pts []geom.Point, dy float64) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point{ID: p.ID + 1000000, X: p.X, Y: p.Y + dy}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+// Package gpusim simulates a CUDA-class GPGPU device.
+//
+// Mr. Scan's cluster phase runs a modified CUDA-DClust on an NVIDIA K20
+// per leaf node. That hardware is unavailable here, so this package
+// provides the device abstraction the algorithm is written against:
+//
+//   - device memory with explicit allocation limits (the K20's 6 GB bound
+//     what fit on a leaf and forced the 800k points/leaf weak-scaling
+//     configuration);
+//   - explicit host↔device transfers, each charged a modeled latency and
+//     bandwidth cost on a simulated clock — the quantity §3.2.2 optimizes
+//     (CUDA-DClust performs 2×(points/blocks) round trips, Mr. Scan one);
+//   - kernel launches over a (blocks × threads) grid, executed by a worker
+//     pool of simulated SMs so blocks genuinely run concurrently and
+//     expansion collisions between blocks (§3.2.1, Figure 4) really occur.
+//
+// Kernels execute real Go code, so clustering results are real; only the
+// costs of hardware we do not have (PCIe, launch overhead) are simulated.
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// Name identifies the device in logs (e.g. "K20-sim").
+	Name string
+	// SMs is the number of streaming multiprocessors: the number of
+	// blocks that execute concurrently.
+	SMs int
+	// MemBytes is the device memory capacity; allocations beyond it fail
+	// like cudaMalloc would.
+	MemBytes int64
+	// H2DBandwidth and D2HBandwidth are modeled PCIe bandwidths in
+	// bytes/second (0 disables the cost model).
+	H2DBandwidth float64
+	D2HBandwidth float64
+	// TransferLatency is the fixed per-transfer cost (driver + DMA setup).
+	// This term is what makes many small synchronous copies expensive and
+	// drives the §3.2.2 optimization.
+	TransferLatency time.Duration
+	// LaunchOverhead is the fixed per-kernel-launch cost.
+	LaunchOverhead time.Duration
+}
+
+// K20 returns a configuration modeled on the NVIDIA Tesla K20 of Titan's
+// compute nodes: 13 SMX units, 6 GB of GDDR5, PCIe gen2 transfers.
+func K20() Config {
+	return Config{
+		Name:            "K20-sim",
+		SMs:             13,
+		MemBytes:        6 << 30,
+		H2DBandwidth:    6e9,
+		D2HBandwidth:    6e9,
+		TransferLatency: 10 * time.Microsecond,
+		LaunchOverhead:  5 * time.Microsecond,
+	}
+}
+
+// Stats aggregates device activity. All counters are cumulative since
+// device creation.
+type Stats struct {
+	KernelLaunches int64
+	BlocksExecuted int64
+	H2DTransfers   int64
+	D2HTransfers   int64
+	H2DBytes       int64
+	D2HBytes       int64
+	// KernelWall is real wall time spent executing kernels.
+	KernelWall time.Duration
+	// AllocBytes is the current device memory in use.
+	AllocBytes int64
+	// PeakAllocBytes is the high-water mark of device memory.
+	PeakAllocBytes int64
+}
+
+// Device is a simulated GPGPU. Safe for use by one host goroutine at a
+// time (like a CUDA stream); kernels themselves run on many goroutines.
+type Device struct {
+	cfg   Config
+	clock *simclock.Clock
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// ErrOutOfMemory is returned by Alloc when device memory is exhausted.
+var ErrOutOfMemory = errors.New("gpusim: out of device memory")
+
+// New creates a device. A nil clock allocates a private one.
+func New(cfg Config, clock *simclock.Clock) *Device {
+	if cfg.SMs <= 0 {
+		cfg.SMs = 1
+	}
+	if clock == nil {
+		clock = simclock.New()
+	}
+	return &Device{cfg: cfg, clock: clock}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Clock returns the simulated clock costs are charged to.
+func (d *Device) Clock() *simclock.Clock { return d.clock }
+
+// Stats returns a snapshot of device statistics.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// resource names on the simulated clock.
+func (d *Device) pcieResource() string { return d.cfg.Name + "/pcie" }
+
+// GPUResource is the clock resource kernels are charged to.
+func (d *Device) GPUResource() string { return d.cfg.Name + "/sm" }
+
+// Buffer is a device memory allocation. It tracks bytes only: kernel code
+// accesses ordinary Go slices (the "device copy"), because simulating the
+// address space would add nothing to the cost model.
+type Buffer struct {
+	dev   *Device
+	name  string
+	size  int64
+	freed bool
+}
+
+// Alloc reserves size bytes of device memory.
+func (d *Device) Alloc(name string, size int64) (*Buffer, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("gpusim: negative allocation %d for %q", size, name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.MemBytes > 0 && d.stats.AllocBytes+size > d.cfg.MemBytes {
+		return nil, fmt.Errorf("%w: %q needs %d bytes, %d of %d in use",
+			ErrOutOfMemory, name, size, d.stats.AllocBytes, d.cfg.MemBytes)
+	}
+	d.stats.AllocBytes += size
+	if d.stats.AllocBytes > d.stats.PeakAllocBytes {
+		d.stats.PeakAllocBytes = d.stats.AllocBytes
+	}
+	return &Buffer{dev: d, name: name, size: size}, nil
+}
+
+// Size returns the buffer's byte size.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Free releases the buffer. Double frees are ignored.
+func (b *Buffer) Free() {
+	if b == nil || b.freed {
+		return
+	}
+	b.freed = true
+	b.dev.mu.Lock()
+	b.dev.stats.AllocBytes -= b.size
+	b.dev.mu.Unlock()
+}
+
+// CopyToDevice charges a host→device transfer of n bytes.
+func (d *Device) CopyToDevice(b *Buffer, n int64) error {
+	if err := d.checkTransfer(b, n); err != nil {
+		return err
+	}
+	d.clock.Charge(d.pcieResource(), d.cfg.TransferLatency+simclock.BytesDuration(n, d.cfg.H2DBandwidth))
+	d.mu.Lock()
+	d.stats.H2DTransfers++
+	d.stats.H2DBytes += n
+	d.mu.Unlock()
+	return nil
+}
+
+// CopyFromDevice charges a device→host transfer of n bytes.
+func (d *Device) CopyFromDevice(b *Buffer, n int64) error {
+	if err := d.checkTransfer(b, n); err != nil {
+		return err
+	}
+	d.clock.Charge(d.pcieResource(), d.cfg.TransferLatency+simclock.BytesDuration(n, d.cfg.D2HBandwidth))
+	d.mu.Lock()
+	d.stats.D2HTransfers++
+	d.stats.D2HBytes += n
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *Device) checkTransfer(b *Buffer, n int64) error {
+	if b == nil {
+		return errors.New("gpusim: transfer with nil buffer")
+	}
+	if b.freed {
+		return fmt.Errorf("gpusim: transfer on freed buffer %q", b.name)
+	}
+	if n < 0 || n > b.size {
+		return fmt.Errorf("gpusim: transfer of %d bytes exceeds buffer %q size %d", n, b.name, b.size)
+	}
+	return nil
+}
+
+// LaunchConfig is a kernel grid: Blocks × ThreadsPerBlock.
+type LaunchConfig struct {
+	Blocks          int
+	ThreadsPerBlock int
+}
+
+// GridFor returns a launch configuration covering n work items with the
+// given block width (like the usual (n + tpb - 1) / tpb CUDA idiom).
+func GridFor(n, threadsPerBlock int) LaunchConfig {
+	if threadsPerBlock <= 0 {
+		threadsPerBlock = 256
+	}
+	blocks := (n + threadsPerBlock - 1) / threadsPerBlock
+	if blocks < 1 {
+		blocks = 1
+	}
+	return LaunchConfig{Blocks: blocks, ThreadsPerBlock: threadsPerBlock}
+}
+
+// KernelCtx identifies the executing thread, mirroring CUDA's
+// blockIdx/threadIdx/gridDim/blockDim.
+type KernelCtx struct {
+	Block           int
+	Thread          int
+	Blocks          int
+	ThreadsPerBlock int
+}
+
+// GlobalID returns the flattened thread index
+// (blockIdx.x*blockDim.x + threadIdx.x).
+func (c KernelCtx) GlobalID() int { return c.Block*c.ThreadsPerBlock + c.Thread }
+
+// GlobalThreads returns the total number of threads in the launch.
+func (c KernelCtx) GlobalThreads() int { return c.Blocks * c.ThreadsPerBlock }
+
+// Kernel is the device function type. Each invocation is one thread.
+type Kernel func(ctx KernelCtx)
+
+// Launch executes the kernel over the grid. Blocks are scheduled onto
+// cfg.SMs concurrent workers; within a block, threads run sequentially
+// (warp-level parallelism buys nothing for the cost model and the code
+// paths are identical). Launch blocks until the grid completes, like a
+// cudaDeviceSynchronize after the kernel.
+func (d *Device) Launch(name string, lc LaunchConfig, k Kernel) error {
+	if lc.Blocks <= 0 || lc.ThreadsPerBlock <= 0 {
+		return fmt.Errorf("gpusim: invalid launch config %+v for kernel %q", lc, name)
+	}
+	start := time.Now()
+	var next int64 = -1
+	workers := d.cfg.SMs
+	if workers > lc.Blocks {
+		workers = lc.Blocks
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&next, 1))
+				if b >= lc.Blocks {
+					return
+				}
+				for t := 0; t < lc.ThreadsPerBlock; t++ {
+					k(KernelCtx{Block: b, Thread: t, Blocks: lc.Blocks, ThreadsPerBlock: lc.ThreadsPerBlock})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	d.clock.Charge(d.GPUResource(), d.cfg.LaunchOverhead+wall)
+	d.mu.Lock()
+	d.stats.KernelLaunches++
+	d.stats.BlocksExecuted += int64(lc.Blocks)
+	d.stats.KernelWall += wall
+	d.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package grid implements the Eps×Eps regular grid that underlies
+// Mr. Scan's partitioner and merge phases (§3.1.2).
+//
+// The input space is divided into square cells of side Eps. Partitions are
+// unions of grid cells, which guarantees each partition's longest distance
+// across exceeds Eps (the first "profitability" constraint), and makes the
+// shadow region of a partition exactly the set of 8-neighbor cells not in
+// the partition: any point within Eps of a partition boundary must lie in
+// an adjacent cell.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Coord identifies one Eps×Eps grid cell. Cell (cx,cy) covers the
+// half-open square [cx·Eps, (cx+1)·Eps) × [cy·Eps, (cy+1)·Eps).
+type Coord struct {
+	CX, CY int32
+}
+
+// String renders the coordinate for logs.
+func (c Coord) String() string { return fmt.Sprintf("cell(%d,%d)", c.CX, c.CY) }
+
+// Less orders coordinates in the partitioner's iteration order: first
+// along the y axis, then along the x axis (paper §3.1.2), i.e.
+// column-major with x as the slow axis.
+func (c Coord) Less(o Coord) bool {
+	if c.CX != o.CX {
+		return c.CX < o.CX
+	}
+	return c.CY < o.CY
+}
+
+// Neighbors returns the 8 surrounding cells (Moore neighborhood) in a
+// deterministic order.
+func (c Coord) Neighbors() [8]Coord {
+	return [8]Coord{
+		{c.CX - 1, c.CY - 1}, {c.CX - 1, c.CY}, {c.CX - 1, c.CY + 1},
+		{c.CX, c.CY - 1}, {c.CX, c.CY + 1},
+		{c.CX + 1, c.CY - 1}, {c.CX + 1, c.CY}, {c.CX + 1, c.CY + 1},
+	}
+}
+
+// Grid maps points to Eps×Eps cells. The zero value is unusable; construct
+// with New.
+type Grid struct {
+	eps float64
+}
+
+// New returns a grid with the given cell side. eps must be positive.
+func New(eps float64) Grid {
+	if eps <= 0 {
+		panic(fmt.Sprintf("grid: non-positive eps %v", eps))
+	}
+	return Grid{eps: eps}
+}
+
+// Eps returns the cell side length.
+func (g Grid) Eps() float64 { return g.eps }
+
+// CellOf returns the cell containing p.
+func (g Grid) CellOf(p geom.Point) Coord {
+	return Coord{
+		CX: int32(math.Floor(p.X / g.eps)),
+		CY: int32(math.Floor(p.Y / g.eps)),
+	}
+}
+
+// CellRect returns the rectangle covered by cell c.
+func (g Grid) CellRect(c Coord) geom.Rect {
+	return geom.Rect{
+		MinX: float64(c.CX) * g.eps,
+		MinY: float64(c.CY) * g.eps,
+		MaxX: float64(c.CX+1) * g.eps,
+		MaxY: float64(c.CY+1) * g.eps,
+	}
+}
+
+// Anchors returns the 8 merge anchors of cell c: its 4 corners and the 4
+// midpoints of its sides. Representative points are the cluster core
+// points closest to each anchor (§3.3.1); the geometric argument in the
+// paper's Figure 5 shows 8 anchors suffice for an Eps×Eps cell.
+func (g Grid) Anchors(c Coord) [8]geom.Point {
+	r := g.CellRect(c)
+	mx := (r.MinX + r.MaxX) / 2
+	my := (r.MinY + r.MaxY) / 2
+	return [8]geom.Point{
+		{X: r.MinX, Y: r.MinY}, // corners
+		{X: r.MinX, Y: r.MaxY},
+		{X: r.MaxX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MaxY},
+		{X: mx, Y: r.MinY}, // side midpoints
+		{X: mx, Y: r.MaxY},
+		{X: r.MinX, Y: my},
+		{X: r.MaxX, Y: my},
+	}
+}
+
+// Histogram counts points per non-empty cell. This is the only information
+// the distributed partitioner ships to the root (§3.1.3): "the partitioner
+// is able to ... only send a point count of each non-empty Eps x Eps cell".
+type Histogram struct {
+	Counts map[Coord]int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{Counts: make(map[Coord]int64)}
+}
+
+// HistogramOf builds a histogram of pts on grid g.
+func (g Grid) HistogramOf(pts []geom.Point) *Histogram {
+	h := NewHistogram()
+	for _, p := range pts {
+		h.Counts[g.CellOf(p)]++
+	}
+	return h
+}
+
+// Add accumulates other into h. Used by the mrnet reduction filter that
+// sums per-leaf histograms on the way to the root.
+func (h *Histogram) Add(other *Histogram) {
+	for c, n := range other.Counts {
+		h.Counts[c] += n
+	}
+}
+
+// Total returns the total point count across all cells.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, n := range h.Counts {
+		t += n
+	}
+	return t
+}
+
+// Cells returns the non-empty cells sorted in partitioner iteration order.
+func (h *Histogram) Cells() []Coord {
+	cells := make([]Coord, 0, len(h.Counts))
+	for c := range h.Counts {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Less(cells[j]) })
+	return cells
+}
+
+// MaxCell returns the most populous cell and its count (zero Coord and 0
+// for an empty histogram). The strong-scaling limit in the paper (§5.1.2)
+// is set by the single densest Eps×Eps cell, which cannot be subdivided.
+func (h *Histogram) MaxCell() (Coord, int64) {
+	var best Coord
+	var bestN int64
+	first := true
+	for c, n := range h.Counts {
+		if first || n > bestN || (n == bestN && c.Less(best)) {
+			best, bestN = c, n
+			first = false
+		}
+	}
+	if first {
+		return Coord{}, 0
+	}
+	return best, bestN
+}
+
+// Index groups point indices by cell, supporting neighborhood queries.
+// It doubles as a spatial index for DBSCAN: the Eps-neighborhood of a
+// point is contained in its cell plus the 8 neighbors.
+type Index struct {
+	g     Grid
+	pts   []geom.Point
+	cells map[Coord][]int32
+}
+
+// NewIndex builds a cell index over pts. The index keeps a reference to
+// pts; callers must not mutate the slice afterwards.
+func NewIndex(g Grid, pts []geom.Point) *Index {
+	idx := &Index{g: g, pts: pts, cells: make(map[Coord][]int32)}
+	for i, p := range pts {
+		c := g.CellOf(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+// Grid returns the underlying grid.
+func (idx *Index) Grid() Grid { return idx.g }
+
+// Points returns the indexed points.
+func (idx *Index) Points() []geom.Point { return idx.pts }
+
+// CellPoints returns the indices of points in cell c (nil if empty).
+func (idx *Index) CellPoints(c Coord) []int32 { return idx.cells[c] }
+
+// NonEmptyCells returns all non-empty cells in iteration order.
+func (idx *Index) NonEmptyCells() []Coord {
+	cells := make([]Coord, 0, len(idx.cells))
+	for c := range idx.cells {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Less(cells[j]) })
+	return cells
+}
+
+// Neighbors invokes fn with the index of every point within eps of p
+// (excluding p itself when p is one of the indexed points and self >= 0).
+// eps must be at most the grid cell side for the 3×3 cell scan to be
+// complete; Mr. Scan always queries with eps == cell side.
+func (idx *Index) Neighbors(p geom.Point, eps float64, self int32, fn func(i int32)) {
+	if eps > idx.g.eps*(1+1e-12) {
+		panic(fmt.Sprintf("grid: query eps %v exceeds cell side %v", eps, idx.g.eps))
+	}
+	eps2 := eps * eps
+	c := idx.g.CellOf(p)
+	scan := func(cc Coord) {
+		for _, i := range idx.cells[cc] {
+			if i == self {
+				continue
+			}
+			if geom.Dist2(p, idx.pts[i]) <= eps2 {
+				fn(i)
+			}
+		}
+	}
+	scan(c)
+	for _, n := range c.Neighbors() {
+		scan(n)
+	}
+}
+
+// CountNeighbors returns |Eps-neighborhood of p| excluding p itself, with
+// early exit once the count reaches limit (limit <= 0 means count all).
+func (idx *Index) CountNeighbors(p geom.Point, eps float64, self int32, limit int) int {
+	count := 0
+	if eps > idx.g.eps*(1+1e-12) {
+		panic(fmt.Sprintf("grid: query eps %v exceeds cell side %v", eps, idx.g.eps))
+	}
+	eps2 := eps * eps
+	c := idx.g.CellOf(p)
+	neighbors := c.Neighbors()
+	cells := [9]Coord{c}
+	copy(cells[1:], neighbors[:])
+	for _, cc := range cells {
+		for _, i := range idx.cells[cc] {
+			if i == self {
+				continue
+			}
+			if geom.Dist2(p, idx.pts[i]) <= eps2 {
+				count++
+				if limit > 0 && count >= limit {
+					return count
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,302 @@
+// Package kdtree implements the modified KD-tree of CUDA-DClust (§3.2.1):
+// a region KD-tree whose leaves hold *regions of points* rather than single
+// points. Mr. Scan's GPGPU DBSCAN uses it in two ways:
+//
+//  1. Range queries bound the candidate set for Eps-neighborhood tests.
+//  2. The leaf subdivisions drive the dense-box optimization (§3.2.3): a
+//     leaf whose region has diagonal ≤ Eps and point count ≥ MinPts is a
+//     "dense box" — all its points are mutually within Eps, hence all core
+//     and all in one cluster, and none needs individual expansion.
+//
+// The tree can be flattened into index arrays (Flatten) — the layout a real
+// CUDA kernel would traverse with an explicit stack, and the form consumed
+// by the gpusim kernels.
+package kdtree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// DefaultLeafSize is the leaf region capacity used when the caller passes
+// a non-positive leaf size.
+const DefaultLeafSize = 64
+
+// Tree is a region KD-tree over a point set. It stores a permutation of
+// point indices; leaves own contiguous ranges of that permutation.
+type Tree struct {
+	pts     []geom.Point
+	order   []int32 // permutation of point indices; leaves own ranges
+	nodes   []node
+	leafCap int
+}
+
+type node struct {
+	bounds geom.Rect
+	// Internal nodes: axis 0 (x) or 1 (y), split value, children indices.
+	// Leaves: left == -1, [start,count) into order.
+	axis        int8
+	left, right int32
+	split       float64
+	start       int32
+	count       int32
+}
+
+// Build constructs a tree over pts with the given leaf capacity.
+// Build does not copy or reorder pts; it keeps a reference, so callers
+// must not mutate the slice while the tree is in use.
+func Build(pts []geom.Point, leafCap int) *Tree {
+	if leafCap <= 0 {
+		leafCap = DefaultLeafSize
+	}
+	t := &Tree{
+		pts:     pts,
+		order:   make([]int32, len(pts)),
+		leafCap: leafCap,
+	}
+	for i := range t.order {
+		t.order[i] = int32(i)
+	}
+	if len(pts) > 0 {
+		t.build(0, int32(len(pts)))
+	}
+	return t
+}
+
+// build recursively constructs the subtree over order[start:end) and
+// returns its node index.
+func (t *Tree) build(start, end int32) int32 {
+	bounds := geom.EmptyRect()
+	for _, i := range t.order[start:end] {
+		bounds = bounds.Extend(t.pts[i])
+	}
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{bounds: bounds, left: -1, right: -1, start: start, count: end - start})
+	if int(end-start) <= t.leafCap {
+		return idx
+	}
+	// Split on the wider axis at the median, mirroring CUDA-DClust's
+	// balanced subdivision of the point space.
+	axis := int8(0)
+	if bounds.Height() > bounds.Width() {
+		axis = 1
+	}
+	seg := t.order[start:end]
+	mid := len(seg) / 2
+	if axis == 0 {
+		sort.Slice(seg, func(a, b int) bool { return t.pts[seg[a]].X < t.pts[seg[b]].X })
+	} else {
+		sort.Slice(seg, func(a, b int) bool { return t.pts[seg[a]].Y < t.pts[seg[b]].Y })
+	}
+	split := coord(t.pts[seg[mid]], axis)
+	// Degenerate data (many identical coordinates) can make one side
+	// empty; fall back to a leaf in that case.
+	if coord(t.pts[seg[0]], axis) == coord(t.pts[seg[len(seg)-1]], axis) {
+		return idx
+	}
+	// Ensure mid splits strictly: move mid forward past equal coords so
+	// the left child is non-empty and the right child starts at a value
+	// >= split.
+	for mid > 0 && coord(t.pts[seg[mid-1]], axis) == split {
+		mid--
+	}
+	if mid == 0 {
+		for mid < len(seg) && coord(t.pts[seg[mid]], axis) == split {
+			mid++
+		}
+		if mid < len(seg) {
+			split = coord(t.pts[seg[mid]], axis)
+		}
+	}
+	if mid == 0 || mid == len(seg) {
+		return idx
+	}
+	left := t.build(start, start+int32(mid))
+	right := t.build(start+int32(mid), end)
+	n := &t.nodes[idx]
+	n.axis = axis
+	n.split = split
+	n.left = left
+	n.right = right
+	n.start = 0
+	n.count = 0
+	return idx
+}
+
+func coord(p geom.Point, axis int8) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Points returns the indexed point slice.
+func (t *Tree) Points() []geom.Point { return t.pts }
+
+// Range invokes fn with the index of every point within eps of center,
+// excluding the point index self (pass a negative self to include all).
+// fn returning false stops the search early.
+func (t *Tree) Range(center geom.Point, eps float64, self int32, fn func(i int32) bool) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	eps2 := eps * eps
+	// Explicit stack, as a GPU kernel would use; no recursion.
+	stack := make([]int32, 1, 64)
+	stack[0] = 0
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		if n.bounds.Dist2ToPoint(center) > eps2 {
+			continue
+		}
+		if n.left < 0 { // leaf
+			for _, i := range t.order[n.start : n.start+n.count] {
+				if i == self {
+					continue
+				}
+				if geom.Dist2(center, t.pts[i]) <= eps2 {
+					if !fn(i) {
+						return
+					}
+				}
+			}
+			continue
+		}
+		stack = append(stack, n.left, n.right)
+	}
+}
+
+// CountRange returns the number of points within eps of center (excluding
+// self), stopping early once limit is reached (limit <= 0 counts all).
+func (t *Tree) CountRange(center geom.Point, eps float64, self int32, limit int) int {
+	count := 0
+	t.Range(center, eps, self, func(int32) bool {
+		count++
+		return limit <= 0 || count < limit
+	})
+	return count
+}
+
+// Leaf describes one leaf region, for dense-box detection.
+type Leaf struct {
+	Bounds geom.Rect
+	// Indices of the points in the region (a sub-slice of the tree's
+	// internal ordering; do not mutate).
+	Points []int32
+}
+
+// Leaves returns every leaf region of the tree.
+func (t *Tree) Leaves() []Leaf {
+	var out []Leaf
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if n.left < 0 {
+			out = append(out, Leaf{
+				Bounds: n.bounds,
+				Points: t.order[n.start : n.start+n.count],
+			})
+		}
+	}
+	return out
+}
+
+// Flat is the array-of-structs flattening of the tree used by the gpusim
+// kernels — the representation a real GPU implementation would copy to
+// device memory (tree-of-pointers layouts cannot be traversed efficiently
+// on a GPU; CUDA-DClust flattens exactly like this).
+type Flat struct {
+	// Per node i:
+	//   Bounds[4i..4i+3] = MinX, MinY, MaxX, MaxY
+	//   Left[i], Right[i]: child node indices, Left[i] < 0 for leaves
+	//   Start[i], Count[i]: leaf point range into Order
+	Bounds []float64
+	Left   []int32
+	Right  []int32
+	Start  []int32
+	Count  []int32
+	// Order is the permutation of point indices owned by leaves.
+	Order []int32
+}
+
+// Flatten produces the array form of the tree.
+func (t *Tree) Flatten() *Flat {
+	f := &Flat{
+		Bounds: make([]float64, 4*len(t.nodes)),
+		Left:   make([]int32, len(t.nodes)),
+		Right:  make([]int32, len(t.nodes)),
+		Start:  make([]int32, len(t.nodes)),
+		Count:  make([]int32, len(t.nodes)),
+		Order:  append([]int32(nil), t.order...),
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		f.Bounds[4*i] = n.bounds.MinX
+		f.Bounds[4*i+1] = n.bounds.MinY
+		f.Bounds[4*i+2] = n.bounds.MaxX
+		f.Bounds[4*i+3] = n.bounds.MaxY
+		f.Left[i] = n.left
+		f.Right[i] = n.right
+		f.Start[i] = n.start
+		f.Count[i] = n.count
+	}
+	return f
+}
+
+// Nodes returns the number of tree nodes (internal + leaf).
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+// Range over a Flat tree: identical traversal to Tree.Range but driven
+// entirely from flat arrays plus the point coordinate slices, as the GPU
+// kernels do.
+func (f *Flat) Range(xs, ys []float64, cx, cy, eps float64, self int32, fn func(i int32) bool) {
+	if len(f.Left) == 0 {
+		return
+	}
+	eps2 := eps * eps
+	stack := make([]int32, 1, 64)
+	stack[0] = 0
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := f.Bounds[4*ni : 4*ni+4]
+		dx := axisDist(cx, b[0], b[2])
+		dy := axisDist(cy, b[1], b[3])
+		if dx*dx+dy*dy > eps2 {
+			continue
+		}
+		if f.Left[ni] < 0 {
+			start, count := f.Start[ni], f.Count[ni]
+			for _, i := range f.Order[start : start+count] {
+				if i == self {
+					continue
+				}
+				ddx := cx - xs[i]
+				ddy := cy - ys[i]
+				if ddx*ddx+ddy*ddy <= eps2 {
+					if !fn(i) {
+						return
+					}
+				}
+			}
+			continue
+		}
+		stack = append(stack, f.Left[ni], f.Right[ni])
+	}
+}
+
+func axisDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,378 @@
+// Package lustre simulates a striped parallel file system in the style of
+// the Lustre installation attached to Titan.
+//
+// Mr. Scan's dominant cost is I/O: the partition phase writes partitions
+// to Lustre for consumption by the cluster phase, and §5.1.1 attributes
+// 68% of total time to it — "dominated by small random writes", because
+// every partitioner leaf holds a random portion of the data and must
+// write small runs of points at specific offsets of nearly every
+// partition. This simulator reproduces that cost model:
+//
+//   - files are striped round-robin over OSTs (object storage targets);
+//   - each OST is a serial resource with a fixed bandwidth, so concurrent
+//     writers contend per OST on the simulated clock;
+//   - every discontiguous operation on a handle pays a seek penalty,
+//     which makes many small random writes far slower than a streaming
+//     write of the same volume.
+//
+// Data is stored for real (in memory), so everything written can be read
+// back and verified; only the *costs* are simulated.
+package lustre
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Config describes the simulated file system.
+type Config struct {
+	// OSTs is the number of object storage targets files stripe over.
+	OSTs int
+	// StripeSize is the stripe unit in bytes.
+	StripeSize int64
+	// OSTBandwidth is each OST's bandwidth in bytes/second (0 disables
+	// byte costs).
+	OSTBandwidth float64
+	// SeekPenalty is charged per discontiguous read/write on a handle.
+	SeekPenalty time.Duration
+}
+
+// Titan returns a configuration shaped like a slice of Titan's Lustre
+// scratch system, scaled to simulation: modest OST count, 1 MiB stripes,
+// and a seek penalty that makes small random writes dominate — the §5.1.1
+// behaviour.
+func Titan() Config {
+	return Config{
+		OSTs:         32,
+		StripeSize:   1 << 20,
+		OSTBandwidth: 500e6,
+		SeekPenalty:  5 * time.Millisecond,
+	}
+}
+
+// Stats aggregates file system activity.
+type Stats struct {
+	ReadOps      int64
+	WriteOps     int64
+	BytesRead    int64
+	BytesWritten int64
+	Seeks        int64
+	FilesCreated int64
+}
+
+// FS is a simulated parallel file system. Safe for concurrent use.
+type FS struct {
+	cfg   Config
+	clock *simclock.Clock
+
+	mu    sync.Mutex
+	files map[string]*file
+	stats Stats
+
+	// Fault injection: after faultAfter more successful operations,
+	// every read/write fails with faultErr.
+	faultArmed bool
+	faultAfter int64
+	faultErr   error
+}
+
+type file struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// ErrNotExist is returned when opening a file that was never created.
+var ErrNotExist = errors.New("lustre: file does not exist")
+
+// New creates a file system. A nil clock allocates a private one.
+func New(cfg Config, clock *simclock.Clock) *FS {
+	if cfg.OSTs <= 0 {
+		cfg.OSTs = 1
+	}
+	if cfg.StripeSize <= 0 {
+		cfg.StripeSize = 1 << 20
+	}
+	if clock == nil {
+		clock = simclock.New()
+	}
+	return &FS{cfg: cfg, clock: clock, files: make(map[string]*file)}
+}
+
+// Clock returns the simulated clock I/O costs are charged to.
+func (fs *FS) Clock() *simclock.Clock { return fs.clock }
+
+// Stats returns a snapshot of accumulated counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// InjectFault arms fault injection for failure testing: after `after`
+// more successful read/write operations, every subsequent operation
+// fails with err. A nil err disarms injection. Real parallel file
+// systems fail under load (OST evictions, MDS timeouts); Mr. Scan's
+// phases must surface those errors rather than corrupt output.
+func (fs *FS) InjectFault(after int64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faultArmed = err != nil
+	fs.faultAfter = after
+	fs.faultErr = err
+}
+
+// checkFault consumes one operation credit and returns the injected
+// error once credits run out.
+func (fs *FS) checkFault() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.faultArmed {
+		return nil
+	}
+	if fs.faultAfter > 0 {
+		fs.faultAfter--
+		return nil
+	}
+	return fs.faultErr
+}
+
+// Create makes (or truncates) a file and returns a handle positioned at
+// offset 0.
+func (fs *FS) Create(name string) *Handle {
+	fs.mu.Lock()
+	f := &file{}
+	fs.files[name] = f
+	fs.stats.FilesCreated++
+	fs.mu.Unlock()
+	return &Handle{fs: fs, f: f, name: name, lastOff: -1}
+}
+
+// Open returns a handle on an existing file.
+func (fs *FS) Open(name string) (*Handle, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, name)
+	}
+	return &Handle{fs: fs, f: f, name: name, lastOff: -1}, nil
+}
+
+// OpenOrCreate returns a handle, creating the file if needed. Unlike
+// Create it does not truncate. Multiple handles on one file may be used
+// concurrently (each tracks its own seek position), which is how the
+// partitioner's leaf processes write "to the correct position in a single
+// output file in parallel" (§3.1.3).
+func (fs *FS) OpenOrCreate(name string) *Handle {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	if !ok {
+		f = &file{}
+		fs.files[name] = f
+		fs.stats.FilesCreated++
+	}
+	fs.mu.Unlock()
+	return &Handle{fs: fs, f: f, name: name, lastOff: -1}
+}
+
+// Remove deletes a file. Removing a missing file is not an error.
+func (fs *FS) Remove(name string) {
+	fs.mu.Lock()
+	delete(fs.files, name)
+	fs.mu.Unlock()
+}
+
+// Size returns a file's current length.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotExist, name)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data)), nil
+}
+
+// List returns the names of all files, sorted.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	fs.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// chargeIO charges stripe traffic for [off, off+n) to the OSTs it lands
+// on, plus a seek penalty when the handle moved discontiguously.
+func (fs *FS) chargeIO(off, n int64, seek bool) {
+	if seek {
+		fs.clock.Charge("lustre/seek", fs.cfg.SeekPenalty)
+		fs.mu.Lock()
+		fs.stats.Seeks++
+		fs.mu.Unlock()
+	}
+	for n > 0 {
+		stripe := off / fs.cfg.StripeSize
+		ost := int(stripe) % fs.cfg.OSTs
+		inStripe := fs.cfg.StripeSize - off%fs.cfg.StripeSize
+		chunk := n
+		if chunk > inStripe {
+			chunk = inStripe
+		}
+		fs.clock.Charge(fmt.Sprintf("lustre/ost%d", ost),
+			simclock.BytesDuration(chunk, fs.cfg.OSTBandwidth))
+		off += chunk
+		n -= chunk
+	}
+}
+
+// Handle is an open file descriptor with its own seek tracking. Handles
+// implement io.ReaderAt, io.WriterAt, io.Reader and io.Writer.
+type Handle struct {
+	fs      *FS
+	f       *file
+	name    string
+	mu      sync.Mutex
+	pos     int64 // for Read/Write
+	lastOff int64 // last byte touched + 1; -1 means fresh handle
+}
+
+var (
+	_ io.ReaderAt = (*Handle)(nil)
+	_ io.WriterAt = (*Handle)(nil)
+	_ io.Reader   = (*Handle)(nil)
+	_ io.Writer   = (*Handle)(nil)
+)
+
+// Name returns the file name the handle refers to.
+func (h *Handle) Name() string { return h.name }
+
+// WriteAt writes p at offset off, growing the file as needed.
+func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("lustre: negative offset %d on %q", off, h.name)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := h.fs.checkFault(); err != nil {
+		return 0, fmt.Errorf("lustre: write %q at %d: %w", h.name, off, err)
+	}
+	h.f.mu.Lock()
+	end := off + int64(len(p))
+	if end > int64(len(h.f.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[off:end], p)
+	h.f.mu.Unlock()
+
+	h.mu.Lock()
+	seek := h.lastOff != off
+	h.lastOff = end
+	h.mu.Unlock()
+
+	h.fs.chargeIO(off, int64(len(p)), seek)
+	h.fs.mu.Lock()
+	h.fs.stats.WriteOps++
+	h.fs.stats.BytesWritten += int64(len(p))
+	h.fs.mu.Unlock()
+	return len(p), nil
+}
+
+// ReadAt reads into p from offset off. Short reads at EOF return io.EOF.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("lustre: negative offset %d on %q", off, h.name)
+	}
+	if err := h.fs.checkFault(); err != nil {
+		return 0, fmt.Errorf("lustre: read %q at %d: %w", h.name, off, err)
+	}
+	h.f.mu.RLock()
+	size := int64(len(h.f.data))
+	var n int
+	if off < size {
+		n = copy(p, h.f.data[off:])
+	}
+	h.f.mu.RUnlock()
+
+	h.mu.Lock()
+	seek := h.lastOff != off
+	h.lastOff = off + int64(n)
+	h.mu.Unlock()
+
+	h.fs.chargeIO(off, int64(n), seek)
+	h.fs.mu.Lock()
+	h.fs.stats.ReadOps++
+	h.fs.stats.BytesRead += int64(n)
+	h.fs.mu.Unlock()
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Write appends at the handle's current position.
+func (h *Handle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	off := h.pos
+	h.pos += int64(len(p))
+	h.mu.Unlock()
+	return h.WriteAt(p, off)
+}
+
+// Read reads from the handle's current position.
+func (h *Handle) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	off := h.pos
+	h.mu.Unlock()
+	n, err := h.ReadAt(p, off)
+	h.mu.Lock()
+	h.pos += int64(n)
+	h.mu.Unlock()
+	return n, err
+}
+
+// Seek positions the handle for Read/Write.
+func (h *Handle) Seek(offset int64, whence int) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.pos
+	case io.SeekEnd:
+		h.f.mu.RLock()
+		base = int64(len(h.f.data))
+		h.f.mu.RUnlock()
+	default:
+		return 0, fmt.Errorf("lustre: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("lustre: seek to negative position %d", np)
+	}
+	h.pos = np
+	return np, nil
+}
+
+// Size returns the file's current length.
+func (h *Handle) Size() int64 {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	return int64(len(h.f.data))
+}

@@ -1,0 +1,294 @@
+package lustre
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		OSTs:         4,
+		StripeSize:   64,
+		OSTBandwidth: 1e6,
+		SeekPenalty:  time.Millisecond,
+	}
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("points.bin")
+	data := []byte("hello lustre")
+	if n, err := h.WriteAt(data, 0); err != nil || n != len(data) {
+		t.Fatalf("WriteAt = %d,%v", n, err)
+	}
+	got := make([]byte, len(data))
+	if n, err := h.ReadAt(got, 0); err != nil || n != len(data) {
+		t.Fatalf("ReadAt = %d,%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read %q, want %q", got, data)
+	}
+	if sz, err := fs.Size("points.bin"); err != nil || sz != int64(len(data)) {
+		t.Errorf("Size = %d,%v", sz, err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := New(testConfig(), nil)
+	if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Open missing = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.Size("nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Size missing = %v, want ErrNotExist", err)
+	}
+}
+
+func TestSparseWriteGrows(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("sparse")
+	if _, err := h.WriteAt([]byte("x"), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 1001 {
+		t.Errorf("Size = %d, want 1001", h.Size())
+	}
+	// The hole reads as zeros.
+	buf := make([]byte, 3)
+	if _, err := h.ReadAt(buf, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0}) {
+		t.Errorf("hole read %v, want zeros", buf)
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("short")
+	if _, err := h.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	n, err := h.ReadAt(buf, 1)
+	if n != 2 || err != io.EOF {
+		t.Errorf("ReadAt past end = %d,%v, want 2,EOF", n, err)
+	}
+	n, err = h.ReadAt(buf, 100)
+	if n != 0 || err != io.EOF {
+		t.Errorf("ReadAt beyond end = %d,%v, want 0,EOF", n, err)
+	}
+}
+
+func TestSequentialReadWrite(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("stream")
+	for i := 0; i < 10; i++ {
+		if _, err := h.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := fs.Open("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[9] != 9 {
+		t.Errorf("streamed read = %v", got)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("seek")
+	if _, err := h.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := h.Seek(4, io.SeekStart); err != nil || pos != 4 {
+		t.Fatalf("Seek = %d,%v", pos, err)
+	}
+	buf := make([]byte, 2)
+	if _, err := h.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "45" {
+		t.Errorf("read after seek = %q, want 45", buf)
+	}
+	if pos, err := h.Seek(-2, io.SeekEnd); err != nil || pos != 8 {
+		t.Fatalf("SeekEnd = %d,%v", pos, err)
+	}
+	if _, err := h.Seek(-100, io.SeekStart); err == nil {
+		t.Error("negative seek must fail")
+	}
+}
+
+func TestSeekPenaltyChargedOnRandomWrites(t *testing.T) {
+	// The §5.1.1 behaviour: the same volume written as many small random
+	// writes must cost far more simulated time than one streaming write.
+	cfg := testConfig()
+	const total = 64 * 100
+
+	streamFS := New(cfg, nil)
+	h := streamFS.Create("stream")
+	buf := make([]byte, total)
+	if _, err := h.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	randomFS := New(cfg, nil)
+	h2 := randomFS.Create("random")
+	chunk := make([]byte, 64)
+	for i := 99; i >= 0; i-- { // descending offsets: every write seeks
+		if _, err := h2.WriteAt(chunk, int64(i*64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := streamFS.Clock().Now()
+	rt := randomFS.Clock().Now()
+	if rt <= st*10 {
+		t.Errorf("random writes (%v) must cost much more than streaming (%v)", rt, st)
+	}
+	if got := randomFS.Stats().Seeks; got != 100 {
+		t.Errorf("Seeks = %d, want 100", got)
+	}
+	if got := streamFS.Stats().Seeks; got != 1 {
+		t.Errorf("streaming Seeks = %d, want 1 (initial position)", got)
+	}
+}
+
+func TestStripingSpreadsLoad(t *testing.T) {
+	cfg := testConfig() // 4 OSTs, 64-byte stripes
+	fs := New(cfg, nil)
+	h := fs.Create("wide")
+	data := make([]byte, 64*8) // 8 stripes over 4 OSTs: 2 each
+	if _, err := h.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 8 stripes round-robin over 4 OSTs: every OST carries exactly 2
+	// stripes' worth of traffic, so their busy times are equal and the
+	// parallel clock sees per-OST time, not the serialized sum.
+	first := fs.Clock().Resource("lustre/ost0")
+	if first <= 0 {
+		t.Fatal("ost0 received no traffic")
+	}
+	for ost := 1; ost < 4; ost++ {
+		got := fs.Clock().Resource("lustre/ost" + string(rune('0'+ost)))
+		if got != first {
+			t.Errorf("ost%d busy = %v, want %v (even striping)", ost, got, first)
+		}
+	}
+}
+
+func TestConcurrentHandles(t *testing.T) {
+	fs := New(testConfig(), nil)
+	fs.Create("shared")
+	const writers = 8
+	const chunk = 128
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := fs.OpenOrCreate("shared")
+			data := bytes.Repeat([]byte{byte('a' + w)}, chunk)
+			if _, err := h.WriteAt(data, int64(w*chunk)); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h, err := fs.Open("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != writers*chunk {
+		t.Fatalf("file size = %d, want %d", len(all), writers*chunk)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < chunk; i++ {
+			if all[w*chunk+i] != byte('a'+w) {
+				t.Fatalf("byte %d = %c, want %c", w*chunk+i, all[w*chunk+i], 'a'+w)
+			}
+		}
+	}
+}
+
+func TestRemoveAndList(t *testing.T) {
+	fs := New(testConfig(), nil)
+	fs.Create("b")
+	fs.Create("a")
+	fs.Create("c")
+	if got := fs.List(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("List = %v", got)
+	}
+	fs.Remove("b")
+	fs.Remove("missing") // no-op
+	if got := fs.List(); len(got) != 2 {
+		t.Errorf("List after remove = %v", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("s")
+	if _, err := h.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(make([]byte, 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.WriteOps != 1 || st.BytesWritten != 100 {
+		t.Errorf("write stats = %+v", st)
+	}
+	if st.ReadOps != 1 || st.BytesRead != 50 {
+		t.Errorf("read stats = %+v", st)
+	}
+	if st.FilesCreated != 1 {
+		t.Errorf("FilesCreated = %d, want 1", st.FilesCreated)
+	}
+}
+
+func TestInjectFault(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("f")
+	boom := errors.New("io failure")
+	fs.InjectFault(2, boom)
+	if _, err := h.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatalf("op 1 must succeed: %v", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatalf("op 2 must succeed: %v", err)
+	}
+	if _, err := h.WriteAt([]byte("b"), 1); !errors.Is(err, boom) {
+		t.Fatalf("op 3 = %v, want injected fault", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); !errors.Is(err, boom) {
+		t.Fatalf("subsequent ops must keep failing, got %v", err)
+	}
+	fs.InjectFault(0, nil)
+	if _, err := h.WriteAt([]byte("c"), 2); err != nil {
+		t.Fatalf("disarmed fault still fired: %v", err)
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("neg")
+	if _, err := h.WriteAt([]byte("x"), -1); err == nil {
+		t.Error("negative WriteAt offset must fail")
+	}
+	if _, err := h.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Error("negative ReadAt offset must fail")
+	}
+}

@@ -1,0 +1,88 @@
+package merge
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/partition"
+)
+
+// benchSummaries builds realistic per-leaf summaries from exact local
+// clusterings of a partitioned Twitter dataset.
+func benchSummaries(b *testing.B, n, nParts int) [][]*Summary {
+	b.Helper()
+	params := dbscan.Params{Eps: 0.1, MinPts: 40}
+	pts := dataset.Twitter(n, 4)
+	gg := grid.New(params.Eps)
+	h := gg.HistogramOf(pts)
+	plan, err := partition.MakePlan(gg, h, nParts, params.MinPts, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := partition.Split(plan, pts, partition.SplitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := make([][]*Summary, nParts)
+	for leaf := 0; leaf < nParts; leaf++ {
+		combined := append(append([]geom.Point(nil), split.Partitions[leaf]...), split.Shadows[leaf]...)
+		res, err := dbscan.Cluster(combined, params, dbscan.IndexGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		labels := make([]int32, len(res.Labels))
+		for i, l := range res.Labels {
+			labels[i] = int32(l)
+		}
+		sums, err := BuildSummaries(gg, leaf, combined, len(split.Partitions[leaf]), labels, res.Core, res.NumClusters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups[leaf] = sums
+	}
+	return groups
+}
+
+func BenchmarkCombine(b *testing.B) {
+	for _, nParts := range []int{4, 16} {
+		groups := benchSummaries(b, 50_000, nParts)
+		b.Run(fmt.Sprintf("leaves=%d", nParts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Clone the summaries each round: Combine mutates them.
+				fresh := benchClone(groups)
+				out := Combine(grid.New(0.1), 0.1, fresh)
+				if len(out) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+	}
+}
+
+func benchClone(groups [][]*Summary) [][]*Summary {
+	out := make([][]*Summary, len(groups))
+	for gi, grp := range groups {
+		out[gi] = make([]*Summary, len(grp))
+		for si, s := range grp {
+			c := &Summary{Key: s.Key, Members: append([]ClusterKey(nil), s.Members...), Cells: make(map[grid.Coord]*CellData, len(s.Cells))}
+			for coord, cd := range s.Cells {
+				nc := newCellData()
+				nc.Owned = cd.Owned
+				nc.Reps = append([]geom.Point(nil), cd.Reps...)
+				for id, p := range cd.OwnedNonCore {
+					nc.OwnedNonCore[id] = p
+				}
+				for id, p := range cd.ShadowNonCore {
+					nc.ShadowNonCore[id] = p
+				}
+				c.Cells[coord] = nc
+			}
+			out[gi][si] = c
+		}
+	}
+	return out
+}

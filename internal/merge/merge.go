@@ -1,0 +1,427 @@
+// Package merge implements Mr. Scan's merge phase (paper §3.3): combining
+// the clusters found independently on each leaf into global clusters,
+// using only a small, bounded summary of each cluster instead of its full
+// point set.
+//
+// A leaf summarizes each local cluster per grid cell: at most 8
+// representative core points (the cores nearest the cell's corners and
+// side midpoints — Figure 5 shows these suffice to detect any core-point
+// overlap) plus the cluster's non-core points in the cell, tagged by
+// whether the cell is owned or shadow from that leaf's view.
+//
+// Internal tree nodes merge the summaries of their children with the
+// paper's three overlap rules:
+//
+//  1. Core/core overlap: a representative of one cluster within Eps of a
+//     representative of another in a shared cell — the clusters share a
+//     core point, merge.
+//  2. Non-core/core overlap: a point classified non-core only by shadow
+//     copies (the cell's owner did not classify it non-core, so the owner
+//     saw it as core) lying within Eps of an owner-side representative —
+//     merge. This repairs the shadow region's conservative core
+//     classification (Figure 7).
+//  3. Non-core/non-core overlap: duplicate non-core points in shadow
+//     copies are dropped (no merge).
+//
+// Merging is progressive: each level of the tree combines and re-reduces
+// summaries, so the root only ever sees per-cluster-per-cell summaries,
+// never whole clusters.
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsu"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// MaxReps is the number of representative points kept per cluster per
+// grid cell (§3.3.1: "We have determined that eight points can represent
+// the core points of a grid cell of arbitrary density").
+const MaxReps = 8
+
+// ClusterKey names a leaf-local cluster globally.
+type ClusterKey struct {
+	Leaf  int32
+	Local int32
+}
+
+// Less orders keys (by leaf, then local id).
+func (k ClusterKey) Less(o ClusterKey) bool {
+	if k.Leaf != o.Leaf {
+		return k.Leaf < o.Leaf
+	}
+	return k.Local < o.Local
+}
+
+// CellData is one cluster's presence in one grid cell.
+type CellData struct {
+	// Reps are at most MaxReps representative core points.
+	Reps []geom.Point
+	// OwnedNonCore holds non-core member points classified by the cell's
+	// owner (complete-information) view, keyed by point ID.
+	OwnedNonCore map[uint64]geom.Point
+	// ShadowNonCore holds non-core member points classified by shadow
+	// (incomplete-information) views.
+	ShadowNonCore map[uint64]geom.Point
+	// Owned reports whether this summary includes the owner leaf's copy
+	// of the cell.
+	Owned bool
+}
+
+func newCellData() *CellData {
+	return &CellData{
+		OwnedNonCore:  make(map[uint64]geom.Point),
+		ShadowNonCore: make(map[uint64]geom.Point),
+	}
+}
+
+// Points returns the number of points carried for the cell.
+func (cd *CellData) Points() int {
+	return len(cd.Reps) + len(cd.OwnedNonCore) + len(cd.ShadowNonCore)
+}
+
+// Summary is one cluster's merge-phase representation.
+type Summary struct {
+	// Key identifies the summary; after merging it is the smallest
+	// member key.
+	Key ClusterKey
+	// Members lists every original (leaf, local) cluster merged into
+	// this summary — the sweep phase maps each back to the global ID.
+	Members []ClusterKey
+	// Cells maps grid cells to the cluster's per-cell data.
+	Cells map[grid.Coord]*CellData
+}
+
+// WireSize estimates the summary's serialized size in bytes, for the
+// overlay cost model.
+func (s *Summary) WireSize() int64 {
+	var n int64 = 8 + int64(len(s.Members))*8
+	for range s.Cells {
+		n += 8
+	}
+	for _, cd := range s.Cells {
+		n += int64(cd.Points()) * 24
+	}
+	return n
+}
+
+// BuildSummaries converts one leaf's clustering result into summaries.
+// pts are the leaf's points — the partition's owned points first, then
+// the shadow points: ownedCount says how many are owned. labels and core
+// are gdbscan's output over pts; numClusters is its cluster count.
+func BuildSummaries(g grid.Grid, leaf int, pts []geom.Point, ownedCount int, labels []int32, core []bool, numClusters int) ([]*Summary, error) {
+	if len(pts) != len(labels) || len(pts) != len(core) {
+		return nil, fmt.Errorf("merge: %d points with %d labels / %d core flags", len(pts), len(labels), len(core))
+	}
+	if ownedCount < 0 || ownedCount > len(pts) {
+		return nil, fmt.Errorf("merge: ownedCount %d out of range", ownedCount)
+	}
+	sums := make([]*Summary, numClusters)
+	for i := range sums {
+		key := ClusterKey{Leaf: int32(leaf), Local: int32(i)}
+		sums[i] = &Summary{Key: key, Members: []ClusterKey{key}, Cells: make(map[grid.Coord]*CellData)}
+	}
+	// Collect per (cluster, cell) core candidates for rep selection.
+	type sc struct {
+		cluster int32
+		cell    grid.Coord
+	}
+	coreCandidates := make(map[sc][]geom.Point)
+	for i, p := range pts {
+		l := labels[i]
+		if l < 0 {
+			continue // noise
+		}
+		if int(l) >= numClusters {
+			return nil, fmt.Errorf("merge: label %d out of range (%d clusters)", l, numClusters)
+		}
+		c := g.CellOf(p)
+		cd := sums[l].Cells[c]
+		if cd == nil {
+			cd = newCellData()
+			sums[l].Cells[c] = cd
+		}
+		owned := i < ownedCount
+		if owned {
+			cd.Owned = true
+		}
+		if core[i] {
+			coreCandidates[sc{l, c}] = append(coreCandidates[sc{l, c}], p)
+		} else if owned {
+			cd.OwnedNonCore[p.ID] = p
+		} else {
+			cd.ShadowNonCore[p.ID] = p
+		}
+	}
+	for k, cand := range coreCandidates {
+		sums[k.cluster].Cells[k.cell].Reps = SelectReps(g, k.cell, cand)
+	}
+	// Drop clusters with no presence (can happen if every member was a
+	// shadow point that another label claimed — keep them anyway if they
+	// have cells; empty ones would confuse upstream merging).
+	out := sums[:0]
+	for _, s := range sums {
+		if len(s.Cells) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// SelectReps picks at most MaxReps representative points: for each of the
+// cell's 8 anchors, the candidate core point nearest it (deduplicated by
+// ID). The Figure 5 invariant follows: every core point of the cluster in
+// this cell lies within Eps of at least one selected representative.
+func SelectReps(g grid.Grid, cell grid.Coord, cand []geom.Point) []geom.Point {
+	if len(cand) <= MaxReps {
+		out := append([]geom.Point(nil), cand...)
+		sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+		return out
+	}
+	anchors := g.Anchors(cell)
+	chosen := make(map[uint64]geom.Point, MaxReps)
+	for _, a := range anchors {
+		best := -1
+		bestD := 0.0
+		for i, p := range cand {
+			d := geom.Dist2(p, a)
+			if best < 0 || d < bestD || (d == bestD && p.ID < cand[best].ID) {
+				best, bestD = i, d
+			}
+		}
+		chosen[cand[best].ID] = cand[best]
+	}
+	out := make([]geom.Point, 0, len(chosen))
+	for _, p := range chosen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Combine merges the summary groups arriving at one tree node (one group
+// per child) and returns the reduced summary list. It applies the three
+// overlap rules per shared cell and fuses merged clusters' summaries.
+func Combine(g grid.Grid, eps float64, groups [][]*Summary) []*Summary {
+	var all []*Summary
+	for _, grp := range groups {
+		all = append(all, grp...)
+	}
+	if len(all) <= 1 {
+		return all
+	}
+	eps2 := eps * eps
+
+	// Cell index over all incoming summaries.
+	type ref struct {
+		sum *Summary
+		cd  *CellData
+	}
+	cellIndex := make(map[grid.Coord][]ref)
+	for _, s := range all {
+		for c, cd := range s.Cells {
+			cellIndex[c] = append(cellIndex[c], ref{s, cd})
+		}
+	}
+
+	uf := dsu.NewKeyed[ClusterKey]()
+	for _, s := range all {
+		uf.Add(s.Key)
+	}
+	for _, refs := range cellIndex {
+		if len(refs) < 2 {
+			continue
+		}
+		// Rule 1: core/core overlap via representatives.
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				if uf.Same(refs[i].sum.Key, refs[j].sum.Key) {
+					continue
+				}
+				if repsWithinEps(refs[i].cd.Reps, refs[j].cd.Reps, eps2) {
+					uf.Union(refs[i].sum.Key, refs[j].sum.Key)
+				}
+			}
+		}
+		// Rule 2: non-core/core overlap. Points non-core only in shadow
+		// views (the owner saw them as core, or had no record) within Eps
+		// of an owner-side representative merge the clusters.
+		ownerNonCore := make(map[uint64]bool)
+		for _, r := range refs {
+			for id := range r.cd.OwnedNonCore {
+				ownerNonCore[id] = true
+			}
+		}
+		for i := 0; i < len(refs); i++ {
+			if len(refs[i].cd.ShadowNonCore) == 0 {
+				continue
+			}
+			for j := 0; j < len(refs); j++ {
+				if i == j || !refs[j].cd.Owned || len(refs[j].cd.Reps) == 0 {
+					continue
+				}
+				if uf.Same(refs[i].sum.Key, refs[j].sum.Key) {
+					continue
+				}
+				for id, p := range refs[i].cd.ShadowNonCore {
+					if ownerNonCore[id] {
+						continue // genuinely non-core: rule 3 territory
+					}
+					if pointNearReps(p, refs[j].cd.Reps, eps2) {
+						uf.Union(refs[i].sum.Key, refs[j].sum.Key)
+						break
+					}
+				}
+			}
+		}
+		// Rule 3: drop duplicate non-core points from shadow copies
+		// ("we resolve this case by removing all duplicate non-core
+		// points from the shadow region").
+		for _, r := range refs {
+			for id := range r.cd.ShadowNonCore {
+				if ownerNonCore[id] {
+					delete(r.cd.ShadowNonCore, id)
+				}
+			}
+		}
+	}
+
+	// Fuse summaries by union-find root.
+	byRoot := make(map[ClusterKey][]*Summary)
+	for _, s := range all {
+		root := uf.Find(s.Key)
+		byRoot[root] = append(byRoot[root], s)
+	}
+	out := make([]*Summary, 0, len(byRoot))
+	for _, members := range byRoot {
+		out = append(out, fuse(g, members))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key.Less(out[b].Key) })
+	return out
+}
+
+// fuse combines the summaries of one merged cluster.
+func fuse(g grid.Grid, sums []*Summary) *Summary {
+	if len(sums) == 1 {
+		return sums[0]
+	}
+	merged := &Summary{Cells: make(map[grid.Coord]*CellData)}
+	minKey := sums[0].Key
+	for _, s := range sums {
+		if s.Key.Less(minKey) {
+			minKey = s.Key
+		}
+		merged.Members = append(merged.Members, s.Members...)
+		for c, cd := range s.Cells {
+			dst := merged.Cells[c]
+			if dst == nil {
+				dst = newCellData()
+				merged.Cells[c] = dst
+			}
+			dst.Owned = dst.Owned || cd.Owned
+			dst.Reps = append(dst.Reps, cd.Reps...)
+			for id, p := range cd.OwnedNonCore {
+				dst.OwnedNonCore[id] = p
+				// A point non-core in the owner's view trumps any shadow
+				// classification (rule 3 within the fused cluster).
+				delete(dst.ShadowNonCore, id)
+			}
+			for id, p := range cd.ShadowNonCore {
+				if _, dup := dst.OwnedNonCore[id]; !dup {
+					dst.ShadowNonCore[id] = p
+				}
+			}
+		}
+	}
+	merged.Key = minKey
+	sort.Slice(merged.Members, func(a, b int) bool { return merged.Members[a].Less(merged.Members[b]) })
+	// Re-reduce representatives so upstream payloads stay bounded; the
+	// Figure 5 invariant is preserved under re-selection from the union.
+	for c, cd := range merged.Cells {
+		if len(cd.Reps) > MaxReps {
+			cd.Reps = SelectReps(g, c, dedupByID(cd.Reps))
+		}
+	}
+	return merged
+}
+
+func dedupByID(pts []geom.Point) []geom.Point {
+	seen := make(map[uint64]bool, len(pts))
+	out := pts[:0]
+	for _, p := range pts {
+		if !seen[p.ID] {
+			seen[p.ID] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func repsWithinEps(a, b []geom.Point, eps2 float64) bool {
+	for _, p := range a {
+		for _, q := range b {
+			if geom.Dist2(p, q) <= eps2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func pointNearReps(p geom.Point, reps []geom.Point, eps2 float64) bool {
+	for _, r := range reps {
+		if geom.Dist2(p, r) <= eps2 {
+			return true
+		}
+	}
+	return false
+}
+
+// BorderClaims extracts, from the final merged summaries, the border
+// memberships observed only by shadow views: point IDs that some leaf
+// saw within Eps of one of its genuine core points, mapped to that
+// cluster's global ID (smallest ID on conflict, mirroring DBSCAN's
+// first-claimer order dependence).
+//
+// This powers the optional border-reclaim improvement: a point whose
+// only core neighbors live in its owner's *shadow* can be misclassified
+// noise by the owner (the owner undercounts shadow points' neighborhoods
+// — the point-level analogue of Figure 7). The claim tells the owner the
+// point is in fact a border member. The paper's pipeline does not feed
+// this information back (its quality floor is 0.995, not 1.0); with
+// reclaim enabled the output moves closer to exact DBSCAN.
+func BorderClaims(sums []*Summary, mapping map[ClusterKey]int32) map[uint64]int32 {
+	claims := make(map[uint64]int32)
+	for _, s := range sums {
+		gid, ok := mapping[s.Key]
+		if !ok {
+			continue
+		}
+		for _, cd := range s.Cells {
+			for id := range cd.ShadowNonCore {
+				if prev, dup := claims[id]; !dup || gid < prev {
+					claims[id] = gid
+				}
+			}
+		}
+	}
+	return claims
+}
+
+// AssignGlobalIDs gives each final cluster a dense global ID (§3.4: "a
+// globally unique identifier is assigned to each cluster") and returns
+// the mapping from every original (leaf, local) cluster key.
+func AssignGlobalIDs(sums []*Summary) map[ClusterKey]int32 {
+	ordered := append([]*Summary(nil), sums...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Key.Less(ordered[b].Key) })
+	mapping := make(map[ClusterKey]int32)
+	for id, s := range ordered {
+		for _, m := range s.Members {
+			mapping[m] = int32(id)
+		}
+	}
+	return mapping
+}

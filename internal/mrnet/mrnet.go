@@ -1,0 +1,355 @@
+// Package mrnet implements a tree-based multicast/reduction overlay
+// network in the style of MRNet (Roth, Arnold & Miller, SC'03), the
+// process-tree substrate Mr. Scan runs on.
+//
+// A Network is a tree of Nodes: one root, optional levels of internal
+// (filter) processes, and leaf processes. Two collective operations mirror
+// MRNet's programming model:
+//
+//   - Reduce: every leaf produces a payload; each internal node combines
+//     its children's payloads with a filter function; the root receives the
+//     final value. Mr. Scan uses this for histogram aggregation in the
+//     partitioner and for the progressive cluster merge (§3.3.2: "clusters
+//     are progressively merged by each level of intermediate processes").
+//   - Multicast: the root's payload is distributed down the tree, with an
+//     optional per-node split, and delivered to every leaf. Mr. Scan uses
+//     this to broadcast partition boundaries and, in the sweep phase, the
+//     global cluster ID assignments.
+//
+// Every node runs concurrently (a goroutine per node per operation), so
+// subtree work genuinely overlaps, as on a real MRNet instantiation.
+// Communication and startup costs of the machine we do not have (Cray
+// ALPS process launch, per-hop network latency) are charged to a simulated
+// clock.
+package mrnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// DefaultFanout is the 256-way fanout the paper uses for intermediate
+// processes ("each intermediate process has a 256-way fanout of child
+// processes whenever possible", §5.1).
+const DefaultFanout = 256
+
+// CostModel describes the simulated communication costs.
+type CostModel struct {
+	// HopLatency is charged per payload per tree hop.
+	HopLatency time.Duration
+	// BytesPerSec is the per-link bandwidth (0 disables byte costs).
+	BytesPerSec float64
+	// StartupBase and StartupPerNode model tool startup: the paper
+	// attributes a linear growth term to "linear behavior in Cray ALPS"
+	// (§5.1.1); startup = StartupBase + StartupPerNode × processes.
+	StartupBase    time.Duration
+	StartupPerNode time.Duration
+}
+
+// TitanCosts returns the cost model used by the experiments, with a
+// startup ramp tuned to show the paper's linear MRNet startup component.
+func TitanCosts() CostModel {
+	return CostModel{
+		HopLatency:     20 * time.Microsecond,
+		BytesPerSec:    5e9,
+		StartupBase:    500 * time.Millisecond,
+		StartupPerNode: 2 * time.Millisecond,
+	}
+}
+
+// Node is one process in the tree.
+type Node struct {
+	id       int
+	level    int // 0 at the root, increasing downwards
+	parent   *Node
+	children []*Node
+	// leafIndex is the dense index among leaves, -1 for internal nodes.
+	leafIndex int
+	// firstLeaf and numLeaves describe the contiguous leaf range of the
+	// node's subtree (leaves are numbered in DFS order).
+	firstLeaf int
+	numLeaves int
+}
+
+// ID returns the node's network-wide identifier (0 is the root).
+func (n *Node) ID() int { return n.id }
+
+// Level returns the node's depth (root = 0).
+func (n *Node) Level() int { return n.level }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// LeafIndex returns the dense leaf index, or -1 for internal nodes.
+func (n *Node) LeafIndex() int { return n.leafIndex }
+
+// Children returns the node's children (do not mutate).
+func (n *Node) Children() []*Node { return n.children }
+
+// LeafRange returns the half-open range [lo, hi) of leaf indices covered
+// by the node's subtree. Leaves are numbered in DFS order, so every
+// subtree covers a contiguous range — which lets multicast splits route
+// per-leaf payloads by slicing.
+func (n *Node) LeafRange() (lo, hi int) {
+	return n.firstLeaf, n.firstLeaf + n.numLeaves
+}
+
+// Stats counts overlay traffic.
+type Stats struct {
+	Packets int64
+	Bytes   int64
+}
+
+// Network is an instantiated process tree.
+type Network struct {
+	root   *Node
+	nodes  []*Node
+	leaves []*Node
+	costs  CostModel
+	clock  *simclock.Clock
+
+	packets atomic.Int64
+	bytes   atomic.Int64
+}
+
+// New builds a balanced tree with the given number of leaves and maximum
+// fanout, matching the paper's topology policy: no intermediate processes
+// while the root can hold every leaf (≤ fanout), otherwise ⌈leaves/fanout⌉
+// intermediate processes per level, at most three levels for the scales
+// evaluated. A nil clock allocates a private one.
+func New(leaves, fanout int, costs CostModel, clock *simclock.Clock) (*Network, error) {
+	if leaves < 1 {
+		return nil, fmt.Errorf("mrnet: need at least one leaf, got %d", leaves)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("mrnet: fanout must be at least 2, got %d", fanout)
+	}
+	if clock == nil {
+		clock = simclock.New()
+	}
+	net := &Network{costs: costs, clock: clock}
+	net.root = &Node{id: 0, level: 0, leafIndex: -1}
+	net.nodes = append(net.nodes, net.root)
+	net.build(net.root, leaves, fanout)
+	net.clock.Charge("mrnet/startup",
+		costs.StartupBase+time.Duration(len(net.nodes))*costs.StartupPerNode)
+	return net, nil
+}
+
+// build attaches the subtree holding `leaves` leaf processes under parent.
+func (net *Network) build(parent *Node, leaves, fanout int) {
+	parent.firstLeaf = len(net.leaves)
+	parent.numLeaves = leaves
+	if leaves <= fanout {
+		for i := 0; i < leaves; i++ {
+			leaf := &Node{
+				id:        len(net.nodes),
+				level:     parent.level + 1,
+				parent:    parent,
+				leafIndex: len(net.leaves),
+				firstLeaf: len(net.leaves),
+				numLeaves: 1,
+			}
+			parent.children = append(parent.children, leaf)
+			net.nodes = append(net.nodes, leaf)
+			net.leaves = append(net.leaves, leaf)
+		}
+		return
+	}
+	groups := (leaves + fanout - 1) / fanout
+	if groups > fanout {
+		groups = fanout // deeper recursion will absorb the rest
+	}
+	remaining := leaves
+	for g := 0; g < groups; g++ {
+		// Spread leaves as evenly as possible over the groups.
+		share := (remaining + (groups - g) - 1) / (groups - g)
+		internal := &Node{
+			id:        len(net.nodes),
+			level:     parent.level + 1,
+			parent:    parent,
+			leafIndex: -1,
+		}
+		parent.children = append(parent.children, internal)
+		net.nodes = append(net.nodes, internal)
+		net.build(internal, share, fanout)
+		remaining -= share
+	}
+}
+
+// Root returns the root node.
+func (net *Network) Root() *Node { return net.root }
+
+// NumLeaves returns the number of leaf processes.
+func (net *Network) NumLeaves() int { return len(net.leaves) }
+
+// NumInternal returns the number of intermediate (non-root, non-leaf)
+// processes — the quantity in Table 1's second column.
+func (net *Network) NumInternal() int {
+	return len(net.nodes) - len(net.leaves) - 1
+}
+
+// NumNodes returns the total number of processes including the root.
+func (net *Network) NumNodes() int { return len(net.nodes) }
+
+// Depth returns the number of levels (root-only tree has depth 1).
+func (net *Network) Depth() int {
+	max := 0
+	for _, l := range net.leaves {
+		if l.level > max {
+			max = l.level
+		}
+	}
+	return max + 1
+}
+
+// Clock returns the simulated clock.
+func (net *Network) Clock() *simclock.Clock { return net.clock }
+
+// Stats returns overlay traffic counters.
+func (net *Network) Stats() Stats {
+	return Stats{Packets: net.packets.Load(), Bytes: net.bytes.Load()}
+}
+
+// chargeHop records one payload crossing one tree edge.
+func (net *Network) chargeHop(level int, bytes int64) {
+	net.packets.Add(1)
+	net.bytes.Add(bytes)
+	cost := net.costs.HopLatency + simclock.BytesDuration(bytes, net.costs.BytesPerSec)
+	net.clock.Charge(fmt.Sprintf("mrnet/level%d", level), cost)
+}
+
+// Sizer reports the wire size of a payload for the cost model. A nil
+// Sizer charges only per-hop latency.
+type Sizer[T any] func(T) int64
+
+// Reduce performs an upstream reduction: leafFn runs at every leaf (in
+// parallel), combine runs at every internal node and at the root over its
+// children's results, ordered by child position. The root's combined value
+// is returned. The first error aborts the reduction.
+func Reduce[T any](net *Network, leafFn func(leaf int) (T, error), combine func(n *Node, in []T) (T, error), size Sizer[T]) (T, error) {
+	return reduceAt(net, net.root, leafFn, combine, size)
+}
+
+func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine func(*Node, []T) (T, error), size Sizer[T]) (T, error) {
+	var zero T
+	if n.IsLeaf() {
+		v, err := leafFn(n.leafIndex)
+		if err != nil {
+			return zero, fmt.Errorf("mrnet: leaf %d: %w", n.leafIndex, err)
+		}
+		return v, nil
+	}
+	results := make([]T, len(n.children))
+	errs := make([]error, len(n.children))
+	var wg sync.WaitGroup
+	wg.Add(len(n.children))
+	for i, c := range n.children {
+		go func(i int, c *Node) {
+			defer wg.Done()
+			v, err := reduceAt(net, c, leafFn, combine, size)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var b int64
+			if size != nil {
+				b = size(v)
+			}
+			net.chargeHop(c.level, b)
+			results[i] = v
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return zero, err
+		}
+	}
+	v, err := combine(n, results)
+	if err != nil {
+		return zero, fmt.Errorf("mrnet: filter at node %d: %w", n.id, err)
+	}
+	return v, nil
+}
+
+// Multicast distributes a payload from the root to every leaf. split, if
+// non-nil, runs at every non-leaf node and must return one payload per
+// child (it may slice the payload to route data); a nil split broadcasts
+// the same value. deliver runs at every leaf, in parallel.
+func Multicast[T any](net *Network, payload T, split func(n *Node, in T) ([]T, error), deliver func(leaf int, v T) error, size Sizer[T]) error {
+	return multicastAt(net, net.root, payload, split, deliver, size)
+}
+
+func multicastAt[T any](net *Network, n *Node, payload T, split func(*Node, T) ([]T, error), deliver func(int, T) error, size Sizer[T]) error {
+	if n.IsLeaf() {
+		if err := deliver(n.leafIndex, payload); err != nil {
+			return fmt.Errorf("mrnet: leaf %d: %w", n.leafIndex, err)
+		}
+		return nil
+	}
+	parts := make([]T, len(n.children))
+	if split != nil {
+		out, err := split(n, payload)
+		if err != nil {
+			return fmt.Errorf("mrnet: split at node %d: %w", n.id, err)
+		}
+		if len(out) != len(n.children) {
+			return fmt.Errorf("mrnet: split at node %d returned %d payloads for %d children",
+				n.id, len(out), len(n.children))
+		}
+		copy(parts, out)
+	} else {
+		for i := range parts {
+			parts[i] = payload
+		}
+	}
+	errs := make([]error, len(n.children))
+	var wg sync.WaitGroup
+	wg.Add(len(n.children))
+	for i, c := range n.children {
+		go func(i int, c *Node) {
+			defer wg.Done()
+			var b int64
+			if size != nil {
+				b = size(parts[i])
+			}
+			net.chargeHop(c.level, b)
+			errs[i] = multicastAt(net, c, parts[i], split, deliver, size)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LeafRun executes fn at every leaf in parallel and collects the results
+// by leaf index. It models the per-leaf compute stage of a phase (e.g.
+// the cluster phase running GPGPU DBSCAN on every leaf).
+func LeafRun[T any](net *Network, fn func(leaf int) (T, error)) ([]T, error) {
+	results := make([]T, len(net.leaves))
+	errs := make([]error, len(net.leaves))
+	var wg sync.WaitGroup
+	wg.Add(len(net.leaves))
+	for i := range net.leaves {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mrnet: leaf %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,303 @@
+package mrnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file implements a real-socket instantiation of the overlay: every
+// tree node is a goroutine "process" owning actual TCP connections to its
+// parent and children over loopback, with length-prefixed frames. The
+// in-process Network is the fast simulation used by the pipeline; the
+// TCPNetwork demonstrates that the same tree protocol runs over a real
+// transport, as MRNet does on a cluster.
+//
+// The protocol is deliberately MRNet-shaped: downstream frames fan out
+// from the root (multicast / operation start), upstream frames are
+// combined at every internal node by a filter before continuing toward
+// the root.
+
+// frame types.
+const (
+	frameDown  = 1 // payload travelling root -> leaves
+	frameUp    = 2 // payload travelling leaves -> root
+	frameError = 3 // error travelling toward the root
+)
+
+// maxFrame bounds a frame payload (16 MiB) to catch protocol corruption.
+const maxFrame = 16 << 20
+
+// TCPHandlers are the application callbacks of a TCP overlay instance.
+type TCPHandlers struct {
+	// Leaf runs at every leaf when a downstream frame arrives: it
+	// receives the downstream payload and returns the leaf's upstream
+	// contribution.
+	Leaf func(leaf int, down []byte) ([]byte, error)
+	// Filter runs at every internal node (and the root) to combine the
+	// upstream payloads of its children, ordered by child position.
+	Filter func(node *Node, in [][]byte) ([]byte, error)
+}
+
+// TCPNetwork is a process tree over real TCP connections.
+type TCPNetwork struct {
+	tree     *Network
+	handlers TCPHandlers
+
+	mu      sync.Mutex // one collective operation at a time
+	nodes   []*tcpNode
+	rootUp  chan upMsg
+	closed  bool
+	closeMu sync.Mutex
+}
+
+type upMsg struct {
+	payload []byte
+	err     error
+}
+
+// tcpNode is one "process": its connection to the parent and its accepted
+// child connections.
+type tcpNode struct {
+	node     *Node
+	parent   net.Conn   // nil at the root
+	children []net.Conn // index-aligned with node.Children()
+}
+
+// NewTCP builds a tree with the given leaf count and fanout where every
+// edge is a TCP connection on the loopback interface. Handlers must be
+// provided before any operation runs.
+func NewTCP(leaves, fanout int, handlers TCPHandlers) (*TCPNetwork, error) {
+	if handlers.Leaf == nil || handlers.Filter == nil {
+		return nil, errors.New("mrnet: TCP overlay requires Leaf and Filter handlers")
+	}
+	tree, err := New(leaves, fanout, CostModel{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPNetwork{
+		tree:     tree,
+		handlers: handlers,
+		rootUp:   make(chan upMsg, 1),
+	}
+	t.nodes = make([]*tcpNode, tree.NumNodes())
+	for _, n := range tree.nodes {
+		t.nodes[n.id] = &tcpNode{node: n}
+	}
+	if err := t.connect(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	for _, tn := range t.nodes {
+		go t.serve(tn)
+	}
+	return t, nil
+}
+
+// connect wires parent-child edges: every internal node listens, its
+// children dial in and identify themselves with a hello frame carrying
+// their node ID.
+func (t *TCPNetwork) connect() error {
+	for _, tn := range t.nodes {
+		n := tn.node
+		if n.IsLeaf() {
+			continue
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("mrnet: listen for node %d: %w", n.id, err)
+		}
+		tn.children = make([]net.Conn, len(n.children))
+		addr := ln.Addr().String()
+
+		var wg sync.WaitGroup
+		var acceptErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range n.children {
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptErr = err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					acceptErr = fmt.Errorf("reading hello: %w", err)
+					return
+				}
+				childID := int(binary.LittleEndian.Uint32(hello[:]))
+				placed := false
+				for i, c := range n.children {
+					if c.id == childID {
+						tn.children[i] = conn
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					acceptErr = fmt.Errorf("unexpected child %d at node %d", childID, n.id)
+					return
+				}
+			}
+		}()
+		for _, c := range n.children {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				ln.Close()
+				return fmt.Errorf("mrnet: child %d dialing node %d: %w", c.id, n.id, err)
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(c.id))
+			if _, err := conn.Write(hello[:]); err != nil {
+				ln.Close()
+				return fmt.Errorf("mrnet: child %d hello: %w", c.id, err)
+			}
+			t.nodes[c.id].parent = conn
+		}
+		wg.Wait()
+		ln.Close()
+		if acceptErr != nil {
+			return fmt.Errorf("mrnet: accepting children of node %d: %w", n.id, acceptErr)
+		}
+	}
+	return nil
+}
+
+// writeFrame emits [len][type][payload].
+func writeFrame(w io.Writer, ftype byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = ftype
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("mrnet: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// serve is a node's process loop: wait for a downstream frame, run the
+// subtree's share of the operation, send the combined result upstream.
+func (t *TCPNetwork) serve(tn *tcpNode) {
+	n := tn.node
+	for {
+		var down []byte
+		if n.id == 0 {
+			// The root is driven by Reduce() via rootDown.
+			return // root has no serve loop; Reduce operates it directly
+		}
+		ftype, payload, err := readFrame(tn.parent)
+		if err != nil {
+			return // connection closed: shutdown
+		}
+		if ftype != frameDown {
+			continue
+		}
+		down = payload
+		up, err := t.runSubtree(tn, down)
+		if err != nil {
+			_ = writeFrame(tn.parent, frameError, []byte(err.Error()))
+			continue
+		}
+		if err := writeFrame(tn.parent, frameUp, up); err != nil {
+			return
+		}
+	}
+}
+
+// runSubtree executes one operation in n's subtree: forward downstream to
+// children, gather their upstream frames, combine with the filter (or run
+// the leaf handler).
+func (t *TCPNetwork) runSubtree(tn *tcpNode, down []byte) ([]byte, error) {
+	n := tn.node
+	if n.IsLeaf() {
+		out, err := t.handlers.Leaf(n.leafIndex, down)
+		if err != nil {
+			return nil, fmt.Errorf("leaf %d: %w", n.leafIndex, err)
+		}
+		return out, nil
+	}
+	for _, conn := range tn.children {
+		if err := writeFrame(conn, frameDown, down); err != nil {
+			return nil, fmt.Errorf("node %d fanout: %w", n.id, err)
+		}
+	}
+	parts := make([][]byte, len(tn.children))
+	for i, conn := range tn.children {
+		ftype, payload, err := readFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("node %d gathering child %d: %w", n.id, i, err)
+		}
+		if ftype == frameError {
+			return nil, errors.New(string(payload))
+		}
+		parts[i] = payload
+	}
+	out, err := t.handlers.Filter(n, parts)
+	if err != nil {
+		return nil, fmt.Errorf("filter at node %d: %w", n.id, err)
+	}
+	return out, nil
+}
+
+// Reduce runs one collective operation: the downstream payload is
+// multicast to every leaf, each leaf's Leaf handler produces an upstream
+// payload, and Filter combines payloads at every internal level. The
+// root's combined payload is returned.
+func (t *TCPNetwork) Reduce(down []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closeMu.Lock()
+	closed := t.closed
+	t.closeMu.Unlock()
+	if closed {
+		return nil, errors.New("mrnet: TCP overlay closed")
+	}
+	return t.runSubtree(t.nodes[0], down)
+}
+
+// Tree exposes the underlying topology (for assertions and fan-out info).
+func (t *TCPNetwork) Tree() *Network { return t.tree }
+
+// Close tears the overlay down; in-flight operations fail.
+func (t *TCPNetwork) Close() {
+	t.closeMu.Lock()
+	defer t.closeMu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, tn := range t.nodes {
+		if tn == nil {
+			continue
+		}
+		if tn.parent != nil {
+			tn.parent.Close()
+		}
+		for _, c := range tn.children {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package mrnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSpec(t *testing.T) {
+	tests := []struct {
+		spec string
+		want []int
+	}{
+		{"256", []int{256}},
+		{"2x16", []int{2, 16}},
+		{"4x8x8", []int{4, 8, 8}},
+		{" 2 x 3 ", []int{2, 3}},
+	}
+	for _, tt := range tests {
+		got, err := ParseSpec(tt.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tt.spec, err)
+		}
+		if len(got) != len(tt.want) {
+			t.Fatalf("ParseSpec(%q) = %v, want %v", tt.spec, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("ParseSpec(%q) = %v, want %v", tt.spec, got, tt.want)
+			}
+		}
+	}
+	for _, bad := range []string{"", "x", "2x", "0", "-3", "2xa", "1024x1024x1024"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) must fail", bad)
+		}
+	}
+}
+
+func TestNewFromSpecShapes(t *testing.T) {
+	tests := []struct {
+		spec         string
+		wantLeaves   int
+		wantInternal int
+		wantDepth    int
+	}{
+		{"8", 8, 0, 2},
+		{"2x16", 32, 2, 3},
+		{"4x8x8", 256, 4 + 32, 4},
+		{"1x5", 5, 1, 3}, // degenerate chain level
+	}
+	for _, tt := range tests {
+		net, err := NewFromSpec(tt.spec, CostModel{}, nil)
+		if err != nil {
+			t.Fatalf("NewFromSpec(%q): %v", tt.spec, err)
+		}
+		if net.NumLeaves() != tt.wantLeaves {
+			t.Errorf("%q: NumLeaves = %d, want %d", tt.spec, net.NumLeaves(), tt.wantLeaves)
+		}
+		if net.NumInternal() != tt.wantInternal {
+			t.Errorf("%q: NumInternal = %d, want %d", tt.spec, net.NumInternal(), tt.wantInternal)
+		}
+		if net.Depth() != tt.wantDepth {
+			t.Errorf("%q: Depth = %d, want %d", tt.spec, net.Depth(), tt.wantDepth)
+		}
+	}
+}
+
+func TestRegularTreeReduceAndRanges(t *testing.T) {
+	net, err := NewFromSpec("3x4x2", CostModel{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLeaves() != 24 {
+		t.Fatalf("leaves = %d", net.NumLeaves())
+	}
+	// Leaf ranges are contiguous and nested.
+	var check func(n *Node)
+	check = func(n *Node) {
+		lo, hi := n.LeafRange()
+		if n.IsLeaf() {
+			if hi-lo != 1 || lo != n.LeafIndex() {
+				t.Fatalf("leaf range %d..%d for leaf %d", lo, hi, n.LeafIndex())
+			}
+			return
+		}
+		cursor := lo
+		for _, c := range n.Children() {
+			clo, chi := c.LeafRange()
+			if clo != cursor {
+				t.Fatalf("child range %d..%d not contiguous at %d", clo, chi, cursor)
+			}
+			cursor = chi
+			check(c)
+		}
+		if cursor != hi {
+			t.Fatalf("children cover %d..%d, parent claims %d..%d", lo, cursor, lo, hi)
+		}
+	}
+	check(net.Root())
+	// Collective ops still work.
+	sum, err := Reduce(net,
+		func(leaf int) (int, error) { return leaf, nil },
+		func(_ *Node, in []int) (int, error) {
+			s := 0
+			for _, v := range in {
+				s += v
+			}
+			return s, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 24 * 23 / 2; sum != want {
+		t.Errorf("Reduce = %d, want %d", sum, want)
+	}
+}
+
+func TestSpecRoundTripProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		fa, fb, fc := int(a)%6+1, int(b)%6+1, int(c)%6+1
+		net, err := NewRegular([]int{fa, fb, fc}, CostModel{}, nil)
+		if err != nil {
+			return false
+		}
+		return net.NumLeaves() == fa*fb*fc && net.Depth() == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

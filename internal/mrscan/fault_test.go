@@ -1,0 +1,81 @@
+package mrscan
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/lustre"
+	"repro/internal/ptio"
+)
+
+// errOST mimics a Lustre OST eviction surfacing as an I/O error.
+var errOST = errors.New("OST evicted")
+
+// faultRun stages a dataset, arms fault injection after `after` I/O
+// operations, and runs the pipeline.
+func faultRun(t *testing.T, after int64, cfg Config) error {
+	t.Helper()
+	fs := lustre.New(lustre.Titan(), nil)
+	in := fs.Create("input.mrsc")
+	if err := ptio.WriteDataset(in, dataset.Twitter(3000, 20), false); err != nil {
+		t.Fatal(err)
+	}
+	fs.InjectFault(after, errOST)
+	_, err := Run(fs, "input.mrsc", "output.mrsl", cfg)
+	return err
+}
+
+// TestFaultInjectionSweep walks the fault point through the run: every
+// failure must surface as a wrapped error naming a phase — never a
+// panic, hang, or silent success with corrupt output.
+func TestFaultInjectionAcrossPhases(t *testing.T) {
+	cfg := Default(0.1, 40, 4)
+	// Find the fault-free operation count first.
+	fs := lustre.New(lustre.Titan(), nil)
+	in := fs.Create("input.mrsc")
+	if err := ptio.WriteDataset(in, dataset.Twitter(3000, 20), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(fs, "input.mrsc", "output.mrsl", cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	totalOps := st.ReadOps + st.WriteOps
+
+	// Inject at several points through the run (early, each quartile).
+	for _, frac := range []int64{0, 1, 2, 3} {
+		after := totalOps * frac / 4
+		err := faultRun(t, after, cfg)
+		if err == nil {
+			t.Fatalf("fault after %d ops: run succeeded, want error", after)
+		}
+		if !errors.Is(err, errOST) {
+			t.Fatalf("fault after %d ops: error %v does not wrap the injected fault", after, err)
+		}
+	}
+}
+
+func TestFaultInjectionDisarmed(t *testing.T) {
+	fs := lustre.New(lustre.Titan(), nil)
+	in := fs.Create("input.mrsc")
+	if err := ptio.WriteDataset(in, dataset.Twitter(1000, 21), false); err != nil {
+		t.Fatal(err)
+	}
+	fs.InjectFault(0, errOST)
+	fs.InjectFault(0, nil) // disarm
+	if _, err := Run(fs, "input.mrsc", "output.mrsl", Default(0.1, 40, 2)); err != nil {
+		t.Fatalf("disarmed fault still fired: %v", err)
+	}
+}
+
+func TestFaultDirectPartitionsStillReadsInput(t *testing.T) {
+	// Direct transfer avoids partition writes but must still surface
+	// input read errors.
+	cfg := Default(0.1, 40, 2)
+	cfg.DirectPartitions = true
+	err := faultRun(t, 0, cfg)
+	if !errors.Is(err, errOST) {
+		t.Fatalf("error %v does not wrap the injected fault", err)
+	}
+}

@@ -1,0 +1,467 @@
+// Package mrscan is the end-to-end Mr. Scan pipeline (paper §3): a
+// parallel DBSCAN with four phases — partition, cluster, merge, sweep —
+// run over MRNet-style process trees with a simulated GPGPU per leaf.
+//
+// Run starts from a single input file on the (simulated) parallel file
+// system and produces a file of clustered points with global cluster IDs,
+// exactly the paper's contract, with a per-phase time breakdown matching
+// the units of Figures 8–10.
+package mrscan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dbscan"
+	"repro/internal/gdbscan"
+	"repro/internal/geom"
+	"repro/internal/gpusim"
+	"repro/internal/grid"
+	"repro/internal/lustre"
+	"repro/internal/merge"
+	"repro/internal/mrnet"
+	"repro/internal/partition"
+	"repro/internal/ptio"
+	"repro/internal/simclock"
+	"repro/internal/sweep"
+)
+
+// Config configures a full Mr. Scan run.
+type Config struct {
+	// Eps and MinPts are the DBSCAN parameters.
+	Eps    float64
+	MinPts int
+
+	// Leaves is the number of cluster-phase leaf processes (one GPGPU
+	// each). PartitionLeaves is the size of the partitioner's separate
+	// process network (Table 1's fourth column); it defaults to
+	// max(1, Leaves/16), roughly the paper's ratio.
+	Leaves          int
+	PartitionLeaves int
+	// Fanout is the tree fanout (default 256, the paper's topology).
+	Fanout int
+	// Topology optionally pins the cluster tree to an explicit
+	// MRNet-style fanout-product spec (e.g. "2x16" = root → 2 internal →
+	// 16 leaves each). Its leaf product must equal Leaves. Empty uses
+	// the balanced Fanout tree.
+	Topology string
+
+	// DenseBox enables the §3.2.3 optimization (default on via Default).
+	DenseBox bool
+	// ShadowReps enables the partitioner's representative-shadow
+	// optimization (§3.1.3).
+	ShadowReps bool
+	// Rebalance enables the partition rebalancing pass (§3.1.2).
+	Rebalance bool
+	// IncludeNoise writes noise points (cluster -1) to the output.
+	IncludeNoise bool
+	// HasWeight selects the record format of input and partition files.
+	HasWeight bool
+
+	// Mode selects the GPGPU algorithm profile (Mr. Scan or CUDA-DClust).
+	Mode gdbscan.Mode
+	// GPU configures each leaf's simulated device (default gpusim.K20).
+	GPU gpusim.Config
+	// Blocks, ThreadsPerBlock and LeafSize tune the GPGPU DBSCAN.
+	Blocks          int
+	ThreadsPerBlock int
+	LeafSize        int
+
+	// Costs is the overlay network cost model.
+	Costs mrnet.CostModel
+
+	// SequentialLeaves executes the cluster phase one leaf at a time
+	// instead of concurrently. On hosts with fewer cores than leaves,
+	// concurrent leaves contend for CPU and the slowest-leaf GPU time
+	// (Figure 9c/10's quantity) gets inflated by scheduling noise;
+	// sequential execution measures each simulated node in isolation,
+	// as on Titan where every leaf owned a physical GPU.
+	SequentialLeaves bool
+
+	// DirectPartitions implements the paper's stated future work (§6):
+	// partition contents travel over the network directly to the
+	// clustering processes instead of through the parallel file system,
+	// eliminating the small random writes that dominate Figure 9a.
+	DirectPartitions bool
+
+	// MergeOverTCP runs the merge phase's tree reduction over real TCP
+	// connections on the loopback interface instead of the in-process
+	// overlay — every internal node decodes, combines and re-encodes
+	// summaries from actual sockets, demonstrating the protocol is
+	// transport-independent (as MRNet is on a physical cluster).
+	MergeOverTCP bool
+
+	// ReclaimBorders feeds shadow-view border observations back to the
+	// owning leaves during the sweep: a point whose only core neighbors
+	// live in its owner's shadow region is misclassified noise by the
+	// owner (the point-level analogue of Figure 7); another leaf's
+	// summary knows better. The paper does not close this loop — it is
+	// the residual behind its 0.995 quality floor — so the option
+	// defaults to off for paper-faithful output.
+	ReclaimBorders bool
+
+	// HotCellThreshold, when positive, subdivides grid cells holding more
+	// points than the threshold into quadrant tiles shared across leaves
+	// — the paper's §5.1.2 fix for the strong-scaling plateau caused by
+	// "a partition made up of a single dense grid cell" that "cannot be
+	// subdivided further".
+	HotCellThreshold int64
+}
+
+// Default returns the configuration used by the paper's experiments:
+// dense box on, rebalancing on, 256-way fanout, K20 leaves.
+func Default(eps float64, minPts, leaves int) Config {
+	return Config{
+		Eps:       eps,
+		MinPts:    minPts,
+		Leaves:    leaves,
+		Fanout:    mrnet.DefaultFanout,
+		DenseBox:  true,
+		Rebalance: true,
+		GPU:       gpusim.K20(),
+		Costs:     mrnet.TitanCosts(),
+	}
+}
+
+func (c *Config) setDefaults() error {
+	if c.Eps <= 0 {
+		return fmt.Errorf("mrscan: Eps must be positive, got %v", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("mrscan: MinPts must be positive, got %d", c.MinPts)
+	}
+	if c.Leaves < 1 {
+		return fmt.Errorf("mrscan: need at least one leaf, got %d", c.Leaves)
+	}
+	if c.PartitionLeaves <= 0 {
+		c.PartitionLeaves = c.Leaves / 16
+		if c.PartitionLeaves < 1 {
+			c.PartitionLeaves = 1
+		}
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = mrnet.DefaultFanout
+	}
+	if c.GPU.SMs == 0 {
+		c.GPU = gpusim.K20()
+	}
+	return nil
+}
+
+// PhaseTimes is the wall-clock breakdown reported by the evaluation:
+// Figure 9a (partition), 9b (cluster+merge+sweep) and 9c (GPGPU DBSCAN).
+type PhaseTimes struct {
+	Partition time.Duration
+	Cluster   time.Duration
+	Merge     time.Duration
+	Sweep     time.Duration
+	// PartitionReadSim and PartitionWriteSim are the simulated Lustre
+	// costs of the partition phase's read and write stages — §5.1.1
+	// reports write 65.2% vs read 29.9% of the phase at scale. Zero when
+	// DirectPartitions bypasses the file system.
+	PartitionReadSim  time.Duration
+	PartitionWriteSim time.Duration
+	// GPUDBSCAN is the slowest leaf's time inside the GPGPU DBSCAN —
+	// "the time of the cluster phase is dictated by the slowest node"
+	// (§5.1.1).
+	GPUDBSCAN time.Duration
+	// Total is the end-to-end elapsed time including I/O, as in Figure 8
+	// ("includes startup and I/O costs, which has not been reported by
+	// previous projects").
+	Total time.Duration
+}
+
+// Stats aggregates run-level counters.
+type Stats struct {
+	TotalPoints    int64
+	WrittenPoints  int64
+	OutputPoints   int64
+	NoiseSkipped   int64
+	DenseBoxes     int
+	DenseBoxPoints int
+	Collisions     int
+	SeedRounds     int
+	MaxLeafPoints  int
+	// SimNow is the simulated-hardware elapsed time (max over resources).
+	SimNow time.Duration
+	// Resources is the per-resource simulated-time breakdown: GPU SMs,
+	// PCIe links, Lustre OSTs and seeks, overlay levels and startup.
+	Resources []simclock.ResourceTime
+}
+
+// Result is a completed run.
+type Result struct {
+	NumClusters int
+	Times       PhaseTimes
+	Stats       Stats
+	// Plan is the partition plan (for inspection and experiments).
+	Plan *partition.Plan
+	// OutputFile names the labeled output on the file system.
+	OutputFile string
+}
+
+// File names used inside the simulated file system.
+const (
+	partitionFile = "mrscan-partitions.bin"
+	metadataFile  = "mrscan-partitions.json"
+)
+
+// Run executes the full pipeline against inputFile on fs, writing labeled
+// output to outputFile.
+func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g := grid.New(cfg.Eps)
+
+	// --- Phase 1: partition (separate flat MRNet network, §3.1.3) ---
+	partNet, err := mrnet.New(cfg.PartitionLeaves, cfg.Fanout, cfg.Costs, fs.Clock())
+	if err != nil {
+		return nil, err
+	}
+	partStart := time.Now()
+	distOpts := partition.DistOptions{
+		NumPartitions:  cfg.Leaves,
+		MinPts:         cfg.MinPts,
+		Rebalance:      cfg.Rebalance,
+		ShadowReps:     cfg.ShadowReps,
+		HasWeight:      cfg.HasWeight,
+		SplitThreshold: cfg.HotCellThreshold,
+	}
+	// loadPartition returns partition j's owned and shadow points,
+	// either from the partition file or from the direct transfer.
+	var loadPartition func(j int) (owned, shadow []geom.Point, err error)
+	var plan *partition.Plan
+	var totalPoints, writtenPoints int64
+	var partReadSim, partWriteSim time.Duration
+	if cfg.DirectPartitions {
+		direct, err := partition.DistributeDirect(partNet, fs, cfg.Eps, inputFile, distOpts)
+		if err != nil {
+			return nil, fmt.Errorf("mrscan: partition phase: %w", err)
+		}
+		plan = direct.Plan
+		totalPoints = direct.TotalPoints
+		writtenPoints = direct.TransferredPoints
+		loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+			return direct.Partitions[j], direct.Shadows[j], nil
+		}
+	} else {
+		dist, err := partition.Distribute(partNet, fs, cfg.Eps, inputFile, partitionFile, metadataFile, distOpts)
+		if err != nil {
+			return nil, fmt.Errorf("mrscan: partition phase: %w", err)
+		}
+		plan = dist.Plan
+		totalPoints = dist.TotalPoints
+		writtenPoints = dist.WrittenPoints
+		partReadSim = dist.ReadSim
+		partWriteSim = dist.WriteSim
+		loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+			return partition.ReadPartition(fs, partitionFile, dist.Meta, j)
+		}
+	}
+	partTime := time.Since(partStart)
+
+	// --- Phase 2: cluster (GPGPU DBSCAN on every leaf, §3.2) ---
+	var clusterNet *mrnet.Network
+	if cfg.Topology != "" {
+		clusterNet, err = mrnet.NewFromSpec(cfg.Topology, cfg.Costs, fs.Clock())
+		if err != nil {
+			return nil, err
+		}
+		if clusterNet.NumLeaves() != cfg.Leaves {
+			return nil, fmt.Errorf("mrscan: topology %q yields %d leaves, config says %d",
+				cfg.Topology, clusterNet.NumLeaves(), cfg.Leaves)
+		}
+	} else {
+		clusterNet, err = mrnet.New(cfg.Leaves, cfg.Fanout, cfg.Costs, fs.Clock())
+		if err != nil {
+			return nil, err
+		}
+	}
+	type leafState struct {
+		owned     []geom.Point
+		labels    []int32
+		summaries []*merge.Summary
+		gpuTime   time.Duration
+		stats     gdbscan.Stats
+	}
+	clusterStart := time.Now()
+	clusterLeaf := func(leaf int) (*leafState, error) {
+		owned, shadow, err := loadPartition(leaf)
+		if err != nil {
+			return nil, err
+		}
+		combined := make([]geom.Point, 0, len(owned)+len(shadow))
+		combined = append(combined, owned...)
+		combined = append(combined, shadow...)
+		gpuCfg := cfg.GPU
+		gpuCfg.Name = fmt.Sprintf("gpu%04d", leaf)
+		dev := gpusim.New(gpuCfg, fs.Clock())
+		gpuStart := time.Now()
+		res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
+			Params:          dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts},
+			DenseBox:        cfg.DenseBox,
+			Mode:            cfg.Mode,
+			Blocks:          cfg.Blocks,
+			ThreadsPerBlock: cfg.ThreadsPerBlock,
+			LeafSize:        cfg.LeafSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gpuTime := time.Since(gpuStart)
+		sums, err := merge.BuildSummaries(g, leaf, combined, len(owned), res.Labels, res.Core, res.NumClusters)
+		if err != nil {
+			return nil, err
+		}
+		return &leafState{
+			owned:     owned,
+			labels:    res.Labels[:len(owned)],
+			summaries: sums,
+			gpuTime:   gpuTime,
+			stats:     res.Stats,
+		}, nil
+	}
+	var states []*leafState
+	if cfg.SequentialLeaves {
+		states = make([]*leafState, cfg.Leaves)
+		for leaf := 0; leaf < cfg.Leaves; leaf++ {
+			states[leaf], err = clusterLeaf(leaf)
+			if err != nil {
+				break
+			}
+		}
+	} else {
+		states, err = mrnet.LeafRun(clusterNet, clusterLeaf)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mrscan: cluster phase: %w", err)
+	}
+	clusterTime := time.Since(clusterStart)
+
+	// --- Phase 3: merge (progressive reduction up the tree, §3.3) ---
+	mergeStart := time.Now()
+	var final []*merge.Summary
+	if cfg.MergeOverTCP {
+		final, err = mergeOverTCP(g, cfg.Eps, cfg.Leaves, cfg.Fanout,
+			func(leaf int) []*merge.Summary { return states[leaf].summaries })
+	} else {
+		final, err = mrnet.Reduce(clusterNet,
+			func(leaf int) ([]*merge.Summary, error) { return states[leaf].summaries, nil },
+			func(_ *mrnet.Node, groups [][]*merge.Summary) ([]*merge.Summary, error) {
+				return merge.Combine(g, cfg.Eps, groups), nil
+			},
+			func(sums []*merge.Summary) int64 {
+				var n int64
+				for _, s := range sums {
+					n += s.WireSize()
+				}
+				return n
+			},
+		)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mrscan: merge phase: %w", err)
+	}
+	mapping := merge.AssignGlobalIDs(final)
+	var claims map[uint64]int32
+	if cfg.ReclaimBorders {
+		claims = merge.BorderClaims(final, mapping)
+	}
+	mergeTime := time.Since(mergeStart)
+
+	// --- Phase 4: sweep (global IDs down the tree, parallel write, §3.4) ---
+	sweepStart := time.Now()
+	sw, err := sweep.Run(clusterNet, fs, outputFile, mapping,
+		func(leaf int) (*sweep.LeafData, error) {
+			return &sweep.LeafData{Points: states[leaf].owned, Labels: states[leaf].labels}, nil
+		},
+		sweep.Options{IncludeNoise: cfg.IncludeNoise, Claims: claims},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("mrscan: sweep phase: %w", err)
+	}
+	sweepTime := time.Since(sweepStart)
+
+	res := &Result{
+		NumClusters: len(final),
+		Plan:        plan,
+		OutputFile:  outputFile,
+		Times: PhaseTimes{
+			Partition:         partTime,
+			PartitionReadSim:  partReadSim,
+			PartitionWriteSim: partWriteSim,
+			Cluster:           clusterTime,
+			Merge:             mergeTime,
+			Sweep:             sweepTime,
+			Total:             time.Since(start),
+		},
+	}
+	res.Stats.TotalPoints = totalPoints
+	res.Stats.WrittenPoints = writtenPoints
+	res.Stats.OutputPoints = sw.PointsWritten
+	res.Stats.NoiseSkipped = sw.NoiseSkipped
+	for _, st := range states {
+		if st.gpuTime > res.Times.GPUDBSCAN {
+			res.Times.GPUDBSCAN = st.gpuTime
+		}
+		res.Stats.DenseBoxes += st.stats.DenseBoxes
+		res.Stats.DenseBoxPoints += st.stats.DenseBoxPoints
+		res.Stats.Collisions += st.stats.Collisions
+		res.Stats.SeedRounds += st.stats.SeedRounds
+		if n := len(st.owned); n > res.Stats.MaxLeafPoints {
+			res.Stats.MaxLeafPoints = n
+		}
+	}
+	res.Stats.SimNow = fs.Clock().Now()
+	res.Stats.Resources = fs.Clock().Snapshot()
+	return res, nil
+}
+
+// RunPoints is a convenience wrapper: it provisions a fresh simulated file
+// system, stores pts as the input file, runs the pipeline, and returns the
+// result plus per-point global labels aligned with pts (noise = -1).
+func RunPoints(pts []geom.Point, cfg Config) (*Result, []int, error) {
+	fs := lustre.New(lustre.Titan(), nil)
+	in := fs.Create("input.mrsc")
+	if err := ptio.WriteDataset(in, pts, cfg.HasWeight); err != nil {
+		return nil, nil, err
+	}
+	cfg.IncludeNoise = true
+	res, err := Run(fs, "input.mrsc", "output.mrsl", cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels, err := LabelsByID(fs, res.OutputFile, pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, labels, nil
+}
+
+// LabelsByID reads a sweep output file and aligns its cluster IDs with
+// pts by point ID. Points absent from the output are labeled -1 (noise
+// was omitted).
+func LabelsByID(fs *lustre.FS, file string, pts []geom.Point) ([]int, error) {
+	out, err := sweep.ReadOutput(fs, file)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[uint64]int64, len(out))
+	for _, lp := range out {
+		if _, dup := byID[lp.Point.ID]; dup {
+			return nil, fmt.Errorf("mrscan: point %d written twice", lp.Point.ID)
+		}
+		byID[lp.Point.ID] = lp.Cluster
+	}
+	labels := make([]int, len(pts))
+	for i, p := range pts {
+		if c, ok := byID[p.ID]; ok {
+			labels[i] = int(c)
+		} else {
+			labels[i] = -1
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,60 @@
+package mrscan
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/merge"
+	"repro/internal/mrnet"
+)
+
+// mergeOverTCP runs the §3.3.2 progressive merge over a tree of real TCP
+// connections (mrnet.NewTCP) instead of the in-process overlay: leaf
+// summaries are gob-encoded onto the wire, every internal node decodes
+// its children's payloads, combines them with the same merge.Combine
+// filter, and re-encodes the reduced summaries upstream. Demonstrates
+// that the merge protocol is transport-independent — the property that
+// lets MRNet instantiate the same tree across a physical cluster.
+func mergeOverTCP(g grid.Grid, eps float64, leaves, fanout int, summaries func(leaf int) []*merge.Summary) ([]*merge.Summary, error) {
+	encode := func(sums []*merge.Summary) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(sums); err != nil {
+			return nil, fmt.Errorf("mrscan: encoding summaries: %w", err)
+		}
+		return buf.Bytes(), nil
+	}
+	decode := func(p []byte) ([]*merge.Summary, error) {
+		var sums []*merge.Summary
+		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&sums); err != nil {
+			return nil, fmt.Errorf("mrscan: decoding summaries: %w", err)
+		}
+		return sums, nil
+	}
+	net, err := mrnet.NewTCP(leaves, fanout, mrnet.TCPHandlers{
+		Leaf: func(leaf int, _ []byte) ([]byte, error) {
+			return encode(summaries(leaf))
+		},
+		Filter: func(_ *mrnet.Node, in [][]byte) ([]byte, error) {
+			groups := make([][]*merge.Summary, len(in))
+			for i, p := range in {
+				sums, err := decode(p)
+				if err != nil {
+					return nil, err
+				}
+				groups[i] = sums
+			}
+			return encode(merge.Combine(g, eps, groups))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer net.Close()
+	out, err := net.Reduce(nil)
+	if err != nil {
+		return nil, err
+	}
+	return decode(out)
+}

@@ -1,0 +1,55 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/grid"
+)
+
+func BenchmarkMakePlan(b *testing.B) {
+	g := grid.New(eps)
+	for _, n := range []int{10_000, 100_000} {
+		h := g.HistogramOf(dataset.Twitter(n, 1))
+		b.Run(fmt.Sprintf("points=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MakePlan(g, h, 64, 40, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	g := grid.New(eps)
+	pts := dataset.Twitter(100_000, 2)
+	h := g.HistogramOf(pts)
+	plan, err := MakePlan(g, h, 32, 40, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, reps := range []bool{false, true} {
+		b.Run(fmt.Sprintf("shadowreps=%v", reps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Split(plan, pts, SplitOptions{ShadowReps: reps}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQuadCounts(b *testing.B) {
+	g := grid.New(eps)
+	pts := dataset.Twitter(100_000, 3)
+	h := g.HistogramOf(pts)
+	depth := map[grid.Coord]uint8{}
+	cell, _ := h.MaxCell()
+	depth[cell] = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuadCounts(g, pts, depth)
+	}
+}

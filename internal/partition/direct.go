@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/lustre"
+	"repro/internal/mrnet"
+	"repro/internal/ptio"
+)
+
+// DirectResult is the output of DistributeDirect: partitions held in
+// memory for direct hand-off to the cluster phase instead of a partition
+// file on the parallel file system.
+type DirectResult struct {
+	Plan *Plan
+	// Partitions[j] and Shadows[j] are partition j's owned and shadow
+	// points.
+	Partitions [][]geom.Point
+	Shadows    [][]geom.Point
+	// Wall-clock durations of the stages.
+	ReadTime     time.Duration
+	PlanTime     time.Duration
+	TransferTime time.Duration
+	// TotalPoints is the input size; TransferredPoints includes shadow
+	// duplication.
+	TotalPoints       int64
+	TransferredPoints int64
+}
+
+// DistributeDirect is the paper's stated next step (§5.1.1, §6): "A
+// better design for this step would be to send partitioned data as
+// messages over the network directly to Mr. Scan's clustering processes"
+// — eliminating the small random Lustre writes that dominate the
+// partition phase.
+//
+// The input is still read from the file system (unavoidable), the
+// histogram reduction and serial planning are unchanged, but partition
+// contents travel over the overlay network (charged per byte on the
+// simulated clock) and never touch the file system.
+func DistributeDirect(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile string, opt DistOptions) (*DirectResult, error) {
+	if opt.NumPartitions < 1 {
+		return nil, fmt.Errorf("partition: NumPartitions must be positive, got %d", opt.NumPartitions)
+	}
+	if opt.MinPts < 1 {
+		return nil, fmt.Errorf("partition: MinPts must be positive, got %d", opt.MinPts)
+	}
+	g := grid.New(eps)
+	leaves := net.NumLeaves()
+	rs := int64(ptio.RecordSize(opt.HasWeight))
+
+	// --- Stage 1: leaves read shards; histogram reduction (as in
+	// Distribute) ---
+	readStart := time.Now()
+	in, err := fs.Open(inputFile)
+	if err != nil {
+		return nil, fmt.Errorf("partition: opening input: %w", err)
+	}
+	total := (in.Size() - 16) / rs
+	if total < 0 {
+		return nil, fmt.Errorf("partition: input file %q too short", inputFile)
+	}
+	shard := make([][]geom.Point, leaves)
+	hist, err := mrnet.Reduce(net,
+		func(leaf int) (*grid.Histogram, error) {
+			lo := total * int64(leaf) / int64(leaves)
+			hi := total * int64(leaf+1) / int64(leaves)
+			h, err := fs.Open(inputFile)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, (hi-lo)*rs)
+			if _, err := h.ReadAt(buf, 16+lo*rs); err != nil {
+				return nil, fmt.Errorf("reading shard [%d,%d): %w", lo, hi, err)
+			}
+			pts, err := ptio.DecodeRecords(buf, opt.HasWeight)
+			if err != nil {
+				return nil, err
+			}
+			shard[leaf] = pts
+			return g.HistogramOf(pts), nil
+		},
+		func(_ *mrnet.Node, parts []*grid.Histogram) (*grid.Histogram, error) {
+			out := grid.NewHistogram()
+			for _, h := range parts {
+				out.Add(h)
+			}
+			return out, nil
+		},
+		func(h *grid.Histogram) int64 { return int64(len(h.Counts)) * 12 },
+	)
+	if err != nil {
+		return nil, err
+	}
+	readTime := time.Since(readStart)
+
+	// --- Stage 2: serial planning at the root ---
+	planStart := time.Now()
+	uh, err := resolveUnits(net, g, hist, shard, opt.SplitThreshold)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := MakePlanUnits(g, uh, PlanOptions{
+		NumPartitions: opt.NumPartitions,
+		MinPts:        opt.MinPts,
+		Rebalance:     opt.Rebalance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	planTime := time.Since(planStart)
+
+	// --- Stage 3: contributions travel the overlay as messages ---
+	transferStart := time.Now()
+	splitOpt := SplitOptions{ShadowReps: opt.ShadowReps}
+	combined, err := mrnet.Reduce(net,
+		func(leaf int) (*SplitResult, error) {
+			return Split(plan, shard[leaf], splitOpt)
+		},
+		func(_ *mrnet.Node, parts []*SplitResult) (*SplitResult, error) {
+			out := &SplitResult{
+				Partitions: make([][]geom.Point, opt.NumPartitions),
+				Shadows:    make([][]geom.Point, opt.NumPartitions),
+			}
+			for _, p := range parts {
+				for j := 0; j < opt.NumPartitions; j++ {
+					out.Partitions[j] = append(out.Partitions[j], p.Partitions[j]...)
+					out.Shadows[j] = append(out.Shadows[j], p.Shadows[j]...)
+				}
+			}
+			return out, nil
+		},
+		func(sr *SplitResult) int64 {
+			var pts int64
+			for j := range sr.Partitions {
+				pts += int64(len(sr.Partitions[j]) + len(sr.Shadows[j]))
+			}
+			return pts * rs
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	transferTime := time.Since(transferStart)
+
+	var transferred int64
+	for j := range combined.Partitions {
+		transferred += int64(len(combined.Partitions[j]) + len(combined.Shadows[j]))
+	}
+	return &DirectResult{
+		Plan:              plan,
+		Partitions:        combined.Partitions,
+		Shadows:           combined.Shadows,
+		ReadTime:          readTime,
+		PlanTime:          planTime,
+		TransferTime:      transferTime,
+		TotalPoints:       total,
+		TransferredPoints: transferred,
+	}, nil
+}

@@ -1,0 +1,86 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/lustre"
+	"repro/internal/mrnet"
+)
+
+func TestDistributeDirectMatchesFileBased(t *testing.T) {
+	pts := dataset.Twitter(12000, 1)
+	for i := range pts {
+		pts[i].Weight = 0
+	}
+	opt := DistOptions{NumPartitions: 8, MinPts: 4, Rebalance: true}
+
+	netA, fsA := distEnv(t, 4)
+	writeInput(t, fsA, "in.mrsc", pts, false)
+	file, err := Distribute(netA, fsA, eps, "in.mrsc", "parts.bin", "parts.json", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, fsB := distEnv(t, 4)
+	writeInput(t, fsB, "in.mrsc", pts, false)
+	direct, err := DistributeDirect(netB, fsB, eps, "in.mrsc", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.TransferredPoints != file.WrittenPoints {
+		t.Errorf("direct transferred %d points, file-based wrote %d",
+			direct.TransferredPoints, file.WrittenPoints)
+	}
+	meta, err := ReadMeta(fsA, "parts.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < opt.NumPartitions; j++ {
+		wantPart, wantShadow, err := ReadPartition(fsA, "parts.bin", meta, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareIDSets(t, "direct partition", j, direct.Partitions[j], wantPart)
+		compareIDSets(t, "direct shadow", j, direct.Shadows[j], wantShadow)
+	}
+}
+
+func TestDistributeDirectSkipsPartitionWrites(t *testing.T) {
+	pts := dataset.Twitter(10000, 2)
+	net, fs := distEnv(t, 4)
+	writeInput(t, fs, "in.mrsc", pts, false)
+	before := fs.Stats()
+	if _, err := DistributeDirect(net, fs, eps, "in.mrsc", DistOptions{
+		NumPartitions: 16, MinPts: 4, Rebalance: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Stats()
+	if after.WriteOps != before.WriteOps {
+		t.Errorf("direct transfer performed %d file writes; expected none",
+			after.WriteOps-before.WriteOps)
+	}
+	// The point data must appear as overlay traffic instead.
+	if bytes := net.Stats().Bytes; bytes < int64(len(pts))*24 {
+		t.Errorf("overlay carried %d bytes; expected at least the point data (%d)",
+			bytes, len(pts)*24)
+	}
+}
+
+func TestDistributeDirectValidation(t *testing.T) {
+	fs := lustre.New(lustre.Titan(), nil)
+	net, err := mrnet.New(2, 256, mrnet.CostModel{}, fs.Clock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributeDirect(net, fs, eps, "missing", DistOptions{NumPartitions: 2, MinPts: 4}); err == nil {
+		t.Error("missing input must fail")
+	}
+	writeInput(t, fs, "in.mrsc", dataset.Twitter(100, 3), false)
+	if _, err := DistributeDirect(net, fs, eps, "in.mrsc", DistOptions{NumPartitions: 0, MinPts: 4}); err == nil {
+		t.Error("zero partitions must fail")
+	}
+	if _, err := DistributeDirect(net, fs, eps, "in.mrsc", DistOptions{NumPartitions: 2, MinPts: 0}); err == nil {
+		t.Error("zero MinPts must fail")
+	}
+}

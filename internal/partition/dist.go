@@ -1,0 +1,382 @@
+package partition
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/lustre"
+	"repro/internal/mrnet"
+	"repro/internal/ptio"
+)
+
+// DistOptions configures the distributed partitioner (§3.1.3).
+type DistOptions struct {
+	// NumPartitions is the number of partitions to produce — one per
+	// cluster-phase leaf process.
+	NumPartitions int
+	// MinPts is DBSCAN's MinPts (minimum partition size constraint).
+	MinPts int
+	// Rebalance enables the backward rebalancing pass.
+	Rebalance bool
+	// ShadowReps enables the representative-shadow write reduction.
+	ShadowReps bool
+	// HasWeight selects the record format.
+	HasWeight bool
+	// SplitThreshold, when positive, subdivides grid cells holding more
+	// points than the threshold into quadrant tiles shared across
+	// partitions — the paper's §5.1.2 fix for the single-dense-cell
+	// strong-scaling limit ("we need to subdivide grid cells when they
+	// have extremely high density").
+	SplitThreshold int64
+}
+
+// resolveUnits lifts the cell histogram to ownership units. When hot
+// cells exist, the root announces their subdivision depths down the tree
+// and the leaves reduce per-tile counts back up (a second, small
+// histogram round).
+func resolveUnits(net *mrnet.Network, g grid.Grid, hist *grid.Histogram, shard [][]geom.Point, threshold int64) (*UnitHistogram, error) {
+	depth := make(map[grid.Coord]uint8)
+	if threshold > 0 {
+		for c, n := range hist.Counts {
+			if d := DepthFor(n, threshold); d > 0 {
+				depth[c] = d
+			}
+		}
+	}
+	if len(depth) == 0 {
+		return FromCellHistogram(hist), nil
+	}
+	// Announce depths; leaves only need the hot cells.
+	if err := mrnet.Multicast(net, depth, nil,
+		func(int, map[grid.Coord]uint8) error { return nil },
+		func(d map[grid.Coord]uint8) int64 { return int64(len(d)) * 9 },
+	); err != nil {
+		return nil, err
+	}
+	counts, err := mrnet.Reduce(net,
+		func(leaf int) (map[Unit]int64, error) {
+			return QuadCounts(g, shard[leaf], depth), nil
+		},
+		func(_ *mrnet.Node, parts []map[Unit]int64) (map[Unit]int64, error) {
+			out := make(map[Unit]int64)
+			for _, m := range parts {
+				for u, n := range m {
+					out[u] += n
+				}
+			}
+			return out, nil
+		},
+		func(m map[Unit]int64) int64 { return int64(len(m)) * 20 },
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &UnitHistogram{Counts: counts, Depth: depth}, nil
+}
+
+// DistResult reports what the partitioner produced and where time went.
+// The paper breaks the phase down the same way: at MinPts=400 "this write
+// operation took 65.2% of the partition phase, while the initial read
+// operation took 29.92%" (§5.1.1).
+type DistResult struct {
+	Plan *Plan
+	Meta *ptio.PartitionMeta
+	// Wall-clock durations of the phase's three stages.
+	ReadTime  time.Duration
+	PlanTime  time.Duration
+	WriteTime time.Duration
+	// ReadSim and WriteSim are the simulated-hardware costs charged
+	// during the read and write stages (Lustre OST traffic and seeks):
+	// the quantities behind §5.1.1's "this write operation took 65.2% of
+	// the partition phase, while the initial read operation took 29.92%".
+	ReadSim  time.Duration
+	WriteSim time.Duration
+	// TotalPoints is the input size; WrittenPoints includes the shadow
+	// duplication ("the addition of the shadow regions increases the
+	// total number of points in the partitioned dataset", §3.1.2).
+	TotalPoints   int64
+	WrittenPoints int64
+}
+
+// leafCounts holds one leaf's per-partition contribution sizes:
+// counts[j] = {owned points, shadow points} destined for partition j.
+type leafCounts [][2]int64
+
+// Distribute runs the distributed partition phase: the partitioner leaves
+// read shards of the input file, reduce an Eps-cell histogram to the
+// root, the root forms the plan serially (§3.1.2) and broadcasts offset
+// assignments, and the leaves write every partition's points (and shadow
+// points) into a single output file in parallel. The root writes a JSON
+// metadata file locating each partition ("the root generates a metadata
+// file to specify the offset from which each partition starts").
+//
+// The partitioner runs on its own (typically flat) network, separate from
+// the cluster-phase tree, as in the paper.
+func Distribute(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile, outputFile, metaFile string, opt DistOptions) (*DistResult, error) {
+	if opt.NumPartitions < 1 {
+		return nil, fmt.Errorf("partition: NumPartitions must be positive, got %d", opt.NumPartitions)
+	}
+	if opt.MinPts < 1 {
+		return nil, fmt.Errorf("partition: MinPts must be positive, got %d", opt.MinPts)
+	}
+	g := grid.New(eps)
+	leaves := net.NumLeaves()
+	rs := int64(ptio.RecordSize(opt.HasWeight))
+
+	// --- Stage 1: leaves read shards; histogram reduction to the root ---
+	// Only cell counts travel up the tree: "the partitioner is able to
+	// distribute the entire input dataset across the memory of the leaf
+	// processes and only send a point count of each non-empty Eps x Eps
+	// cell to the root" (§3.1.3).
+	readStart := time.Now()
+	simAtStart := fs.Clock().Total()
+	in, err := fs.Open(inputFile)
+	if err != nil {
+		return nil, fmt.Errorf("partition: opening input: %w", err)
+	}
+	total := (in.Size() - 16) / rs
+	if total < 0 {
+		return nil, fmt.Errorf("partition: input file %q too short", inputFile)
+	}
+	shard := make([][]geom.Point, leaves)
+	hist, err := mrnet.Reduce(net,
+		func(leaf int) (*grid.Histogram, error) {
+			lo := total * int64(leaf) / int64(leaves)
+			hi := total * int64(leaf+1) / int64(leaves)
+			h, err := fs.Open(inputFile)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, (hi-lo)*rs)
+			if _, err := h.ReadAt(buf, 16+lo*rs); err != nil {
+				return nil, fmt.Errorf("reading shard [%d,%d): %w", lo, hi, err)
+			}
+			pts, err := ptio.DecodeRecords(buf, opt.HasWeight)
+			if err != nil {
+				return nil, err
+			}
+			shard[leaf] = pts
+			return g.HistogramOf(pts), nil
+		},
+		func(_ *mrnet.Node, parts []*grid.Histogram) (*grid.Histogram, error) {
+			out := grid.NewHistogram()
+			for _, h := range parts {
+				out.Add(h)
+			}
+			return out, nil
+		},
+		func(h *grid.Histogram) int64 { return int64(len(h.Counts)) * 12 },
+	)
+	if err != nil {
+		return nil, err
+	}
+	readTime := time.Since(readStart)
+	readSim := fs.Clock().Total() - simAtStart
+
+	// --- Stage 2: the root serially forms the plan ---
+	planStart := time.Now()
+	uh, err := resolveUnits(net, g, hist, shard, opt.SplitThreshold)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := MakePlanUnits(g, uh, PlanOptions{
+		NumPartitions: opt.NumPartitions,
+		MinPts:        opt.MinPts,
+		Rebalance:     opt.Rebalance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	splitOpt := SplitOptions{ShadowReps: opt.ShadowReps}
+
+	// Leaves split their shards against the plan and report contribution
+	// counts so the root can assign disjoint file offsets. (In-process,
+	// the plan reaches the leaves by reference; the sizer charges the
+	// broadcast's wire size to the simulated clock.)
+	type contrib struct{ part, shadow [][]geom.Point }
+	contribs := make([]*contrib, leaves)
+	allCounts, err := mrnet.Reduce(net,
+		func(leaf int) ([]leafCounts, error) {
+			split, err := Split(plan, shard[leaf], splitOpt)
+			if err != nil {
+				return nil, err
+			}
+			contribs[leaf] = &contrib{part: split.Partitions, shadow: split.Shadows}
+			counts := make(leafCounts, opt.NumPartitions)
+			for j := 0; j < opt.NumPartitions; j++ {
+				counts[j] = [2]int64{int64(len(split.Partitions[j])), int64(len(split.Shadows[j]))}
+			}
+			return []leafCounts{counts}, nil
+		},
+		func(_ *mrnet.Node, parts [][]leafCounts) ([]leafCounts, error) {
+			var out []leafCounts
+			for _, p := range parts {
+				out = append(out, p...)
+			}
+			return out, nil
+		},
+		func(cs []leafCounts) int64 { return int64(len(cs)) * int64(opt.NumPartitions) * 16 },
+	)
+	if err != nil {
+		return nil, err
+	}
+	if len(allCounts) != leaves {
+		return nil, fmt.Errorf("partition: gathered counts from %d leaves, want %d", len(allCounts), leaves)
+	}
+
+	// Root: region layout. The output file holds, per partition,
+	// its owned points then its shadow points.
+	partTotal := make([]int64, opt.NumPartitions)
+	shadTotal := make([]int64, opt.NumPartitions)
+	for _, lc := range allCounts {
+		for j := 0; j < opt.NumPartitions; j++ {
+			partTotal[j] += lc[j][0]
+			shadTotal[j] += lc[j][1]
+		}
+	}
+	meta := &ptio.PartitionMeta{Eps: eps, HasWeight: opt.HasWeight}
+	var cursor int64
+	for j := 0; j < opt.NumPartitions; j++ {
+		entry := ptio.PartitionEntry{
+			Offset:       cursor,
+			Count:        partTotal[j],
+			ShadowOffset: cursor + partTotal[j]*rs,
+			ShadowCount:  shadTotal[j],
+		}
+		cursor = entry.ShadowOffset + shadTotal[j]*rs
+		meta.Partitions = append(meta.Partitions, entry)
+	}
+	// Per-leaf write offsets: exclusive prefix sums within each region.
+	offsets := make([][][2]int64, leaves)
+	for l := range offsets {
+		offsets[l] = make([][2]int64, opt.NumPartitions)
+	}
+	for j := 0; j < opt.NumPartitions; j++ {
+		partCur := meta.Partitions[j].Offset
+		shadCur := meta.Partitions[j].ShadowOffset
+		for l := 0; l < leaves; l++ {
+			offsets[l][j] = [2]int64{partCur, shadCur}
+			partCur += allCounts[l][j][0] * rs
+			shadCur += allCounts[l][j][1] * rs
+		}
+	}
+	planTime := time.Since(planStart)
+
+	// --- Stage 3: leaves write partitions in parallel ---
+	// Each leaf holds a random portion of the data and "may need to
+	// contribute some point data to nearly every partition. These
+	// contributions are generally small, and each must be written at a
+	// specific offset" — the small random writes that dominate the phase.
+	writeStart := time.Now()
+	simAtWrite := fs.Clock().Total()
+	fs.Create(outputFile)
+	err = mrnet.Multicast(net, offsets,
+		func(n *mrnet.Node, in [][][2]int64) ([][][][2]int64, error) {
+			pLo, _ := n.LeafRange()
+			out := make([][][][2]int64, len(n.Children()))
+			for i, c := range n.Children() {
+				lo, hi := c.LeafRange()
+				out[i] = in[lo-pLo : hi-pLo]
+			}
+			return out, nil
+		},
+		func(leaf int, rows [][][2]int64) error {
+			if len(rows) != 1 {
+				return fmt.Errorf("leaf %d received %d offset rows", leaf, len(rows))
+			}
+			h := fs.OpenOrCreate(outputFile)
+			c := contribs[leaf]
+			for j := 0; j < opt.NumPartitions; j++ {
+				if len(c.part[j]) > 0 {
+					data := ptio.EncodeRecords(c.part[j], opt.HasWeight)
+					if _, err := h.WriteAt(data, rows[0][j][0]); err != nil {
+						return err
+					}
+				}
+				if len(c.shadow[j]) > 0 {
+					data := ptio.EncodeRecords(c.shadow[j], opt.HasWeight)
+					if _, err := h.WriteAt(data, rows[0][j][1]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		func(rows [][][2]int64) int64 { return int64(len(rows)) * int64(opt.NumPartitions) * 16 },
+	)
+	if err != nil {
+		return nil, err
+	}
+	// Root writes the metadata document.
+	metaBytes, err := meta.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.Create(metaFile).WriteAt(metaBytes, 0); err != nil {
+		return nil, fmt.Errorf("partition: writing metadata: %w", err)
+	}
+	writeTime := time.Since(writeStart)
+	writeSim := fs.Clock().Total() - simAtWrite
+
+	var written int64
+	for j := range partTotal {
+		written += partTotal[j] + shadTotal[j]
+	}
+	return &DistResult{
+		Plan:          plan,
+		Meta:          meta,
+		ReadTime:      readTime,
+		PlanTime:      planTime,
+		WriteTime:     writeTime,
+		ReadSim:       readSim,
+		WriteSim:      writeSim,
+		TotalPoints:   total,
+		WrittenPoints: written,
+	}, nil
+}
+
+// ReadPartition loads partition j's owned and shadow points from a
+// partition file written by Distribute.
+func ReadPartition(fs *lustre.FS, file string, meta *ptio.PartitionMeta, j int) (points, shadow []geom.Point, err error) {
+	if j < 0 || j >= len(meta.Partitions) {
+		return nil, nil, fmt.Errorf("partition: index %d out of range (%d partitions)", j, len(meta.Partitions))
+	}
+	h, err := fs.Open(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := int64(ptio.RecordSize(meta.HasWeight))
+	e := meta.Partitions[j]
+	read := func(off, count int64) ([]geom.Point, error) {
+		if count == 0 {
+			return nil, nil
+		}
+		buf := make([]byte, count*rs)
+		if _, err := h.ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("partition: reading %d records at %d: %w", count, off, err)
+		}
+		return ptio.DecodeRecords(buf, meta.HasWeight)
+	}
+	if points, err = read(e.Offset, e.Count); err != nil {
+		return nil, nil, err
+	}
+	if shadow, err = read(e.ShadowOffset, e.ShadowCount); err != nil {
+		return nil, nil, err
+	}
+	return points, shadow, nil
+}
+
+// ReadMeta loads a metadata document written by Distribute.
+func ReadMeta(fs *lustre.FS, metaFile string) (*ptio.PartitionMeta, error) {
+	h, err := fs.Open(metaFile)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, h.Size())
+	if _, err := h.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return ptio.UnmarshalPartitionMeta(buf)
+}

@@ -1,0 +1,332 @@
+// Package partition implements Mr. Scan's partition phase (paper §3.1):
+// dividing the Eps×Eps grid into one partition per clustering process such
+// that (1) partitions merge to a correct global DBSCAN result, (2)
+// partitions have roughly equal computational cost, measured in points,
+// and (3) the work distributes across many partitioner processes.
+//
+// Correctness comes from shadow regions: each partition is extended by
+// every neighboring region it does not own, so every partition point's
+// Eps-neighborhood is complete within the partition (§3.1.1).
+//
+// Balance comes from the forming algorithm (§3.1.2): ownership units are
+// consumed in iteration order (first along y, then along x) into
+// partitions capped at an equal share of the points, with a
+// running-difference correction, and a backward rebalancing pass that
+// shrinks oversized partitions to within 1.075× of the final target.
+//
+// Ownership units are whole grid cells by default; extremely dense cells
+// can be subdivided into quadrant tiles (see Unit), implementing the
+// paper's §5.1.2 fix for the strong-scaling limit.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// RebalanceThreshold is the paper's 1.075 × final-target cutoff: "The
+// threshold is set to 1.075 × finaltargetsize because it worked well in
+// practice on our datasets."
+const RebalanceThreshold = 1.075
+
+// Spec describes one partition: the units it owns (in iteration order)
+// and its shadow units.
+type Spec struct {
+	// Units are the owned units, contiguous in iteration order.
+	Units []Unit
+	// PointCount is the number of points in owned units.
+	PointCount int64
+	// Shadow are the non-empty units owned by other partitions that lie
+	// in the 3×3 cell neighborhood of this partition's units.
+	Shadow []Unit
+	// ShadowCount is the number of points in shadow units.
+	ShadowCount int64
+}
+
+// Total returns the partition's size including its shadow region — the
+// quantity the rebalancing pass thresholds.
+func (s *Spec) Total() int64 { return s.PointCount + s.ShadowCount }
+
+// Plan is a complete partitioning of the grid.
+type Plan struct {
+	Grid  grid.Grid
+	Specs []*Spec
+	// UnitOwner maps every non-empty unit to the partition that owns it.
+	UnitOwner map[Unit]int
+	// MinPts is the minimum partition size constraint the plan was formed
+	// under.
+	MinPts int
+
+	hist *UnitHistogram
+}
+
+// PlanOptions configures MakePlanUnits.
+type PlanOptions struct {
+	NumPartitions int
+	MinPts        int
+	Rebalance     bool
+}
+
+// MakePlan forms nParts partitions from a plain cell histogram (no hot
+// cell subdivision). minPts is DBSCAN's MinPts: the profitability
+// constraint requires every partition to hold at least MinPts points
+// where possible (§3.1.2). rebalance enables the backward rebalancing
+// pass.
+func MakePlan(g grid.Grid, h *grid.Histogram, nParts, minPts int, rebalance bool) (*Plan, error) {
+	return MakePlanUnits(g, FromCellHistogram(h), PlanOptions{
+		NumPartitions: nParts,
+		MinPts:        minPts,
+		Rebalance:     rebalance,
+	})
+}
+
+// MakePlanUnits forms partitions from a unit histogram, which may carry
+// subdivided hot cells.
+func MakePlanUnits(g grid.Grid, uh *UnitHistogram, opt PlanOptions) (*Plan, error) {
+	if opt.NumPartitions < 1 {
+		return nil, fmt.Errorf("partition: need at least 1 partition, got %d", opt.NumPartitions)
+	}
+	if opt.MinPts < 1 {
+		return nil, fmt.Errorf("partition: MinPts must be positive, got %d", opt.MinPts)
+	}
+	units := make([]Unit, 0, len(uh.Counts))
+	for u, n := range uh.Counts {
+		if n > 0 {
+			units = append(units, u)
+		}
+	}
+	sort.Slice(units, func(a, b int) bool { return units[a].Less(units[b]) })
+	total := uh.Total()
+	nParts := opt.NumPartitions
+	p := &Plan{
+		Grid:      g,
+		UnitOwner: make(map[Unit]int, len(units)),
+		MinPts:    opt.MinPts,
+		hist:      uh,
+	}
+
+	// --- Forming pass (§3.1.2) ---
+	// Partitions are built sequentially in unit iteration order. A
+	// partition closes when the next unit would push it past the current
+	// effective target — unless it is still empty, below MinPts, or the
+	// final partition. The running difference from the ideal target
+	// shrinks subsequent targets so early oversized partitions are paid
+	// for ("we form partitions proportionately smaller until the
+	// difference is neutral or negative again").
+	target := float64(total) / float64(nParts)
+	runningDiff := 0.0
+	effTarget := clampTarget(target, runningDiff, opt.MinPts)
+	cur := &Spec{}
+	for _, u := range units {
+		n := uh.Counts[u]
+		wouldExceed := float64(cur.PointCount+n) > effTarget
+		canClose := len(cur.Units) > 0 &&
+			cur.PointCount >= int64(opt.MinPts) &&
+			len(p.Specs) < nParts-1
+		if wouldExceed && canClose {
+			runningDiff += float64(cur.PointCount) - target
+			p.Specs = append(p.Specs, cur)
+			cur = &Spec{}
+			effTarget = clampTarget(target, runningDiff, opt.MinPts)
+		}
+		cur.Units = append(cur.Units, u)
+		cur.PointCount += n
+	}
+	if len(cur.Units) > 0 || len(p.Specs) == 0 {
+		p.Specs = append(p.Specs, cur)
+	}
+	// Pad with empty partitions when there are fewer units than
+	// partitions (their leaves will be idle in the cluster phase).
+	for len(p.Specs) < nParts {
+		p.Specs = append(p.Specs, &Spec{})
+	}
+	p.rebuildOwners()
+	for i := range p.Specs {
+		p.recomputeShadow(i)
+	}
+
+	// --- Rebalancing pass (§3.1.2, Figure 2c) ---
+	if opt.Rebalance {
+		p.rebalance()
+	}
+	// The plan gates the correctness of everything downstream (§3.1.1);
+	// a structural check here is cheap relative to the data volume.
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func clampTarget(target, runningDiff float64, minPts int) float64 {
+	eff := target
+	if runningDiff > 0 {
+		eff = target - runningDiff
+	}
+	if eff < float64(minPts) {
+		eff = float64(minPts)
+	}
+	return eff
+}
+
+func (p *Plan) rebuildOwners() {
+	clear(p.UnitOwner)
+	for i, s := range p.Specs {
+		for _, u := range s.Units {
+			p.UnitOwner[u] = i
+		}
+	}
+}
+
+// recomputeShadow rebuilds partition i's shadow list: every non-empty
+// unit in the 3×3 cell neighborhood of an owned unit that partition i
+// does not own — including sibling tiles of split cells.
+func (p *Plan) recomputeShadow(i int) {
+	s := p.Specs[i]
+	set := make(map[Unit]bool)
+	cells := make(map[grid.Coord]bool)
+	for _, u := range s.Units {
+		cells[u.Cell] = true
+		for _, nb := range u.Cell.Neighbors() {
+			cells[nb] = true
+		}
+	}
+	for c := range cells {
+		for _, v := range p.hist.cellUnits(c) {
+			if owner, ok := p.UnitOwner[v]; ok && owner == i {
+				continue
+			}
+			set[v] = true
+		}
+	}
+	s.Shadow = s.Shadow[:0]
+	s.ShadowCount = 0
+	for u := range set {
+		s.Shadow = append(s.Shadow, u)
+		s.ShadowCount += p.hist.Counts[u]
+	}
+	sort.Slice(s.Shadow, func(a, b int) bool { return s.Shadow[a].Less(s.Shadow[b]) })
+}
+
+// rebalance walks backward from the last partition, moving leading units
+// to the previous partition until the partition (including shadow) fits
+// under RebalanceThreshold × the final target — "the mean of the point
+// counts of all the partitions including shadow regions".
+func (p *Plan) rebalance() {
+	var sum int64
+	for _, s := range p.Specs {
+		sum += s.Total()
+	}
+	finalTarget := float64(sum) / float64(len(p.Specs))
+	threshold := RebalanceThreshold * finalTarget
+
+	for i := len(p.Specs) - 1; i >= 1; i-- {
+		s := p.Specs[i]
+		prev := p.Specs[i-1]
+		for float64(s.Total()) > threshold && len(s.Units) > 1 {
+			head := s.Units[0]
+			headCount := p.hist.Counts[head]
+			// Keep the MinPts minimum partition size.
+			if s.PointCount-headCount < int64(p.MinPts) {
+				break
+			}
+			s.Units = s.Units[1:]
+			s.PointCount -= headCount
+			prev.Units = append(prev.Units, head)
+			prev.PointCount += headCount
+			p.UnitOwner[head] = i - 1
+			p.recomputeShadow(i)
+			p.recomputeShadow(i - 1)
+		}
+	}
+}
+
+// NumPartitions returns the number of partitions in the plan.
+func (p *Plan) NumPartitions() int { return len(p.Specs) }
+
+// MaxTotal returns the largest partition size including shadows.
+func (p *Plan) MaxTotal() int64 {
+	var max int64
+	for _, s := range p.Specs {
+		if s.Total() > max {
+			max = s.Total()
+		}
+	}
+	return max
+}
+
+// MeanTotal returns the mean partition size including shadows.
+func (p *Plan) MeanTotal() float64 {
+	var sum int64
+	for _, s := range p.Specs {
+		sum += s.Total()
+	}
+	return float64(sum) / float64(len(p.Specs))
+}
+
+// MaxOwned returns the largest partition size excluding shadows — the
+// quantity hot-cell splitting reduces.
+func (p *Plan) MaxOwned() int64 {
+	var max int64
+	for _, s := range p.Specs {
+		if s.PointCount > max {
+			max = s.PointCount
+		}
+	}
+	return max
+}
+
+// SplitCells returns the number of cells subdivided into tiles.
+func (p *Plan) SplitCells() int { return len(p.hist.Depth) }
+
+// ShadowOf returns, for every unit, the partitions holding it as a
+// shadow unit.
+func (p *Plan) ShadowOf() map[Unit][]int {
+	out := make(map[Unit][]int)
+	for i, s := range p.Specs {
+		for _, u := range s.Shadow {
+			out[u] = append(out[u], i)
+		}
+	}
+	return out
+}
+
+// Validate checks the plan's structural invariants: every non-empty unit
+// owned exactly once, unit runs contiguous in iteration order, shadows
+// disjoint from owned units, and counts consistent with the histogram.
+func (p *Plan) Validate() error {
+	seen := make(map[Unit]int)
+	for i, s := range p.Specs {
+		var count int64
+		for _, u := range s.Units {
+			if prev, dup := seen[u]; dup {
+				return fmt.Errorf("partition: unit %v owned by both %d and %d", u, prev, i)
+			}
+			seen[u] = i
+			count += p.hist.Counts[u]
+		}
+		if count != s.PointCount {
+			return fmt.Errorf("partition: spec %d counts %d points, units hold %d", i, s.PointCount, count)
+		}
+		var shadowCount int64
+		for _, u := range s.Shadow {
+			if owner, ok := p.UnitOwner[u]; ok && owner == i {
+				return fmt.Errorf("partition: spec %d shadows its own unit %v", i, u)
+			}
+			shadowCount += p.hist.Counts[u]
+		}
+		if shadowCount != s.ShadowCount {
+			return fmt.Errorf("partition: spec %d shadow counts %d, units hold %d", i, s.ShadowCount, shadowCount)
+		}
+	}
+	for u, n := range p.hist.Counts {
+		if n == 0 {
+			continue
+		}
+		if _, ok := seen[u]; !ok {
+			return fmt.Errorf("partition: non-empty unit %v owned by no partition", u)
+		}
+	}
+	return nil
+}

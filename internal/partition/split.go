@@ -1,0 +1,158 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// MaxShadowReps is the per-cell cap of the representative-shadow
+// optimization (§3.1.3): shadow cells are reduced to at most 8 points,
+// selected like merge representatives.
+const MaxShadowReps = 8
+
+// SplitOptions tunes point distribution.
+type SplitOptions struct {
+	// ShadowReps enables the optional partitioner optimization that
+	// writes at most MaxShadowReps representative points per shadow cell
+	// instead of the full cell contents. It "drastically reduces the
+	// amount of data written ... but may cause the merge algorithm to
+	// occasionally miss the opportunity to combine clusters" (§3.1.3).
+	ShadowReps bool
+}
+
+// SplitResult holds per-partition point sets.
+type SplitResult struct {
+	// Partitions[i] are the points in units owned by partition i.
+	Partitions [][]geom.Point
+	// Shadows[i] are the points of partition i's shadow region (possibly
+	// reduced to representatives).
+	Shadows [][]geom.Point
+}
+
+// Split distributes pts according to the plan. Every point lands in
+// exactly one partition (its unit's owner) and in the shadow set of every
+// partition whose shadow region covers its unit.
+func Split(plan *Plan, pts []geom.Point, opt SplitOptions) (*SplitResult, error) {
+	res := &SplitResult{
+		Partitions: make([][]geom.Point, plan.NumPartitions()),
+		Shadows:    make([][]geom.Point, plan.NumPartitions()),
+	}
+	shadowOf := plan.ShadowOf()
+	// Group shadow contributions per (partition, unit) so the
+	// representative reduction can operate region-wise. For whole-cell
+	// units this is the paper's per-shadow-cell reduction; for quadrant
+	// tiles of split cells the reduction applies per tile, which is what
+	// keeps a tile leaf's shadow bounded even when its cell holds
+	// millions of points.
+	type shadowKey struct {
+		part int
+		unit Unit
+	}
+	shadowGroups := make(map[shadowKey][]geom.Point)
+	for _, p := range pts {
+		u := plan.hist.unitOfPoint(plan.Grid, p)
+		owner, ok := plan.UnitOwner[u]
+		if !ok {
+			return nil, fmt.Errorf("partition: point %v in unit %v owned by no partition (stale plan?)", p, u)
+		}
+		res.Partitions[owner] = append(res.Partitions[owner], p)
+		for _, sp := range shadowOf[u] {
+			shadowGroups[shadowKey{sp, u}] = append(shadowGroups[shadowKey{sp, u}], p)
+		}
+	}
+	// Deterministic order: units sorted per partition.
+	keys := make([]shadowKey, 0, len(shadowGroups))
+	for k := range shadowGroups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].part != keys[b].part {
+			return keys[a].part < keys[b].part
+		}
+		return keys[a].unit.Less(keys[b].unit)
+	})
+	for _, k := range keys {
+		unitPts := shadowGroups[k]
+		if opt.ShadowReps {
+			unitPts = ShadowRepsRect(k.unit.Rect(plan.Grid), unitPts)
+		}
+		res.Shadows[k.part] = append(res.Shadows[k.part], unitPts...)
+	}
+	return res, nil
+}
+
+// ShadowReps reduces a shadow cell's contents to at most MaxShadowReps
+// points, selected against the cell's anchors.
+func ShadowReps(g grid.Grid, cell grid.Coord, cellPts []geom.Point) []geom.Point {
+	return ShadowRepsRect(g.CellRect(cell), cellPts)
+}
+
+// ShadowRepsRect reduces a shadow region's contents to at most
+// MaxShadowReps points: the points nearest each of the region's 8
+// anchors (corners and side midpoints), deduplicated, padded with the
+// earliest remaining points to exactly min(len(pts), MaxShadowReps) so
+// the result size is a deterministic function of the input size (the
+// distributed partitioner computes file offsets from counts before
+// writing).
+func ShadowRepsRect(r geom.Rect, cellPts []geom.Point) []geom.Point {
+	if len(cellPts) <= MaxShadowReps {
+		return cellPts
+	}
+	chosen := make(map[int]bool, MaxShadowReps)
+	mx := (r.MinX + r.MaxX) / 2
+	my := (r.MinY + r.MaxY) / 2
+	anchors := [8]geom.Point{
+		{X: r.MinX, Y: r.MinY}, {X: r.MinX, Y: r.MaxY},
+		{X: r.MaxX, Y: r.MinY}, {X: r.MaxX, Y: r.MaxY},
+		{X: mx, Y: r.MinY}, {X: mx, Y: r.MaxY},
+		{X: r.MinX, Y: my}, {X: r.MaxX, Y: my},
+	}
+	for _, a := range anchors {
+		best, bestD := -1, math.Inf(1)
+		for i, p := range cellPts {
+			if chosen[i] {
+				continue
+			}
+			if d := geom.Dist2(p, a); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			chosen[best] = true
+		}
+	}
+	for i := 0; len(chosen) < MaxShadowReps && i < len(cellPts); i++ {
+		chosen[i] = true
+	}
+	out := make([]geom.Point, 0, MaxShadowReps)
+	for i, p := range cellPts {
+		if chosen[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ShadowSize returns the exact number of shadow points partition i will
+// receive under the given options — used by the distributed partitioner
+// to compute file offsets before any data moves.
+func ShadowSize(plan *Plan, i int, opt SplitOptions) int64 {
+	s := plan.Specs[i]
+	if !opt.ShadowReps {
+		return s.ShadowCount
+	}
+	// Representative reduction caps each shadow *unit* at 8 points.
+	var total int64
+	for _, u := range s.Shadow {
+		n := plan.hist.Counts[u]
+		if n > MaxShadowReps {
+			n = MaxShadowReps
+		}
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,199 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Unit is one atom of partition ownership: a whole Eps×Eps grid cell
+// (Depth 0), or one of the 4^Depth uniform sub-cells of a cell that the
+// planner subdivided.
+//
+// Subdivision implements the paper's §5.1.2 suggestion — at 6.5 billion
+// points the slowest cluster process executes "a partition made up of a
+// single dense grid cell" which "cannot be subdivided further ... or we
+// need to subdivide grid cells when they have extremely high density."
+// Splitting a hot cell into uniform quadrant tiles lets several leaves
+// share it.
+//
+// Correctness survives subdivision: a sub-cell's points still have their
+// complete Eps-neighborhoods inside the owning cell plus its 8 neighbors
+// (the sub-cell is contained in the cell), so a partition's shadow region
+// is every unit of those cells it does not own. The merge phase is
+// unchanged — summaries stay keyed by whole Eps cells, and because every
+// leaf that owns any unit of a cell also shadows the entire 3×3 cell
+// neighborhood, its core/non-core classification of its own points
+// remains exact.
+type Unit struct {
+	Cell  grid.Coord
+	Depth uint8
+	// Path encodes Depth quadrant choices, two bits per level,
+	// most-significant level first: bit0 = east half, bit1 = north half.
+	Path uint16
+}
+
+// MaxSplitDepth bounds subdivision: 4 levels = 256 tiles per cell, tile
+// side Eps/16.
+const MaxSplitDepth = 4
+
+// CellUnit returns the whole-cell unit of c.
+func CellUnit(c grid.Coord) Unit { return Unit{Cell: c} }
+
+// String renders the unit for logs.
+func (u Unit) String() string {
+	if u.Depth == 0 {
+		return u.Cell.String()
+	}
+	return fmt.Sprintf("%v/d%d-%03x", u.Cell, u.Depth, u.Path)
+}
+
+// Less orders units in the partitioner's iteration order: cells in grid
+// iteration order; within a split cell, quadrant tiles by path.
+func (u Unit) Less(o Unit) bool {
+	if u.Cell != o.Cell {
+		return u.Cell.Less(o.Cell)
+	}
+	if u.Depth != o.Depth {
+		return u.Depth < o.Depth
+	}
+	return u.Path < o.Path
+}
+
+// Rect returns the region covered by the unit.
+func (u Unit) Rect(g grid.Grid) geom.Rect {
+	r := g.CellRect(u.Cell)
+	for level := int(u.Depth) - 1; level >= 0; level-- {
+		q := (u.Path >> (2 * level)) & 3
+		mx := (r.MinX + r.MaxX) / 2
+		my := (r.MinY + r.MaxY) / 2
+		if q&1 != 0 {
+			r.MinX = mx
+		} else {
+			r.MaxX = mx
+		}
+		if q&2 != 0 {
+			r.MinY = my
+		} else {
+			r.MaxY = my
+		}
+	}
+	return r
+}
+
+// UnitOf returns the depth-level unit containing p.
+func UnitOf(g grid.Grid, p geom.Point, depth uint8) Unit {
+	c := g.CellOf(p)
+	u := Unit{Cell: c, Depth: depth}
+	if depth == 0 {
+		return u
+	}
+	r := g.CellRect(c)
+	var path uint16
+	for level := 0; level < int(depth); level++ {
+		mx := (r.MinX + r.MaxX) / 2
+		my := (r.MinY + r.MaxY) / 2
+		var q uint16
+		if p.X >= mx {
+			q |= 1
+			r.MinX = mx
+		} else {
+			r.MaxX = mx
+		}
+		if p.Y >= my {
+			q |= 2
+			r.MinY = my
+		} else {
+			r.MaxY = my
+		}
+		path = path<<2 | q
+	}
+	u.Path = path
+	return u
+}
+
+// DepthFor picks the subdivision depth that brings an evenly-spread hot
+// cell of count points under threshold points per tile, capped at
+// MaxSplitDepth. Returns 0 when no split is needed.
+func DepthFor(count, threshold int64) uint8 {
+	if threshold <= 0 || count <= threshold {
+		return 0
+	}
+	depth := uint8(0)
+	for count > threshold && depth < MaxSplitDepth {
+		count = (count + 3) / 4
+		depth++
+	}
+	return depth
+}
+
+// UnitHistogram counts points per unit under a per-cell depth assignment.
+type UnitHistogram struct {
+	Counts map[Unit]int64
+	// Depth[c] is the subdivision depth of cell c (absent = 0).
+	Depth map[grid.Coord]uint8
+}
+
+// NewUnitHistogram returns an empty unit histogram.
+func NewUnitHistogram() *UnitHistogram {
+	return &UnitHistogram{Counts: make(map[Unit]int64), Depth: make(map[grid.Coord]uint8)}
+}
+
+// FromCellHistogram lifts a plain cell histogram to depth-0 units.
+func FromCellHistogram(h *grid.Histogram) *UnitHistogram {
+	uh := NewUnitHistogram()
+	for c, n := range h.Counts {
+		if n != 0 {
+			uh.Counts[CellUnit(c)] = n
+		}
+	}
+	return uh
+}
+
+// QuadCounts tallies pts into units for the given per-cell depths (cells
+// absent from depth get depth 0). This is what partitioner leaves compute
+// for the hot cells the root announces.
+func QuadCounts(g grid.Grid, pts []geom.Point, depth map[grid.Coord]uint8) map[Unit]int64 {
+	out := make(map[Unit]int64)
+	for _, p := range pts {
+		c := g.CellOf(p)
+		out[UnitOf(g, p, depth[c])]++
+	}
+	return out
+}
+
+// Total returns the total point count.
+func (uh *UnitHistogram) Total() int64 {
+	var t int64
+	for _, n := range uh.Counts {
+		t += n
+	}
+	return t
+}
+
+// unitOfPoint maps a point to its owning-granularity unit under uh.Depth.
+func (uh *UnitHistogram) unitOfPoint(g grid.Grid, p geom.Point) Unit {
+	c := g.CellOf(p)
+	return UnitOf(g, p, uh.Depth[c])
+}
+
+// cellUnits returns all units of cell c present in the histogram.
+func (uh *UnitHistogram) cellUnits(c grid.Coord) []Unit {
+	d := uh.Depth[c]
+	if d == 0 {
+		if n := uh.Counts[CellUnit(c)]; n > 0 {
+			return []Unit{CellUnit(c)}
+		}
+		return nil
+	}
+	var out []Unit
+	tiles := 1 << (2 * d)
+	for path := 0; path < tiles; path++ {
+		u := Unit{Cell: c, Depth: d, Path: uint16(path)}
+		if uh.Counts[u] > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}

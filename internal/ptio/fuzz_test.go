@@ -1,0 +1,103 @@
+package ptio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// The binary and text decoders consume external files; they must never
+// panic on arbitrary input, and anything they accept must round-trip.
+
+func FuzzReadDataset(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteDataset(&seed, []geom.Point{{ID: 1, X: 2, Y: 3}}, false); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	var weighted bytes.Buffer
+	if err := WriteDataset(&weighted, []geom.Point{{ID: 1, X: 2, Y: 3, Weight: 4}}, true); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(weighted.Bytes())
+	f.Add([]byte("MRSC garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := ReadDataset(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a round trip.
+		var out bytes.Buffer
+		if err := WriteDataset(&out, pts, false); err != nil {
+			t.Fatalf("re-encoding accepted input failed: %v", err)
+		}
+		again, err := ReadDataset(&out)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(pts), len(again))
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	f.Add("1 2.5 3.5\n")
+	f.Add("# comment\n\n2 -1 -2 7\n")
+	f.Add("not points at all")
+	f.Add("1 2\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		pts, err := ReadText(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, pts, true); err != nil {
+			t.Fatalf("re-encoding accepted text failed: %v", err)
+		}
+		again, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(pts), len(again))
+		}
+	})
+}
+
+func FuzzDecodeLabeled(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendLabeled(nil, LabeledPoint{Point: geom.Point{ID: 9, X: 1, Y: 2}, Cluster: 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lps, err := DecodeLabeled(data)
+		if err != nil {
+			return
+		}
+		var buf []byte
+		for _, lp := range lps {
+			buf = AppendLabeled(buf, lp)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("accepted labeled records do not round-trip")
+		}
+	})
+}
+
+func FuzzUnmarshalPartitionMeta(f *testing.F) {
+	m := &PartitionMeta{Eps: 0.1, Partitions: []PartitionEntry{{Count: 3}}}
+	seed, _ := m.Marshal()
+	f.Add(seed)
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"eps": "not a number"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, err := UnmarshalPartitionMeta(data)
+		if err != nil {
+			return
+		}
+		if _, err := meta.Marshal(); err != nil {
+			t.Fatalf("re-marshaling accepted metadata failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,363 @@
+// Package ptio implements Mr. Scan's point file formats.
+//
+// The paper's pipeline starts "with a single input file on a parallel file
+// system and writes a file of the points included in a cluster and their
+// cluster IDs as output" (§3). Input points are "contained in a single
+// binary or text file", each with "a unique ID number, coordinates, and an
+// optional weight".
+//
+// Three on-disk forms are provided:
+//
+//   - MRSC binary dataset files: a fixed header followed by point records.
+//   - MRSL binary labeled files: the sweep phase's output, point records
+//     extended with a cluster ID.
+//   - Plain text: "id x y [weight]" lines.
+//
+// Partition files written by the distributed partitioner are headerless
+// concatenations of point records at offsets recorded in a JSON metadata
+// document (§3.1.3: "the root generates a metadata file to specify the
+// offset from which each partition starts in the output file").
+package ptio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Magic values identifying the binary formats.
+var (
+	magicDataset = [4]byte{'M', 'R', 'S', 'C'}
+	magicLabeled = [4]byte{'M', 'R', 'S', 'L'}
+)
+
+// Version is the current binary format version.
+const Version = 1
+
+// Flag bits in the dataset header.
+const (
+	// FlagWeight indicates records carry the optional weight field.
+	FlagWeight = 1 << 0
+)
+
+// RecordSize returns the byte size of one point record.
+func RecordSize(hasWeight bool) int {
+	if hasWeight {
+		return 8 + 8 + 8 + 8 // id, x, y, weight
+	}
+	return 8 + 8 + 8
+}
+
+// LabeledRecordSize is the byte size of one labeled output record
+// (id, x, y, cluster).
+const LabeledRecordSize = 8 + 8 + 8 + 8
+
+// AppendRecord appends p's record to buf and returns the extended slice.
+func AppendRecord(buf []byte, p geom.Point, hasWeight bool) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, p.ID)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+	if hasWeight {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Weight))
+	}
+	return buf
+}
+
+// EncodeRecords encodes pts as headerless records (partition file form).
+func EncodeRecords(pts []geom.Point, hasWeight bool) []byte {
+	buf := make([]byte, 0, len(pts)*RecordSize(hasWeight))
+	for _, p := range pts {
+		buf = AppendRecord(buf, p, hasWeight)
+	}
+	return buf
+}
+
+// DecodeRecords decodes headerless records. The byte length must be an
+// exact multiple of the record size.
+func DecodeRecords(data []byte, hasWeight bool) ([]geom.Point, error) {
+	rs := RecordSize(hasWeight)
+	if len(data)%rs != 0 {
+		return nil, fmt.Errorf("ptio: %d bytes is not a multiple of record size %d", len(data), rs)
+	}
+	pts := make([]geom.Point, 0, len(data)/rs)
+	for off := 0; off < len(data); off += rs {
+		p := geom.Point{
+			ID: binary.LittleEndian.Uint64(data[off:]),
+			X:  math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			Y:  math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+		}
+		if hasWeight {
+			p.Weight = math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:]))
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// WriteDataset writes a complete MRSC file (header + records) to w.
+func WriteDataset(w io.Writer, pts []geom.Point, hasWeight bool) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [16]byte
+	copy(hdr[:4], magicDataset[:])
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	var flags uint16
+	if hasWeight {
+		flags |= FlagWeight
+	}
+	binary.LittleEndian.PutUint16(hdr[6:], flags)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(pts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ptio: writing header: %w", err)
+	}
+	var rec []byte
+	for _, p := range pts {
+		rec = AppendRecord(rec[:0], p, hasWeight)
+		if _, err := bw.Write(rec); err != nil {
+			return fmt.Errorf("ptio: writing record %d: %w", p.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataset reads a complete MRSC file from r.
+func ReadDataset(r io.Reader) ([]geom.Point, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ptio: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magicDataset {
+		return nil, fmt.Errorf("ptio: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
+		return nil, fmt.Errorf("ptio: unsupported version %d", v)
+	}
+	hasWeight := binary.LittleEndian.Uint16(hdr[6:])&FlagWeight != 0
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	rs := RecordSize(hasWeight)
+	// The header count is untrusted input: read in bounded batches so a
+	// corrupt count cannot force a giant allocation — memory grows only
+	// with bytes actually present.
+	const batch = 1 << 16
+	pts := make([]geom.Point, 0, min64(count, batch))
+	buf := make([]byte, batch*rs)
+	for read := uint64(0); read < count; {
+		n := min64(count-read, batch)
+		chunk := buf[:n*uint64(rs)]
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, fmt.Errorf("ptio: reading records %d..%d of %d: %w", read, read+n, count, err)
+		}
+		decoded, err := DecodeRecords(chunk, hasWeight)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, decoded...)
+		read += n
+	}
+	return pts, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LabeledPoint is one record of the sweep phase's output.
+type LabeledPoint struct {
+	Point   geom.Point
+	Cluster int64
+}
+
+// AppendLabeled appends one labeled record to buf.
+func AppendLabeled(buf []byte, lp LabeledPoint) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, lp.Point.ID)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(lp.Point.X))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(lp.Point.Y))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lp.Cluster))
+	return buf
+}
+
+// DecodeLabeled decodes headerless labeled records.
+func DecodeLabeled(data []byte) ([]LabeledPoint, error) {
+	if len(data)%LabeledRecordSize != 0 {
+		return nil, fmt.Errorf("ptio: %d bytes is not a multiple of labeled record size %d",
+			len(data), LabeledRecordSize)
+	}
+	out := make([]LabeledPoint, 0, len(data)/LabeledRecordSize)
+	for off := 0; off < len(data); off += LabeledRecordSize {
+		out = append(out, LabeledPoint{
+			Point: geom.Point{
+				ID: binary.LittleEndian.Uint64(data[off:]),
+				X:  math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+				Y:  math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+			},
+			Cluster: int64(binary.LittleEndian.Uint64(data[off+24:])),
+		})
+	}
+	return out, nil
+}
+
+// LabeledHeader returns the 16-byte MRSL file header for count records.
+// The sweep phase writes it at offset 0 while leaves write records at
+// their assigned offsets in parallel.
+func LabeledHeader(count int64) []byte {
+	hdr := make([]byte, 16)
+	copy(hdr[:4], magicLabeled[:])
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(count))
+	return hdr
+}
+
+// WriteLabeled writes a complete MRSL file (header + records) to w.
+func WriteLabeled(w io.Writer, pts []LabeledPoint) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [16]byte
+	copy(hdr[:4], magicLabeled[:])
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(pts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ptio: writing header: %w", err)
+	}
+	var rec []byte
+	for _, lp := range pts {
+		rec = AppendLabeled(rec[:0], lp)
+		if _, err := bw.Write(rec); err != nil {
+			return fmt.Errorf("ptio: writing labeled record %d: %w", lp.Point.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLabeled reads a complete MRSL file from r.
+func ReadLabeled(r io.Reader) ([]LabeledPoint, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ptio: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magicLabeled {
+		return nil, fmt.Errorf("ptio: bad magic %q", hdr[:4])
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	const batch = 1 << 16
+	lps := make([]LabeledPoint, 0, min64(count, batch))
+	buf := make([]byte, batch*LabeledRecordSize)
+	for read := uint64(0); read < count; {
+		n := min64(count-read, batch)
+		chunk := buf[:n*LabeledRecordSize]
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, fmt.Errorf("ptio: reading labeled records %d..%d of %d: %w", read, read+n, count, err)
+		}
+		decoded, err := DecodeLabeled(chunk)
+		if err != nil {
+			return nil, err
+		}
+		lps = append(lps, decoded...)
+		read += n
+	}
+	return lps, nil
+}
+
+// WriteText writes points as "id x y [weight]" lines.
+func WriteText(w io.Writer, pts []geom.Point, hasWeight bool) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, p := range pts {
+		var err error
+		if hasWeight {
+			_, err = fmt.Fprintf(bw, "%d %g %g %g\n", p.ID, p.X, p.Y, p.Weight)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %g %g\n", p.ID, p.X, p.Y)
+		}
+		if err != nil {
+			return fmt.Errorf("ptio: writing text record %d: %w", p.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses "id x y [weight]" lines. Blank lines and lines starting
+// with '#' are skipped.
+func ReadText(r io.Reader) ([]geom.Point, error) {
+	var pts []geom.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("ptio: line %d: expected 3 or 4 fields, got %d", lineNo, len(fields))
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ptio: line %d: bad id: %w", lineNo, err)
+		}
+		x, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ptio: line %d: bad x: %w", lineNo, err)
+		}
+		y, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ptio: line %d: bad y: %w", lineNo, err)
+		}
+		p := geom.Point{ID: id, X: x, Y: y}
+		if len(fields) == 4 {
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("ptio: line %d: bad weight: %w", lineNo, err)
+			}
+			p.Weight = w
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ptio: scanning: %w", err)
+	}
+	return pts, nil
+}
+
+// PartitionEntry locates one partition inside a partition file: the
+// partition's own points followed by its shadow-region points.
+type PartitionEntry struct {
+	// Offset is the byte offset of the partition's records.
+	Offset int64 `json:"offset"`
+	// Count is the number of partition (non-shadow) points.
+	Count int64 `json:"count"`
+	// ShadowOffset and ShadowCount locate the shadow-region records.
+	ShadowOffset int64 `json:"shadowOffset"`
+	ShadowCount  int64 `json:"shadowCount"`
+}
+
+// PartitionMeta is the metadata document the partitioner root generates.
+type PartitionMeta struct {
+	Eps        float64          `json:"eps"`
+	HasWeight  bool             `json:"hasWeight"`
+	Partitions []PartitionEntry `json:"partitions"`
+}
+
+// Marshal encodes the metadata as JSON.
+func (m *PartitionMeta) Marshal() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// UnmarshalPartitionMeta decodes a metadata document.
+func UnmarshalPartitionMeta(data []byte) (*PartitionMeta, error) {
+	var m PartitionMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("ptio: parsing partition metadata: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,265 @@
+package ptio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func samplePoints() []geom.Point {
+	return []geom.Point{
+		{ID: 0, X: 1.5, Y: -2.25, Weight: 1},
+		{ID: 42, X: -180, Y: 90, Weight: 3.5},
+		{ID: 1 << 40, X: 0.000125, Y: 1e-9, Weight: 0},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, hasWeight := range []bool{false, true} {
+		pts := samplePoints()
+		data := EncodeRecords(pts, hasWeight)
+		if len(data) != len(pts)*RecordSize(hasWeight) {
+			t.Fatalf("encoded %d bytes, want %d", len(data), len(pts)*RecordSize(hasWeight))
+		}
+		got, err := DecodeRecords(data, hasWeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pts {
+			want := pts[i]
+			if !hasWeight {
+				want.Weight = 0
+			}
+			if got[i] != want {
+				t.Errorf("hasWeight=%v: record %d = %+v, want %+v", hasWeight, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestDecodeRecordsBadLength(t *testing.T) {
+	if _, err := DecodeRecords(make([]byte, 25), false); err == nil {
+		t.Error("misaligned record data must be rejected")
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	for _, hasWeight := range []bool{false, true} {
+		var buf bytes.Buffer
+		pts := samplePoints()
+		if err := WriteDataset(&buf, pts, hasWeight); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadDataset(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("read %d points, want %d", len(got), len(pts))
+		}
+		for i := range pts {
+			want := pts[i]
+			if !hasWeight {
+				want.Weight = 0
+			}
+			if got[i] != want {
+				t.Errorf("point %d = %+v, want %+v", i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestDatasetEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("read %d points from empty dataset", len(got))
+	}
+}
+
+func TestReadDatasetBadMagic(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("NOTMRSCDATA12345")); err == nil {
+		t.Error("bad magic must be rejected")
+	}
+}
+
+func TestReadDatasetTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, samplePoints(), false); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadDataset(bytes.NewReader(data)); err == nil {
+		t.Error("truncated dataset must be rejected")
+	}
+}
+
+func TestLabeledRoundTrip(t *testing.T) {
+	lps := []LabeledPoint{
+		{Point: geom.Point{ID: 1, X: 2, Y: 3}, Cluster: 0},
+		{Point: geom.Point{ID: 2, X: -2, Y: -3}, Cluster: 99},
+		{Point: geom.Point{ID: 3, X: 0, Y: 0}, Cluster: -1}, // noise
+	}
+	var buf bytes.Buffer
+	if err := WriteLabeled(&buf, lps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLabeled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lps) {
+		t.Fatalf("read %d labeled points, want %d", len(got), len(lps))
+	}
+	for i := range lps {
+		want := lps[i]
+		want.Point.Weight = 0 // labeled records do not carry weight
+		if got[i] != want {
+			t.Errorf("labeled %d = %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestLabeledHeaderMatchesWriter(t *testing.T) {
+	// The sweep phase writes the header with LabeledHeader while leaves
+	// write records at offsets; the result must parse exactly like a
+	// WriteLabeled file.
+	lps := []LabeledPoint{
+		{Point: geom.Point{ID: 1, X: 2, Y: 3}, Cluster: 0},
+		{Point: geom.Point{ID: 2, X: 4, Y: 5}, Cluster: 1},
+	}
+	var manual bytes.Buffer
+	manual.Write(LabeledHeader(int64(len(lps))))
+	for _, lp := range lps {
+		manual.Write(AppendLabeled(nil, lp))
+	}
+	got, err := ReadLabeled(&manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Point.ID != 1 || got[1].Cluster != 1 {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, hasWeight := range []bool{false, true} {
+		var buf bytes.Buffer
+		pts := samplePoints()
+		if err := WriteText(&buf, pts, hasWeight); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pts {
+			want := pts[i]
+			if !hasWeight {
+				want.Weight = 0
+			}
+			if got[i] != want {
+				t.Errorf("hasWeight=%v: text point %d = %+v, want %+v", hasWeight, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 2.5 3.5\n  \n# more\n2 -1 -2 7\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d points, want 2", len(got))
+	}
+	if got[1].Weight != 7 {
+		t.Errorf("weight = %v, want 7", got[1].Weight)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"1 2\n",       // too few fields
+		"1 2 3 4 5\n", // too many fields
+		"x 2 3\n",     // bad id
+		"1 x 3\n",     // bad x
+		"1 2 x\n",     // bad y
+		"1 2 3 x\n",   // bad weight
+		"-1 2 3\n",    // negative id
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q must be rejected", in)
+		}
+	}
+}
+
+func TestPartitionMetaRoundTrip(t *testing.T) {
+	m := &PartitionMeta{
+		Eps:       0.1,
+		HasWeight: true,
+		Partitions: []PartitionEntry{
+			{Offset: 0, Count: 10, ShadowOffset: 240, ShadowCount: 3},
+			{Offset: 312, Count: 20, ShadowOffset: 792, ShadowCount: 0},
+		},
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPartitionMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Eps != m.Eps || !got.HasWeight || len(got.Partitions) != 2 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got.Partitions[1] != m.Partitions[1] {
+		t.Errorf("partition entry = %+v, want %+v", got.Partitions[1], m.Partitions[1])
+	}
+	if _, err := UnmarshalPartitionMeta([]byte("{bad")); err == nil {
+		t.Error("bad JSON must be rejected")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ids []uint64, coords []float64) bool {
+		n := len(ids)
+		if len(coords)/2 < n {
+			n = len(coords) / 2
+		}
+		pts := make([]geom.Point, 0, n)
+		for i := 0; i < n; i++ {
+			x, y := coords[2*i], coords[2*i+1]
+			if x != x || y != y { // skip NaN: NaN != NaN breaks equality checks
+				continue
+			}
+			pts = append(pts, geom.Point{ID: ids[i], X: x, Y: y})
+		}
+		data := EncodeRecords(pts, false)
+		got, err := DecodeRecords(data, false)
+		if err != nil || len(got) != len(pts) {
+			return false
+		}
+		for i := range pts {
+			if got[i] != pts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

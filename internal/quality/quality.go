@@ -1,0 +1,78 @@
+// Package quality implements the clustering quality metric of DBDC
+// (Januzaj, Kriegel & Pfeifle, EDBT'04) as used in the paper's §5.1.3:
+//
+//	"The metric assigns a quality score between 0 and 1 to each point as
+//	|A∩B|/|A∪B|, where A is the cluster the point belongs to in DBSCAN's
+//	output, and B is the equivalent cluster from Mr. Scan's output. If a
+//	point is misidentified as a noise or non-noise point, it gets a
+//	quality score of 0. The final quality score is an average of the
+//	points' quality scores."
+//
+// The metric is 1.0 exactly when both outputs contain identical clusters
+// and identical noise.
+package quality
+
+import "fmt"
+
+// Noise is the label value treated as noise on both sides.
+const Noise = -1
+
+// Score computes the DBDC quality of got against the reference ref.
+// Labels are per-point cluster IDs with negative values meaning noise.
+// The two slices must align (same point order).
+func Score(ref, got []int) (float64, error) {
+	if len(ref) != len(got) {
+		return 0, fmt.Errorf("quality: %d reference labels vs %d labels", len(ref), len(got))
+	}
+	if len(ref) == 0 {
+		return 1, nil
+	}
+	refSize := make(map[int]int)
+	gotSize := make(map[int]int)
+	type pair struct{ a, b int }
+	inter := make(map[pair]int)
+	for i := range ref {
+		a, b := norm(ref[i]), norm(got[i])
+		if a != Noise {
+			refSize[a]++
+		}
+		if b != Noise {
+			gotSize[b]++
+		}
+		if a != Noise && b != Noise {
+			inter[pair{a, b}]++
+		}
+	}
+	var total float64
+	for i := range ref {
+		a, b := norm(ref[i]), norm(got[i])
+		if a == Noise && b == Noise {
+			total += 1 // noise on both sides: perfect agreement
+			continue
+		}
+		if a == Noise || b == Noise {
+			continue // misidentified noise/non-noise: score 0
+		}
+		in := inter[pair{a, b}]
+		un := refSize[a] + gotSize[b] - in
+		total += float64(in) / float64(un)
+	}
+	return total / float64(len(ref)), nil
+}
+
+// norm maps all negative labels to Noise.
+func norm(l int) int {
+	if l < 0 {
+		return Noise
+	}
+	return l
+}
+
+// Int32 adapts an int32 label slice.
+func Int32(labels []int32) []int {
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		out[i] = int(l)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPerfectAgreement(t *testing.T) {
+	ref := []int{0, 0, 1, 1, -1, 2}
+	got := []int{5, 5, 9, 9, -1, 0} // renamed clusters are still perfect
+	s, err := Score(ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s, 1) {
+		t.Errorf("score = %v, want 1", s)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	if _, err := Score([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s, err := Score(nil, nil)
+	if err != nil || s != 1 {
+		t.Errorf("empty score = %v,%v, want 1,nil", s, err)
+	}
+}
+
+func TestNoiseMisidentification(t *testing.T) {
+	// One point noise in ref, clustered in got: that point scores 0.
+	ref := []int{0, 0, -1}
+	got := []int{0, 0, 0}
+	s, err := Score(ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points 0,1: |A∩B|=2, |A∪B|=3 (got cluster also holds point 2) →
+	// 2/3 each. Point 2: 0. Mean = (2/3+2/3+0)/3.
+	want := (2.0/3 + 2.0/3 + 0) / 3
+	if !almost(s, want) {
+		t.Errorf("score = %v, want %v", s, want)
+	}
+}
+
+func TestSplitCluster(t *testing.T) {
+	// Reference has one 4-point cluster; output split it in two halves.
+	ref := []int{0, 0, 0, 0}
+	got := []int{0, 0, 1, 1}
+	s, err := Score(ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each point: |A∩B| = 2, |A∪B| = 4 → 0.5.
+	if !almost(s, 0.5) {
+		t.Errorf("score = %v, want 0.5", s)
+	}
+}
+
+func TestMergedCluster(t *testing.T) {
+	// Reference has two clusters; output merged them.
+	ref := []int{0, 0, 1, 1}
+	got := []int{0, 0, 0, 0}
+	s, err := Score(ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s, 0.5) {
+		t.Errorf("score = %v, want 0.5", s)
+	}
+}
+
+func TestAllNoiseAgreement(t *testing.T) {
+	ref := []int{-1, -1, -1}
+	got := []int{-1, -1, -1}
+	s, err := Score(ref, got)
+	if err != nil || !almost(s, 1) {
+		t.Errorf("score = %v,%v, want 1", s, err)
+	}
+}
+
+func TestNegativeLabelsAreNoise(t *testing.T) {
+	ref := []int{-1, -7}
+	got := []int{-2, -1}
+	s, err := Score(ref, got)
+	if err != nil || !almost(s, 1) {
+		t.Errorf("all-negative labels must agree as noise: %v,%v", s, err)
+	}
+}
+
+func TestScoreBoundsProperty(t *testing.T) {
+	f := func(refRaw, gotRaw []int8) bool {
+		n := len(refRaw)
+		if len(gotRaw) < n {
+			n = len(gotRaw)
+		}
+		ref := make([]int, n)
+		got := make([]int, n)
+		for i := 0; i < n; i++ {
+			ref[i] = int(refRaw[i]) % 5
+			got[i] = int(gotRaw[i]) % 5
+		}
+		s, err := Score(ref, got)
+		if err != nil {
+			return false
+		}
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityScoresOneProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		labels := make([]int, len(raw))
+		for i, v := range raw {
+			labels[i] = int(v) % 7
+		}
+		s, err := Score(labels, labels)
+		return err == nil && almost(s, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt32(t *testing.T) {
+	got := Int32([]int32{1, -1, 3})
+	if len(got) != 3 || got[0] != 1 || got[1] != -1 || got[2] != 3 {
+		t.Errorf("Int32 = %v", got)
+	}
+}

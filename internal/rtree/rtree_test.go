@@ -1,0 +1,199 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n int, scale float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{ID: uint64(i), X: rng.Float64() * scale, Y: rng.Float64() * scale}
+	}
+	return pts
+}
+
+func bruteRange(pts []geom.Point, center geom.Point, eps float64, self int32) map[int32]bool {
+	want := map[int32]bool{}
+	for j := range pts {
+		if int32(j) == self {
+			continue
+		}
+		if geom.Dist2(center, pts[j]) <= eps*eps {
+			want[int32(j)] = true
+		}
+	}
+	return want
+}
+
+func TestEmptyAndSmall(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	tr.Range(geom.Point{}, 1, -1, func(int32) bool {
+		t.Fatal("empty tree returned a point")
+		return true
+	})
+	tr.Insert(geom.Point{X: 1, Y: 2}, 0)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.CountRange(geom.Point{X: 1, Y: 2}, 0.1, -1, 0); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantsUnderGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	pts := randomPoints(rng, 3000, 10)
+	for i, p := range pts {
+		tr.Insert(p, int32(i))
+		if i%251 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("3000 points with M=16 must build height >= 3, got %d", tr.Height())
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 10, 100, 1500} {
+		pts := randomPoints(rng, n, 1)
+		tr := Build(pts)
+		for trial := 0; trial < 25; trial++ {
+			center := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+			eps := rng.Float64() * 0.3
+			got := map[int32]bool{}
+			tr.Range(center, eps, -1, func(i int32) bool { got[i] = true; return true })
+			want := bruteRange(pts, center, eps, -1)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: got %d results, want %d", n, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i] {
+					t.Fatalf("n=%d: missing %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeSelfAndEarlyStop(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.01, Y: 0}, {X: 0.02, Y: 0}}
+	tr := Build(pts)
+	tr.Range(pts[0], 1, 0, func(i int32) bool {
+		if i == 0 {
+			t.Fatal("self returned")
+		}
+		return true
+	})
+	calls := 0
+	tr.Range(pts[0], 1, -1, func(int32) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop made %d calls", calls)
+	}
+	if got := tr.CountRange(pts[0], 1, 0, 1); got != 1 {
+		t.Errorf("limited count = %d", got)
+	}
+}
+
+func TestSearchRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 800, 10)
+	tr := Build(pts)
+	r := geom.Rect{MinX: 2, MinY: 3, MaxX: 5, MaxY: 7}
+	got := map[int32]bool{}
+	tr.SearchRect(r, func(i int32) bool { got[i] = true; return true })
+	for i, p := range pts {
+		if r.Contains(p) != got[int32(i)] {
+			t.Fatalf("point %d containment mismatch", i)
+		}
+	}
+}
+
+func TestDuplicatesAndCollinear(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Insert(geom.Point{X: 5, Y: 5}, int32(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CountRange(geom.Point{X: 5, Y: 5}, 0.01, -1, 0); got != 200 {
+		t.Errorf("duplicate count = %d", got)
+	}
+	tr2 := New()
+	for i := 0; i < 300; i++ {
+		tr2.Insert(geom.Point{X: float64(i), Y: 0}, int32(i))
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.CountRange(geom.Point{X: 100, Y: 0}, 2.5, -1, 0); got != 5 {
+		t.Errorf("collinear count = %d, want 5", got)
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	f := func(coords []int8, epsRaw uint8) bool {
+		pts := make([]geom.Point, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, geom.Point{
+				ID: uint64(i / 2),
+				X:  float64(coords[i]) / 16,
+				Y:  float64(coords[i+1]) / 16,
+			})
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		tr := Build(pts)
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		eps := float64(epsRaw)/64 + 0.01
+		got := 0
+		tr.Range(pts[0], eps, -1, func(int32) bool { got++; return true })
+		return got == len(bruteRange(pts, pts[0], eps, -1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 50000, 1)
+	tr := Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CountRange(pts[i%len(pts)], 0.01, int32(i%len(pts)), 0)
+	}
+}

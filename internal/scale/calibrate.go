@@ -1,0 +1,79 @@
+package scale
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measurement is one observed pipeline run used for calibration: the
+// configuration plus the slowest leaf's GPGPU DBSCAN seconds.
+type Measurement struct {
+	Points float64
+	Leaves int
+	MinPts int
+	GPUSec float64
+}
+
+// FitExpand fits the GPU expansion term to measured runs: the model's
+// slowest-leaf time is c·x + d with x = slow·(1−elim)·log2(slow) (the
+// §3.2.3 O((n−p)·log n) form), solved for (c, d) by ordinary least
+// squares. It returns a copy of p with ExpandCoef and GPULeafOverhead
+// replaced, so projected GPU curves use this host's measured per-point
+// cost instead of the Titan-era calibration.
+//
+// At least two measurements with distinct workloads are required.
+func (p Params) FitExpand(ms []Measurement) (Params, error) {
+	if len(ms) < 2 {
+		return p, fmt.Errorf("scale: need at least 2 measurements, got %d", len(ms))
+	}
+	xs := make([]float64, len(ms))
+	ys := make([]float64, len(ms))
+	for i, m := range ms {
+		if m.Points <= 0 || m.Leaves < 1 || m.MinPts < 1 {
+			return p, fmt.Errorf("scale: measurement %d has invalid configuration %+v", i, m)
+		}
+		cellPoints := p.MaxCellFrac * m.Points
+		perLeaf := m.Points / float64(m.Leaves) * p.ShadowDup
+		slow := math.Max(perLeaf, cellPoints)
+		if slow < 2 {
+			slow = 2
+		}
+		elim := p.elimination(m.Points/p.MeanScale, m.MinPts)
+		xs[i] = slow * (1 - elim) * math.Log2(slow)
+		ys[i] = m.GPUSec
+	}
+	c, d, err := leastSquares(xs, ys)
+	if err != nil {
+		return p, err
+	}
+	if c <= 0 {
+		return p, fmt.Errorf("scale: fit produced non-positive coefficient %g (measurements too noisy or degenerate)", c)
+	}
+	out := p
+	out.ExpandCoef = c
+	if d > 0 {
+		out.GPULeafOverhead = d
+	} else {
+		out.GPULeafOverhead = 0
+	}
+	return out, nil
+}
+
+// leastSquares solves y ≈ c·x + d.
+func leastSquares(xs, ys []float64) (c, d float64, err error) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	det := n*sxx - sx*sx
+	if math.Abs(det) < 1e-12 {
+		return 0, 0, fmt.Errorf("scale: degenerate fit (all workloads identical)")
+	}
+	c = (n*sxy - sx*sy) / det
+	d = (sy - c*sx) / n
+	return c, d, nil
+}

@@ -1,0 +1,92 @@
+package scale
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitExpandRecoversKnownConstants(t *testing.T) {
+	truth := Twitter()
+	truth.ExpandCoef = 3.7e-6
+	truth.GPULeafOverhead = 2.5
+	// Synthesize measurements from the true model over a ladder.
+	var ms []Measurement
+	for _, leaves := range []int{2, 4, 8, 16, 32} {
+		points := float64(leaves) * 50_000
+		row := truth.project(leaves, points, 40)
+		// Remove the non-expansion terms so the synthetic data follows
+		// the fitted form exactly: reconstruct c·x + d.
+		cellPoints := truth.MaxCellFrac * points
+		perLeaf := points / float64(leaves) * truth.ShadowDup
+		slow := math.Max(perLeaf, cellPoints)
+		elim := truth.elimination(points/truth.MeanScale, 40)
+		x := slow * (1 - elim) * math.Log2(slow)
+		ms = append(ms, Measurement{
+			Points: points, Leaves: leaves, MinPts: 40,
+			GPUSec: truth.ExpandCoef*x + truth.GPULeafOverhead,
+		})
+		_ = row
+	}
+	fitted, err := Twitter().FitExpand(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitted.ExpandCoef-truth.ExpandCoef)/truth.ExpandCoef > 1e-6 {
+		t.Errorf("ExpandCoef = %g, want %g", fitted.ExpandCoef, truth.ExpandCoef)
+	}
+	if math.Abs(fitted.GPULeafOverhead-truth.GPULeafOverhead) > 1e-6 {
+		t.Errorf("GPULeafOverhead = %g, want %g", fitted.GPULeafOverhead, truth.GPULeafOverhead)
+	}
+}
+
+func TestFitExpandTolerantToNoise(t *testing.T) {
+	truth := Twitter()
+	rng := rand.New(rand.NewSource(1))
+	var ms []Measurement
+	// A strong-scaling ladder spreads the regressor over a wide range,
+	// which is what a real calibration run should use.
+	const points = 3.2e6
+	for _, leaves := range []int{2, 4, 8, 16, 32, 64} {
+		cellPoints := truth.MaxCellFrac * points
+		perLeaf := points / float64(leaves) * truth.ShadowDup
+		slow := math.Max(perLeaf, cellPoints)
+		elim := truth.elimination(points/truth.MeanScale, 40)
+		x := slow * (1 - elim) * math.Log2(slow)
+		noisy := (truth.ExpandCoef*x + truth.GPULeafOverhead) * (1 + 0.05*rng.NormFloat64())
+		ms = append(ms, Measurement{Points: points, Leaves: leaves, MinPts: 40, GPUSec: noisy})
+	}
+	fitted, err := Twitter().FitExpand(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := fitted.ExpandCoef / truth.ExpandCoef; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("noisy fit coefficient off by %.2fx", ratio)
+	}
+}
+
+func TestFitExpandValidation(t *testing.T) {
+	p := Twitter()
+	if _, err := p.FitExpand(nil); err == nil {
+		t.Error("no measurements must fail")
+	}
+	if _, err := p.FitExpand([]Measurement{{Points: 1, Leaves: 1, MinPts: 1, GPUSec: 1}}); err == nil {
+		t.Error("single measurement must fail")
+	}
+	same := Measurement{Points: 1000, Leaves: 2, MinPts: 40, GPUSec: 1}
+	if _, err := p.FitExpand([]Measurement{same, same, same}); err == nil {
+		t.Error("identical workloads must fail (degenerate fit)")
+	}
+	bad := []Measurement{{Points: -1, Leaves: 2, MinPts: 40, GPUSec: 1}, {Points: 1000, Leaves: 2, MinPts: 40, GPUSec: 1}}
+	if _, err := p.FitExpand(bad); err == nil {
+		t.Error("invalid configuration must fail")
+	}
+	// A decreasing-time series yields a negative slope -> error.
+	dec := []Measurement{
+		{Points: 100_000, Leaves: 2, MinPts: 40, GPUSec: 10},
+		{Points: 1_000_000, Leaves: 2, MinPts: 40, GPUSec: 1},
+	}
+	if _, err := p.FitExpand(dec); err == nil {
+		t.Error("negative slope must fail")
+	}
+}

@@ -1,0 +1,190 @@
+package scale
+
+import "testing"
+
+func TestPartNodesForMatchesTable1(t *testing.T) {
+	want := map[int]int{2: 2, 8: 4, 32: 8, 128: 16, 512: 32, 2048: 64, 4096: 96, 8192: 128}
+	for leaves, nodes := range want {
+		if got := PartNodesFor(leaves); got != nodes {
+			t.Errorf("PartNodesFor(%d) = %d, want %d", leaves, got, nodes)
+		}
+	}
+}
+
+func TestInternalProcessesForMatchesTable1(t *testing.T) {
+	want := map[int]int{2: 0, 8: 0, 32: 0, 128: 0, 512: 2, 2048: 8, 4096: 16, 8192: 32}
+	for leaves, n := range want {
+		if got := InternalProcessesFor(leaves); got != n {
+			t.Errorf("InternalProcessesFor(%d) = %d, want %d", leaves, got, n)
+		}
+	}
+}
+
+// TestFig8Envelope: the 6.5B-point total must land in the paper's
+// 1,040–1,401 s band across the four MinPts values, and the growth factor
+// over the 4096× data increase must be in the paper's 18.5–31.7× range
+// (allowing modest slack for the model).
+func TestFig8Envelope(t *testing.T) {
+	m := Twitter()
+	for _, minPts := range []int{4, 40, 400, 4000} {
+		rows := m.WeakScaling(Table1Leaves, minPts)
+		last := rows[len(rows)-1]
+		if last.Total < 900 || last.Total > 1600 {
+			t.Errorf("MinPts=%d: 6.5B total = %.0fs, want in the paper's ~1040-1401s envelope", minPts, last.Total)
+		}
+		growth := last.Total / rows[0].Total
+		if growth < 10 || growth > 45 {
+			t.Errorf("MinPts=%d: growth factor = %.1fx, paper reports 18.5-31.7x", minPts, growth)
+		}
+	}
+}
+
+// TestFig9aPartitionDominates: at the largest scale the partition phase
+// takes roughly 68% of the total (paper §5.1.1).
+func TestFig9aPartitionDominates(t *testing.T) {
+	m := Twitter()
+	rows := m.WeakScaling(Table1Leaves, 400)
+	last := rows[len(rows)-1]
+	frac := last.Partition / last.Total
+	if frac < 0.55 || frac < 0 || frac > 0.8 {
+		t.Errorf("partition fraction = %.2f, paper reports ~0.68", frac)
+	}
+	// And the phase grows roughly linearly with data: time ratio within
+	// 2x of the point ratio across the ladder's top half.
+	mid := rows[4] // 512 leaves
+	pointRatio := last.Points / mid.Points
+	timeRatio := last.Partition / mid.Partition
+	if timeRatio < pointRatio/2.5 || timeRatio > pointRatio*2.5 {
+		t.Errorf("partition growth %.1fx vs data growth %.1fx: not linear-ish", timeRatio, pointRatio)
+	}
+}
+
+// TestFig9cDenseBoxDip: for MinPts <= 400 the GPGPU DBSCAN time dips at
+// mid scale and rises again at 6.5B; for MinPts = 4000 there is no dip
+// (monotone, slow growth).
+func TestFig9cDenseBoxDip(t *testing.T) {
+	m := Twitter()
+	for _, minPts := range []int{4, 40, 400} {
+		rows := m.WeakScaling(Table1Leaves, minPts)
+		first := rows[0].GPUDBSCAN
+		minV, minI := first, 0
+		for i, r := range rows {
+			if r.GPUDBSCAN < minV {
+				minV, minI = r.GPUDBSCAN, i
+			}
+		}
+		last := rows[len(rows)-1].GPUDBSCAN
+		if minI == 0 || minI == len(rows)-1 {
+			t.Errorf("MinPts=%d: no interior dip (min at index %d)", minPts, minI)
+		}
+		if last <= minV {
+			t.Errorf("MinPts=%d: no upturn at 6.5B (%.1fs <= dip %.1fs)", minPts, last, minV)
+		}
+	}
+	rows := m.WeakScaling(Table1Leaves, 4000)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].GPUDBSCAN < rows[i-1].GPUDBSCAN*0.98 {
+			t.Errorf("MinPts=4000: unexpected dip at index %d (%.1fs -> %.1fs)",
+				i, rows[i-1].GPUDBSCAN, rows[i].GPUDBSCAN)
+		}
+	}
+	// MinPts=4000 is the slowest configuration at full scale (dense box
+	// least effective).
+	t4000 := rows[len(rows)-1].Total
+	t40 := m.WeakScaling(Table1Leaves, 40)[len(Table1Leaves)-1].Total
+	if t4000 <= t40 {
+		t.Errorf("MinPts=4000 total (%.0fs) must exceed MinPts=40 total (%.0fs)", t4000, t40)
+	}
+}
+
+// TestFig10StrongScalingPlateau: GPU time improves from 256 leaves,
+// by several-fold at 2,048, then plateaus ("Additional leaves do not
+// provide any speedup after 2048").
+func TestFig10StrongScalingPlateau(t *testing.T) {
+	m := Twitter()
+	rows := m.StrongScaling(Fig10Leaves, 8192*WeakPointsPerLeaf, 40)
+	speedupAt2048 := rows[0].GPUDBSCAN / rows[3].GPUDBSCAN
+	if speedupAt2048 < 3 || speedupAt2048 > 12 {
+		t.Errorf("GPU speedup 256->2048 = %.1fx, paper reports 4.7x", speedupAt2048)
+	}
+	// Plateau: 4096 and 8192 within 5% of 2048.
+	for _, i := range []int{4, 5} {
+		ratio := rows[3].GPUDBSCAN / rows[i].GPUDBSCAN
+		if ratio > 1.05 {
+			t.Errorf("leaves=%d still speeds up GPU time by %.2fx over 2048; expected plateau",
+				rows[i].Leaves, ratio)
+		}
+	}
+	// Monotone improvement up to the plateau.
+	for i := 1; i <= 3; i++ {
+		if rows[i].GPUDBSCAN >= rows[i-1].GPUDBSCAN {
+			t.Errorf("GPU time must improve from %d to %d leaves", rows[i-1].Leaves, rows[i].Leaves)
+		}
+	}
+}
+
+// TestStrongScalingSplitLiftsPlateau: with hot-cell subdivision the GPU
+// time keeps improving past 2,048 leaves instead of plateauing.
+func TestStrongScalingSplitLiftsPlateau(t *testing.T) {
+	m := Twitter()
+	flat := m.StrongScaling(Fig10Leaves, 8192*WeakPointsPerLeaf, 40)
+	split := m.StrongScalingSplit(Fig10Leaves, 8192*WeakPointsPerLeaf, 40)
+	// Beyond the plateau, split must beat flat.
+	for i := 4; i < len(flat); i++ { // 4096, 8192 leaves
+		if split[i].GPUDBSCAN >= flat[i].GPUDBSCAN {
+			t.Errorf("leaves=%d: split gpu %.1fs not better than flat %.1fs",
+				flat[i].Leaves, split[i].GPUDBSCAN, flat[i].GPUDBSCAN)
+		}
+	}
+	// And split keeps improving from 2048 to 8192 by a real margin.
+	if ratio := split[3].GPUDBSCAN / split[5].GPUDBSCAN; ratio < 1.2 {
+		t.Errorf("split speedup 2048->8192 = %.2fx, want > 1.2x", ratio)
+	}
+	// Below the plateau the two agree (the dense cell wasn't the
+	// bottleneck there).
+	if d := flat[0].GPUDBSCAN - split[0].GPUDBSCAN; d > flat[0].GPUDBSCAN*0.25 {
+		t.Errorf("at 256 leaves split changes gpu time by %.1fs; expected little effect", d)
+	}
+}
+
+// TestSDSSShape: Figure 12/13 — the SDSS run scales like Twitter with
+// partition dominating at full scale (1.6B points, 2048 leaves).
+func TestSDSSShape(t *testing.T) {
+	m := SDSS()
+	leaves := []int{2, 8, 32, 128, 512, 2048}
+	rows := m.WeakScaling(leaves, 5)
+	last := rows[len(rows)-1]
+	if frac := last.Partition / last.Total; frac < 0.5 {
+		t.Errorf("SDSS partition fraction = %.2f, want I/O-dominated (> 0.5)", frac)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Partition <= rows[i-1].Partition {
+			t.Errorf("SDSS partition time must grow with data: row %d", i)
+		}
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Twitter().WeakScaling([]int{2}, 40)[0]
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty row string")
+	}
+}
+
+func TestEliminationBounds(t *testing.T) {
+	m := Twitter()
+	for _, cp := range []float64{0, 1, 1e3, 1e6, 1e9} {
+		for _, minPts := range []int{1, 4, 4000} {
+			e := m.elimination(cp, minPts)
+			if e < 0 || e >= 1 {
+				t.Errorf("elimination(%g,%d) = %v out of [0,1)", cp, minPts, e)
+			}
+		}
+	}
+	if m.elimination(1e6, 4) <= m.elimination(1e6, 4000) {
+		t.Error("higher MinPts must reduce elimination")
+	}
+	if m.elimination(1e7, 40) <= m.elimination(1e4, 40) {
+		t.Error("higher density must increase elimination")
+	}
+}

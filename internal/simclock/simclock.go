@@ -1,0 +1,130 @@
+// Package simclock provides simulated-time accounting shared by the
+// hardware substrates (gpusim, lustre, mrnet).
+//
+// Mr. Scan's evaluation runs on hardware we cannot reproduce (Titan's K20
+// GPUs, Lustre, Cray ALPS). Each substrate simulator executes real work in
+// wall time but *charges* modeled costs — transfer latencies, seek
+// penalties, startup ramps — to a simulated clock. Experiments report both:
+// wall time for what really ran, simulated time for what the modeled
+// hardware would have added.
+//
+// A Clock tracks per-resource serialized time: charging Δt to a resource
+// advances that resource's timeline, and the clock's Now is the max over
+// resources, which models independent devices operating in parallel.
+package simclock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock accumulates simulated time across named resources. The zero value
+// is not usable; construct with New. Clock is safe for concurrent use.
+type Clock struct {
+	mu        sync.Mutex
+	resources map[string]time.Duration
+	events    map[string]int64
+}
+
+// New returns an empty clock.
+func New() *Clock {
+	return &Clock{
+		resources: make(map[string]time.Duration),
+		events:    make(map[string]int64),
+	}
+}
+
+// Charge adds d of busy time to the named resource and counts one event.
+// Negative charges are ignored.
+func (c *Clock) Charge(resource string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.resources[resource] += d
+	c.events[resource]++
+	c.mu.Unlock()
+}
+
+// Resource returns the accumulated busy time of one resource.
+func (c *Clock) Resource(resource string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resources[resource]
+}
+
+// Events returns the number of Charge calls made against a resource.
+func (c *Clock) Events(resource string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events[resource]
+}
+
+// Now returns the simulated time: the maximum busy time over all
+// resources (resources run in parallel with each other).
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max time.Duration
+	for _, d := range c.resources {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Total returns the sum of busy time over all resources (as if fully
+// serialized).
+func (c *Clock) Total() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum time.Duration
+	for _, d := range c.resources {
+		sum += d
+	}
+	return sum
+}
+
+// Snapshot returns a sorted copy of per-resource busy times.
+func (c *Clock) Snapshot() []ResourceTime {
+	c.mu.Lock()
+	out := make([]ResourceTime, 0, len(c.resources))
+	for name, d := range c.resources {
+		out = append(out, ResourceTime{Name: name, Busy: d, Events: c.events[name]})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset clears all accumulated time and events.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.resources = make(map[string]time.Duration)
+	c.events = make(map[string]int64)
+	c.mu.Unlock()
+}
+
+// ResourceTime is one row of a Snapshot.
+type ResourceTime struct {
+	Name   string
+	Busy   time.Duration
+	Events int64
+}
+
+// String formats the row for experiment logs.
+func (r ResourceTime) String() string {
+	return fmt.Sprintf("%-24s %12v (%d events)", r.Name, r.Busy, r.Events)
+}
+
+// BytesDuration converts a byte count at a bandwidth (bytes/second) into a
+// duration. A non-positive bandwidth yields zero (cost model disabled).
+func BytesDuration(bytes int64, bytesPerSec float64) time.Duration {
+	if bytesPerSec <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bytesPerSec * float64(time.Second))
+}

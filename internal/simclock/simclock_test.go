@@ -1,0 +1,112 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChargeAndQuery(t *testing.T) {
+	c := New()
+	c.Charge("gpu", 2*time.Second)
+	c.Charge("gpu", time.Second)
+	c.Charge("disk", 5*time.Second)
+	if got := c.Resource("gpu"); got != 3*time.Second {
+		t.Errorf("gpu = %v, want 3s", got)
+	}
+	if got := c.Events("gpu"); got != 2 {
+		t.Errorf("gpu events = %d, want 2", got)
+	}
+	if got := c.Resource("missing"); got != 0 {
+		t.Errorf("missing resource = %v, want 0", got)
+	}
+}
+
+func TestNowIsMaxOverResources(t *testing.T) {
+	c := New()
+	c.Charge("a", 3*time.Second)
+	c.Charge("b", 7*time.Second)
+	c.Charge("c", time.Second)
+	if got := c.Now(); got != 7*time.Second {
+		t.Errorf("Now = %v, want 7s (resources run in parallel)", got)
+	}
+	if got := c.Total(); got != 11*time.Second {
+		t.Errorf("Total = %v, want 11s (serialized sum)", got)
+	}
+}
+
+func TestNegativeChargeIgnored(t *testing.T) {
+	c := New()
+	c.Charge("x", -time.Second)
+	if got := c.Resource("x"); got != 0 {
+		t.Errorf("negative charge accumulated %v", got)
+	}
+	if got := c.Events("x"); got != 1 {
+		t.Errorf("event count = %d, want 1 (the call still counts)", got)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	c := New()
+	c.Charge("zeta", time.Second)
+	c.Charge("alpha", 2*time.Second)
+	c.Charge("mid", 3*time.Second)
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d rows, want 3", len(snap))
+	}
+	if snap[0].Name != "alpha" || snap[2].Name != "zeta" {
+		t.Errorf("snapshot not sorted: %v", snap)
+	}
+	if snap[0].Busy != 2*time.Second || snap[0].Events != 1 {
+		t.Errorf("alpha row = %+v", snap[0])
+	}
+	if snap[0].String() == "" {
+		t.Error("empty row string")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Charge("x", time.Second)
+	c.Reset()
+	if c.Now() != 0 || len(c.Snapshot()) != 0 {
+		t.Error("Reset must clear all state")
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Charge("shared", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Resource("shared"); got != 8000*time.Microsecond {
+		t.Errorf("shared = %v, want 8ms", got)
+	}
+	if got := c.Events("shared"); got != 8000 {
+		t.Errorf("events = %d, want 8000", got)
+	}
+}
+
+func TestBytesDuration(t *testing.T) {
+	if got := BytesDuration(1e9, 1e9); got != time.Second {
+		t.Errorf("1GB at 1GB/s = %v, want 1s", got)
+	}
+	if got := BytesDuration(100, 0); got != 0 {
+		t.Errorf("zero bandwidth = %v, want 0 (model disabled)", got)
+	}
+	if got := BytesDuration(-5, 1e9); got != 0 {
+		t.Errorf("negative bytes = %v, want 0", got)
+	}
+	if got := BytesDuration(5e8, 1e9); got != 500*time.Millisecond {
+		t.Errorf("0.5GB at 1GB/s = %v, want 500ms", got)
+	}
+}

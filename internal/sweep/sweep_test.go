@@ -1,0 +1,187 @@
+package sweep
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lustre"
+	"repro/internal/merge"
+	"repro/internal/mrnet"
+)
+
+func env(t *testing.T, leaves int) (*mrnet.Network, *lustre.FS) {
+	t.Helper()
+	fs := lustre.New(lustre.Titan(), nil)
+	net, err := mrnet.New(leaves, 256, mrnet.CostModel{}, fs.Clock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, fs
+}
+
+func key(leaf, local int32) merge.ClusterKey { return merge.ClusterKey{Leaf: leaf, Local: local} }
+
+func TestSweepWritesGlobalIDs(t *testing.T) {
+	net, fs := env(t, 2)
+	mapping := map[merge.ClusterKey]int32{
+		key(0, 0): 0,
+		key(1, 0): 0, // leaf 1's cluster 0 merged with leaf 0's
+		key(1, 1): 1,
+	}
+	data := []*LeafData{
+		{
+			Points: []geom.Point{{ID: 10, X: 1}, {ID: 11, X: 2}},
+			Labels: []int32{0, -1},
+		},
+		{
+			Points: []geom.Point{{ID: 20, X: 3}, {ID: 21, X: 4}},
+			Labels: []int32{0, 1},
+		},
+	}
+	res, err := Run(net, fs, "out.mrsl", mapping,
+		func(leaf int) (*LeafData, error) { return data[leaf], nil },
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PointsWritten != 3 || res.NoiseSkipped != 1 {
+		t.Errorf("written/skipped = %d/%d, want 3/1", res.PointsWritten, res.NoiseSkipped)
+	}
+	out, err := ReadOutput(fs, "out.mrsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("output holds %d records, want 3", len(out))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Point.ID < out[b].Point.ID })
+	if out[0].Point.ID != 10 || out[0].Cluster != 0 {
+		t.Errorf("record 0 = %+v", out[0])
+	}
+	if out[1].Point.ID != 20 || out[1].Cluster != 0 {
+		t.Errorf("merged cluster must share the global ID: %+v", out[1])
+	}
+	if out[2].Point.ID != 21 || out[2].Cluster != 1 {
+		t.Errorf("record 2 = %+v", out[2])
+	}
+}
+
+func TestSweepIncludeNoise(t *testing.T) {
+	net, fs := env(t, 1)
+	data := &LeafData{
+		Points: []geom.Point{{ID: 1}, {ID: 2}},
+		Labels: []int32{-1, -1},
+	}
+	res, err := Run(net, fs, "out.mrsl", map[merge.ClusterKey]int32{},
+		func(int) (*LeafData, error) { return data, nil },
+		Options{IncludeNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PointsWritten != 2 || res.NoiseSkipped != 0 {
+		t.Errorf("written/skipped = %d/%d, want 2/0", res.PointsWritten, res.NoiseSkipped)
+	}
+	out, err := ReadOutput(fs, "out.mrsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range out {
+		if lp.Cluster != NoiseID {
+			t.Errorf("noise point %d written with cluster %d", lp.Point.ID, lp.Cluster)
+		}
+	}
+}
+
+func TestSweepMissingMapping(t *testing.T) {
+	net, fs := env(t, 1)
+	data := &LeafData{Points: []geom.Point{{ID: 1}}, Labels: []int32{0}}
+	_, err := Run(net, fs, "out.mrsl", map[merge.ClusterKey]int32{},
+		func(int) (*LeafData, error) { return data, nil }, Options{})
+	if err == nil {
+		t.Error("missing mapping entry must fail")
+	}
+}
+
+func TestSweepLeafError(t *testing.T) {
+	net, fs := env(t, 4)
+	boom := errors.New("leaf data unavailable")
+	_, err := Run(net, fs, "out.mrsl", nil,
+		func(leaf int) (*LeafData, error) {
+			if leaf == 2 {
+				return nil, boom
+			}
+			return &LeafData{}, nil
+		}, Options{})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped leaf error", err)
+	}
+}
+
+func TestSweepMismatchedLabels(t *testing.T) {
+	net, fs := env(t, 1)
+	data := &LeafData{Points: []geom.Point{{ID: 1}}, Labels: []int32{0, 1}}
+	_, err := Run(net, fs, "out.mrsl", nil,
+		func(int) (*LeafData, error) { return data, nil }, Options{})
+	if err == nil {
+		t.Error("mismatched points/labels must fail")
+	}
+}
+
+func TestSweepManyLeavesDisjointOffsets(t *testing.T) {
+	const leaves = 16
+	net, fs := env(t, leaves)
+	mapping := map[merge.ClusterKey]int32{}
+	for l := int32(0); l < leaves; l++ {
+		mapping[key(l, 0)] = l
+	}
+	res, err := Run(net, fs, "out.mrsl", mapping,
+		func(leaf int) (*LeafData, error) {
+			pts := make([]geom.Point, leaf+1) // varying sizes
+			labels := make([]int32, leaf+1)
+			for i := range pts {
+				pts[i] = geom.Point{ID: uint64(leaf*100 + i)}
+			}
+			return &LeafData{Points: pts, Labels: labels}, nil
+		}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(leaves * (leaves + 1) / 2)
+	if res.PointsWritten != want {
+		t.Fatalf("PointsWritten = %d, want %d", res.PointsWritten, want)
+	}
+	out, err := ReadOutput(fs, "out.mrsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, lp := range out {
+		if seen[lp.Point.ID] {
+			t.Fatalf("point %d written twice (offset collision)", lp.Point.ID)
+		}
+		seen[lp.Point.ID] = true
+		if int64(lp.Point.ID/100) != lp.Cluster {
+			t.Fatalf("point %d has cluster %d, want %d", lp.Point.ID, lp.Cluster, lp.Point.ID/100)
+		}
+	}
+	if int64(len(seen)) != want {
+		t.Fatalf("output holds %d distinct points, want %d", len(seen), want)
+	}
+}
+
+func TestReadOutputEmpty(t *testing.T) {
+	fs := lustre.New(lustre.Titan(), nil)
+	fs.Create("empty.mrsl")
+	out, err := ReadOutput(fs, "empty.mrsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("empty file produced %d records", len(out))
+	}
+	if _, err := ReadOutput(fs, "missing"); err == nil {
+		t.Error("missing file must fail")
+	}
+}

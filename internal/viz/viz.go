@@ -1,0 +1,159 @@
+// Package viz renders clustered point sets to images and terminal art,
+// for eyeballing Mr. Scan outputs (the paper's Figure 2 shows exactly
+// such a rendering of partitioned tweets over the US).
+//
+// The renderer is deliberately dependency-free: binary PPM (P6) for
+// images, ANSI-free ASCII for terminals.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// palette holds visually distinct colors assigned to clusters
+// round-robin; noise is dark gray, background white.
+var palette = [][3]byte{
+	{230, 57, 70}, {29, 53, 87}, {42, 157, 143}, {233, 196, 106},
+	{244, 162, 97}, {38, 70, 83}, {106, 76, 147}, {25, 130, 196},
+	{138, 201, 38}, {255, 89, 94}, {255, 202, 58}, {22, 138, 173},
+	{106, 153, 78}, {188, 71, 73}, {84, 71, 140}, {239, 111, 108},
+}
+
+var (
+	noiseColor = [3]byte{90, 90, 90}
+	background = [3]byte{255, 255, 255}
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height of the raster in pixels (defaults 800×600).
+	Width, Height int
+	// Bounds selects the region to draw; empty = the points' bounding
+	// box with 2% padding.
+	Bounds geom.Rect
+	// ShowNoise draws noise points (gray) instead of omitting them.
+	ShowNoise bool
+}
+
+func (o *Options) setDefaults(pts []geom.Point) {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.Height <= 0 {
+		o.Height = 600
+	}
+	// A zero-area rectangle (including the zero value) means "derive the
+	// bounds from the data".
+	if o.Bounds.Empty() || o.Bounds.Width() == 0 || o.Bounds.Height() == 0 {
+		b := geom.RectOf(pts)
+		if b.Empty() {
+			b = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+		}
+		pad := (b.Width() + b.Height()) * 0.01
+		if pad == 0 {
+			pad = 0.5
+		}
+		o.Bounds = b.Inflate(pad)
+	}
+}
+
+// raster paints labels onto a pixel grid; -1 cells are background, -2
+// noise, >= 0 cluster IDs.
+func raster(pts []geom.Point, labels []int, opt Options) ([][]int32, error) {
+	if len(pts) != len(labels) {
+		return nil, fmt.Errorf("viz: %d points with %d labels", len(pts), len(labels))
+	}
+	px := make([][]int32, opt.Height)
+	for y := range px {
+		px[y] = make([]int32, opt.Width)
+		for x := range px[y] {
+			px[y][x] = -1
+		}
+	}
+	b := opt.Bounds
+	for i, p := range pts {
+		l := labels[i]
+		if l < 0 && !opt.ShowNoise {
+			continue
+		}
+		if !b.Contains(p) {
+			continue
+		}
+		x := int(float64(opt.Width-1) * (p.X - b.MinX) / b.Width())
+		y := int(float64(opt.Height-1) * (b.MaxY - p.Y) / b.Height()) // north up
+		v := int32(-2)
+		if l >= 0 {
+			v = int32(l)
+		}
+		// Clusters overwrite noise; noise never overwrites clusters.
+		if v >= 0 || px[y][x] == -1 {
+			px[y][x] = v
+		}
+	}
+	return px, nil
+}
+
+// WritePPM renders the labeled points as a binary PPM (P6) image.
+func WritePPM(w io.Writer, pts []geom.Point, labels []int, opt Options) error {
+	opt.setDefaults(pts)
+	px, err := raster(pts, labels, opt)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", opt.Width, opt.Height); err != nil {
+		return err
+	}
+	row := make([]byte, opt.Width*3)
+	for y := 0; y < opt.Height; y++ {
+		for x := 0; x < opt.Width; x++ {
+			var c [3]byte
+			switch v := px[y][x]; {
+			case v == -1:
+				c = background
+			case v == -2:
+				c = noiseColor
+			default:
+				c = palette[int(v)%len(palette)]
+			}
+			copy(row[x*3:], c[:])
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ASCII renders the labeled points as a w×h character grid: '.' for
+// background, '░' left out — plain ASCII only: clusters cycle over
+// letters/digits, noise is ','.
+func ASCII(pts []geom.Point, labels []int, w, h int, showNoise bool) (string, error) {
+	opt := Options{Width: w, Height: h, ShowNoise: showNoise}
+	opt.setDefaults(pts)
+	opt.Width, opt.Height = w, h
+	px, err := raster(pts, labels, opt)
+	if err != nil {
+		return "", err
+	}
+	const glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	out := make([]byte, 0, (w+1)*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			switch v := px[y][x]; {
+			case v == -1:
+				out = append(out, '.')
+			case v == -2:
+				out = append(out, ',')
+			default:
+				out = append(out, glyphs[int(v)%len(glyphs)])
+			}
+		}
+		out = append(out, '\n')
+	}
+	return string(out), nil
+}

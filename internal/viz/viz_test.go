@@ -1,0 +1,134 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testPoints() ([]geom.Point, []int) {
+	pts := []geom.Point{
+		{ID: 0, X: 0, Y: 0},   // cluster 0, bottom-left
+		{ID: 1, X: 10, Y: 10}, // cluster 1, top-right
+		{ID: 2, X: 5, Y: 5},   // noise, center
+	}
+	return pts, []int{0, 1, -1}
+}
+
+func TestWritePPMFormat(t *testing.T) {
+	pts, labels := testPoints()
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, pts, labels, Options{Width: 40, Height: 30, ShowNoise: true}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte("P6\n40 30\n255\n")) {
+		t.Fatalf("bad PPM header: %q", data[:16])
+	}
+	header := len("P6\n40 30\n255\n")
+	if len(data) != header+40*30*3 {
+		t.Fatalf("PPM body = %d bytes, want %d", len(data)-header, 40*30*3)
+	}
+	// Deterministic output.
+	var again bytes.Buffer
+	if err := WritePPM(&again, pts, labels, Options{Width: 40, Height: 30, ShowNoise: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("rendering not deterministic")
+	}
+}
+
+func TestPPMPixelPlacement(t *testing.T) {
+	pts, labels := testPoints()
+	var buf bytes.Buffer
+	opt := Options{
+		Width: 11, Height: 11, ShowNoise: true,
+		Bounds: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+	}
+	if err := WritePPM(&buf, pts, labels, opt); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	header := bytes.Count(data[:len("P6\n11 11\n255\n")], nil) - 1
+	pixel := func(x, y int) [3]byte {
+		off := header + (y*11+x)*3
+		return [3]byte{data[off], data[off+1], data[off+2]}
+	}
+	// Point (0,0) renders at bottom-left (y flipped).
+	if pixel(0, 10) == background {
+		t.Error("cluster 0 pixel missing at bottom-left")
+	}
+	if pixel(10, 0) == background {
+		t.Error("cluster 1 pixel missing at top-right")
+	}
+	if pixel(5, 5) != noiseColor {
+		t.Errorf("noise pixel = %v, want gray", pixel(5, 5))
+	}
+	if pixel(2, 2) != background {
+		t.Error("empty area must stay background")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	pts, labels := testPoints()
+	art, err := ASCII(pts, labels, 11, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines, want 11", len(lines))
+	}
+	joined := strings.Join(lines, "")
+	if !strings.Contains(joined, "a") || !strings.Contains(joined, "b") {
+		t.Errorf("expected cluster glyphs a and b:\n%s", art)
+	}
+	if !strings.Contains(joined, ",") {
+		t.Errorf("expected noise glyph:\n%s", art)
+	}
+	// Without noise, the ',' disappears.
+	art2, err := ASCII(pts, labels, 11, 11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(art2, ",") {
+		t.Error("noise rendered despite showNoise=false")
+	}
+}
+
+func TestMismatchedInput(t *testing.T) {
+	if err := WritePPM(&bytes.Buffer{}, []geom.Point{{}}, nil, Options{}); err == nil {
+		t.Error("mismatched labels must fail")
+	}
+	if _, err := ASCII([]geom.Point{{}}, nil, 10, 10, false); err == nil {
+		t.Error("mismatched labels must fail")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, nil, nil, Options{Width: 8, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty input must still produce a valid image")
+	}
+}
+
+func TestClustersOverwriteNoise(t *testing.T) {
+	// A cluster point and a noise point land on the same pixel: the
+	// cluster must win regardless of order.
+	pts := []geom.Point{{ID: 0, X: 1, Y: 1}, {ID: 1, X: 1, Y: 1}}
+	for _, labels := range [][]int{{-1, 0}, {0, -1}} {
+		art, err := ASCII(pts, labels, 3, 3, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(art, ",") || !strings.Contains(art, "a") {
+			t.Errorf("cluster must overwrite noise, got:\n%s", art)
+		}
+	}
+}
