@@ -12,8 +12,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Default test run: vet, the full suite, then the race detector over the
+# concurrency-heavy fault-tolerance packages.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan
 
 race:
 	$(GO) test -race ./...

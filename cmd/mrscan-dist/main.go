@@ -17,26 +17,31 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"time"
 
 	"repro/internal/distrib"
+	"repro/internal/faultinject"
 	"repro/internal/ptio"
 )
 
 func main() {
 	var (
-		input   = flag.String("input", "", "input MRSC dataset file (required in coordinator mode)")
-		output  = flag.String("output", "clusters.mrsl", "output labeled file")
-		eps     = flag.Float64("eps", 0.1, "DBSCAN Eps")
-		minPts  = flag.Int("minpts", 40, "DBSCAN MinPts")
-		leaves  = flag.Int("leaves", 8, "partitions (round-robined over workers)")
-		workers = flag.Int("workers", 2, "worker processes to spawn")
-		noise   = flag.Bool("noise", false, "include noise points in the output")
-		worker  = flag.Bool("worker", false, "run as a worker (internal)")
-		connect = flag.String("connect", "", "coordinator address (worker mode)")
+		input     = flag.String("input", "", "input MRSC dataset file (required in coordinator mode)")
+		output    = flag.String("output", "clusters.mrsl", "output labeled file")
+		eps       = flag.Float64("eps", 0.1, "DBSCAN Eps")
+		minPts    = flag.Int("minpts", 40, "DBSCAN MinPts")
+		leaves    = flag.Int("leaves", 8, "partitions (pulled from a shared queue by workers)")
+		workers   = flag.Int("workers", 2, "worker processes to spawn")
+		noise     = flag.Bool("noise", false, "include noise points in the output")
+		worker    = flag.Bool("worker", false, "run as a worker (internal)")
+		connect   = flag.String("connect", "", "coordinator address (worker mode)")
+		retries   = flag.Int("retries", 3, "max workers a partition is sent to before the run fails")
+		faultPlan = flag.String("fault-plan", "", "fault injection plan, e.g. 'distrib.worker.0:after=1' (see internal/faultinject)")
+		faultSeed = flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault rules")
 	)
 	flag.Parse()
 	if *worker {
-		if err := distrib.Worker(*connect, os.Getpid()); err != nil {
+		if err := distrib.Worker(*connect, os.Getpid()); err != nil && !distrib.IsConnClosed(err) {
 			fmt.Fprintln(os.Stderr, "mrscan-dist worker:", err)
 			os.Exit(1)
 		}
@@ -47,13 +52,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := coordinate(*input, *output, *eps, *minPts, *leaves, *workers, *noise); err != nil {
+	plan, err := faultinject.Parse(*faultPlan, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrscan-dist:", err)
+		os.Exit(2)
+	}
+	if err := coordinate(*input, *output, *eps, *minPts, *leaves, *workers, *retries, *noise, plan); err != nil {
 		fmt.Fprintln(os.Stderr, "mrscan-dist:", err)
 		os.Exit(1)
 	}
 }
 
-func coordinate(input, output string, eps float64, minPts, leaves, workers int, noise bool) error {
+func coordinate(input, output string, eps float64, minPts, leaves, workers, retries int, noise bool, plan *faultinject.Plan) error {
 	f, err := os.Open(input)
 	if err != nil {
 		return err
@@ -68,6 +78,9 @@ func coordinate(input, output string, eps float64, minPts, leaves, workers int, 
 	if err != nil {
 		return err
 	}
+	c.Retry = distrib.RetryPolicy{MaxAttempts: retries}
+	c.RequestTimeout = 2 * time.Minute
+	c.SetFaultPlan(plan)
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -88,15 +101,20 @@ func coordinate(input, output string, eps float64, minPts, leaves, workers int, 
 			}
 		}
 	}()
-	if err := c.AcceptWorkers(workers); err != nil {
+	if err := c.AcceptWorkers(workers, 30*time.Second); err != nil {
 		return err
 	}
 	fmt.Printf("clustering %d points on %d worker processes (%d partitions)...\n",
 		len(pts), workers, leaves)
 	res, err := c.Run(pts, distrib.Options{Eps: eps, MinPts: minPts, Leaves: leaves, DenseBox: true})
+	stats := c.Stats()
 	c.Shutdown()
 	if err != nil {
 		return err
+	}
+	if stats.WorkersLost > 0 {
+		fmt.Printf("recovered from %d worker failure(s): %d partition(s) reassigned\n",
+			stats.WorkersLost, stats.Reassigned)
 	}
 
 	var records []ptio.LabeledPoint

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/lustre"
 	"repro/internal/mrscan"
 	"repro/internal/ptio"
@@ -42,6 +43,9 @@ func main() {
 		topology   = flag.String("topology", "", "explicit cluster-tree spec, e.g. 2x16 (leaf product must equal -leaves)")
 		format     = flag.String("format", "bin", "input format: bin (MRSC) | text (id x y [w] lines)")
 		verbose    = flag.Bool("v", false, "print simulated-hardware accounting")
+		retries    = flag.Int("retries", 1, "attempts per phase before a transient fault is fatal (1 = no retry)")
+		faultPlan  = flag.String("fault-plan", "", "fault injection plan, e.g. 'lustre.io:after=100,times=2;mrnet.node:times=1' (see internal/faultinject)")
+		faultSeed  = flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault rules")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -60,6 +64,13 @@ func main() {
 	cfg.ReclaimBorders = *reclaim
 	cfg.MergeOverTCP = *tcpMerge
 	cfg.Topology = *topology
+	cfg.Retry = mrscan.RetryPolicy{MaxAttempts: *retries}
+	plan, err := faultinject.Parse(*faultPlan, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrscan:", err)
+		os.Exit(2)
+	}
+	cfg.FaultPlan = plan
 	if err := run(*input, *output, cfg, *format, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "mrscan:", err)
 		os.Exit(1)
@@ -131,6 +142,10 @@ func run(input, output string, cfg mrscan.Config, format string, verbose bool) e
 	fmt.Printf("  sweep            %12v\n", res.Times.Sweep)
 	fmt.Printf("  total            %12v\n", res.Times.Total)
 	fmt.Printf("simulated hardware time: %v\n", res.Stats.SimNow)
+	if res.Stats.FaultsInjected > 0 || res.Times.Retries() > 0 || res.Stats.NetRecoveries > 0 {
+		fmt.Printf("faults injected: %d (phase retries: %d, overlay node recoveries: %d)\n",
+			res.Stats.FaultsInjected, res.Times.Retries(), res.Stats.NetRecoveries)
+	}
 
 	// Cluster size histogram (top 10).
 	sizes := map[int64]int{}

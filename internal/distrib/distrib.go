@@ -15,10 +15,15 @@ package distrib
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dbscan"
+	"repro/internal/faultinject"
 	"repro/internal/gdbscan"
 	"repro/internal/geom"
 	"repro/internal/gpusim"
@@ -35,6 +40,9 @@ type WorkRequest struct {
 	// Owned points first; Shadow completes the Eps-neighborhoods.
 	Owned  []geom.Point
 	Shadow []geom.Point
+	// Ping asks the worker for a liveness acknowledgement instead of
+	// work (coordinator heartbeats).
+	Ping bool
 	// Done tells the worker to exit after acknowledging.
 	Done bool
 }
@@ -45,6 +53,8 @@ type WorkResponse struct {
 	Summaries   []*merge.Summary
 	Labels      []int32 // over Owned only
 	NumClusters int
+	// Ping acknowledges a heartbeat.
+	Ping bool
 	// Err carries a worker-side failure (gob cannot encode error values).
 	Err string
 }
@@ -52,6 +62,20 @@ type WorkResponse struct {
 // Hello is the first message a worker sends after dialing in.
 type Hello struct {
 	Pid int
+}
+
+// IsConnClosed reports whether err looks like the far end closing the
+// connection — what a worker sees when the coordinator drops it after a
+// failure or shuts down without a Done message. Workers treat it as a
+// normal exit.
+func IsConnClosed(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "use of closed network connection") ||
+		strings.Contains(s, "EOF") ||
+		strings.Contains(s, "connection reset")
 }
 
 // Worker dials the coordinator and serves work requests until a Done
@@ -76,7 +100,12 @@ func Worker(coordAddr string, pid int) error {
 		if req.Done {
 			return nil
 		}
-		resp := serve(&req)
+		var resp *WorkResponse
+		if req.Ping {
+			resp = &WorkResponse{Leaf: req.Leaf, Ping: true}
+		} else {
+			resp = serve(&req)
+		}
 		if err := enc.Encode(resp); err != nil {
 			return fmt.Errorf("distrib: worker replying: %w", err)
 		}
@@ -110,18 +139,111 @@ func serve(req *WorkRequest) *WorkResponse {
 	return resp
 }
 
+// RetryPolicy governs re-dispatch of partitions after worker failures:
+// a partition whose worker dies is re-queued to a surviving worker after
+// an exponential backoff with jitter. The zero value gets defaults from
+// withDefaults. Re-execution is safe because DBSCAN partitions are
+// deterministic and side-effect-free.
+type RetryPolicy struct {
+	// MaxAttempts bounds how many workers one partition may be sent to
+	// before the run fails (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first re-dispatch (default
+	// 5ms); each further attempt doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 250ms).
+	MaxDelay time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 5 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 250 * time.Millisecond
+	}
+	return r
+}
+
+// backoff returns the delay before re-dispatch attempt `attempt`
+// (1-based), exponential with up to 50% additive jitter.
+func (r RetryPolicy) backoff(attempt int) time.Duration {
+	d := r.BaseDelay
+	for i := 1; i < attempt && d < r.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// Stats counts fault-tolerance events on the coordinator.
+type Stats struct {
+	// Reassigned counts partitions re-queued after a worker failure.
+	Reassigned int
+	// WorkersLost counts workers dropped (connection errors, timeouts,
+	// failed heartbeats).
+	WorkersLost int
+}
+
 // Coordinator accepts worker connections and dispatches partitions.
+// Configure the exported policy fields before calling Dispatch.
 type Coordinator struct {
+	// Retry governs partition re-dispatch after worker failures.
+	Retry RetryPolicy
+	// RequestTimeout bounds each send+receive exchange with a worker;
+	// an expired deadline marks the worker dead and re-queues its
+	// partition. Zero disables deadlines (a hung worker then blocks the
+	// run — set a timeout in production).
+	RequestTimeout time.Duration
+
 	ln      net.Listener
 	mu      sync.Mutex
 	workers []*workerConn
+	plan    *faultinject.Plan
+	closed  bool
+	stats   Stats
 }
 
 type workerConn struct {
+	// mu serializes request/response exchanges, so heartbeats can
+	// interleave with dispatch without corrupting the gob streams.
+	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	pid  int
+	dead atomic.Bool
+}
+
+var errWorkerDead = fmt.Errorf("distrib: worker connection already closed")
+
+// exchange performs one request/response round trip, bounded by timeout
+// when positive.
+func (w *workerConn) exchange(req *WorkRequest, timeout time.Duration) (*WorkResponse, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead.Load() {
+		return nil, errWorkerDead
+	}
+	if timeout > 0 {
+		if err := w.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		defer w.conn.SetDeadline(time.Time{})
+	}
+	if err := w.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp WorkResponse
+	if err := w.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // NewCoordinator listens for workers on a loopback port.
@@ -136,12 +258,49 @@ func NewCoordinator() (*Coordinator, error) {
 // Addr returns the address workers must dial.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
+// SetFaultPlan installs the fault plan consulted before every worker
+// exchange: the distrib.conn site fires for any worker, and the
+// per-worker sites returned by WorkerFaultSite target one worker
+// deterministically. A firing rule severs the connection, exactly as a
+// crashed worker node would.
+func (c *Coordinator) SetFaultPlan(p *faultinject.Plan) {
+	c.mu.Lock()
+	c.plan = p
+	c.mu.Unlock()
+}
+
+// WorkerFaultSite returns the fault site consulted before each exchange
+// with the i-th connected worker (dispatch order), for targeted
+// kill-a-worker tests.
+func WorkerFaultSite(i int) faultinject.Site {
+	return faultinject.Site(fmt.Sprintf("distrib.worker.%d", i))
+}
+
+// Stats returns fault-tolerance counters accumulated so far.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
 // AcceptWorkers blocks until n workers have dialed in and identified
-// themselves.
-func (c *Coordinator) AcceptWorkers(n int) error {
+// themselves. A positive timeout bounds the whole accept loop — workers
+// that fail to launch must not hang the coordinator forever.
+func (c *Coordinator) AcceptWorkers(n int, timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if tl, ok := c.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline) // zero time clears any prior deadline
+		defer tl.SetDeadline(time.Time{})
+	}
 	for i := 0; i < n; i++ {
 		conn, err := c.ln.Accept()
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return fmt.Errorf("distrib: timed out after %v waiting for worker %d of %d: %w", timeout, i+1, n, err)
+			}
 			return fmt.Errorf("distrib: accepting worker %d: %w", i, err)
 		}
 		w := &workerConn{
@@ -149,11 +308,15 @@ func (c *Coordinator) AcceptWorkers(n int) error {
 			enc:  gob.NewEncoder(conn),
 			dec:  gob.NewDecoder(conn),
 		}
+		if !deadline.IsZero() {
+			conn.SetReadDeadline(deadline)
+		}
 		var hello Hello
 		if err := w.dec.Decode(&hello); err != nil {
 			conn.Close()
 			return fmt.Errorf("distrib: worker %d hello: %w", i, err)
 		}
+		conn.SetReadDeadline(time.Time{})
 		w.pid = hello.Pid
 		c.mu.Lock()
 		c.workers = append(c.workers, w)
@@ -169,58 +332,210 @@ func (c *Coordinator) NumWorkers() int {
 	return len(c.workers)
 }
 
-// Dispatch ships every partition to the worker pool (round-robin, each
-// worker handling its share sequentially) and collects responses indexed
-// by leaf.
-func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
+// removeWorker drops a dead worker: the connection is closed promptly so
+// neither end keeps encoding into a wedged stream, and the worker no
+// longer receives dispatches.
+func (c *Coordinator) removeWorker(w *workerConn) {
+	if w.dead.Swap(true) {
+		return
+	}
+	w.conn.Close()
+	c.mu.Lock()
+	for i, o := range c.workers {
+		if o == w {
+			c.workers = append(c.workers[:i], c.workers[i+1:]...)
+			break
+		}
+	}
+	c.stats.WorkersLost++
+	c.mu.Unlock()
+}
+
+// Heartbeat pings every connected worker in parallel (bounded by
+// timeout, default 2s) and drops the ones that fail to acknowledge.
+// It returns the number of surviving workers. Call it between
+// dispatches to evict workers that died while idle; during a dispatch,
+// per-request deadlines perform the same detection inline.
+func (c *Coordinator) Heartbeat(timeout time.Duration) int {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
 	c.mu.Lock()
 	workers := append([]*workerConn(nil), c.workers...)
+	plan := c.plan
 	c.mu.Unlock()
-	if len(workers) == 0 {
-		return nil, fmt.Errorf("distrib: no workers connected")
-	}
-	responses := make([]*WorkResponse, len(reqs))
-	errs := make([]error, len(workers))
 	var wg sync.WaitGroup
 	for wi, w := range workers {
 		wg.Add(1)
 		go func(wi int, w *workerConn) {
 			defer wg.Done()
-			for ri := wi; ri < len(reqs); ri += len(workers) {
-				if err := w.enc.Encode(&reqs[ri]); err != nil {
-					errs[wi] = fmt.Errorf("distrib: sending leaf %d to worker %d: %w", reqs[ri].Leaf, wi, err)
-					return
-				}
-				var resp WorkResponse
-				if err := w.dec.Decode(&resp); err != nil {
-					errs[wi] = fmt.Errorf("distrib: receiving leaf %d from worker %d: %w", reqs[ri].Leaf, wi, err)
-					return
-				}
-				if resp.Err != "" {
-					errs[wi] = fmt.Errorf("distrib: worker %d leaf %d: %s", wi, resp.Leaf, resp.Err)
-					return
-				}
-				r := resp
-				responses[ri] = &r
+			if err := checkConnFault(plan, wi); err != nil {
+				c.removeWorker(w)
+				return
+			}
+			resp, err := w.exchange(&WorkRequest{Ping: true}, timeout)
+			if err != nil || !resp.Ping {
+				c.removeWorker(w)
 			}
 		}(wi, w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return c.NumWorkers()
+}
+
+// checkConnFault consults the generic and per-worker connection fault
+// sites.
+func checkConnFault(plan *faultinject.Plan, wi int) error {
+	if err := plan.Check(faultinject.DistribConn); err != nil {
+		return err
+	}
+	return plan.Check(WorkerFaultSite(wi))
+}
+
+// Dispatch ships every partition to the worker pool and collects
+// responses indexed by request position.
+//
+// Partitions are pulled from a shared queue, so fast workers take more
+// of them. A worker whose exchange fails (connection error, injected
+// fault, or RequestTimeout expiry) is dropped immediately — its
+// connection closed, its outstanding partition re-queued to the
+// survivors after a backoff (Retry). The dispatch fails only when a
+// partition exhausts Retry.MaxAttempts, a worker reports an
+// application-level error (resp.Err — deterministic, so re-execution
+// cannot help), or zero workers survive.
+func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
+	c.mu.Lock()
+	workers := append([]*workerConn(nil), c.workers...)
+	plan := c.plan
+	c.mu.Unlock()
+	retry := c.Retry.withDefaults()
+	timeout := c.RequestTimeout
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("distrib: no workers connected")
+	}
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+
+	responses := make([]*WorkResponse, len(reqs))
+	// Every index is in exactly one place: the queue, a worker's hands,
+	// or responses — so the buffer never overflows and requeues never
+	// block.
+	queue := make(chan int, len(reqs))
+	for i := range reqs {
+		queue <- i
+	}
+	attempts := make([]int, len(reqs)) // handed off through queue sends
+
+	var (
+		pending  atomic.Int64
+		alive    atomic.Int64
+		allDone  = make(chan struct{})
+		abort    = make(chan struct{})
+		failOnce sync.Once
+		failMu   sync.Mutex
+		failErr  error
+	)
+	pending.Store(int64(len(reqs)))
+	alive.Store(int64(len(workers)))
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
 		}
+		failMu.Unlock()
+		failOnce.Do(func() { close(abort) })
+	}
+	// requeue hands a failed partition back to the pool after a backoff,
+	// or aborts the run when the partition is out of attempts.
+	requeue := func(ri int, cause error) {
+		attempts[ri]++
+		if attempts[ri] >= retry.MaxAttempts {
+			fail(fmt.Errorf("distrib: leaf %d failed on %d workers, giving up: %w",
+				reqs[ri].Leaf, attempts[ri], cause))
+			return
+		}
+		c.mu.Lock()
+		c.stats.Reassigned++
+		c.mu.Unlock()
+		delay := retry.backoff(attempts[ri])
+		go func() {
+			time.Sleep(delay)
+			queue <- ri
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *workerConn) {
+			defer wg.Done()
+			for {
+				var ri int
+				select {
+				case <-abort:
+					return
+				case <-allDone:
+					return
+				case ri = <-queue:
+				}
+				if err := checkConnFault(plan, wi); err != nil {
+					// Injected connection fault: sever exactly as a
+					// crashed worker node would.
+					c.removeWorker(w)
+					requeue(ri, err)
+					if alive.Add(-1) == 0 {
+						fail(fmt.Errorf("distrib: leaf %d: no surviving workers: %w", reqs[ri].Leaf, err))
+					}
+					return
+				}
+				resp, err := w.exchange(&reqs[ri], timeout)
+				if err != nil {
+					c.removeWorker(w)
+					requeue(ri, err)
+					if alive.Add(-1) == 0 {
+						fail(fmt.Errorf("distrib: leaf %d: no surviving workers: %w", reqs[ri].Leaf, err))
+					}
+					return
+				}
+				if resp.Err != "" {
+					fail(fmt.Errorf("distrib: worker %d leaf %d: %s", w.pid, resp.Leaf, resp.Err))
+					return
+				}
+				responses[ri] = resp
+				if pending.Add(-1) == 0 {
+					close(allDone)
+					return
+				}
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	failMu.Lock()
+	err := failErr
+	failMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	return responses, nil
 }
 
-// Shutdown tells every worker to exit and closes the listener.
+// Shutdown tells every worker to exit and closes the listener. It is
+// idempotent: repeated calls (or a Shutdown racing a failure path) are
+// no-ops.
 func (c *Coordinator) Shutdown() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
 	for _, w := range c.workers {
+		w.mu.Lock()
 		_ = w.enc.Encode(&WorkRequest{Done: true})
 		w.conn.Close()
+		w.mu.Unlock()
+		w.dead.Store(true)
 	}
 	c.workers = nil
 	c.ln.Close()

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dbscan"
@@ -22,22 +23,15 @@ func startWorkers(t *testing.T, c *Coordinator, n int) *sync.WaitGroup {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := Worker(c.Addr(), 1000+i); err != nil && !isClosedErr(err) {
+			if err := Worker(c.Addr(), 1000+i); err != nil && !IsConnClosed(err) {
 				t.Errorf("worker %d: %v", i, err)
 			}
 		}(i)
 	}
-	if err := c.AcceptWorkers(n); err != nil {
+	if err := c.AcceptWorkers(n, 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	return &wg
-}
-
-func isClosedErr(err error) bool {
-	s := err.Error()
-	return strings.Contains(s, "use of closed network connection") ||
-		strings.Contains(s, "EOF") ||
-		strings.Contains(s, "connection reset")
 }
 
 func TestDistributedMatchesReference(t *testing.T) {
@@ -133,7 +127,7 @@ func TestWorkerErrorPropagates(t *testing.T) {
 // genuine OS processes without a separate binary.
 func TestMain(m *testing.M) {
 	if addr := os.Getenv("MRSCAN_DISTRIB_WORKER"); addr != "" {
-		if err := Worker(addr, os.Getpid()); err != nil && !isClosedErr(err) {
+		if err := Worker(addr, os.Getpid()); err != nil && !IsConnClosed(err) {
 			os.Exit(1)
 		}
 		os.Exit(0)

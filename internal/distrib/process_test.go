@@ -4,6 +4,7 @@ import (
 	"os"
 	"os/exec"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dbscan"
@@ -44,7 +45,7 @@ func TestRealProcessWorkers(t *testing.T) {
 			}
 		}
 	}()
-	if err := c.AcceptWorkers(workers); err != nil {
+	if err := c.AcceptWorkers(workers, 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	pts := dataset.Twitter(8000, 3)

@@ -1,0 +1,277 @@
+// Package faultinject provides a deterministic, seedable fault plan
+// shared by every hardware simulator in the pipeline.
+//
+// Mr. Scan's substrate makes partial failure the normal case at scale:
+// Lustre "fails under load (OST evictions, MDS timeouts)", MRNet
+// processes die and their children must be re-parented, and worker nodes
+// drop off mid-phase. Each simulator used to carry (or lack) its own
+// ad-hoc fault hook; this package replaces them with a single Plan that
+// every substrate consults at its fault sites:
+//
+//   - lustre.read / lustre.write — parallel file system I/O
+//   - mrnet.hop                  — overlay tree edge traffic
+//   - mrnet.node                 — internal overlay process crash
+//   - gpusim.launch              — GPGPU kernel launches
+//   - distrib.conn               — coordinator→worker TCP exchanges
+//
+// A Rule fires either after a fixed number of operations (op-count
+// trigger) or with a seeded per-operation probability, for a bounded or
+// unbounded number of failures. Bounded rules model transient faults
+// that a retry policy should absorb; unbounded rules model permanent
+// failures that must surface as errors. All counting is done under one
+// mutex, so a plan driven by a deterministic operation order reproduces
+// the same failure sequence on every run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Site names a fault injection point. Substrates define their own site
+// constants; tests may invent ad-hoc sites (e.g. per-worker sites in
+// distrib).
+type Site string
+
+// Well-known fault sites consulted by the simulators.
+const (
+	LustreRead  Site = "lustre.read"
+	LustreWrite Site = "lustre.write"
+	MRNetHop    Site = "mrnet.hop"
+	MRNetNode   Site = "mrnet.node"
+	GPULaunch   Site = "gpusim.launch"
+	DistribConn Site = "distrib.conn"
+)
+
+// LustreIO is a pseudo-site accepted by Arm and Parse: it arms one rule
+// with a single shared counter across LustreRead and LustreWrite,
+// matching the legacy lustre.InjectFault semantics (N successful
+// operations of either kind, then failure).
+const LustreIO Site = "lustre.io"
+
+// ErrInjected is the default error returned by a firing rule with no
+// explicit Err.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule describes one fault trigger.
+type Rule struct {
+	// After is the number of Check calls at the armed site(s) that pass
+	// before the rule starts firing. Ignored when Prob is set.
+	After int64
+	// Times bounds how many failures the rule injects; 0 means
+	// unlimited (a permanent fault).
+	Times int64
+	// Prob, when positive, makes the rule probabilistic: each Check
+	// fires with probability Prob, drawn from the plan's seeded PRNG.
+	Prob float64
+	// Err is the error injected; nil uses ErrInjected.
+	Err error
+}
+
+// armedRule is a Rule plus its live counters. One armedRule may be
+// registered at several sites (ArmShared), sharing the counters.
+type armedRule struct {
+	Rule
+	remaining int64 // op credits left before firing (count-triggered)
+	fired     int64
+}
+
+// Plan is a set of armed rules keyed by site. The zero value is not
+// usable; construct with New. A nil *Plan is valid and injects nothing,
+// so substrates can consult their plan unconditionally. Plan is safe
+// for concurrent use.
+type Plan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[Site][]*armedRule
+}
+
+// New returns an empty plan. The seed drives probabilistic rules; plans
+// with the same seed, rules and Check sequence inject identical faults.
+func New(seed int64) *Plan {
+	return &Plan{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[Site][]*armedRule),
+	}
+}
+
+// Arm registers a rule at a site and returns the plan for chaining.
+// Arming the LustreIO pseudo-site shares one rule across LustreRead and
+// LustreWrite.
+func (p *Plan) Arm(site Site, r Rule) *Plan {
+	if site == LustreIO {
+		return p.ArmShared(r, LustreRead, LustreWrite)
+	}
+	return p.ArmShared(r, site)
+}
+
+// ArmShared registers one rule — with a single shared op counter and
+// failure budget — at every listed site.
+func (p *Plan) ArmShared(r Rule, sites ...Site) *Plan {
+	ar := &armedRule{Rule: r, remaining: r.After}
+	p.mu.Lock()
+	for _, s := range sites {
+		p.rules[s] = append(p.rules[s], ar)
+	}
+	p.mu.Unlock()
+	return p
+}
+
+// Check consumes one operation at the site and returns the injected
+// error if any armed rule fires. A nil plan or an unarmed site always
+// passes (and costs nothing).
+func (p *Plan) Check(site Site) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ar := range p.rules[site] {
+		if ar.Times > 0 && ar.fired >= ar.Times {
+			continue // exhausted: transient fault has passed
+		}
+		if ar.Prob > 0 {
+			if p.rng.Float64() >= ar.Prob {
+				continue
+			}
+		} else if ar.remaining > 0 {
+			ar.remaining--
+			continue
+		}
+		ar.fired++
+		if ar.Err != nil {
+			return ar.Err
+		}
+		return ErrInjected
+	}
+	return nil
+}
+
+// Fired returns how many failures have been injected at the site so far
+// (summed over its rules; a shared rule counts once per site it fired
+// at — i.e. per firing Check call).
+func (p *Plan) Fired(site Site) int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	seen := make(map[*armedRule]bool)
+	for _, ar := range p.rules[site] {
+		if !seen[ar] {
+			seen[ar] = true
+			n += ar.fired
+		}
+	}
+	return n
+}
+
+// TotalFired returns the total number of injected failures across all
+// sites.
+func (p *Plan) TotalFired() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	seen := make(map[*armedRule]bool)
+	for _, rs := range p.rules {
+		for _, ar := range rs {
+			if !seen[ar] {
+				seen[ar] = true
+				n += ar.fired
+			}
+		}
+	}
+	return n
+}
+
+// Sites returns the armed sites, sorted (for logs and tests).
+func (p *Plan) Sites() []Site {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]Site, 0, len(p.rules))
+	for s := range p.rules {
+		out = append(out, s)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parse builds a plan from a compact spec string, the format of the
+// CLI's -fault-plan flag:
+//
+//	site:key=val[,key=val...][;site:...]
+//
+// Keys: after=N (op-count trigger), times=K (failure budget, 0 =
+// permanent), prob=P (probability trigger), msg=S (error text). The
+// pseudo-site lustre.io arms a shared rule over lustre.read and
+// lustre.write. Example:
+//
+//	lustre.io:after=100,times=2;mrnet.node:times=1;mrnet.hop:prob=0.001
+//
+// An empty spec yields a nil plan (no injection).
+func Parse(spec string, seed int64) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := New(seed)
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, kvs, ok := strings.Cut(entry, ":")
+		if !ok || strings.TrimSpace(site) == "" {
+			return nil, fmt.Errorf("faultinject: entry %q: want site:key=val,...", entry)
+		}
+		var r Rule
+		for _, kv := range strings.Split(kvs, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: entry %q: bad pair %q", entry, kv)
+			}
+			switch k {
+			case "after":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("faultinject: entry %q: bad after=%q", entry, v)
+				}
+				r.After = n
+			case "times":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("faultinject: entry %q: bad times=%q", entry, v)
+				}
+				r.Times = n
+			case "prob":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("faultinject: entry %q: bad prob=%q", entry, v)
+				}
+				r.Prob = f
+			case "msg":
+				r.Err = errors.New(v)
+			default:
+				return nil, fmt.Errorf("faultinject: entry %q: unknown key %q", entry, k)
+			}
+		}
+		p.Arm(Site(strings.TrimSpace(site)), r)
+	}
+	return p, nil
+}

@@ -1,0 +1,166 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilPlanAndUnarmedSitePass(t *testing.T) {
+	var p *Plan
+	if err := p.Check(LustreRead); err != nil {
+		t.Fatalf("nil plan must pass: %v", err)
+	}
+	if p.Fired(LustreRead) != 0 || p.TotalFired() != 0 || p.Sites() != nil {
+		t.Error("nil plan accessors must be zero")
+	}
+	p = New(1)
+	for i := 0; i < 100; i++ {
+		if err := p.Check(MRNetHop); err != nil {
+			t.Fatalf("unarmed site must pass: %v", err)
+		}
+	}
+}
+
+func TestCountTrigger(t *testing.T) {
+	boom := errors.New("boom")
+	p := New(0).Arm(GPULaunch, Rule{After: 3, Times: 2, Err: boom})
+	for i := 0; i < 3; i++ {
+		if err := p.Check(GPULaunch); err != nil {
+			t.Fatalf("op %d must pass: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Check(GPULaunch); !errors.Is(err, boom) {
+			t.Fatalf("failure %d = %v, want boom", i, err)
+		}
+	}
+	// Budget exhausted: transient fault has passed.
+	if err := p.Check(GPULaunch); err != nil {
+		t.Fatalf("exhausted rule must pass: %v", err)
+	}
+	if got := p.Fired(GPULaunch); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+func TestPermanentFault(t *testing.T) {
+	p := New(0).Arm(MRNetHop, Rule{})
+	for i := 0; i < 5; i++ {
+		if err := p.Check(MRNetHop); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d = %v, want ErrInjected", i, err)
+		}
+	}
+}
+
+func TestSharedCounterAcrossSites(t *testing.T) {
+	boom := errors.New("ost evicted")
+	p := New(0).Arm(LustreIO, Rule{After: 2, Err: boom})
+	if err := p.Check(LustreRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(LustreWrite); err != nil {
+		t.Fatal(err)
+	}
+	// Two credits consumed across both sites; third op fires regardless
+	// of which site it hits.
+	if err := p.Check(LustreRead); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if err := p.Check(LustreWrite); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestProbDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		p := New(seed).Arm(DistribConn, Rule{Prob: 0.25})
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if p.Check(DistribConn) != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("prob=0.25 over 200 ops fired nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at firing %d: op %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProbTimesBudget(t *testing.T) {
+	p := New(7).Arm(MRNetNode, Rule{Prob: 1, Times: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if p.Check(MRNetNode) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired %d times, want 3 (budget)", fired)
+	}
+}
+
+func TestConcurrentChecksInjectExactly(t *testing.T) {
+	p := New(0).Arm(MRNetNode, Rule{Times: 1})
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if p.Check(MRNetNode) != nil {
+				fired.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("Times=1 rule fired %d times under concurrency", n)
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("lustre.io:after=1,times=2,msg=ost down; mrnet.node:times=1 ;gpusim.launch:prob=0.5", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := p.Sites()
+	want := []Site{GPULaunch, LustreRead, LustreWrite, MRNetNode}
+	if len(sites) != len(want) {
+		t.Fatalf("Sites = %v, want %v", sites, want)
+	}
+	for i := range want {
+		if sites[i] != want[i] {
+			t.Fatalf("Sites = %v, want %v", sites, want)
+		}
+	}
+	if err := p.Check(LustreRead); err != nil {
+		t.Fatalf("first lustre op must pass: %v", err)
+	}
+	if err := p.Check(LustreWrite); err == nil || err.Error() != "ost down" {
+		t.Fatalf("second lustre op = %v, want msg error", err)
+	}
+
+	if p, err := Parse("", 0); err != nil || p != nil {
+		t.Errorf("empty spec = (%v, %v), want nil plan", p, err)
+	}
+	for _, bad := range []string{
+		"nosite", "s:", "s:after=x", "s:times=-1", "s:prob=2", "s:wat=1", "s:after",
+	} {
+		if _, err := Parse(bad, 0); err == nil && bad != "s:" {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}

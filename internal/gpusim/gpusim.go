@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/simclock"
 )
 
@@ -89,6 +90,7 @@ type Device struct {
 
 	mu    sync.Mutex
 	stats Stats
+	plan  *faultinject.Plan
 }
 
 // ErrOutOfMemory is returned by Alloc when device memory is exhausted.
@@ -107,6 +109,23 @@ func New(cfg Config, clock *simclock.Clock) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetFaultPlan installs the fault plan consulted at the gpusim.launch
+// site before every kernel launch (an injected fault models an ECC
+// error or a hung kernel aborted by the driver). A nil plan disables
+// injection.
+func (d *Device) SetFaultPlan(p *faultinject.Plan) {
+	d.mu.Lock()
+	d.plan = p
+	d.mu.Unlock()
+}
+
+func (d *Device) checkFault() error {
+	d.mu.Lock()
+	plan := d.plan
+	d.mu.Unlock()
+	return plan.Check(faultinject.GPULaunch)
+}
 
 // Clock returns the simulated clock costs are charged to.
 func (d *Device) Clock() *simclock.Clock { return d.clock }
@@ -251,6 +270,9 @@ type Kernel func(ctx KernelCtx)
 func (d *Device) Launch(name string, lc LaunchConfig, k Kernel) error {
 	if lc.Blocks <= 0 || lc.ThreadsPerBlock <= 0 {
 		return fmt.Errorf("gpusim: invalid launch config %+v for kernel %q", lc, name)
+	}
+	if err := d.checkFault(); err != nil {
+		return fmt.Errorf("gpusim: launching kernel %q on %s: %w", name, d.cfg.Name, err)
 	}
 	start := time.Now()
 	var next int64 = -1

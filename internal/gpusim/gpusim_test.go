@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/simclock"
 )
 
@@ -253,5 +254,31 @@ func TestHostTransferCountsMirrorPaper(t *testing.T) {
 	mrscan := run(2)
 	if mrscan >= dclust {
 		t.Errorf("single round trip (%v) must beat per-iteration transfers (%v)", mrscan, dclust)
+	}
+}
+
+func TestLaunchFaultInjection(t *testing.T) {
+	d := New(testConfig(), nil)
+	boom := errors.New("ecc error")
+	d.SetFaultPlan(faultinject.New(0).
+		Arm(faultinject.GPULaunch, faultinject.Rule{After: 1, Times: 1, Err: boom}))
+	var ran atomic.Int64
+	k := func(ctx KernelCtx) { ran.Add(1) }
+	lc := LaunchConfig{Blocks: 2, ThreadsPerBlock: 4}
+	if err := d.Launch("k1", lc, k); err != nil {
+		t.Fatalf("launch 1 must pass: %v", err)
+	}
+	if err := d.Launch("k2", lc, k); !errors.Is(err, boom) {
+		t.Fatalf("launch 2 = %v, want injected fault", err)
+	}
+	if got := ran.Load(); got != 8 {
+		t.Errorf("failed launch must not execute threads: ran %d, want 8", got)
+	}
+	// Transient: the third launch succeeds again.
+	if err := d.Launch("k3", lc, k); err != nil {
+		t.Fatalf("launch 3 must pass after transient fault: %v", err)
+	}
+	if st := d.Stats(); st.KernelLaunches != 2 {
+		t.Errorf("KernelLaunches = %d, want 2 (failed launch not counted)", st.KernelLaunches)
 	}
 }

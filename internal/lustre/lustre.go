@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/simclock"
 )
 
@@ -75,11 +76,8 @@ type FS struct {
 	files map[string]*file
 	stats Stats
 
-	// Fault injection: after faultAfter more successful operations,
-	// every read/write fails with faultErr.
-	faultArmed bool
-	faultAfter int64
-	faultErr   error
+	// plan is consulted at the lustre.read / lustre.write fault sites.
+	plan *faultinject.Plan
 }
 
 type file struct {
@@ -114,32 +112,39 @@ func (fs *FS) Stats() Stats {
 	return fs.stats
 }
 
-// InjectFault arms fault injection for failure testing: after `after`
-// more successful read/write operations, every subsequent operation
-// fails with err. A nil err disarms injection. Real parallel file
-// systems fail under load (OST evictions, MDS timeouts); Mr. Scan's
-// phases must surface those errors rather than corrupt output.
-func (fs *FS) InjectFault(after int64, err error) {
+// SetFaultPlan installs the fault plan consulted at the lustre.read and
+// lustre.write sites (faultinject package). A nil plan disables
+// injection. Real parallel file systems fail under load (OST evictions,
+// MDS timeouts); Mr. Scan's phases must surface those errors rather
+// than corrupt output.
+func (fs *FS) SetFaultPlan(p *faultinject.Plan) {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.faultArmed = err != nil
-	fs.faultAfter = after
-	fs.faultErr = err
+	fs.plan = p
+	fs.mu.Unlock()
 }
 
-// checkFault consumes one operation credit and returns the injected
-// error once credits run out.
-func (fs *FS) checkFault() error {
+// InjectFault arms a permanent I/O fault after `after` more successful
+// read/write operations; a nil err disarms injection.
+//
+// Deprecated: InjectFault is a thin wrapper kept for existing callers.
+// Use SetFaultPlan with a faultinject.Plan, which supports transient
+// faults, probability triggers and per-site arming.
+func (fs *FS) InjectFault(after int64, err error) {
+	if err == nil {
+		fs.SetFaultPlan(nil)
+		return
+	}
+	fs.SetFaultPlan(faultinject.New(0).
+		Arm(faultinject.LustreIO, faultinject.Rule{After: after, Err: err}))
+}
+
+// checkFault consumes one operation at the site and returns the
+// injected error if the plan fires.
+func (fs *FS) checkFault(site faultinject.Site) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if !fs.faultArmed {
-		return nil
-	}
-	if fs.faultAfter > 0 {
-		fs.faultAfter--
-		return nil
-	}
-	return fs.faultErr
+	plan := fs.plan
+	fs.mu.Unlock()
+	return plan.Check(site)
 }
 
 // Create makes (or truncates) a file and returns a handle positioned at
@@ -266,7 +271,7 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	if err := h.fs.checkFault(); err != nil {
+	if err := h.fs.checkFault(faultinject.LustreWrite); err != nil {
 		return 0, fmt.Errorf("lustre: write %q at %d: %w", h.name, off, err)
 	}
 	h.f.mu.Lock()
@@ -297,7 +302,7 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("lustre: negative offset %d on %q", off, h.name)
 	}
-	if err := h.fs.checkFault(); err != nil {
+	if err := h.fs.checkFault(faultinject.LustreRead); err != nil {
 		return 0, fmt.Errorf("lustre: read %q at %d: %w", h.name, off, err)
 	}
 	h.f.mu.RLock()

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 func testConfig() Config {
@@ -259,7 +261,56 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
-func TestInjectFault(t *testing.T) {
+func TestFaultPlan(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("f")
+	boom := errors.New("io failure")
+	// One shared counter over reads and writes, permanent once fired —
+	// the lustre.io pseudo-site.
+	fs.SetFaultPlan(faultinject.New(0).
+		Arm(faultinject.LustreIO, faultinject.Rule{After: 2, Err: boom}))
+	if _, err := h.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatalf("op 1 must succeed: %v", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatalf("op 2 must succeed: %v", err)
+	}
+	if _, err := h.WriteAt([]byte("b"), 1); !errors.Is(err, boom) {
+		t.Fatalf("op 3 = %v, want injected fault", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); !errors.Is(err, boom) {
+		t.Fatalf("subsequent ops must keep failing, got %v", err)
+	}
+	fs.SetFaultPlan(nil)
+	if _, err := h.WriteAt([]byte("c"), 2); err != nil {
+		t.Fatalf("disarmed fault still fired: %v", err)
+	}
+}
+
+func TestFaultPlanTransientAndPerSite(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("f")
+	boom := errors.New("ost evicted")
+	// Writes fail twice then recover; reads are never armed.
+	fs.SetFaultPlan(faultinject.New(0).
+		Arm(faultinject.LustreWrite, faultinject.Rule{Times: 2, Err: boom}))
+	if _, err := h.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Fatalf("read must be unaffected, got %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := h.WriteAt([]byte("a"), 0); !errors.Is(err, boom) {
+			t.Fatalf("write %d = %v, want fault", i, err)
+		}
+	}
+	if _, err := h.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatalf("transient fault must clear after 2 failures: %v", err)
+	}
+}
+
+// TestInjectFaultLegacyWrapper pins the deprecated InjectFault wrapper
+// to its historical semantics: combined read+write op budget, permanent
+// failure, nil disarms.
+func TestInjectFaultLegacyWrapper(t *testing.T) {
 	fs := New(testConfig(), nil)
 	h := fs.Create("f")
 	boom := errors.New("io failure")
@@ -272,9 +323,6 @@ func TestInjectFault(t *testing.T) {
 	}
 	if _, err := h.WriteAt([]byte("b"), 1); !errors.Is(err, boom) {
 		t.Fatalf("op 3 = %v, want injected fault", err)
-	}
-	if _, err := h.ReadAt(make([]byte, 1), 0); !errors.Is(err, boom) {
-		t.Fatalf("subsequent ops must keep failing, got %v", err)
 	}
 	fs.InjectFault(0, nil)
 	if _, err := h.WriteAt([]byte("c"), 2); err != nil {

@@ -24,11 +24,13 @@
 package mrnet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/simclock"
 )
 
@@ -48,16 +50,21 @@ type CostModel struct {
 	// (§5.1.1); startup = StartupBase + StartupPerNode × processes.
 	StartupBase    time.Duration
 	StartupPerNode time.Duration
+	// ReconnectLatency is charged per re-parented child when an internal
+	// node fails and its children reconnect to their grandparent (the
+	// MRNet recovery model).
+	ReconnectLatency time.Duration
 }
 
 // TitanCosts returns the cost model used by the experiments, with a
 // startup ramp tuned to show the paper's linear MRNet startup component.
 func TitanCosts() CostModel {
 	return CostModel{
-		HopLatency:     20 * time.Microsecond,
-		BytesPerSec:    5e9,
-		StartupBase:    500 * time.Millisecond,
-		StartupPerNode: 2 * time.Millisecond,
+		HopLatency:       20 * time.Microsecond,
+		BytesPerSec:      5e9,
+		StartupBase:      500 * time.Millisecond,
+		StartupPerNode:   2 * time.Millisecond,
+		ReconnectLatency: 50 * time.Millisecond,
 	}
 }
 
@@ -73,6 +80,9 @@ type Node struct {
 	// node's subtree (leaves are numbered in DFS order).
 	firstLeaf int
 	numLeaves int
+	// failed marks an internal node removed by FailNode; its children
+	// were re-parented to the grandparent.
+	failed bool
 }
 
 // ID returns the node's network-wide identifier (0 is the root).
@@ -114,6 +124,11 @@ type Network struct {
 
 	packets atomic.Int64
 	bytes   atomic.Int64
+
+	// topoMu guards tree mutations (FailNode re-parenting).
+	topoMu     sync.Mutex
+	recoveries atomic.Int64
+	plan       *faultinject.Plan
 }
 
 // New builds a balanced tree with the given number of leaves and maximum
@@ -223,6 +238,149 @@ func (net *Network) chargeHop(level int, bytes int64) {
 	net.clock.Charge(fmt.Sprintf("mrnet/level%d", level), cost)
 }
 
+// SetFaultPlan installs the fault plan consulted at the mrnet.hop site
+// (per tree-edge transfer) and the mrnet.node site (internal process
+// crash, recovered by re-parenting). Set it before starting collectives;
+// a nil plan disables injection.
+func (net *Network) SetFaultPlan(p *faultinject.Plan) {
+	net.topoMu.Lock()
+	net.plan = p
+	net.topoMu.Unlock()
+}
+
+// Recoveries returns how many internal-node failures the network has
+// recovered from (via FailNode re-parenting).
+func (net *Network) Recoveries() int64 { return net.recoveries.Load() }
+
+// NodeFailedError reports the simulated crash of an internal process.
+// Collectives catch it one level up, re-parent the failed node's
+// children to their grandparent, and retry the affected subtree.
+type NodeFailedError struct {
+	ID    int
+	cause error
+}
+
+func (e *NodeFailedError) Error() string {
+	return fmt.Sprintf("mrnet: internal node %d failed: %v", e.ID, e.cause)
+}
+
+func (e *NodeFailedError) Unwrap() error { return e.cause }
+
+// FailNode removes an internal (non-root, non-leaf) process from the
+// tree, re-parenting its children to their grandparent — the MRNet
+// failure recovery model. Leaves are numbered in DFS order and the
+// splice preserves child order, so every surviving subtree keeps its
+// leaf range; only depths shrink. Each re-parented child is charged
+// ReconnectLatency on the simulated clock. Failing an already-failed
+// node is a no-op (concurrent collectives may race to recover the same
+// crash).
+func (net *Network) FailNode(id int) error {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	if id < 0 || id >= len(net.nodes) {
+		return fmt.Errorf("mrnet: no node %d", id)
+	}
+	n := net.nodes[id]
+	if n.failed {
+		return nil
+	}
+	if n.parent == nil {
+		return fmt.Errorf("mrnet: cannot fail the root (the front-end is not recoverable)")
+	}
+	if n.IsLeaf() {
+		return fmt.Errorf("mrnet: cannot fail leaf node %d (leaves hold partition data)", id)
+	}
+	p := n.parent
+	idx := -1
+	for i, c := range p.children {
+		if c == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("mrnet: node %d not among its parent's children", id)
+	}
+	spliced := make([]*Node, 0, len(p.children)-1+len(n.children))
+	spliced = append(spliced, p.children[:idx]...)
+	spliced = append(spliced, n.children...)
+	spliced = append(spliced, p.children[idx+1:]...)
+	p.children = spliced
+	var promote func(*Node)
+	promote = func(m *Node) {
+		m.level--
+		for _, c := range m.children {
+			promote(c)
+		}
+	}
+	for _, c := range n.children {
+		c.parent = p
+		promote(c)
+	}
+	net.clock.Charge("mrnet/reconnect",
+		time.Duration(len(n.children))*net.costs.ReconnectLatency)
+	n.failed = true
+	n.parent = nil
+	n.children = nil
+	net.recoveries.Add(1)
+	return nil
+}
+
+// childrenOf snapshots a node's child list under the topology lock.
+func (net *Network) childrenOf(n *Node) []*Node {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	return append([]*Node(nil), n.children...)
+}
+
+func (net *Network) faultPlan() *faultinject.Plan {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	return net.plan
+}
+
+// opState is the shared state of one collective operation: the first
+// fatal error cancels the whole operation so sibling subtrees stop
+// charging the simulated clock for work that would not happen on the
+// real tree.
+type opState struct {
+	cancelled atomic.Bool
+	mu        sync.Mutex
+	err       error
+}
+
+func (o *opState) fail(err error) {
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+	o.cancelled.Store(true)
+}
+
+func (o *opState) aborted() bool { return o.cancelled.Load() }
+
+func (o *opState) firstErr() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// errAborted marks subtrees cut short by a fatal error elsewhere in the
+// collective; the originating error is reported instead.
+var errAborted = errors.New("mrnet: collective aborted by failure elsewhere in the tree")
+
+// finish maps a collective's outcome to the user-visible error.
+func (o *opState) finish(err error) error {
+	if err == nil {
+		return nil
+	}
+	if first := o.firstErr(); first != nil {
+		return first
+	}
+	return err
+}
+
 // Sizer reports the wire size of a payload for the cost model. A nil
 // Sizer charges only per-hop latency.
 type Sizer[T any] func(T) int64
@@ -230,105 +388,238 @@ type Sizer[T any] func(T) int64
 // Reduce performs an upstream reduction: leafFn runs at every leaf (in
 // parallel), combine runs at every internal node and at the root over its
 // children's results, ordered by child position. The root's combined value
-// is returned. The first error aborts the reduction.
+// is returned.
+//
+// The first fatal error cancels the whole collective (unstarted subtree
+// work is skipped and charges nothing). An injected internal-node crash
+// (mrnet.node fault site) is not fatal: the failed node's children are
+// re-parented to their grandparent and the affected subtree is
+// re-reduced, with already-transferred sibling results reused — leafFn
+// and combine must therefore be safe to re-execute (DBSCAN's phases are
+// deterministic and side-effect-free, so they are).
 func Reduce[T any](net *Network, leafFn func(leaf int) (T, error), combine func(n *Node, in []T) (T, error), size Sizer[T]) (T, error) {
-	return reduceAt(net, net.root, leafFn, combine, size)
+	op := &opState{}
+	v, err := reduceAt(net, net.root, leafFn, combine, size, op)
+	if err != nil {
+		var zero T
+		return zero, op.finish(err)
+	}
+	return v, nil
 }
 
-func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine func(*Node, []T) (T, error), size Sizer[T]) (T, error) {
+func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine func(*Node, []T) (T, error), size Sizer[T], op *opState) (T, error) {
 	var zero T
+	if op.aborted() {
+		return zero, errAborted
+	}
 	if n.IsLeaf() {
 		v, err := leafFn(n.leafIndex)
 		if err != nil {
-			return zero, fmt.Errorf("mrnet: leaf %d: %w", n.leafIndex, err)
+			err = fmt.Errorf("mrnet: leaf %d: %w", n.leafIndex, err)
+			op.fail(err)
+			return zero, err
 		}
 		return v, nil
 	}
-	results := make([]T, len(n.children))
-	errs := make([]error, len(n.children))
-	var wg sync.WaitGroup
-	wg.Add(len(n.children))
-	for i, c := range n.children {
-		go func(i int, c *Node) {
-			defer wg.Done()
-			v, err := reduceAt(net, c, leafFn, combine, size)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			var b int64
-			if size != nil {
-				b = size(v)
-			}
-			net.chargeHop(c.level, b)
-			results[i] = v
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return zero, err
+	if n.parent != nil { // internal, non-root: subject to crash injection
+		if ferr := net.faultPlan().Check(faultinject.MRNetNode); ferr != nil {
+			return zero, &NodeFailedError{ID: n.id, cause: ferr}
 		}
 	}
-	v, err := combine(n, results)
-	if err != nil {
-		return zero, fmt.Errorf("mrnet: filter at node %d: %w", n.id, err)
+	// done caches child results already transferred to this node; on a
+	// child crash only the re-parented (and not-yet-reduced) subtrees
+	// re-execute.
+	done := make(map[*Node]T)
+	var doneMu sync.Mutex
+	for {
+		children := net.childrenOf(n)
+		results := make([]T, len(children))
+		errs := make([]error, len(children))
+		var wg sync.WaitGroup
+		for i, c := range children {
+			doneMu.Lock()
+			v, ok := done[c]
+			doneMu.Unlock()
+			if ok {
+				results[i] = v
+				continue
+			}
+			wg.Add(1)
+			go func(i int, c *Node) {
+				defer wg.Done()
+				v, err := reduceAt(net, c, leafFn, combine, size, op)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if op.aborted() {
+					errs[i] = errAborted
+					return
+				}
+				if ferr := net.faultPlan().Check(faultinject.MRNetHop); ferr != nil {
+					err = fmt.Errorf("mrnet: hop from node %d to node %d: %w", c.id, n.id, ferr)
+					op.fail(err)
+					errs[i] = err
+					return
+				}
+				var b int64
+				if size != nil {
+					b = size(v)
+				}
+				net.chargeHop(c.level, b)
+				results[i] = v
+				doneMu.Lock()
+				done[c] = v
+				doneMu.Unlock()
+			}(i, c)
+		}
+		wg.Wait()
+		var crashed []int
+		for _, err := range errs {
+			var nf *NodeFailedError
+			if errors.As(err, &nf) {
+				crashed = append(crashed, nf.ID)
+			} else if err != nil && !errors.Is(err, errAborted) {
+				return zero, err
+			}
+		}
+		if op.aborted() {
+			return zero, errAborted
+		}
+		if len(crashed) == 0 {
+			v, err := combine(n, results)
+			if err != nil {
+				err = fmt.Errorf("mrnet: filter at node %d: %w", n.id, err)
+				op.fail(err)
+				return zero, err
+			}
+			return v, nil
+		}
+		for _, id := range crashed {
+			if err := net.FailNode(id); err != nil {
+				op.fail(err)
+				return zero, err
+			}
+		}
+		// Retry with the re-parented child list; finite internal nodes
+		// bound the number of recovery rounds.
 	}
-	return v, nil
 }
 
 // Multicast distributes a payload from the root to every leaf. split, if
 // non-nil, runs at every non-leaf node and must return one payload per
 // child (it may slice the payload to route data); a nil split broadcasts
 // the same value. deliver runs at every leaf, in parallel.
+//
+// Failure semantics match Reduce: fatal errors cancel the collective,
+// injected internal-node crashes re-parent and retry the affected
+// subtree (split is re-invoked over the new child list, deliver may
+// re-run at leaves under a crashed node — both must be idempotent).
 func Multicast[T any](net *Network, payload T, split func(n *Node, in T) ([]T, error), deliver func(leaf int, v T) error, size Sizer[T]) error {
-	return multicastAt(net, net.root, payload, split, deliver, size)
+	op := &opState{}
+	return op.finish(multicastAt(net, net.root, payload, split, deliver, size, op))
 }
 
-func multicastAt[T any](net *Network, n *Node, payload T, split func(*Node, T) ([]T, error), deliver func(int, T) error, size Sizer[T]) error {
+func multicastAt[T any](net *Network, n *Node, payload T, split func(*Node, T) ([]T, error), deliver func(int, T) error, size Sizer[T], op *opState) error {
+	if op.aborted() {
+		return errAborted
+	}
 	if n.IsLeaf() {
 		if err := deliver(n.leafIndex, payload); err != nil {
-			return fmt.Errorf("mrnet: leaf %d: %w", n.leafIndex, err)
+			err = fmt.Errorf("mrnet: leaf %d: %w", n.leafIndex, err)
+			op.fail(err)
+			return err
 		}
 		return nil
 	}
-	parts := make([]T, len(n.children))
-	if split != nil {
-		out, err := split(n, payload)
-		if err != nil {
-			return fmt.Errorf("mrnet: split at node %d: %w", n.id, err)
-		}
-		if len(out) != len(n.children) {
-			return fmt.Errorf("mrnet: split at node %d returned %d payloads for %d children",
-				n.id, len(out), len(n.children))
-		}
-		copy(parts, out)
-	} else {
-		for i := range parts {
-			parts[i] = payload
+	if n.parent != nil { // internal, non-root: subject to crash injection
+		if ferr := net.faultPlan().Check(faultinject.MRNetNode); ferr != nil {
+			return &NodeFailedError{ID: n.id, cause: ferr}
 		}
 	}
-	errs := make([]error, len(n.children))
-	var wg sync.WaitGroup
-	wg.Add(len(n.children))
-	for i, c := range n.children {
-		go func(i int, c *Node) {
-			defer wg.Done()
-			var b int64
-			if size != nil {
-				b = size(parts[i])
+	delivered := make(map[*Node]bool)
+	var deliveredMu sync.Mutex
+	for {
+		children := net.childrenOf(n)
+		parts := make([]T, len(children))
+		if split != nil {
+			out, err := split(n, payload)
+			if err != nil {
+				err = fmt.Errorf("mrnet: split at node %d: %w", n.id, err)
+				op.fail(err)
+				return err
 			}
-			net.chargeHop(c.level, b)
-			errs[i] = multicastAt(net, c, parts[i], split, deliver, size)
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+			if len(out) != len(children) {
+				err = fmt.Errorf("mrnet: split at node %d returned %d payloads for %d children",
+					n.id, len(out), len(children))
+				op.fail(err)
+				return err
+			}
+			copy(parts, out)
+		} else {
+			for i := range parts {
+				parts[i] = payload
+			}
+		}
+		errs := make([]error, len(children))
+		var wg sync.WaitGroup
+		for i, c := range children {
+			deliveredMu.Lock()
+			skip := delivered[c]
+			deliveredMu.Unlock()
+			if skip {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, c *Node) {
+				defer wg.Done()
+				if op.aborted() {
+					errs[i] = errAborted
+					return
+				}
+				if ferr := net.faultPlan().Check(faultinject.MRNetHop); ferr != nil {
+					err := fmt.Errorf("mrnet: hop from node %d to node %d: %w", n.id, c.id, ferr)
+					op.fail(err)
+					errs[i] = err
+					return
+				}
+				var b int64
+				if size != nil {
+					b = size(parts[i])
+				}
+				net.chargeHop(c.level, b)
+				if err := multicastAt(net, c, parts[i], split, deliver, size, op); err != nil {
+					errs[i] = err
+					return
+				}
+				deliveredMu.Lock()
+				delivered[c] = true
+				deliveredMu.Unlock()
+			}(i, c)
+		}
+		wg.Wait()
+		var crashed []int
+		for _, err := range errs {
+			var nf *NodeFailedError
+			if errors.As(err, &nf) {
+				crashed = append(crashed, nf.ID)
+			} else if err != nil && !errors.Is(err, errAborted) {
+				return err
+			}
+		}
+		if op.aborted() {
+			return errAborted
+		}
+		if len(crashed) == 0 {
+			return nil
+		}
+		for _, id := range crashed {
+			if err := net.FailNode(id); err != nil {
+				op.fail(err)
+				return err
+			}
 		}
 	}
-	return nil
 }
 
 // LeafRun executes fn at every leaf in parallel and collects the results

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dbscan"
+	"repro/internal/faultinject"
 	"repro/internal/gdbscan"
 	"repro/internal/geom"
 	"repro/internal/gpusim"
@@ -106,6 +107,52 @@ type Config struct {
 	// "a partition made up of a single dense grid cell" that "cannot be
 	// subdivided further".
 	HotCellThreshold int64
+
+	// Retry governs re-execution of pipeline phases after transient
+	// faults (Lustre OST evictions, overlay link errors, GPU launch
+	// failures). Phases are idempotent — partition and sweep truncate
+	// their output files on re-execution, cluster and merge are pure —
+	// so a whole-phase retry is safe. The zero value disables retries.
+	Retry RetryPolicy
+
+	// FaultPlan, when non-nil, is installed on every substrate the run
+	// provisions: the file system, both overlay networks, and each
+	// leaf's GPU device. See internal/faultinject for the plan format.
+	FaultPlan *faultinject.Plan
+}
+
+// RetryPolicy bounds per-phase re-execution after a transient fault.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per phase (default 1 —
+	// the first failure surfaces immediately).
+	MaxAttempts int
+	// Backoff is the pause between attempts. The substrate failures are
+	// simulated in-process, so the default of 0 is usually right; set it
+	// when the fault plan models time-correlated outages.
+	Backoff time.Duration
+}
+
+// runPhase executes one phase under the retry policy, counting retries
+// and wrapping the terminal error with the phase name — every
+// unrecoverable fault names the phase it killed.
+func (r RetryPolicy) runPhase(name string, retries *int, f func() error) error {
+	attempts := r.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for a := 1; a <= attempts; a++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		if a < attempts {
+			*retries++
+			if r.Backoff > 0 {
+				time.Sleep(r.Backoff)
+			}
+		}
+	}
+	return fmt.Errorf("mrscan: %s phase: %w", name, err)
 }
 
 // Default returns the configuration used by the paper's experiments:
@@ -169,6 +216,18 @@ type PhaseTimes struct {
 	// ("includes startup and I/O costs, which has not been reported by
 	// previous projects").
 	Total time.Duration
+	// PartitionRetries, ClusterRetries, MergeRetries and SweepRetries
+	// count whole-phase re-executions forced by transient faults
+	// (Config.Retry). All zero on a fault-free run.
+	PartitionRetries int
+	ClusterRetries   int
+	MergeRetries     int
+	SweepRetries     int
+}
+
+// Retries returns the total number of phase re-executions.
+func (t PhaseTimes) Retries() int {
+	return t.PartitionRetries + t.ClusterRetries + t.MergeRetries + t.SweepRetries
 }
 
 // Stats aggregates run-level counters.
@@ -182,6 +241,12 @@ type Stats struct {
 	Collisions     int
 	SeedRounds     int
 	MaxLeafPoints  int
+	// NetRecoveries counts overlay internal-node failures absorbed by
+	// re-parenting children to the grandparent (both networks).
+	NetRecoveries int64
+	// FaultsInjected is the total number of faults the plan fired during
+	// the run (0 without a plan).
+	FaultsInjected int64
 	// SimNow is the simulated-hardware elapsed time (max over resources).
 	SimNow time.Duration
 	// Resources is the per-resource simulated-time breakdown: GPU SMs,
@@ -214,12 +279,17 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 	}
 	start := time.Now()
 	g := grid.New(cfg.Eps)
+	if cfg.FaultPlan != nil {
+		fs.SetFaultPlan(cfg.FaultPlan)
+	}
+	var retries struct{ partition, cluster, merge, sweep int }
 
 	// --- Phase 1: partition (separate flat MRNet network, §3.1.3) ---
 	partNet, err := mrnet.New(cfg.PartitionLeaves, cfg.Fanout, cfg.Costs, fs.Clock())
 	if err != nil {
 		return nil, err
 	}
+	partNet.SetFaultPlan(cfg.FaultPlan)
 	partStart := time.Now()
 	distOpts := partition.DistOptions{
 		NumPartitions:  cfg.Leaves,
@@ -235,21 +305,23 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 	var plan *partition.Plan
 	var totalPoints, writtenPoints int64
 	var partReadSim, partWriteSim time.Duration
-	if cfg.DirectPartitions {
-		direct, err := partition.DistributeDirect(partNet, fs, cfg.Eps, inputFile, distOpts)
-		if err != nil {
-			return nil, fmt.Errorf("mrscan: partition phase: %w", err)
+	err = cfg.Retry.runPhase("partition", &retries.partition, func() error {
+		if cfg.DirectPartitions {
+			direct, err := partition.DistributeDirect(partNet, fs, cfg.Eps, inputFile, distOpts)
+			if err != nil {
+				return err
+			}
+			plan = direct.Plan
+			totalPoints = direct.TotalPoints
+			writtenPoints = direct.TransferredPoints
+			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+				return direct.Partitions[j], direct.Shadows[j], nil
+			}
+			return nil
 		}
-		plan = direct.Plan
-		totalPoints = direct.TotalPoints
-		writtenPoints = direct.TransferredPoints
-		loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
-			return direct.Partitions[j], direct.Shadows[j], nil
-		}
-	} else {
 		dist, err := partition.Distribute(partNet, fs, cfg.Eps, inputFile, partitionFile, metadataFile, distOpts)
 		if err != nil {
-			return nil, fmt.Errorf("mrscan: partition phase: %w", err)
+			return err
 		}
 		plan = dist.Plan
 		totalPoints = dist.TotalPoints
@@ -259,6 +331,10 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 		loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
 			return partition.ReadPartition(fs, partitionFile, dist.Meta, j)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	partTime := time.Since(partStart)
 
@@ -279,6 +355,7 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 			return nil, err
 		}
 	}
+	clusterNet.SetFaultPlan(cfg.FaultPlan)
 	type leafState struct {
 		owned     []geom.Point
 		labels    []int32
@@ -298,6 +375,7 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 		gpuCfg := cfg.GPU
 		gpuCfg.Name = fmt.Sprintf("gpu%04d", leaf)
 		dev := gpusim.New(gpuCfg, fs.Clock())
+		dev.SetFaultPlan(cfg.FaultPlan)
 		gpuStart := time.Now()
 		res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
 			Params:          dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts},
@@ -324,29 +402,37 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 		}, nil
 	}
 	var states []*leafState
-	if cfg.SequentialLeaves {
-		states = make([]*leafState, cfg.Leaves)
-		for leaf := 0; leaf < cfg.Leaves; leaf++ {
-			states[leaf], err = clusterLeaf(leaf)
-			if err != nil {
-				break
+	err = cfg.Retry.runPhase("cluster", &retries.cluster, func() error {
+		if cfg.SequentialLeaves {
+			states = make([]*leafState, cfg.Leaves)
+			for leaf := 0; leaf < cfg.Leaves; leaf++ {
+				var err error
+				states[leaf], err = clusterLeaf(leaf)
+				if err != nil {
+					return err
+				}
 			}
+			return nil
 		}
-	} else {
+		var err error
 		states, err = mrnet.LeafRun(clusterNet, clusterLeaf)
-	}
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("mrscan: cluster phase: %w", err)
+		return nil, err
 	}
 	clusterTime := time.Since(clusterStart)
 
 	// --- Phase 3: merge (progressive reduction up the tree, §3.3) ---
 	mergeStart := time.Now()
 	var final []*merge.Summary
-	if cfg.MergeOverTCP {
-		final, err = mergeOverTCP(g, cfg.Eps, cfg.Leaves, cfg.Fanout,
-			func(leaf int) []*merge.Summary { return states[leaf].summaries })
-	} else {
+	err = cfg.Retry.runPhase("merge", &retries.merge, func() error {
+		var err error
+		if cfg.MergeOverTCP {
+			final, err = mergeOverTCP(g, cfg.Eps, cfg.Leaves, cfg.Fanout,
+				func(leaf int) []*merge.Summary { return states[leaf].summaries })
+			return err
+		}
 		final, err = mrnet.Reduce(clusterNet,
 			func(leaf int) ([]*merge.Summary, error) { return states[leaf].summaries, nil },
 			func(_ *mrnet.Node, groups [][]*merge.Summary) ([]*merge.Summary, error) {
@@ -360,9 +446,10 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 				return n
 			},
 		)
-	}
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("mrscan: merge phase: %w", err)
+		return nil, err
 	}
 	mapping := merge.AssignGlobalIDs(final)
 	var claims map[uint64]int32
@@ -373,14 +460,19 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 
 	// --- Phase 4: sweep (global IDs down the tree, parallel write, §3.4) ---
 	sweepStart := time.Now()
-	sw, err := sweep.Run(clusterNet, fs, outputFile, mapping,
-		func(leaf int) (*sweep.LeafData, error) {
-			return &sweep.LeafData{Points: states[leaf].owned, Labels: states[leaf].labels}, nil
-		},
-		sweep.Options{IncludeNoise: cfg.IncludeNoise, Claims: claims},
-	)
+	var sw *sweep.Result
+	err = cfg.Retry.runPhase("sweep", &retries.sweep, func() error {
+		var err error
+		sw, err = sweep.Run(clusterNet, fs, outputFile, mapping,
+			func(leaf int) (*sweep.LeafData, error) {
+				return &sweep.LeafData{Points: states[leaf].owned, Labels: states[leaf].labels}, nil
+			},
+			sweep.Options{IncludeNoise: cfg.IncludeNoise, Claims: claims},
+		)
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("mrscan: sweep phase: %w", err)
+		return nil, err
 	}
 	sweepTime := time.Since(sweepStart)
 
@@ -396,8 +488,14 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 			Merge:             mergeTime,
 			Sweep:             sweepTime,
 			Total:             time.Since(start),
+			PartitionRetries:  retries.partition,
+			ClusterRetries:    retries.cluster,
+			MergeRetries:      retries.merge,
+			SweepRetries:      retries.sweep,
 		},
 	}
+	res.Stats.NetRecoveries = partNet.Recoveries() + clusterNet.Recoveries()
+	res.Stats.FaultsInjected = cfg.FaultPlan.TotalFired()
 	res.Stats.TotalPoints = totalPoints
 	res.Stats.WrittenPoints = writtenPoints
 	res.Stats.OutputPoints = sw.PointsWritten
