@@ -330,6 +330,26 @@ func BenchmarkAblationRebalance(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointOverhead compares a full pipeline run with phase
+// checkpointing off and on. The snapshots ride the simulated Lustre FS
+// through the same charged write path as the pipeline's own I/O, so the
+// wall-clock delta between the two sub-benchmarks is the real cost of
+// durability — it should stay under a few percent of total time.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	pts := twitterData(4 * benchPointsPerLeaf)
+	for _, ckpt := range []bool{false, true} {
+		b.Run(fmt.Sprintf("checkpoint=%v", ckpt), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := Default(0.1, 40, 4)
+				cfg.Checkpoint = ckpt
+				res := runPipeline(b, pts, cfg)
+				b.ReportMetric(res.Times.Total.Seconds(), "total-sec")
+				b.ReportMetric(res.Stats.SimNow.Seconds(), "sim-sec")
+			}
+		})
+	}
+}
+
 // BenchmarkIndexStructures compares the spatial indexes backing the
 // reference DBSCAN (§2.1: no index vs grid vs KD-tree).
 func BenchmarkIndexStructures(b *testing.B) {

@@ -13,35 +13,60 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/distrib"
 	"repro/internal/faultinject"
 	"repro/internal/ptio"
 )
 
+// coordOptions bundles the coordinator-mode settings.
+type coordOptions struct {
+	input, output   string
+	eps             float64
+	minPts          int
+	leaves, workers int
+	retries         int
+	noise           bool
+	plan            *faultinject.Plan
+	ckptDir         string
+	resume          bool
+	deadline        time.Duration
+	straggler       float64
+	slowWorker      time.Duration
+}
+
 func main() {
 	var (
-		input     = flag.String("input", "", "input MRSC dataset file (required in coordinator mode)")
-		output    = flag.String("output", "clusters.mrsl", "output labeled file")
-		eps       = flag.Float64("eps", 0.1, "DBSCAN Eps")
-		minPts    = flag.Int("minpts", 40, "DBSCAN MinPts")
-		leaves    = flag.Int("leaves", 8, "partitions (pulled from a shared queue by workers)")
-		workers   = flag.Int("workers", 2, "worker processes to spawn")
-		noise     = flag.Bool("noise", false, "include noise points in the output")
-		worker    = flag.Bool("worker", false, "run as a worker (internal)")
-		connect   = flag.String("connect", "", "coordinator address (worker mode)")
-		retries   = flag.Int("retries", 3, "max workers a partition is sent to before the run fails")
-		faultPlan = flag.String("fault-plan", "", "fault injection plan, e.g. 'distrib.worker.0:after=1' (see internal/faultinject)")
-		faultSeed = flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault rules")
+		input      = flag.String("input", "", "input MRSC dataset file (required in coordinator mode)")
+		output     = flag.String("output", "clusters.mrsl", "output labeled file")
+		eps        = flag.Float64("eps", 0.1, "DBSCAN Eps")
+		minPts     = flag.Int("minpts", 40, "DBSCAN MinPts")
+		leaves     = flag.Int("leaves", 8, "partitions (pulled from a shared queue by workers)")
+		workers    = flag.Int("workers", 2, "worker processes to spawn")
+		noise      = flag.Bool("noise", false, "include noise points in the output")
+		worker     = flag.Bool("worker", false, "run as a worker (internal)")
+		connect    = flag.String("connect", "", "coordinator address (worker mode)")
+		delay      = flag.Duration("delay", 0, "per-request service delay (worker mode; straggler experiments)")
+		retries    = flag.Int("retries", 3, "max workers a partition is sent to before the run fails")
+		faultPlan  = flag.String("fault-plan", "", "fault injection plan, e.g. 'distrib.worker.0:after=1' (see internal/faultinject)")
+		faultSeed  = flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault rules")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-partition checkpoints (empty = no checkpointing)")
+		resume     = flag.Bool("resume", false, "restore partitions checkpointed in -checkpoint-dir by an earlier run")
+		deadline   = flag.Duration("deadline", 0, "abort the dispatch after this long (0 = none)")
+		straggler  = flag.Float64("straggler-factor", 0, "hedge partitions slower than this × the running p95 service time (0 = off)")
+		slowWorker = flag.Duration("slow-worker-delay", 0, "make the last spawned worker this much slower per request (straggler demo)")
 	)
 	flag.Parse()
 	if *worker {
-		if err := distrib.Worker(*connect, os.Getpid()); err != nil && !distrib.IsConnClosed(err) {
+		err := distrib.WorkerWithOptions(*connect, os.Getpid(), distrib.WorkerOptions{Delay: *delay})
+		if err != nil && !distrib.IsConnClosed(err) {
 			fmt.Fprintln(os.Stderr, "mrscan-dist worker:", err)
 			os.Exit(1)
 		}
@@ -57,13 +82,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mrscan-dist:", err)
 		os.Exit(2)
 	}
-	if err := coordinate(*input, *output, *eps, *minPts, *leaves, *workers, *retries, *noise, plan); err != nil {
+	opt := coordOptions{
+		input: *input, output: *output, eps: *eps, minPts: *minPts,
+		leaves: *leaves, workers: *workers, retries: *retries, noise: *noise,
+		plan: plan, ckptDir: *ckptDir, resume: *resume, deadline: *deadline,
+		straggler: *straggler, slowWorker: *slowWorker,
+	}
+	if err := coordinate(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "mrscan-dist:", err)
 		os.Exit(1)
 	}
 }
 
-func coordinate(input, output string, eps float64, minPts, leaves, workers, retries int, noise bool, plan *faultinject.Plan) error {
+func coordinate(o coordOptions) error {
+	input, output := o.input, o.output
+	eps, minPts := o.eps, o.minPts
+	leaves, workers, retries := o.leaves, o.workers, o.retries
+	noise, plan := o.noise, o.plan
 	f, err := os.Open(input)
 	if err != nil {
 		return err
@@ -81,13 +116,18 @@ func coordinate(input, output string, eps float64, minPts, leaves, workers, retr
 	c.Retry = distrib.RetryPolicy{MaxAttempts: retries}
 	c.RequestTimeout = 2 * time.Minute
 	c.SetFaultPlan(plan)
+	c.StragglerFactor = o.straggler
 	exe, err := os.Executable()
 	if err != nil {
 		return err
 	}
 	procs := make([]*exec.Cmd, workers)
 	for i := range procs {
-		cmd := exec.Command(exe, "-worker", "-connect", c.Addr())
+		args := []string{"-worker", "-connect", c.Addr()}
+		if o.slowWorker > 0 && i == workers-1 {
+			args = append(args, "-delay", o.slowWorker.String())
+		}
+		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("spawning worker %d: %w", i, err)
@@ -106,15 +146,47 @@ func coordinate(input, output string, eps float64, minPts, leaves, workers, retr
 	}
 	fmt.Printf("clustering %d points on %d worker processes (%d partitions)...\n",
 		len(pts), workers, leaves)
-	res, err := c.Run(pts, distrib.Options{Eps: eps, MinPts: minPts, Leaves: leaves, DenseBox: true})
+	runOpts := distrib.Options{Eps: eps, MinPts: minPts, Leaves: leaves, DenseBox: true}
+	if o.ckptDir != "" {
+		bk, err := checkpoint.DirFS(o.ckptDir)
+		if err != nil {
+			return fmt.Errorf("opening checkpoint dir: %w", err)
+		}
+		runID := fmt.Sprintf("mrscan-dist|%s|%d|%g|%d|%d", input, len(pts), eps, minPts, leaves)
+		store := checkpoint.NewStore(bk, runID)
+		if !o.resume {
+			// A fresh (non-resume) run must not restore stale snapshots
+			// from an earlier invocation over the same directory.
+			if err := store.Clear(); err != nil {
+				return fmt.Errorf("clearing stale checkpoints: %w", err)
+			}
+		}
+		runOpts.Checkpoint = store
+	}
+	ctx := context.Background()
+	if o.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
+		defer cancel()
+	}
+	res, err := c.RunContext(ctx, pts, runOpts)
 	stats := c.Stats()
 	c.Shutdown()
 	if err != nil {
+		if o.ckptDir != "" {
+			fmt.Fprintln(os.Stderr, "mrscan-dist: completed partitions are checkpointed; rerun with -resume to continue")
+		}
 		return err
 	}
 	if stats.WorkersLost > 0 {
 		fmt.Printf("recovered from %d worker failure(s): %d partition(s) reassigned\n",
 			stats.WorkersLost, stats.Reassigned)
+	}
+	if res.RestoredPartitions > 0 {
+		fmt.Printf("resumed: %d partition(s) restored from checkpoints\n", res.RestoredPartitions)
+	}
+	if stats.HedgesLaunched > 0 {
+		fmt.Printf("straggler hedges: %d launched, %d won\n", stats.HedgesLaunched, stats.HedgesWon)
 	}
 
 	var records []ptio.LabeledPoint

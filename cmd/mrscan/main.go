@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/lustre"
@@ -46,6 +49,10 @@ func main() {
 		retries    = flag.Int("retries", 1, "attempts per phase before a transient fault is fatal (1 = no retry)")
 		faultPlan  = flag.String("fault-plan", "", "fault injection plan, e.g. 'lustre.io:after=100,times=2;mrnet.node:times=1' (see internal/faultinject)")
 		faultSeed  = flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault rules")
+		ckpt       = flag.Bool("checkpoint", false, "write verified phase snapshots and stage them to -checkpoint-dir")
+		resume     = flag.Bool("resume", false, "restart from the last valid checkpoint in -checkpoint-dir (implies -checkpoint)")
+		ckptDir    = flag.String("checkpoint-dir", ".mrscan-ckpt", "directory holding checkpoint state across process restarts")
+		deadline   = flag.Duration("deadline", 0, "abort the run after this long (0 = none); completed phases stay checkpointed")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -71,13 +78,67 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.FaultPlan = plan
-	if err := run(*input, *output, cfg, *format, *verbose); err != nil {
+	cfg.Checkpoint = *ckpt
+	cfg.Resume = *resume
+	if err := run(*input, *output, cfg, *format, *verbose, *ckptDir, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "mrscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, output string, cfg mrscan.Config, format string, verbose bool) error {
+// stageStateIn copies durable pipeline state (checkpoint snapshots and
+// partition artifacts) from dir onto the fresh simulated FS, so a
+// resumed process sees what the previous one left behind.
+func stageStateIn(fs *lustre.FS, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil // nothing to resume from
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !mrscan.IsStateFile(e.Name()) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if _, err := fs.Create(e.Name()).WriteAt(b, 0); err != nil {
+			return fmt.Errorf("staging %s in: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// stageStateOut copies durable pipeline state off the simulated FS into
+// dir. It runs even after a failed run — the checkpoints written before
+// the failure are exactly what -resume needs.
+func stageStateOut(fs *lustre.FS, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range fs.List() {
+		if !mrscan.IsStateFile(name) {
+			continue
+		}
+		h, err := fs.Open(name)
+		if err != nil {
+			return err
+		}
+		b := make([]byte, h.Size())
+		if _, err := h.ReadAt(b, 0); err != nil && err != io.EOF {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(input, output string, cfg mrscan.Config, format string, verbose bool, ckptDir string, deadline time.Duration) error {
 	fs := lustre.New(lustre.Titan(), nil)
 	// Stage the real input file onto the simulated PFS, converting text
 	// input to the binary format the pipeline consumes ("the input
@@ -105,9 +166,34 @@ func run(input, output string, cfg mrscan.Config, format string, verbose bool) e
 		return fmt.Errorf("unknown input format %q", format)
 	}
 
-	res, err := mrscan.Run(fs, "input.mrsc", "output.mrsl", cfg)
+	if cfg.Resume {
+		if err := stageStateIn(fs, ckptDir); err != nil {
+			return fmt.Errorf("staging checkpoint state in: %w", err)
+		}
+	}
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := mrscan.RunContext(ctx, fs, "input.mrsc", "output.mrsl", cfg)
+	if cfg.Checkpoint || cfg.Resume {
+		// Stage state out even on failure: the snapshots written before
+		// the abort are what the next -resume run restarts from.
+		if serr := stageStateOut(fs, ckptDir); serr != nil {
+			fmt.Fprintln(os.Stderr, "mrscan: staging checkpoint state out:", serr)
+		}
+	}
 	if err != nil {
+		if res != nil && len(res.CompletedPhases) > 0 {
+			fmt.Fprintf(os.Stderr, "mrscan: phases completed before abort: %v (rerun with -resume to continue)\n",
+				res.CompletedPhases)
+		}
 		return err
+	}
+	if len(res.RestoredPhases) > 0 {
+		fmt.Printf("resumed: phases restored from checkpoints: %v\n", res.RestoredPhases)
 	}
 
 	// Copy the labeled output back out.

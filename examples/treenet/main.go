@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 
 	// Multicast a query region to every leaf.
 	query := mrscan.Rect{MinX: -130, MinY: 20, MaxX: -60, MaxY: 55} // North America
-	err = mrnet.Multicast(net, query, nil, func(leaf int, r mrscan.Rect) error {
+	err = mrnet.Multicast(context.Background(), net, query, nil, func(leaf int, r mrscan.Rect) error {
 		// Leaves filter their shard in place for the upcoming reduction.
 		kept := shards[leaf][:0]
 		for _, p := range shards[leaf] {
@@ -56,7 +57,7 @@ func main() {
 	// Reduce per-leaf histograms of the filtered points up the tree; the
 	// internal nodes run the sum filter, exactly like the partitioner's
 	// histogram aggregation (§3.1.3).
-	hist, err := mrnet.Reduce(net,
+	hist, err := mrnet.Reduce(context.Background(), net,
 		func(leaf int) (*grid.Histogram, error) {
 			return g.HistogramOf(shards[leaf]), nil
 		},

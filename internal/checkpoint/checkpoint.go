@@ -1,0 +1,453 @@
+// Package checkpoint provides durable, verifiable phase snapshots for
+// the Mr. Scan pipeline.
+//
+// The paper's largest run held 8,192 nodes for 17.3 minutes; at that
+// scale a mid-run process death without durable state forfeits the whole
+// job. The pipeline's phase-barrier structure (partition → cluster →
+// merge → sweep) makes phase boundaries the natural durable points: each
+// completed phase's output is written to the (simulated) parallel file
+// system as a snapshot, and a restarted run replays the longest valid
+// prefix of snapshots instead of recomputing it.
+//
+// Durability protocol, defended against the two classic failure modes:
+//
+//   - Torn writes (crash mid-snapshot): every snapshot is first written
+//     to a ".tmp" name and then atomically renamed into place; the
+//     manifest — itself written with the same protocol — is updated only
+//     after the snapshot rename. A crash at any instant leaves either
+//     the old manifest (pointing at old, intact snapshots) or the new
+//     one (pointing at the new, fully-written snapshot).
+//   - Silent corruption (bit rot, partial RAID reconstruction): every
+//     snapshot carries a CRC32C (Castagnoli) checksum over its payload
+//     plus a magic/version header; Load verifies both and returns
+//     ErrCorrupt on any mismatch, so a damaged checkpoint re-executes
+//     its phase rather than poisoning the output.
+//
+// The package is storage-agnostic: it talks to an FS interface
+// implemented by the simulated Lustre file system (LustreFS) and by a
+// real OS directory (DirFS, used by the distributed CLI whose
+// coordinator outlives process restarts).
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/lustre"
+)
+
+// Format constants. Version bumps invalidate old snapshots wholesale: a
+// resumed run treats a version mismatch like corruption and recomputes.
+const (
+	magic   = "MRCKPT"
+	version = 1
+)
+
+// castagnoli is the CRC32C table (the polynomial used by iSCSI, ext4
+// metadata and most storage-integrity paths, with hardware support on
+// current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a snapshot that failed verification: bad magic,
+// unknown version, truncated payload, or checksum mismatch.
+var ErrCorrupt = errors.New("checkpoint: snapshot corrupt")
+
+// ErrNoCheckpoint reports a phase with no snapshot on the store.
+var ErrNoCheckpoint = errors.New("checkpoint: no snapshot")
+
+// File is the handle surface snapshots are read and written through.
+type File interface {
+	io.Reader
+	io.Writer
+}
+
+// FS is the storage surface the store needs: named files with POSIX
+// rename semantics. Implemented by LustreFS (the simulated parallel file
+// system) and DirFS (a real OS directory).
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+}
+
+// lustreFS adapts *lustre.FS to the FS interface.
+type lustreFS struct{ fs *lustre.FS }
+
+// LustreFS wraps the simulated parallel file system as a checkpoint
+// store backend. Snapshot I/O is charged to the simulated clock like any
+// other file traffic, so checkpoint overhead shows up in the evaluation.
+func LustreFS(fs *lustre.FS) FS { return lustreFS{fs} }
+
+func (l lustreFS) Create(name string) (File, error) { return l.fs.Create(name), nil }
+func (l lustreFS) Open(name string) (File, error)   { return l.fs.Open(name) }
+func (l lustreFS) Rename(o, n string) error         { return l.fs.Rename(o, n) }
+func (l lustreFS) Remove(name string) error         { l.fs.Remove(name); return nil }
+
+// dirFS implements FS on a real OS directory, for checkpoint state that
+// must survive process restarts (the distributed coordinator).
+type dirFS struct{ dir string }
+
+// DirFS returns a checkpoint backend rooted at an OS directory, created
+// if missing.
+func DirFS(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	return dirFS{dir}, nil
+}
+
+func (d dirFS) path(name string) string {
+	// Snapshot names are flat ("<phase>.ckpt"); keep them inside dir.
+	return filepath.Join(d.dir, filepath.Base(name))
+}
+
+func (d dirFS) Create(name string) (File, error) { return os.Create(d.path(name)) }
+
+func (d dirFS) Open(name string) (File, error) {
+	f, err := os.Open(d.path(name))
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (d dirFS) Rename(o, n string) error { return os.Rename(d.path(o), d.path(n)) }
+
+func (d dirFS) Remove(name string) error {
+	err := os.Remove(d.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Manifest is the run's durable table of contents: which phases have
+// completed, in order, and the checksum each snapshot must verify
+// against. The RunID fingerprints the configuration and input; a
+// mismatched RunID means the checkpoints belong to a different run and
+// are ignored wholesale.
+type Manifest struct {
+	Version int
+	RunID   string
+	Entries []Entry
+}
+
+// Entry records one completed phase.
+type Entry struct {
+	// Phase is the pipeline phase name ("partition", "cluster", ...).
+	Phase string
+	// File is the snapshot's name on the store.
+	File string
+	// CRC is the payload's CRC32C, duplicated from the snapshot header
+	// so a swapped-in stale snapshot (right format, wrong contents) is
+	// also detected.
+	CRC uint32
+	// Bytes is the payload length.
+	Bytes int64
+}
+
+// Store reads and writes one run's snapshots. Safe for concurrent use
+// (the distributed coordinator saves per-partition snapshots from many
+// worker goroutines).
+type Store struct {
+	fs    FS
+	runID string
+
+	mu       sync.Mutex
+	manifest Manifest
+	loaded   bool
+}
+
+// manifestName is the manifest's file name on the store.
+const manifestName = "MANIFEST.ckpt"
+
+// NewStore opens (or initializes) a checkpoint store. runID fingerprints
+// the run configuration: if the store holds a manifest for a different
+// RunID, its snapshots are ignored and the next Save starts a fresh
+// manifest.
+func NewStore(fs FS, runID string) *Store {
+	return &Store{fs: fs, runID: runID}
+}
+
+// ensureManifest loads the on-store manifest once, discarding it on
+// RunID mismatch or corruption. Callers hold s.mu.
+func (s *Store) ensureManifest() {
+	if s.loaded {
+		return
+	}
+	s.loaded = true
+	s.manifest = Manifest{Version: version, RunID: s.runID}
+	var m Manifest
+	if err := s.loadFile(manifestName, &m); err != nil {
+		return // missing or corrupt: start fresh
+	}
+	if m.Version != version || m.RunID != s.runID {
+		return // different run or format: ignore
+	}
+	s.manifest = m
+}
+
+// Save snapshots one phase's payload (gob-encoded) and records it in the
+// manifest. Phases saved twice keep the latest snapshot. The snapshot is
+// durable before the manifest references it (write-then-rename, snapshot
+// first), so a crash between the two leaves a consistent store.
+func (s *Store) Save(phase string, payload any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return fmt.Errorf("checkpoint: encoding %s: %w", phase, err)
+	}
+	name := phaseFile(phase)
+	crc, err := s.writeFile(name, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureManifest()
+	entry := Entry{Phase: phase, File: name, CRC: crc, Bytes: int64(buf.Len())}
+	replaced := false
+	for i, e := range s.manifest.Entries {
+		if e.Phase == phase {
+			s.manifest.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.manifest.Entries = append(s.manifest.Entries, entry)
+	}
+	return s.saveManifestLocked()
+}
+
+// saveManifestLocked durably rewrites the manifest. Callers hold s.mu.
+func (s *Store) saveManifestLocked() error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s.manifest); err != nil {
+		return fmt.Errorf("checkpoint: encoding manifest: %w", err)
+	}
+	_, err := s.writeFile(manifestName, buf.Bytes())
+	return err
+}
+
+// writeFile writes payload under the integrity envelope via the atomic
+// write-then-rename protocol and returns the payload CRC.
+func (s *Store) writeFile(name string, payload []byte) (uint32, error) {
+	crc := crc32.Checksum(payload, castagnoli)
+	tmp := name + ".tmp"
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: creating %s: %w", tmp, err)
+	}
+	var hdr [len(magic) + 2 + 4 + 8]byte
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint16(hdr[len(magic):], version)
+	binary.LittleEndian.PutUint32(hdr[len(magic)+2:], crc)
+	binary.LittleEndian.PutUint64(hdr[len(magic)+6:], uint64(len(payload)))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		return 0, fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	if c, ok := f.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return 0, fmt.Errorf("checkpoint: closing %s: %w", tmp, err)
+		}
+	}
+	if err := s.fs.Rename(tmp, name); err != nil {
+		return 0, fmt.Errorf("checkpoint: publishing %s: %w", name, err)
+	}
+	return crc, nil
+}
+
+// loadFile reads and verifies an envelope, gob-decoding the payload into
+// out. Missing files return ErrNoCheckpoint; damaged ones ErrCorrupt.
+func (s *Store) loadFile(name string, out any) error {
+	f, err := s.fs.Open(name)
+	if err != nil {
+		return fmt.Errorf("%w: %s (%v)", ErrNoCheckpoint, name, err)
+	}
+	defer func() {
+		if c, ok := f.(io.Closer); ok {
+			c.Close()
+		}
+	}()
+	payload, err := verifyEnvelope(f, name)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: undecodable payload: %v", ErrCorrupt, name, err)
+	}
+	return nil
+}
+
+// verifyEnvelope checks magic, version, length and CRC, returning the
+// verified payload bytes.
+func verifyEnvelope(f io.Reader, name string) ([]byte, error) {
+	var hdr [len(magic) + 2 + 4 + 8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, name)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, name)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[len(magic):]); v != version {
+		return nil, fmt.Errorf("%w: %s: version %d, want %d", ErrCorrupt, name, v, version)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[len(magic)+2:])
+	length := binary.LittleEndian.Uint64(hdr[len(magic)+6:])
+	const maxSnapshot = 1 << 32
+	if length > maxSnapshot {
+		return nil, fmt.Errorf("%w: %s: implausible length %d", ErrCorrupt, name, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("%w: %s: truncated payload", ErrCorrupt, name)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("%w: %s: CRC32C %08x, want %08x", ErrCorrupt, name, got, wantCRC)
+	}
+	return payload, nil
+}
+
+// verifiedPayload locates the phase in the manifest and returns its
+// snapshot payload after full verification: envelope checksum AND the
+// manifest's recorded CRC, so both bit rot and a stale snapshot under
+// the right name are caught.
+func (s *Store) verifiedPayload(phase string) ([]byte, error) {
+	s.mu.Lock()
+	s.ensureManifest()
+	var entry *Entry
+	for i := range s.manifest.Entries {
+		if s.manifest.Entries[i].Phase == phase {
+			entry = &s.manifest.Entries[i]
+			break
+		}
+	}
+	s.mu.Unlock()
+	if entry == nil {
+		return nil, fmt.Errorf("%w: phase %s not in manifest", ErrNoCheckpoint, phase)
+	}
+	f, err := s.fs.Open(entry.File)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrNoCheckpoint, entry.File, err)
+	}
+	defer func() {
+		if c, ok := f.(io.Closer); ok {
+			c.Close()
+		}
+	}()
+	payload, err := verifyEnvelope(f, entry.File)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(payload)) != entry.Bytes || crc32.Checksum(payload, castagnoli) != entry.CRC {
+		return nil, fmt.Errorf("%w: %s: snapshot does not match manifest", ErrCorrupt, entry.File)
+	}
+	return payload, nil
+}
+
+// Load restores one phase's payload into out (a pointer to the type
+// passed to Save), verifying it first — see verifiedPayload.
+func (s *Store) Load(phase string, out any) error {
+	payload, err := s.verifiedPayload(phase)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: undecodable payload: %v", ErrCorrupt, phaseFile(phase), err)
+	}
+	return nil
+}
+
+// Verify checks one phase's snapshot without decoding it.
+func (s *Store) Verify(phase string) error {
+	_, err := s.verifiedPayload(phase)
+	return err
+}
+
+// Completed returns the phases recorded in the manifest, in completion
+// order. Entries are not verified — use Load (or ValidPrefix) to check
+// the snapshots themselves.
+func (s *Store) Completed() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureManifest()
+	out := make([]string, len(s.manifest.Entries))
+	for i, e := range s.manifest.Entries {
+		out[i] = e.Phase
+	}
+	return out
+}
+
+// Has reports whether the manifest records the phase (without verifying
+// the snapshot).
+func (s *Store) Has(phase string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureManifest()
+	for _, e := range s.manifest.Entries {
+		if e.Phase == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidPrefix walks phases in the given order, verifying each snapshot,
+// and returns how many lead phases are restorable: the walk stops at the
+// first phase that is missing from the manifest or fails verification.
+// This is the resume rule — a corrupt checkpoint re-executes its phase
+// and everything after it, falling back to the previous durable state.
+func (s *Store) ValidPrefix(phases []string) int {
+	for i, phase := range phases {
+		if err := s.Verify(phase); err != nil {
+			return i
+		}
+	}
+	return len(phases)
+}
+
+// Clear removes every snapshot and the manifest — used when a resume
+// finds checkpoints from a different run configuration.
+func (s *Store) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureManifest()
+	for _, e := range s.manifest.Entries {
+		if err := s.fs.Remove(e.File); err != nil {
+			return fmt.Errorf("checkpoint: clearing %s: %w", e.File, err)
+		}
+	}
+	if err := s.fs.Remove(manifestName); err != nil {
+		return fmt.Errorf("checkpoint: clearing manifest: %w", err)
+	}
+	s.manifest = Manifest{Version: version, RunID: s.runID}
+	return nil
+}
+
+// phaseFile maps a phase name to its snapshot file name.
+func phaseFile(phase string) string {
+	// Phase names are pipeline-internal identifiers; keep file names flat
+	// and predictable for the CLI's stage-in/stage-out.
+	return "ckpt-" + strings.ReplaceAll(phase, "/", "_") + ".ckpt"
+}
+
+// IsCheckpointFile reports whether a file name on the store belongs to
+// the checkpoint subsystem (snapshots, manifest, or in-flight temps) —
+// the CLI uses it to stage checkpoint state in and out of the simulated
+// file system across process restarts.
+func IsCheckpointFile(name string) bool {
+	return strings.HasSuffix(name, ".ckpt") || strings.HasSuffix(name, ".ckpt.tmp")
+}

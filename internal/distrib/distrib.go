@@ -13,10 +13,12 @@
 package distrib
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -78,10 +80,23 @@ func IsConnClosed(err error) bool {
 		strings.Contains(s, "connection reset")
 }
 
+// WorkerOptions tunes a worker's behavior.
+type WorkerOptions struct {
+	// Delay is added before serving each work request (pings are not
+	// delayed) — a simulated slow node for straggler-mitigation tests
+	// and experiments.
+	Delay time.Duration
+}
+
 // Worker dials the coordinator and serves work requests until a Done
 // request or connection loss. Each request runs the same GPGPU DBSCAN +
 // summary construction as an in-process leaf.
 func Worker(coordAddr string, pid int) error {
+	return WorkerWithOptions(coordAddr, pid, WorkerOptions{})
+}
+
+// WorkerWithOptions is Worker with behavior overrides.
+func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 	conn, err := net.Dial("tcp", coordAddr)
 	if err != nil {
 		return fmt.Errorf("distrib: worker dialing coordinator: %w", err)
@@ -104,6 +119,9 @@ func Worker(coordAddr string, pid int) error {
 		if req.Ping {
 			resp = &WorkResponse{Leaf: req.Leaf, Ping: true}
 		} else {
+			if opt.Delay > 0 {
+				time.Sleep(opt.Delay)
+			}
 			resp = serve(&req)
 		}
 		if err := enc.Encode(resp); err != nil {
@@ -188,6 +206,12 @@ type Stats struct {
 	// WorkersLost counts workers dropped (connection errors, timeouts,
 	// failed heartbeats).
 	WorkersLost int
+	// HedgesLaunched counts straggler partitions speculatively re-issued
+	// to a second worker (StragglerFactor); HedgesWon counts hedges that
+	// finished before the original attempt — each one is tail latency
+	// the mitigation removed.
+	HedgesLaunched int
+	HedgesWon      int
 }
 
 // Coordinator accepts worker connections and dispatches partitions.
@@ -200,6 +224,22 @@ type Coordinator struct {
 	// partition. Zero disables deadlines (a hung worker then blocks the
 	// run — set a timeout in production).
 	RequestTimeout time.Duration
+	// StragglerFactor enables hedged dispatch when > 0: a partition
+	// whose in-flight time exceeds StragglerFactor × the running p95 of
+	// completed service times (after a few samples exist) is
+	// speculatively re-issued to an idle worker. The first result wins;
+	// the loser's result is discarded on arrival, and a loser still
+	// sitting in the queue is skipped. This is the classic defense
+	// against the paper's observation that "the time of the cluster
+	// phase is dictated by the slowest node" (§5.1.1). At most one hedge
+	// is launched per partition. Values ≤ 1 are aggressive; 2–4 is
+	// typical. Zero disables hedging.
+	StragglerFactor float64
+	// OnResponse, when set, is invoked once per partition with the
+	// winning response, from the worker goroutine that received it (so
+	// calls are concurrent). The distributed CLI uses it to write
+	// per-partition checkpoints as results stream in.
+	OnResponse func(index int, resp *WorkResponse)
 
 	ln      net.Listener
 	mu      sync.Mutex
@@ -392,7 +432,31 @@ func checkConnFault(plan *faultinject.Plan, wi int) error {
 	return plan.Check(WorkerFaultSite(wi))
 }
 
-// Dispatch ships every partition to the worker pool and collects
+// workItem is one queue entry: a request index, possibly a hedge copy.
+type workItem struct {
+	ri    int
+	hedge bool
+}
+
+// quantile returns the q-quantile (0..1) of d (nearest-rank on a sorted
+// copy). Callers guarantee len(d) > 0.
+func quantile(d []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// stragglerMinSamples is how many completed exchanges the hedger needs
+// before the running p95 is meaningful.
+const stragglerMinSamples = 3
+
+// Dispatch is DispatchContext without a deadline.
+func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
+	return c.DispatchContext(context.Background(), reqs)
+}
+
+// DispatchContext ships every partition to the worker pool and collects
 // responses indexed by request position.
 //
 // Partitions are pulled from a shared queue, so fast workers take more
@@ -403,7 +467,18 @@ func checkConnFault(plan *faultinject.Plan, wi int) error {
 // partition exhausts Retry.MaxAttempts, a worker reports an
 // application-level error (resp.Err — deterministic, so re-execution
 // cannot help), or zero workers survive.
-func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
+//
+// With StragglerFactor set, a hedging monitor watches in-flight
+// partitions and re-issues stragglers to idle workers (see the field
+// doc). The dispatch returns as soon as every partition has a winning
+// response — it does not wait out a straggler whose result lost; such a
+// worker finishes its exchange in the background and then observes the
+// completed dispatch.
+//
+// Cancelling ctx aborts the dispatch: every worker connection is closed
+// (unblocking any exchange in flight — the pool does not survive a
+// cancellation) and the context's error is returned.
+func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) ([]*WorkResponse, error) {
 	c.mu.Lock()
 	workers := append([]*workerConn(nil), c.workers...)
 	plan := c.plan
@@ -418,14 +493,13 @@ func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
 	}
 
 	responses := make([]*WorkResponse, len(reqs))
-	// Every index is in exactly one place: the queue, a worker's hands,
-	// or responses — so the buffer never overflows and requeues never
-	// block.
-	queue := make(chan int, len(reqs))
+	// Sized for the worst case — every attempt plus one hedge per index
+	// — so queue sends never block.
+	queue := make(chan workItem, len(reqs)*(retry.MaxAttempts+1))
 	for i := range reqs {
-		queue <- i
+		queue <- workItem{ri: i}
 	}
-	attempts := make([]int, len(reqs)) // handed off through queue sends
+	attempts := make([]int, len(reqs)) // guarded by hmu
 
 	var (
 		pending  atomic.Int64
@@ -435,6 +509,15 @@ func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
 		failOnce sync.Once
 		failMu   sync.Mutex
 		failErr  error
+
+		// Per-index dispatch state and the service-time samples feeding
+		// the straggler monitor.
+		hmu       sync.Mutex
+		done      = make([]bool, len(reqs))
+		inflight  = make([]int, len(reqs))
+		started   = make([]time.Time, len(reqs))
+		hedged    = make([]bool, len(reqs))
+		durations []time.Duration
 	)
 	pending.Store(int64(len(reqs)))
 	alive.Store(int64(len(workers)))
@@ -449,50 +532,139 @@ func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
 	// requeue hands a failed partition back to the pool after a backoff,
 	// or aborts the run when the partition is out of attempts.
 	requeue := func(ri int, cause error) {
+		hmu.Lock()
 		attempts[ri]++
-		if attempts[ri] >= retry.MaxAttempts {
+		out := attempts[ri] >= retry.MaxAttempts
+		n := attempts[ri]
+		hmu.Unlock()
+		if out {
 			fail(fmt.Errorf("distrib: leaf %d failed on %d workers, giving up: %w",
-				reqs[ri].Leaf, attempts[ri], cause))
+				reqs[ri].Leaf, n, cause))
 			return
 		}
 		c.mu.Lock()
 		c.stats.Reassigned++
 		c.mu.Unlock()
-		delay := retry.backoff(attempts[ri])
+		delay := retry.backoff(n)
 		go func() {
 			time.Sleep(delay)
-			queue <- ri
+			queue <- workItem{ri: ri}
 		}()
 	}
 
-	var wg sync.WaitGroup
-	for wi, w := range workers {
-		wg.Add(1)
-		go func(wi int, w *workerConn) {
-			defer wg.Done()
+	// Cancellation watcher: a dead context must unblock exchanges that
+	// are mid-Decode, so it severs every connection.
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				fail(fmt.Errorf("distrib: dispatch aborted: %w", ctx.Err()))
+				for _, w := range workers {
+					c.removeWorker(w)
+				}
+			case <-allDone:
+			case <-abort:
+			}
+		}()
+	}
+
+	// Straggler monitor: hedge any partition whose single in-flight
+	// attempt has outlived StragglerFactor × the running p95.
+	if c.StragglerFactor > 0 {
+		go func() {
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
 			for {
-				var ri int
+				select {
+				case <-allDone:
+					return
+				case <-abort:
+					return
+				case <-tick.C:
+				}
+				hmu.Lock()
+				if len(durations) < stragglerMinSamples {
+					hmu.Unlock()
+					continue
+				}
+				p95 := quantile(durations, 0.95)
+				threshold := time.Duration(float64(p95) * c.StragglerFactor)
+				var launched int
+				for ri := range reqs {
+					if done[ri] || hedged[ri] || inflight[ri] != 1 {
+						continue
+					}
+					if time.Since(started[ri]) <= threshold {
+						continue
+					}
+					hedged[ri] = true
+					launched++
+					queue <- workItem{ri: ri, hedge: true}
+				}
+				hmu.Unlock()
+				if launched > 0 {
+					c.mu.Lock()
+					c.stats.HedgesLaunched += launched
+					c.mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	for wi, w := range workers {
+		go func(wi int, w *workerConn) {
+			for {
+				var it workItem
 				select {
 				case <-abort:
 					return
 				case <-allDone:
 					return
-				case ri = <-queue:
+				case it = <-queue:
 				}
+				ri := it.ri
+				hmu.Lock()
+				if done[ri] {
+					hmu.Unlock()
+					continue // hedge or requeue that already lost
+				}
+				inflight[ri]++
+				if inflight[ri] == 1 {
+					started[ri] = time.Now()
+				}
+				hmu.Unlock()
 				if err := checkConnFault(plan, wi); err != nil {
 					// Injected connection fault: sever exactly as a
 					// crashed worker node would.
 					c.removeWorker(w)
-					requeue(ri, err)
+					hmu.Lock()
+					inflight[ri]--
+					covered := done[ri] || inflight[ri] > 0
+					hmu.Unlock()
+					if !covered {
+						requeue(ri, err)
+					}
 					if alive.Add(-1) == 0 {
 						fail(fmt.Errorf("distrib: leaf %d: no surviving workers: %w", reqs[ri].Leaf, err))
 					}
 					return
 				}
+				begin := time.Now()
 				resp, err := w.exchange(&reqs[ri], timeout)
 				if err != nil {
 					c.removeWorker(w)
-					requeue(ri, err)
+					hmu.Lock()
+					inflight[ri]--
+					// Another copy in flight (or already won) covers
+					// this index; re-queue only an uncovered one.
+					covered := done[ri] || inflight[ri] > 0
+					hmu.Unlock()
+					if ctx.Err() != nil {
+						return
+					}
+					if !covered {
+						requeue(ri, err)
+					}
 					if alive.Add(-1) == 0 {
 						fail(fmt.Errorf("distrib: leaf %d: no surviving workers: %w", reqs[ri].Leaf, err))
 					}
@@ -502,7 +674,24 @@ func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
 					fail(fmt.Errorf("distrib: worker %d leaf %d: %s", w.pid, resp.Leaf, resp.Err))
 					return
 				}
+				hmu.Lock()
+				inflight[ri]--
+				if done[ri] {
+					hmu.Unlock()
+					continue // lost the race: discard
+				}
+				done[ri] = true
+				durations = append(durations, time.Since(begin))
+				hmu.Unlock()
 				responses[ri] = resp
+				if it.hedge {
+					c.mu.Lock()
+					c.stats.HedgesWon++
+					c.mu.Unlock()
+				}
+				if c.OnResponse != nil {
+					c.OnResponse(ri, resp)
+				}
 				if pending.Add(-1) == 0 {
 					close(allDone)
 					return
@@ -510,14 +699,15 @@ func (c *Coordinator) Dispatch(reqs []WorkRequest) ([]*WorkResponse, error) {
 			}
 		}(wi, w)
 	}
-	wg.Wait()
-	failMu.Lock()
-	err := failErr
-	failMu.Unlock()
-	if err != nil {
+	select {
+	case <-allDone:
+		return responses, nil
+	case <-abort:
+		failMu.Lock()
+		err := failErr
+		failMu.Unlock()
 		return nil, err
 	}
-	return responses, nil
 }
 
 // Shutdown tells every worker to exit and closes the listener. It is

@@ -1,8 +1,10 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/merge"
@@ -15,20 +17,39 @@ type Options struct {
 	MinPts   int
 	Leaves   int // partitions to produce (≥ workers; round-robined)
 	DenseBox bool
+
+	// Checkpoint, when non-nil, durably snapshots every partition's
+	// winning response under "cluster-%04d" as results stream in, and a
+	// later run over the same store restores those partitions instead of
+	// re-dispatching them. Back the store with checkpoint.DirFS to
+	// survive coordinator process restarts.
+	Checkpoint *checkpoint.Store
 }
+
+// clusterSnapshot names partition i's checkpoint on the store.
+func clusterSnapshot(i int) string { return fmt.Sprintf("cluster-%04d", i) }
 
 // Result is a completed distributed run.
 type Result struct {
 	// Labels aligns with the input points (-1 = noise).
 	Labels      []int
 	NumClusters int
+	// RestoredPartitions counts partitions recovered from checkpoints
+	// instead of dispatched to workers.
+	RestoredPartitions int
 }
 
-// Run executes the full algorithm with the cluster phase on the
+// Run is RunContext without a deadline.
+func (c *Coordinator) Run(pts []geom.Point, opt Options) (*Result, error) {
+	return c.RunContext(context.Background(), pts, opt)
+}
+
+// RunContext executes the full algorithm with the cluster phase on the
 // coordinator's connected workers: partition locally, dispatch each
 // partition over TCP, merge the returned summaries, and resolve global
-// labels. It is the distributed counterpart of mrscan.RunPoints.
-func (c *Coordinator) Run(pts []geom.Point, opt Options) (*Result, error) {
+// labels. It is the distributed counterpart of mrscan.RunContext.
+// Cancelling ctx aborts the dispatch (see DispatchContext).
+func (c *Coordinator) RunContext(ctx context.Context, pts []geom.Point, opt Options) (*Result, error) {
 	if opt.Leaves < 1 {
 		return nil, fmt.Errorf("distrib: need at least one leaf, got %d", opt.Leaves)
 	}
@@ -53,9 +74,49 @@ func (c *Coordinator) Run(pts []geom.Point, opt Options) (*Result, error) {
 			Shadow:   split.Shadows[leaf],
 		}
 	}
-	responses, err := c.Dispatch(reqs)
-	if err != nil {
-		return nil, err
+
+	// Restore checkpointed partitions; dispatch only the rest. A corrupt
+	// or missing snapshot simply re-dispatches that partition.
+	responses := make([]*WorkResponse, opt.Leaves)
+	var todo []WorkRequest
+	restoredCount := 0
+	if opt.Checkpoint != nil {
+		for leaf := range reqs {
+			var resp WorkResponse
+			if err := opt.Checkpoint.Load(clusterSnapshot(leaf), &resp); err == nil && resp.Leaf == leaf {
+				responses[leaf] = &resp
+				restoredCount++
+				continue
+			}
+			todo = append(todo, reqs[leaf])
+		}
+	} else {
+		todo = reqs
+	}
+
+	if len(todo) > 0 {
+		// Stream each winning response into its snapshot as it arrives —
+		// a coordinator killed mid-dispatch resumes with the partitions
+		// it already has. Chained after any caller-installed hook.
+		if opt.Checkpoint != nil {
+			prev := c.OnResponse
+			c.OnResponse = func(i int, resp *WorkResponse) {
+				if prev != nil {
+					prev(i, resp)
+				}
+				// Best-effort: a failed snapshot write costs re-execution
+				// on resume, not correctness now.
+				_ = opt.Checkpoint.Save(clusterSnapshot(resp.Leaf), resp)
+			}
+			defer func() { c.OnResponse = prev }()
+		}
+		dispatched, err := c.DispatchContext(ctx, todo)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range dispatched {
+			responses[r.Leaf] = r
+		}
 	}
 
 	// Merge the summaries exactly as the tree root would (a flat
@@ -91,5 +152,5 @@ func (c *Coordinator) Run(pts []geom.Point, opt Options) (*Result, error) {
 		}
 		labels[i] = l
 	}
-	return &Result{Labels: labels, NumClusters: len(final)}, nil
+	return &Result{Labels: labels, NumClusters: len(final), RestoredPartitions: restoredCount}, nil
 }

@@ -49,14 +49,38 @@ const (
 )
 
 // LustreIO is a pseudo-site accepted by Arm and Parse: it arms one rule
-// with a single shared counter across LustreRead and LustreWrite,
-// matching the legacy lustre.InjectFault semantics (N successful
-// operations of either kind, then failure).
+// with a single shared counter across LustreRead and LustreWrite (N
+// successful operations of either kind, then failure).
 const LustreIO Site = "lustre.io"
 
 // ErrInjected is the default error returned by a firing rule with no
 // explicit Err.
 var ErrInjected = errors.New("faultinject: injected fault")
+
+// FatalError marks a fault that models process death rather than an
+// error return: a node segfaulting, the OOM killer, a hardware machine
+// check. Retry and recovery layers must NOT absorb it — the run dies
+// where it stands, leaving whatever durable state (checkpoints, partial
+// files) exists on the file system, exactly as a real mid-run crash
+// would. A later run with resume enabled restarts from that state.
+type FatalError struct {
+	// Cause is the underlying injected error.
+	Cause error
+}
+
+func (e *FatalError) Error() string {
+	return fmt.Sprintf("faultinject: fatal fault (process killed): %v", e.Cause)
+}
+
+func (e *FatalError) Unwrap() error { return e.Cause }
+
+// IsFatal reports whether err carries a FatalError anywhere in its
+// chain. Every retry layer in the pipeline consults it before
+// re-executing.
+func IsFatal(err error) bool {
+	var fe *FatalError
+	return errors.As(err, &fe)
+}
 
 // Rule describes one fault trigger.
 type Rule struct {
@@ -71,6 +95,10 @@ type Rule struct {
 	Prob float64
 	// Err is the error injected; nil uses ErrInjected.
 	Err error
+	// Fatal wraps the injected error in a FatalError: the fault kills
+	// the run (no retry layer may absorb it) instead of surfacing as a
+	// recoverable error.
+	Fatal bool
 }
 
 // armedRule is a Rule plus its live counters. One armedRule may be
@@ -144,10 +172,14 @@ func (p *Plan) Check(site Site) error {
 			continue
 		}
 		ar.fired++
-		if ar.Err != nil {
-			return ar.Err
+		err := ar.Err
+		if err == nil {
+			err = ErrInjected
 		}
-		return ErrInjected
+		if ar.Fatal {
+			return &FatalError{Cause: err}
+		}
+		return err
 	}
 	return nil
 }
@@ -214,9 +246,10 @@ func (p *Plan) Sites() []Site {
 //	site:key=val[,key=val...][;site:...]
 //
 // Keys: after=N (op-count trigger), times=K (failure budget, 0 =
-// permanent), prob=P (probability trigger), msg=S (error text). The
-// pseudo-site lustre.io arms a shared rule over lustre.read and
-// lustre.write. Example:
+// permanent), prob=P (probability trigger), msg=S (error text), fatal=B
+// (kill the run instead of erroring — see FatalError). The pseudo-site
+// lustre.io arms a shared rule over lustre.read and lustre.write.
+// Example:
 //
 //	lustre.io:after=100,times=2;mrnet.node:times=1;mrnet.hop:prob=0.001
 //
@@ -267,6 +300,12 @@ func Parse(spec string, seed int64) (*Plan, error) {
 				r.Prob = f
 			case "msg":
 				r.Err = errors.New(v)
+			case "fatal":
+				b, err := strconv.ParseBool(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: entry %q: bad fatal=%q", entry, v)
+				}
+				r.Fatal = b
 			default:
 				return nil, fmt.Errorf("faultinject: entry %q: unknown key %q", entry, k)
 			}

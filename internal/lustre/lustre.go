@@ -123,21 +123,6 @@ func (fs *FS) SetFaultPlan(p *faultinject.Plan) {
 	fs.mu.Unlock()
 }
 
-// InjectFault arms a permanent I/O fault after `after` more successful
-// read/write operations; a nil err disarms injection.
-//
-// Deprecated: InjectFault is a thin wrapper kept for existing callers.
-// Use SetFaultPlan with a faultinject.Plan, which supports transient
-// faults, probability triggers and per-site arming.
-func (fs *FS) InjectFault(after int64, err error) {
-	if err == nil {
-		fs.SetFaultPlan(nil)
-		return
-	}
-	fs.SetFaultPlan(faultinject.New(0).
-		Arm(faultinject.LustreIO, faultinject.Rule{After: after, Err: err}))
-}
-
 // checkFault consumes one operation at the site and returns the
 // injected error if the plan fires.
 func (fs *FS) checkFault(site faultinject.Site) error {
@@ -191,6 +176,29 @@ func (fs *FS) Remove(name string) {
 	fs.mu.Lock()
 	delete(fs.files, name)
 	fs.mu.Unlock()
+}
+
+// Rename atomically renames a file, replacing newname if it exists —
+// POSIX rename(2) semantics, the primitive behind the checkpoint
+// write-then-rename protocol. The operation happens entirely under the
+// FS mutex (a metadata-server operation on real Lustre) and is charged
+// no byte cost. Open handles follow the file object, not the name:
+// handles on oldname keep operating on the renamed file, and handles on
+// a replaced newname keep operating on the now-unlinked old contents,
+// exactly as with POSIX descriptors.
+func (fs *FS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldname]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, oldname)
+	}
+	if oldname == newname {
+		return nil
+	}
+	fs.files[newname] = f
+	delete(fs.files, oldname)
+	return nil
 }
 
 // Size returns a file's current length.

@@ -307,14 +307,15 @@ func TestFaultPlanTransientAndPerSite(t *testing.T) {
 	}
 }
 
-// TestInjectFaultLegacyWrapper pins the deprecated InjectFault wrapper
-// to its historical semantics: combined read+write op budget, permanent
-// failure, nil disarms.
-func TestInjectFaultLegacyWrapper(t *testing.T) {
+// TestFaultPlanSharedIOBudget pins the lustre.io pseudo-site semantics:
+// a combined read+write op budget shared by both sites, permanent
+// failure once armed, and a nil plan disarming injection.
+func TestFaultPlanSharedIOBudget(t *testing.T) {
 	fs := New(testConfig(), nil)
 	h := fs.Create("f")
 	boom := errors.New("io failure")
-	fs.InjectFault(2, boom)
+	fs.SetFaultPlan(faultinject.New(0).
+		Arm(faultinject.LustreIO, faultinject.Rule{After: 2, Err: boom}))
 	if _, err := h.WriteAt([]byte("a"), 0); err != nil {
 		t.Fatalf("op 1 must succeed: %v", err)
 	}
@@ -324,9 +325,114 @@ func TestInjectFaultLegacyWrapper(t *testing.T) {
 	if _, err := h.WriteAt([]byte("b"), 1); !errors.Is(err, boom) {
 		t.Fatalf("op 3 = %v, want injected fault", err)
 	}
-	fs.InjectFault(0, nil)
+	fs.SetFaultPlan(nil)
 	if _, err := h.WriteAt([]byte("c"), 2); err != nil {
 		t.Fatalf("disarmed fault still fired: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("a")
+	if _, err := h.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("a"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old name still opens: %v", err)
+	}
+	nb, err := fs.Open("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := nb.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("renamed contents = %q, want hello", buf)
+	}
+	if err := fs.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("renaming a missing file = %v, want ErrNotExist", err)
+	}
+}
+
+// TestRenameOverExisting checks POSIX replace semantics: the target is
+// atomically replaced, and a handle open on the replaced file keeps
+// addressing the unlinked contents (descriptor follows the object).
+func TestRenameOverExisting(t *testing.T) {
+	fs := New(testConfig(), nil)
+	old := fs.Create("dst")
+	if _, err := old.WriteAt([]byte("old"), 0); err != nil {
+		t.Fatal(err)
+	}
+	src := fs.Create("src")
+	if _, err := src.WriteAt([]byte("new"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Open("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := got.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "new" {
+		t.Fatalf("dst after rename = %q, want new", buf)
+	}
+	// The orphaned handle still reads (and writes) the old contents.
+	if _, err := old.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "old" {
+		t.Fatalf("orphaned handle reads %q, want old", buf)
+	}
+	if _, err := fs.Open("src"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("src still exists after rename: %v", err)
+	}
+}
+
+// TestRenameOfOpenHandle checks that a handle opened before the rename
+// keeps operating on the file under its new name: writes through the old
+// handle are visible to readers of the new name.
+func TestRenameOfOpenHandle(t *testing.T) {
+	fs := New(testConfig(), nil)
+	h := fs.Create("tmp")
+	if _, err := h.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte("xyz"), 3); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcxyz" {
+		t.Fatalf("final = %q, want abcxyz", buf)
+	}
+	if n, err := fs.Size("final"); err != nil || n != 6 {
+		t.Fatalf("Size(final) = %d, %v; want 6", n, err)
+	}
+	// Rename to the same name is a no-op, not a delete.
+	if err := fs.Rename("final", "final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("final"); err != nil {
+		t.Fatalf("self-rename removed the file: %v", err)
 	}
 }
 

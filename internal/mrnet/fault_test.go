@@ -1,6 +1,7 @@
 package mrnet
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // reduceSum runs an integer sum reduction and returns the result.
 func reduceSum(t *testing.T, net *Network) int {
 	t.Helper()
-	got, err := Reduce(net,
+	got, err := Reduce(context.Background(), net,
 		func(leaf int) (int, error) { return leaf, nil },
 		func(_ *Node, in []int) (int, error) {
 			s := 0
@@ -101,7 +102,7 @@ func TestNodeCrashDuringMulticastRecovers(t *testing.T) {
 		Arm(faultinject.MRNetNode, faultinject.Rule{Times: 1}))
 	var mu sync.Mutex
 	got := map[int]int{}
-	err := Multicast(net, 7, nil,
+	err := Multicast(context.Background(), net, 7, nil,
 		func(leaf int, v int) error {
 			mu.Lock()
 			got[leaf] = v
@@ -149,7 +150,7 @@ func TestHopFaultSurfacesAsError(t *testing.T) {
 	flaky := errors.New("link down")
 	net.SetFaultPlan(faultinject.New(0).
 		Arm(faultinject.MRNetHop, faultinject.Rule{After: 3, Err: flaky}))
-	_, err := Reduce(net,
+	_, err := Reduce(context.Background(), net,
 		func(leaf int) (int, error) { return 1, nil },
 		func(_ *Node, in []int) (int, error) { return len(in), nil },
 		nil)
@@ -169,7 +170,7 @@ func TestAbortStopsHopCharges(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("leaf dead")
-	_, err = Reduce(net,
+	_, err = Reduce(context.Background(), net,
 		func(leaf int) (int, error) {
 			if leaf == 0 {
 				return 0, boom
@@ -191,7 +192,7 @@ func TestMulticastAbortStopsDescent(t *testing.T) {
 	net := mustNew(t, 64, 4)
 	boom := errors.New("leaf dead")
 	var delivered sync.Map
-	err := Multicast(net, 1, nil,
+	err := Multicast(context.Background(), net, 1, nil,
 		func(leaf int, v int) error {
 			if leaf == 0 {
 				return boom
@@ -217,7 +218,7 @@ func TestRecoveryPreservesLeafOrder(t *testing.T) {
 	net := mustNew(t, 60, 4)
 	net.SetFaultPlan(faultinject.New(0).
 		Arm(faultinject.MRNetNode, faultinject.Rule{Times: 3}))
-	got, err := Reduce(net,
+	got, err := Reduce(context.Background(), net,
 		func(leaf int) ([]int, error) { return []int{leaf}, nil },
 		func(_ *Node, in [][]int) ([]int, error) {
 			var out []int

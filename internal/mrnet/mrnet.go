@@ -24,6 +24,7 @@
 package mrnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -340,10 +341,11 @@ func (net *Network) faultPlan() *faultinject.Plan {
 }
 
 // opState is the shared state of one collective operation: the first
-// fatal error cancels the whole operation so sibling subtrees stop
-// charging the simulated clock for work that would not happen on the
-// real tree.
+// fatal error — or the caller's context expiring — cancels the whole
+// operation so sibling subtrees stop charging the simulated clock for
+// work that would not happen on the real tree.
 type opState struct {
+	ctx       context.Context
 	cancelled atomic.Bool
 	mu        sync.Mutex
 	err       error
@@ -358,7 +360,9 @@ func (o *opState) fail(err error) {
 	o.cancelled.Store(true)
 }
 
-func (o *opState) aborted() bool { return o.cancelled.Load() }
+func (o *opState) aborted() bool {
+	return o.cancelled.Load() || o.ctx.Err() != nil
+}
 
 func (o *opState) firstErr() error {
 	o.mu.Lock()
@@ -370,13 +374,18 @@ func (o *opState) firstErr() error {
 // collective; the originating error is reported instead.
 var errAborted = errors.New("mrnet: collective aborted by failure elsewhere in the tree")
 
-// finish maps a collective's outcome to the user-visible error.
+// finish maps a collective's outcome to the user-visible error. A
+// cancelled or deadline-expired context takes precedence over the
+// internal abort sentinel so callers can errors.Is-match it.
 func (o *opState) finish(err error) error {
 	if err == nil {
 		return nil
 	}
 	if first := o.firstErr(); first != nil {
 		return first
+	}
+	if cerr := o.ctx.Err(); cerr != nil {
+		return fmt.Errorf("mrnet: collective aborted: %w", cerr)
 	}
 	return err
 }
@@ -396,9 +405,15 @@ type Sizer[T any] func(T) int64
 // re-parented to their grandparent and the affected subtree is
 // re-reduced, with already-transferred sibling results reused — leafFn
 // and combine must therefore be safe to re-execute (DBSCAN's phases are
-// deterministic and side-effect-free, so they are).
-func Reduce[T any](net *Network, leafFn func(leaf int) (T, error), combine func(n *Node, in []T) (T, error), size Sizer[T]) (T, error) {
-	op := &opState{}
+// deterministic and side-effect-free, so they are). A faultinject fatal
+// fault is never recovered: it aborts the collective like a caller
+// cancellation.
+//
+// ctx cancellation (or deadline expiry) aborts the collective at the
+// next hop boundary: in-flight leaf work finishes, but no further
+// payloads travel and the returned error wraps ctx.Err().
+func Reduce[T any](ctx context.Context, net *Network, leafFn func(leaf int) (T, error), combine func(n *Node, in []T) (T, error), size Sizer[T]) (T, error) {
+	op := &opState{ctx: ctx}
 	v, err := reduceAt(net, net.root, leafFn, combine, size, op)
 	if err != nil {
 		var zero T
@@ -423,6 +438,11 @@ func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine
 	}
 	if n.parent != nil { // internal, non-root: subject to crash injection
 		if ferr := net.faultPlan().Check(faultinject.MRNetNode); ferr != nil {
+			if faultinject.IsFatal(ferr) {
+				err := fmt.Errorf("mrnet: node %d: %w", n.id, ferr)
+				op.fail(err)
+				return zero, err
+			}
 			return zero, &NodeFailedError{ID: n.id, cause: ferr}
 		}
 	}
@@ -511,12 +531,13 @@ func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine
 // child (it may slice the payload to route data); a nil split broadcasts
 // the same value. deliver runs at every leaf, in parallel.
 //
-// Failure semantics match Reduce: fatal errors cancel the collective,
-// injected internal-node crashes re-parent and retry the affected
-// subtree (split is re-invoked over the new child list, deliver may
-// re-run at leaves under a crashed node — both must be idempotent).
-func Multicast[T any](net *Network, payload T, split func(n *Node, in T) ([]T, error), deliver func(leaf int, v T) error, size Sizer[T]) error {
-	op := &opState{}
+// Failure semantics match Reduce: fatal errors and ctx cancellation
+// abort the collective at the next hop boundary, injected internal-node
+// crashes re-parent and retry the affected subtree (split is re-invoked
+// over the new child list, deliver may re-run at leaves under a crashed
+// node — both must be idempotent).
+func Multicast[T any](ctx context.Context, net *Network, payload T, split func(n *Node, in T) ([]T, error), deliver func(leaf int, v T) error, size Sizer[T]) error {
+	op := &opState{ctx: ctx}
 	return op.finish(multicastAt(net, net.root, payload, split, deliver, size, op))
 }
 
@@ -534,6 +555,11 @@ func multicastAt[T any](net *Network, n *Node, payload T, split func(*Node, T) (
 	}
 	if n.parent != nil { // internal, non-root: subject to crash injection
 		if ferr := net.faultPlan().Check(faultinject.MRNetNode); ferr != nil {
+			if faultinject.IsFatal(ferr) {
+				err := fmt.Errorf("mrnet: node %d: %w", n.id, ferr)
+				op.fail(err)
+				return err
+			}
 			return &NodeFailedError{ID: n.id, cause: ferr}
 		}
 	}
@@ -624,8 +650,11 @@ func multicastAt[T any](net *Network, n *Node, payload T, split func(*Node, T) (
 
 // LeafRun executes fn at every leaf in parallel and collects the results
 // by leaf index. It models the per-leaf compute stage of a phase (e.g.
-// the cluster phase running GPGPU DBSCAN on every leaf).
-func LeafRun[T any](net *Network, fn func(leaf int) (T, error)) ([]T, error) {
+// the cluster phase running GPGPU DBSCAN on every leaf). Cancelling ctx
+// prevents leaves that have not started from running; leaves already
+// executing finish (per-leaf compute is not interruptible, exactly like
+// a kernel already launched on a device), and the ctx error is reported.
+func LeafRun[T any](ctx context.Context, net *Network, fn func(leaf int) (T, error)) ([]T, error) {
 	results := make([]T, len(net.leaves))
 	errs := make([]error, len(net.leaves))
 	var wg sync.WaitGroup
@@ -633,10 +662,17 @@ func LeafRun[T any](net *Network, fn func(leaf int) (T, error)) ([]T, error) {
 	for i := range net.leaves {
 		go func(i int) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			results[i], errs[i] = fn(i)
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mrnet: leaf run aborted: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mrnet: leaf %d: %w", i, err)

@@ -1,6 +1,7 @@
 package mrnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -101,7 +102,7 @@ func TestTopologyLeafCountProperty(t *testing.T) {
 func TestReduceSum(t *testing.T) {
 	for _, leaves := range []int{1, 2, 7, 64, 600} {
 		net := mustNew(t, leaves, 8)
-		got, err := Reduce(net,
+		got, err := Reduce(context.Background(), net,
 			func(leaf int) (int, error) { return leaf, nil },
 			func(_ *Node, in []int) (int, error) {
 				s := 0
@@ -126,7 +127,7 @@ func TestReduceOrdering(t *testing.T) {
 	// data (e.g. partition offsets) stay deterministic: gather all leaf
 	// indices via concatenation and check the result is sorted.
 	net := mustNew(t, 500, 6)
-	got, err := Reduce(net,
+	got, err := Reduce(context.Background(), net,
 		func(leaf int) ([]int, error) { return []int{leaf}, nil },
 		func(_ *Node, in [][]int) ([]int, error) {
 			var out []int
@@ -150,7 +151,7 @@ func TestReduceOrdering(t *testing.T) {
 func TestReduceLeafError(t *testing.T) {
 	net := mustNew(t, 16, 4)
 	boom := errors.New("boom")
-	_, err := Reduce(net,
+	_, err := Reduce(context.Background(), net,
 		func(leaf int) (int, error) {
 			if leaf == 11 {
 				return 0, boom
@@ -167,7 +168,7 @@ func TestReduceLeafError(t *testing.T) {
 func TestReduceFilterError(t *testing.T) {
 	net := mustNew(t, 16, 4)
 	boom := errors.New("filter exploded")
-	_, err := Reduce(net,
+	_, err := Reduce(context.Background(), net,
 		func(leaf int) (int, error) { return leaf, nil },
 		func(n *Node, in []int) (int, error) {
 			return 0, boom
@@ -182,7 +183,7 @@ func TestMulticastBroadcast(t *testing.T) {
 	net := mustNew(t, 100, 5)
 	var mu sync.Mutex
 	received := map[int]string{}
-	err := Multicast(net, "hello",
+	err := Multicast(context.Background(), net, "hello",
 		nil,
 		func(leaf int, v string) error {
 			mu.Lock()
@@ -232,7 +233,7 @@ func TestMulticastSplitRouting(t *testing.T) {
 	}
 	var mu sync.Mutex
 	got := map[int]int{}
-	err := Multicast(net, payload,
+	err := Multicast(context.Background(), net, payload,
 		func(n *Node, in []int) ([][]int, error) {
 			out := make([][]int, len(n.Children()))
 			off := 0
@@ -268,7 +269,7 @@ func TestMulticastSplitRouting(t *testing.T) {
 
 func TestMulticastSplitArityError(t *testing.T) {
 	net := mustNew(t, 8, 2)
-	err := Multicast(net, 0,
+	err := Multicast(context.Background(), net, 0,
 		func(n *Node, in int) ([]int, error) { return []int{in}, nil }, // wrong arity
 		func(leaf int, v int) error { return nil },
 		nil)
@@ -279,7 +280,7 @@ func TestMulticastSplitArityError(t *testing.T) {
 
 func TestLeafRun(t *testing.T) {
 	net := mustNew(t, 50, 8)
-	got, err := LeafRun(net, func(leaf int) (int, error) { return leaf * 2, nil })
+	got, err := LeafRun(context.Background(), net, func(leaf int) (int, error) { return leaf * 2, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestLeafRun(t *testing.T) {
 		}
 	}
 	boom := errors.New("leaf failure")
-	_, err = LeafRun(net, func(leaf int) (int, error) {
+	_, err = LeafRun(context.Background(), net, func(leaf int) (int, error) {
 		if leaf == 33 {
 			return 0, boom
 		}
@@ -327,7 +328,7 @@ func TestHopAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Reduce(net,
+	_, err = Reduce(context.Background(), net,
 		func(leaf int) (int, error) { return 1, nil },
 		func(_ *Node, in []int) (int, error) { return len(in), nil },
 		func(int) int64 { return 100 })
@@ -363,7 +364,7 @@ func TestNodeAccessorsAndTitanCosts(t *testing.T) {
 func TestReduceRunsLeavesConcurrently(t *testing.T) {
 	net := mustNew(t, 32, 8)
 	start := time.Now()
-	_, err := Reduce(net,
+	_, err := Reduce(context.Background(), net,
 		func(leaf int) (int, error) {
 			time.Sleep(10 * time.Millisecond)
 			return 0, nil

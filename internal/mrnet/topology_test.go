@@ -1,6 +1,7 @@
 package mrnet
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -98,7 +99,7 @@ func TestRegularTreeReduceAndRanges(t *testing.T) {
 	}
 	check(net.Root())
 	// Collective ops still work.
-	sum, err := Reduce(net,
+	sum, err := Reduce(context.Background(), net,
 		func(leaf int) (int, error) { return leaf, nil },
 		func(_ *Node, in []int) (int, error) {
 			s := 0

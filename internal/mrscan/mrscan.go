@@ -6,12 +6,23 @@
 // system and produces a file of clustered points with global cluster IDs,
 // exactly the paper's contract, with a per-phase time breakdown matching
 // the units of Figures 8–10.
+//
+// The pipeline is restartable: with Config.Checkpoint set, every phase
+// barrier writes a verified snapshot to the file system (see
+// internal/checkpoint), and a later run with Config.Resume restores the
+// longest valid prefix of snapshots instead of recomputing it. A run
+// killed mid-phase — modeled by a fatal fault rule — resumes from the
+// last durable phase and produces byte-identical output.
 package mrscan
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dbscan"
 	"repro/internal/faultinject"
 	"repro/internal/gdbscan"
@@ -113,12 +124,33 @@ type Config struct {
 	// failures). Phases are idempotent — partition and sweep truncate
 	// their output files on re-execution, cluster and merge are pure —
 	// so a whole-phase retry is safe. The zero value disables retries.
+	// Fatal faults (faultinject.FatalError) and context cancellation are
+	// never retried: the former models process death, the latter is the
+	// caller's deadline.
 	Retry RetryPolicy
 
 	// FaultPlan, when non-nil, is installed on every substrate the run
 	// provisions: the file system, both overlay networks, and each
-	// leaf's GPU device. See internal/faultinject for the plan format.
+	// leaf's GPU device. The pipeline additionally consults the plan at
+	// the start of every phase attempt under the sites
+	// "mrscan.phase.partition", ".cluster", ".merge", ".sweep" — a fatal
+	// rule armed there kills the run at a deterministic phase boundary.
+	// See internal/faultinject for the plan format.
 	FaultPlan *faultinject.Plan
+
+	// Checkpoint writes a verified snapshot of each completed phase
+	// (partition, cluster, merge) to the file system — the durable state
+	// a later Resume run restarts from. The sweep phase is not
+	// snapshotted: its artifact is the output file itself and
+	// re-executing it is idempotent.
+	Checkpoint bool
+	// Resume restores the longest valid prefix of phase snapshots left
+	// on fs by an earlier checkpointed run with the same configuration
+	// and input, re-executing only the phases after it. Corrupt or
+	// truncated snapshots fail their checksum and the prefix stops
+	// before them. Resume implies Checkpoint. Snapshots from a different
+	// configuration (detected via a RunID fingerprint) are ignored.
+	Resume bool
 }
 
 // RetryPolicy bounds per-phase re-execution after a transient fault.
@@ -132,18 +164,44 @@ type RetryPolicy struct {
 	Backoff time.Duration
 }
 
+// Phase names, in pipeline order. These are the snapshot keys on the
+// checkpoint store and the suffixes of the per-phase fault sites.
+const (
+	PhasePartition = "partition"
+	PhaseCluster   = "cluster"
+	PhaseMerge     = "merge"
+	PhaseSweep     = "sweep"
+)
+
+// PhaseSite returns the fault-injection site consulted at the start of
+// every attempt of the named phase (e.g. "mrscan.phase.merge").
+func PhaseSite(phase string) faultinject.Site {
+	return faultinject.Site("mrscan.phase." + phase)
+}
+
 // runPhase executes one phase under the retry policy, counting retries
 // and wrapping the terminal error with the phase name — every
-// unrecoverable fault names the phase it killed.
-func (r RetryPolicy) runPhase(name string, retries *int, f func() error) error {
+// unrecoverable fault names the phase it killed. Each attempt first
+// consults the fault plan at the phase's site, then checks the caller's
+// context; fatal faults and context errors are terminal (no retry).
+func (r RetryPolicy) runPhase(ctx context.Context, plan *faultinject.Plan, name string, retries *int, f func() error) error {
 	attempts := r.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	var err error
 	for a := 1; a <= attempts; a++ {
-		if err = f(); err == nil {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		if err = plan.Check(PhaseSite(name)); err == nil {
+			err = f()
+		}
+		if err == nil {
 			return nil
+		}
+		if faultinject.IsFatal(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
 		}
 		if a < attempts {
 			*retries++
@@ -191,6 +249,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.GPU.SMs == 0 {
 		c.GPU = gpusim.K20()
+	}
+	if c.Resume {
+		c.Checkpoint = true
 	}
 	return nil
 }
@@ -254,15 +315,25 @@ type Stats struct {
 	Resources []simclock.ResourceTime
 }
 
-// Result is a completed run.
+// Result is a completed (or, on error, partially completed) run.
 type Result struct {
 	NumClusters int
 	Times       PhaseTimes
 	Stats       Stats
-	// Plan is the partition plan (for inspection and experiments).
+	// Plan is the partition plan (for inspection and experiments). It is
+	// nil when the partition phase was restored from a checkpoint — the
+	// plan's internals are not part of the durable snapshot, only its
+	// outputs are.
 	Plan *partition.Plan
 	// OutputFile names the labeled output on the file system.
 	OutputFile string
+	// CompletedPhases lists the phases that finished, in pipeline order,
+	// whether executed or restored. On a successful run it is all four;
+	// on an aborted run it names how far the pipeline got.
+	CompletedPhases []string
+	// RestoredPhases is the subset of CompletedPhases that was restored
+	// from checkpoints instead of executed (empty without Resume).
+	RestoredPhases []string
 }
 
 // File names used inside the simulated file system.
@@ -271,11 +342,79 @@ const (
 	metadataFile  = "mrscan-partitions.json"
 )
 
+// Snapshot payloads for the checkpoint store. All fields are exported
+// for gob. The structs mirror exactly the state the next phase consumes,
+// so a restored phase is indistinguishable from an executed one.
+type partitionCkpt struct {
+	// Meta locates every partition inside partitionFile (file mode). The
+	// partition file itself stays on the FS; the snapshot holds only the
+	// index, so resuming requires both.
+	Meta *ptio.PartitionMeta
+	// Direct marks a DirectPartitions run, whose partition contents
+	// never touch the file system and are carried in the snapshot.
+	Direct     bool
+	Partitions [][]geom.Point
+	Shadows    [][]geom.Point
+
+	TotalPoints   int64
+	WrittenPoints int64
+	ReadSim       time.Duration
+	WriteSim      time.Duration
+}
+
+type leafSnapshot struct {
+	Owned     []geom.Point
+	Labels    []int32
+	Summaries []*merge.Summary
+	GPUTime   time.Duration
+	Stats     gdbscan.Stats
+}
+
+type clusterCkpt struct {
+	Leaves []leafSnapshot
+}
+
+type mergeCkpt struct {
+	Final []*merge.Summary
+}
+
+// runFingerprint derives the checkpoint RunID from every configuration
+// field that shapes phase outputs, plus the input file's name and size.
+// Checkpoints written under a different fingerprint are ignored by
+// Resume — restoring a snapshot into a run that would have computed
+// something else silently corrupts the output.
+func runFingerprint(cfg *Config, fs *lustre.FS, inputFile string) string {
+	var size int64
+	if s, err := fs.Size(inputFile); err == nil {
+		size = s
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%g|%d|%d|%d|%d|%q|%t|%t|%t|%t|%t|%t|%t|%d|%v|%d|%d|%d",
+		inputFile, size, cfg.Eps, cfg.MinPts, cfg.Leaves, cfg.PartitionLeaves,
+		cfg.Fanout, cfg.Topology, cfg.DenseBox, cfg.ShadowReps, cfg.Rebalance,
+		cfg.IncludeNoise, cfg.HasWeight, cfg.DirectPartitions, cfg.ReclaimBorders,
+		cfg.HotCellThreshold, cfg.Mode, cfg.Blocks, cfg.ThreadsPerBlock, cfg.LeafSize)
+	return fmt.Sprintf("mrscan-%016x", h.Sum64())
+}
+
 // Run executes the full pipeline against inputFile on fs, writing labeled
-// output to outputFile.
+// output to outputFile. It is RunContext without a deadline.
 func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), fs, inputFile, outputFile, cfg)
+}
+
+// RunContext executes the full pipeline under ctx. Cancellation or
+// deadline expiry aborts the run at the next phase or tree-hop boundary;
+// the returned error wraps the context error and names the in-flight
+// phase, and the partial Result lists the phases that completed before
+// the abort. With Config.Checkpoint those phases are already durable, so
+// a later Resume run picks up where the deadline struck.
+func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	g := grid.New(cfg.Eps)
@@ -284,75 +423,149 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 	}
 	var retries struct{ partition, cluster, merge, sweep int }
 
+	res := &Result{OutputFile: outputFile}
+	var partNet, clusterNet *mrnet.Network
+	// fail finalizes the partial result: whatever phases completed are
+	// named, stats that exist are filled, and the caller gets both the
+	// result and the error.
+	fail := func(err error) (*Result, error) {
+		res.Times.Total = time.Since(start)
+		if partNet != nil {
+			res.Stats.NetRecoveries += partNet.Recoveries()
+		}
+		if clusterNet != nil {
+			res.Stats.NetRecoveries += clusterNet.Recoveries()
+		}
+		res.Stats.FaultsInjected = cfg.FaultPlan.TotalFired()
+		res.Stats.SimNow = fs.Clock().Now()
+		res.Stats.Resources = fs.Clock().Snapshot()
+		return res, err
+	}
+
+	var store *checkpoint.Store
+	validPrefix := 0
+	if cfg.Checkpoint {
+		store = checkpoint.NewStore(checkpoint.LustreFS(fs), runFingerprint(&cfg, fs, inputFile))
+		if cfg.Resume {
+			validPrefix = store.ValidPrefix([]string{PhasePartition, PhaseCluster, PhaseMerge})
+		}
+	}
 	// --- Phase 1: partition (separate flat MRNet network, §3.1.3) ---
-	partNet, err := mrnet.New(cfg.PartitionLeaves, cfg.Fanout, cfg.Costs, fs.Clock())
-	if err != nil {
-		return nil, err
-	}
-	partNet.SetFaultPlan(cfg.FaultPlan)
 	partStart := time.Now()
-	distOpts := partition.DistOptions{
-		NumPartitions:  cfg.Leaves,
-		MinPts:         cfg.MinPts,
-		Rebalance:      cfg.Rebalance,
-		ShadowReps:     cfg.ShadowReps,
-		HasWeight:      cfg.HasWeight,
-		SplitThreshold: cfg.HotCellThreshold,
-	}
 	// loadPartition returns partition j's owned and shadow points,
 	// either from the partition file or from the direct transfer.
 	var loadPartition func(j int) (owned, shadow []geom.Point, err error)
 	var plan *partition.Plan
 	var totalPoints, writtenPoints int64
 	var partReadSim, partWriteSim time.Duration
-	err = cfg.Retry.runPhase("partition", &retries.partition, func() error {
-		if cfg.DirectPartitions {
-			direct, err := partition.DistributeDirect(partNet, fs, cfg.Eps, inputFile, distOpts)
+	if validPrefix >= 1 {
+		var pc partitionCkpt
+		if err := store.Load(PhasePartition, &pc); err != nil {
+			return fail(fmt.Errorf("mrscan: restoring %s phase: %w", PhasePartition, err))
+		}
+		totalPoints, writtenPoints = pc.TotalPoints, pc.WrittenPoints
+		partReadSim, partWriteSim = pc.ReadSim, pc.WriteSim
+		if pc.Direct {
+			parts, shadows := pc.Partitions, pc.Shadows
+			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+				return parts[j], shadows[j], nil
+			}
+		} else {
+			meta := pc.Meta
+			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+				return partition.ReadPartition(fs, partitionFile, meta, j)
+			}
+		}
+		res.RestoredPhases = append(res.RestoredPhases, PhasePartition)
+	} else {
+		var err error
+		partNet, err = mrnet.New(cfg.PartitionLeaves, cfg.Fanout, cfg.Costs, fs.Clock())
+		if err != nil {
+			return nil, err
+		}
+		partNet.SetFaultPlan(cfg.FaultPlan)
+		distOpts := partition.DistOptions{
+			NumPartitions:  cfg.Leaves,
+			MinPts:         cfg.MinPts,
+			Rebalance:      cfg.Rebalance,
+			ShadowReps:     cfg.ShadowReps,
+			HasWeight:      cfg.HasWeight,
+			SplitThreshold: cfg.HotCellThreshold,
+		}
+		var pc partitionCkpt
+		err = cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhasePartition, &retries.partition, func() error {
+			if cfg.DirectPartitions {
+				direct, err := partition.DistributeDirect(ctx, partNet, fs, cfg.Eps, inputFile, distOpts)
+				if err != nil {
+					return err
+				}
+				plan = direct.Plan
+				totalPoints = direct.TotalPoints
+				writtenPoints = direct.TransferredPoints
+				loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+					return direct.Partitions[j], direct.Shadows[j], nil
+				}
+				pc = partitionCkpt{
+					Direct:        true,
+					Partitions:    direct.Partitions,
+					Shadows:       direct.Shadows,
+					TotalPoints:   totalPoints,
+					WrittenPoints: writtenPoints,
+				}
+				return nil
+			}
+			dist, err := partition.Distribute(ctx, partNet, fs, cfg.Eps, inputFile, partitionFile, metadataFile, distOpts)
 			if err != nil {
 				return err
 			}
-			plan = direct.Plan
-			totalPoints = direct.TotalPoints
-			writtenPoints = direct.TransferredPoints
+			plan = dist.Plan
+			totalPoints = dist.TotalPoints
+			writtenPoints = dist.WrittenPoints
+			partReadSim = dist.ReadSim
+			partWriteSim = dist.WriteSim
 			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
-				return direct.Partitions[j], direct.Shadows[j], nil
+				return partition.ReadPartition(fs, partitionFile, dist.Meta, j)
+			}
+			pc = partitionCkpt{
+				Meta:          dist.Meta,
+				TotalPoints:   totalPoints,
+				WrittenPoints: writtenPoints,
+				ReadSim:       partReadSim,
+				WriteSim:      partWriteSim,
 			}
 			return nil
-		}
-		dist, err := partition.Distribute(partNet, fs, cfg.Eps, inputFile, partitionFile, metadataFile, distOpts)
+		})
 		if err != nil {
-			return err
+			return fail(err)
 		}
-		plan = dist.Plan
-		totalPoints = dist.TotalPoints
-		writtenPoints = dist.WrittenPoints
-		partReadSim = dist.ReadSim
-		partWriteSim = dist.WriteSim
-		loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
-			return partition.ReadPartition(fs, partitionFile, dist.Meta, j)
+		if store != nil {
+			if err := store.Save(PhasePartition, &pc); err != nil {
+				return fail(fmt.Errorf("mrscan: checkpointing %s phase: %w", PhasePartition, err))
+			}
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	partTime := time.Since(partStart)
+	res.CompletedPhases = append(res.CompletedPhases, PhasePartition)
+	res.Times.Partition = time.Since(partStart)
+	res.Times.PartitionReadSim = partReadSim
+	res.Times.PartitionWriteSim = partWriteSim
 
 	// --- Phase 2: cluster (GPGPU DBSCAN on every leaf, §3.2) ---
-	var clusterNet *mrnet.Network
-	if cfg.Topology != "" {
-		clusterNet, err = mrnet.NewFromSpec(cfg.Topology, cfg.Costs, fs.Clock())
-		if err != nil {
-			return nil, err
-		}
-		if clusterNet.NumLeaves() != cfg.Leaves {
-			return nil, fmt.Errorf("mrscan: topology %q yields %d leaves, config says %d",
-				cfg.Topology, clusterNet.NumLeaves(), cfg.Leaves)
-		}
-	} else {
-		clusterNet, err = mrnet.New(cfg.Leaves, cfg.Fanout, cfg.Costs, fs.Clock())
-		if err != nil {
-			return nil, err
+	{
+		var err error
+		if cfg.Topology != "" {
+			clusterNet, err = mrnet.NewFromSpec(cfg.Topology, cfg.Costs, fs.Clock())
+			if err != nil {
+				return nil, err
+			}
+			if clusterNet.NumLeaves() != cfg.Leaves {
+				return nil, fmt.Errorf("mrscan: topology %q yields %d leaves, config says %d",
+					cfg.Topology, clusterNet.NumLeaves(), cfg.Leaves)
+			}
+		} else {
+			clusterNet, err = mrnet.New(cfg.Leaves, cfg.Fanout, cfg.Costs, fs.Clock())
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	clusterNet.SetFaultPlan(cfg.FaultPlan)
@@ -364,106 +577,163 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 		stats     gdbscan.Stats
 	}
 	clusterStart := time.Now()
-	clusterLeaf := func(leaf int) (*leafState, error) {
-		owned, shadow, err := loadPartition(leaf)
-		if err != nil {
-			return nil, err
+	var states []*leafState
+	if validPrefix >= 2 {
+		var cc clusterCkpt
+		if err := store.Load(PhaseCluster, &cc); err != nil {
+			return fail(fmt.Errorf("mrscan: restoring %s phase: %w", PhaseCluster, err))
 		}
-		combined := make([]geom.Point, 0, len(owned)+len(shadow))
-		combined = append(combined, owned...)
-		combined = append(combined, shadow...)
-		gpuCfg := cfg.GPU
-		gpuCfg.Name = fmt.Sprintf("gpu%04d", leaf)
-		dev := gpusim.New(gpuCfg, fs.Clock())
-		dev.SetFaultPlan(cfg.FaultPlan)
-		gpuStart := time.Now()
-		res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
-			Params:          dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts},
-			DenseBox:        cfg.DenseBox,
-			Mode:            cfg.Mode,
-			Blocks:          cfg.Blocks,
-			ThreadsPerBlock: cfg.ThreadsPerBlock,
-			LeafSize:        cfg.LeafSize,
+		if len(cc.Leaves) != cfg.Leaves {
+			return fail(fmt.Errorf("mrscan: %s snapshot holds %d leaves, config says %d",
+				PhaseCluster, len(cc.Leaves), cfg.Leaves))
+		}
+		states = make([]*leafState, len(cc.Leaves))
+		for i := range cc.Leaves {
+			l := &cc.Leaves[i]
+			states[i] = &leafState{
+				owned:     l.Owned,
+				labels:    l.Labels,
+				summaries: l.Summaries,
+				gpuTime:   l.GPUTime,
+				stats:     l.Stats,
+			}
+		}
+		res.RestoredPhases = append(res.RestoredPhases, PhaseCluster)
+	} else {
+		clusterLeaf := func(leaf int) (*leafState, error) {
+			owned, shadow, err := loadPartition(leaf)
+			if err != nil {
+				return nil, err
+			}
+			combined := make([]geom.Point, 0, len(owned)+len(shadow))
+			combined = append(combined, owned...)
+			combined = append(combined, shadow...)
+			gpuCfg := cfg.GPU
+			gpuCfg.Name = fmt.Sprintf("gpu%04d", leaf)
+			dev := gpusim.New(gpuCfg, fs.Clock())
+			dev.SetFaultPlan(cfg.FaultPlan)
+			gpuStart := time.Now()
+			res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
+				Params:          dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts},
+				DenseBox:        cfg.DenseBox,
+				Mode:            cfg.Mode,
+				Blocks:          cfg.Blocks,
+				ThreadsPerBlock: cfg.ThreadsPerBlock,
+				LeafSize:        cfg.LeafSize,
+			})
+			if err != nil {
+				return nil, err
+			}
+			gpuTime := time.Since(gpuStart)
+			sums, err := merge.BuildSummaries(g, leaf, combined, len(owned), res.Labels, res.Core, res.NumClusters)
+			if err != nil {
+				return nil, err
+			}
+			return &leafState{
+				owned:     owned,
+				labels:    res.Labels[:len(owned)],
+				summaries: sums,
+				gpuTime:   gpuTime,
+				stats:     res.Stats,
+			}, nil
+		}
+		err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhaseCluster, &retries.cluster, func() error {
+			if cfg.SequentialLeaves {
+				states = make([]*leafState, cfg.Leaves)
+				for leaf := 0; leaf < cfg.Leaves; leaf++ {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+					var err error
+					states[leaf], err = clusterLeaf(leaf)
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			var err error
+			states, err = mrnet.LeafRun(ctx, clusterNet, clusterLeaf)
+			return err
 		})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		gpuTime := time.Since(gpuStart)
-		sums, err := merge.BuildSummaries(g, leaf, combined, len(owned), res.Labels, res.Core, res.NumClusters)
-		if err != nil {
-			return nil, err
-		}
-		return &leafState{
-			owned:     owned,
-			labels:    res.Labels[:len(owned)],
-			summaries: sums,
-			gpuTime:   gpuTime,
-			stats:     res.Stats,
-		}, nil
-	}
-	var states []*leafState
-	err = cfg.Retry.runPhase("cluster", &retries.cluster, func() error {
-		if cfg.SequentialLeaves {
-			states = make([]*leafState, cfg.Leaves)
-			for leaf := 0; leaf < cfg.Leaves; leaf++ {
-				var err error
-				states[leaf], err = clusterLeaf(leaf)
-				if err != nil {
-					return err
+		if store != nil {
+			cc := clusterCkpt{Leaves: make([]leafSnapshot, len(states))}
+			for i, st := range states {
+				cc.Leaves[i] = leafSnapshot{
+					Owned:     st.owned,
+					Labels:    st.labels,
+					Summaries: st.summaries,
+					GPUTime:   st.gpuTime,
+					Stats:     st.stats,
 				}
 			}
-			return nil
+			if err := store.Save(PhaseCluster, &cc); err != nil {
+				return fail(fmt.Errorf("mrscan: checkpointing %s phase: %w", PhaseCluster, err))
+			}
 		}
-		var err error
-		states, err = mrnet.LeafRun(clusterNet, clusterLeaf)
-		return err
-	})
-	if err != nil {
-		return nil, err
 	}
-	clusterTime := time.Since(clusterStart)
+	res.CompletedPhases = append(res.CompletedPhases, PhaseCluster)
+	res.Times.Cluster = time.Since(clusterStart)
 
 	// --- Phase 3: merge (progressive reduction up the tree, §3.3) ---
 	mergeStart := time.Now()
 	var final []*merge.Summary
-	err = cfg.Retry.runPhase("merge", &retries.merge, func() error {
-		var err error
-		if cfg.MergeOverTCP {
-			final, err = mergeOverTCP(g, cfg.Eps, cfg.Leaves, cfg.Fanout,
-				func(leaf int) []*merge.Summary { return states[leaf].summaries })
-			return err
+	if validPrefix >= 3 {
+		var mc mergeCkpt
+		if err := store.Load(PhaseMerge, &mc); err != nil {
+			return fail(fmt.Errorf("mrscan: restoring %s phase: %w", PhaseMerge, err))
 		}
-		final, err = mrnet.Reduce(clusterNet,
-			func(leaf int) ([]*merge.Summary, error) { return states[leaf].summaries, nil },
-			func(_ *mrnet.Node, groups [][]*merge.Summary) ([]*merge.Summary, error) {
-				return merge.Combine(g, cfg.Eps, groups), nil
-			},
-			func(sums []*merge.Summary) int64 {
-				var n int64
-				for _, s := range sums {
-					n += s.WireSize()
-				}
-				return n
-			},
-		)
-		return err
-	})
-	if err != nil {
-		return nil, err
+		final = mc.Final
+		res.RestoredPhases = append(res.RestoredPhases, PhaseMerge)
+	} else {
+		err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhaseMerge, &retries.merge, func() error {
+			var err error
+			if cfg.MergeOverTCP {
+				final, err = mergeOverTCP(g, cfg.Eps, cfg.Leaves, cfg.Fanout,
+					func(leaf int) []*merge.Summary { return states[leaf].summaries })
+				return err
+			}
+			final, err = mrnet.Reduce(ctx, clusterNet,
+				func(leaf int) ([]*merge.Summary, error) { return states[leaf].summaries, nil },
+				func(_ *mrnet.Node, groups [][]*merge.Summary) ([]*merge.Summary, error) {
+					return merge.Combine(g, cfg.Eps, groups), nil
+				},
+				func(sums []*merge.Summary) int64 {
+					var n int64
+					for _, s := range sums {
+						n += s.WireSize()
+					}
+					return n
+				},
+			)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if store != nil {
+			if err := store.Save(PhaseMerge, &mergeCkpt{Final: final}); err != nil {
+				return fail(fmt.Errorf("mrscan: checkpointing %s phase: %w", PhaseMerge, err))
+			}
+		}
 	}
 	mapping := merge.AssignGlobalIDs(final)
 	var claims map[uint64]int32
 	if cfg.ReclaimBorders {
 		claims = merge.BorderClaims(final, mapping)
 	}
-	mergeTime := time.Since(mergeStart)
+	res.CompletedPhases = append(res.CompletedPhases, PhaseMerge)
+	res.Times.Merge = time.Since(mergeStart)
 
 	// --- Phase 4: sweep (global IDs down the tree, parallel write, §3.4) ---
 	sweepStart := time.Now()
 	var sw *sweep.Result
-	err = cfg.Retry.runPhase("sweep", &retries.sweep, func() error {
+	err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhaseSweep, &retries.sweep, func() error {
 		var err error
-		sw, err = sweep.Run(clusterNet, fs, outputFile, mapping,
+		sw, err = sweep.Run(ctx, clusterNet, fs, outputFile, mapping,
 			func(leaf int) (*sweep.LeafData, error) {
 				return &sweep.LeafData{Points: states[leaf].owned, Labels: states[leaf].labels}, nil
 			},
@@ -472,29 +742,22 @@ func Run(fs *lustre.FS, inputFile, outputFile string, cfg Config) (*Result, erro
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	sweepTime := time.Since(sweepStart)
+	res.CompletedPhases = append(res.CompletedPhases, PhaseSweep)
+	res.Times.Sweep = time.Since(sweepStart)
 
-	res := &Result{
-		NumClusters: len(final),
-		Plan:        plan,
-		OutputFile:  outputFile,
-		Times: PhaseTimes{
-			Partition:         partTime,
-			PartitionReadSim:  partReadSim,
-			PartitionWriteSim: partWriteSim,
-			Cluster:           clusterTime,
-			Merge:             mergeTime,
-			Sweep:             sweepTime,
-			Total:             time.Since(start),
-			PartitionRetries:  retries.partition,
-			ClusterRetries:    retries.cluster,
-			MergeRetries:      retries.merge,
-			SweepRetries:      retries.sweep,
-		},
+	res.NumClusters = len(final)
+	res.Plan = plan
+	res.Times.Total = time.Since(start)
+	res.Times.PartitionRetries = retries.partition
+	res.Times.ClusterRetries = retries.cluster
+	res.Times.MergeRetries = retries.merge
+	res.Times.SweepRetries = retries.sweep
+	if partNet != nil {
+		res.Stats.NetRecoveries += partNet.Recoveries()
 	}
-	res.Stats.NetRecoveries = partNet.Recoveries() + clusterNet.Recoveries()
+	res.Stats.NetRecoveries += clusterNet.Recoveries()
 	res.Stats.FaultsInjected = cfg.FaultPlan.TotalFired()
 	res.Stats.TotalPoints = totalPoints
 	res.Stats.WrittenPoints = writtenPoints
@@ -562,4 +825,13 @@ func LabelsByID(fs *lustre.FS, file string, pts []geom.Point) ([]int, error) {
 		}
 	}
 	return labels, nil
+}
+
+// IsStateFile reports whether a file on the simulated FS is part of the
+// pipeline's durable state: checkpoint snapshots plus the partition
+// artifacts a file-mode resume re-reads. The CLI stages these files out
+// to a real directory after a checkpointed run and back in before a
+// resumed one, carrying the state across process restarts.
+func IsStateFile(name string) bool {
+	return checkpoint.IsCheckpointFile(name) || name == partitionFile || name == metadataFile
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,7 +41,7 @@ type DirectResult struct {
 // histogram reduction and serial planning are unchanged, but partition
 // contents travel over the overlay network (charged per byte on the
 // simulated clock) and never touch the file system.
-func DistributeDirect(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile string, opt DistOptions) (*DirectResult, error) {
+func DistributeDirect(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps float64, inputFile string, opt DistOptions) (*DirectResult, error) {
 	if opt.NumPartitions < 1 {
 		return nil, fmt.Errorf("partition: NumPartitions must be positive, got %d", opt.NumPartitions)
 	}
@@ -63,7 +64,7 @@ func DistributeDirect(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile 
 		return nil, fmt.Errorf("partition: input file %q too short", inputFile)
 	}
 	shard := make([][]geom.Point, leaves)
-	hist, err := mrnet.Reduce(net,
+	hist, err := mrnet.Reduce(ctx, net,
 		func(leaf int) (*grid.Histogram, error) {
 			lo := total * int64(leaf) / int64(leaves)
 			hi := total * int64(leaf+1) / int64(leaves)
@@ -98,7 +99,7 @@ func DistributeDirect(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile 
 
 	// --- Stage 2: serial planning at the root ---
 	planStart := time.Now()
-	uh, err := resolveUnits(net, g, hist, shard, opt.SplitThreshold)
+	uh, err := resolveUnits(ctx, net, g, hist, shard, opt.SplitThreshold)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +116,7 @@ func DistributeDirect(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile 
 	// --- Stage 3: contributions travel the overlay as messages ---
 	transferStart := time.Now()
 	splitOpt := SplitOptions{ShadowReps: opt.ShadowReps}
-	combined, err := mrnet.Reduce(net,
+	combined, err := mrnet.Reduce(ctx, net,
 		func(leaf int) (*SplitResult, error) {
 			return Split(plan, shard[leaf], splitOpt)
 		},

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -17,13 +18,13 @@ func TestDistributeDirectMatchesFileBased(t *testing.T) {
 
 	netA, fsA := distEnv(t, 4)
 	writeInput(t, fsA, "in.mrsc", pts, false)
-	file, err := Distribute(netA, fsA, eps, "in.mrsc", "parts.bin", "parts.json", opt)
+	file, err := Distribute(context.Background(), netA, fsA, eps, "in.mrsc", "parts.bin", "parts.json", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	netB, fsB := distEnv(t, 4)
 	writeInput(t, fsB, "in.mrsc", pts, false)
-	direct, err := DistributeDirect(netB, fsB, eps, "in.mrsc", opt)
+	direct, err := DistributeDirect(context.Background(), netB, fsB, eps, "in.mrsc", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestDistributeDirectSkipsPartitionWrites(t *testing.T) {
 	net, fs := distEnv(t, 4)
 	writeInput(t, fs, "in.mrsc", pts, false)
 	before := fs.Stats()
-	if _, err := DistributeDirect(net, fs, eps, "in.mrsc", DistOptions{
+	if _, err := DistributeDirect(context.Background(), net, fs, eps, "in.mrsc", DistOptions{
 		NumPartitions: 16, MinPts: 4, Rebalance: true,
 	}); err != nil {
 		t.Fatal(err)
@@ -73,14 +74,14 @@ func TestDistributeDirectValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DistributeDirect(net, fs, eps, "missing", DistOptions{NumPartitions: 2, MinPts: 4}); err == nil {
+	if _, err := DistributeDirect(context.Background(), net, fs, eps, "missing", DistOptions{NumPartitions: 2, MinPts: 4}); err == nil {
 		t.Error("missing input must fail")
 	}
 	writeInput(t, fs, "in.mrsc", dataset.Twitter(100, 3), false)
-	if _, err := DistributeDirect(net, fs, eps, "in.mrsc", DistOptions{NumPartitions: 0, MinPts: 4}); err == nil {
+	if _, err := DistributeDirect(context.Background(), net, fs, eps, "in.mrsc", DistOptions{NumPartitions: 0, MinPts: 4}); err == nil {
 		t.Error("zero partitions must fail")
 	}
-	if _, err := DistributeDirect(net, fs, eps, "in.mrsc", DistOptions{NumPartitions: 2, MinPts: 0}); err == nil {
+	if _, err := DistributeDirect(context.Background(), net, fs, eps, "in.mrsc", DistOptions{NumPartitions: 2, MinPts: 0}); err == nil {
 		t.Error("zero MinPts must fail")
 	}
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,7 @@ type DistOptions struct {
 // cells exist, the root announces their subdivision depths down the tree
 // and the leaves reduce per-tile counts back up (a second, small
 // histogram round).
-func resolveUnits(net *mrnet.Network, g grid.Grid, hist *grid.Histogram, shard [][]geom.Point, threshold int64) (*UnitHistogram, error) {
+func resolveUnits(ctx context.Context, net *mrnet.Network, g grid.Grid, hist *grid.Histogram, shard [][]geom.Point, threshold int64) (*UnitHistogram, error) {
 	depth := make(map[grid.Coord]uint8)
 	if threshold > 0 {
 		for c, n := range hist.Counts {
@@ -49,13 +50,13 @@ func resolveUnits(net *mrnet.Network, g grid.Grid, hist *grid.Histogram, shard [
 		return FromCellHistogram(hist), nil
 	}
 	// Announce depths; leaves only need the hot cells.
-	if err := mrnet.Multicast(net, depth, nil,
+	if err := mrnet.Multicast(ctx, net, depth, nil,
 		func(int, map[grid.Coord]uint8) error { return nil },
 		func(d map[grid.Coord]uint8) int64 { return int64(len(d)) * 9 },
 	); err != nil {
 		return nil, err
 	}
-	counts, err := mrnet.Reduce(net,
+	counts, err := mrnet.Reduce(ctx, net,
 		func(leaf int) (map[Unit]int64, error) {
 			return QuadCounts(g, shard[leaf], depth), nil
 		},
@@ -114,7 +115,7 @@ type leafCounts [][2]int64
 //
 // The partitioner runs on its own (typically flat) network, separate from
 // the cluster-phase tree, as in the paper.
-func Distribute(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile, outputFile, metaFile string, opt DistOptions) (*DistResult, error) {
+func Distribute(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps float64, inputFile, outputFile, metaFile string, opt DistOptions) (*DistResult, error) {
 	if opt.NumPartitions < 1 {
 		return nil, fmt.Errorf("partition: NumPartitions must be positive, got %d", opt.NumPartitions)
 	}
@@ -141,7 +142,7 @@ func Distribute(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile, outpu
 		return nil, fmt.Errorf("partition: input file %q too short", inputFile)
 	}
 	shard := make([][]geom.Point, leaves)
-	hist, err := mrnet.Reduce(net,
+	hist, err := mrnet.Reduce(ctx, net,
 		func(leaf int) (*grid.Histogram, error) {
 			lo := total * int64(leaf) / int64(leaves)
 			hi := total * int64(leaf+1) / int64(leaves)
@@ -177,7 +178,7 @@ func Distribute(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile, outpu
 
 	// --- Stage 2: the root serially forms the plan ---
 	planStart := time.Now()
-	uh, err := resolveUnits(net, g, hist, shard, opt.SplitThreshold)
+	uh, err := resolveUnits(ctx, net, g, hist, shard, opt.SplitThreshold)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +198,7 @@ func Distribute(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile, outpu
 	// broadcast's wire size to the simulated clock.)
 	type contrib struct{ part, shadow [][]geom.Point }
 	contribs := make([]*contrib, leaves)
-	allCounts, err := mrnet.Reduce(net,
+	allCounts, err := mrnet.Reduce(ctx, net,
 		func(leaf int) ([]leafCounts, error) {
 			split, err := Split(plan, shard[leaf], splitOpt)
 			if err != nil {
@@ -272,7 +273,7 @@ func Distribute(net *mrnet.Network, fs *lustre.FS, eps float64, inputFile, outpu
 	writeStart := time.Now()
 	simAtWrite := fs.Clock().Total()
 	fs.Create(outputFile)
-	err = mrnet.Multicast(net, offsets,
+	err = mrnet.Multicast(ctx, net, offsets,
 		func(n *mrnet.Node, in [][][2]int64) ([][][][2]int64, error) {
 			pLo, _ := n.LeafRange()
 			out := make([][][][2]int64, len(n.Children()))

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -38,7 +39,7 @@ func TestDistributeRoundTrip(t *testing.T) {
 	net, fs := distEnv(t, 4)
 	writeInput(t, fs, "in.mrsc", pts, false)
 
-	res, err := Distribute(net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
+	res, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
 		NumPartitions: 8,
 		MinPts:        4,
 		Rebalance:     true,
@@ -105,7 +106,7 @@ func TestDistributeManyLeaves(t *testing.T) {
 	pts := dataset.Twitter(20000, 2)
 	net, fs := distEnv(t, 16)
 	writeInput(t, fs, "in.mrsc", pts, false)
-	res, err := Distribute(net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
+	res, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
 		NumPartitions: 32,
 		MinPts:        40,
 		Rebalance:     true,
@@ -132,7 +133,7 @@ func TestDistributeShadowReps(t *testing.T) {
 	pts := dataset.Twitter(20000, 3)
 	netA, fsA := distEnv(t, 4)
 	writeInput(t, fsA, "in.mrsc", pts, false)
-	full, err := Distribute(netA, fsA, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
+	full, err := Distribute(context.Background(), netA, fsA, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
 		NumPartitions: 8, MinPts: 4, Rebalance: true,
 	})
 	if err != nil {
@@ -140,7 +141,7 @@ func TestDistributeShadowReps(t *testing.T) {
 	}
 	netB, fsB := distEnv(t, 4)
 	writeInput(t, fsB, "in.mrsc", pts, false)
-	reps, err := Distribute(netB, fsB, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
+	reps, err := Distribute(context.Background(), netB, fsB, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
 		NumPartitions: 8, MinPts: 4, Rebalance: true, ShadowReps: true,
 	})
 	if err != nil {
@@ -162,7 +163,7 @@ func TestDistributeWithWeights(t *testing.T) {
 	}
 	net, fs := distEnv(t, 2)
 	writeInput(t, fs, "in.mrsc", pts, true)
-	res, err := Distribute(net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
+	res, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
 		NumPartitions: 4, MinPts: 4, Rebalance: true, HasWeight: true,
 	})
 	if err != nil {
@@ -184,14 +185,14 @@ func TestDistributeWithWeights(t *testing.T) {
 
 func TestDistributeErrors(t *testing.T) {
 	net, fs := distEnv(t, 2)
-	if _, err := Distribute(net, fs, eps, "missing.mrsc", "o", "m", DistOptions{NumPartitions: 2, MinPts: 4}); err == nil {
+	if _, err := Distribute(context.Background(), net, fs, eps, "missing.mrsc", "o", "m", DistOptions{NumPartitions: 2, MinPts: 4}); err == nil {
 		t.Error("missing input must fail")
 	}
 	writeInput(t, fs, "in.mrsc", dataset.Twitter(100, 5), false)
-	if _, err := Distribute(net, fs, eps, "in.mrsc", "o", "m", DistOptions{NumPartitions: 0, MinPts: 4}); err == nil {
+	if _, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "o", "m", DistOptions{NumPartitions: 0, MinPts: 4}); err == nil {
 		t.Error("zero partitions must fail")
 	}
-	if _, err := Distribute(net, fs, eps, "in.mrsc", "o", "m", DistOptions{NumPartitions: 2, MinPts: 0}); err == nil {
+	if _, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "o", "m", DistOptions{NumPartitions: 2, MinPts: 0}); err == nil {
 		t.Error("zero MinPts must fail")
 	}
 }
@@ -212,7 +213,7 @@ func TestDistributeSingleLeafSinglePartition(t *testing.T) {
 	pts := dataset.Twitter(500, 6)
 	net, fs := distEnv(t, 1)
 	writeInput(t, fs, "in.mrsc", pts, false)
-	res, err := Distribute(net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
+	res, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
 		NumPartitions: 1, MinPts: 4, Rebalance: true,
 	})
 	if err != nil {
@@ -240,7 +241,7 @@ func TestHistogramOnlyProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	writeInput(t, fs, "in.mrsc", pts, false)
-	if _, err := Distribute(net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
+	if _, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "parts.bin", "parts.json", DistOptions{
 		NumPartitions: 8, MinPts: 4, Rebalance: true,
 	}); err != nil {
 		t.Fatal(err)

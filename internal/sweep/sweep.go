@@ -11,6 +11,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,7 +59,7 @@ type Options struct {
 // root's global ID assignment (merge.AssignGlobalIDs); data returns each
 // leaf's owned points and labels (already in leaf memory after the
 // cluster phase).
-func Run(net *mrnet.Network, fs *lustre.FS, outFile string, mapping map[merge.ClusterKey]int32, data func(leaf int) (*LeafData, error), opt Options) (*Result, error) {
+func Run(ctx context.Context, net *mrnet.Network, fs *lustre.FS, outFile string, mapping map[merge.ClusterKey]int32, data func(leaf int) (*LeafData, error), opt Options) (*Result, error) {
 	start := time.Now()
 	leaves := net.NumLeaves()
 
@@ -66,7 +67,7 @@ func Run(net *mrnet.Network, fs *lustre.FS, outFile string, mapping map[merge.Cl
 	// ("It first calculates file offsets to be used by the leaf nodes to
 	// write out the points for each cluster").
 	leafData := make([]*LeafData, leaves)
-	counts, err := mrnet.Reduce(net,
+	counts, err := mrnet.Reduce(ctx, net,
 		func(leaf int) ([]int64, error) {
 			d, err := data(leaf)
 			if err != nil {
@@ -124,7 +125,7 @@ func Run(net *mrnet.Network, fs *lustre.FS, outFile string, mapping map[merge.Cl
 	var written, skipped int64
 	writtenPerLeaf := make([]int64, leaves)
 	skippedPerLeaf := make([]int64, leaves)
-	err = mrnet.Multicast(net, payload{mapping: mapping, offsets: offsets},
+	err = mrnet.Multicast(ctx, net, payload{mapping: mapping, offsets: offsets},
 		nil,
 		func(leaf int, pl payload) error {
 			d := leafData[leaf]

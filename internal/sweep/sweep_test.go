@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"testing"
@@ -40,7 +41,7 @@ func TestSweepWritesGlobalIDs(t *testing.T) {
 			Labels: []int32{0, 1},
 		},
 	}
-	res, err := Run(net, fs, "out.mrsl", mapping,
+	res, err := Run(context.Background(), net, fs, "out.mrsl", mapping,
 		func(leaf int) (*LeafData, error) { return data[leaf], nil },
 		Options{})
 	if err != nil {
@@ -74,7 +75,7 @@ func TestSweepIncludeNoise(t *testing.T) {
 		Points: []geom.Point{{ID: 1}, {ID: 2}},
 		Labels: []int32{-1, -1},
 	}
-	res, err := Run(net, fs, "out.mrsl", map[merge.ClusterKey]int32{},
+	res, err := Run(context.Background(), net, fs, "out.mrsl", map[merge.ClusterKey]int32{},
 		func(int) (*LeafData, error) { return data, nil },
 		Options{IncludeNoise: true})
 	if err != nil {
@@ -97,7 +98,7 @@ func TestSweepIncludeNoise(t *testing.T) {
 func TestSweepMissingMapping(t *testing.T) {
 	net, fs := env(t, 1)
 	data := &LeafData{Points: []geom.Point{{ID: 1}}, Labels: []int32{0}}
-	_, err := Run(net, fs, "out.mrsl", map[merge.ClusterKey]int32{},
+	_, err := Run(context.Background(), net, fs, "out.mrsl", map[merge.ClusterKey]int32{},
 		func(int) (*LeafData, error) { return data, nil }, Options{})
 	if err == nil {
 		t.Error("missing mapping entry must fail")
@@ -107,7 +108,7 @@ func TestSweepMissingMapping(t *testing.T) {
 func TestSweepLeafError(t *testing.T) {
 	net, fs := env(t, 4)
 	boom := errors.New("leaf data unavailable")
-	_, err := Run(net, fs, "out.mrsl", nil,
+	_, err := Run(context.Background(), net, fs, "out.mrsl", nil,
 		func(leaf int) (*LeafData, error) {
 			if leaf == 2 {
 				return nil, boom
@@ -122,7 +123,7 @@ func TestSweepLeafError(t *testing.T) {
 func TestSweepMismatchedLabels(t *testing.T) {
 	net, fs := env(t, 1)
 	data := &LeafData{Points: []geom.Point{{ID: 1}}, Labels: []int32{0, 1}}
-	_, err := Run(net, fs, "out.mrsl", nil,
+	_, err := Run(context.Background(), net, fs, "out.mrsl", nil,
 		func(int) (*LeafData, error) { return data, nil }, Options{})
 	if err == nil {
 		t.Error("mismatched points/labels must fail")
@@ -136,7 +137,7 @@ func TestSweepManyLeavesDisjointOffsets(t *testing.T) {
 	for l := int32(0); l < leaves; l++ {
 		mapping[key(l, 0)] = l
 	}
-	res, err := Run(net, fs, "out.mrsl", mapping,
+	res, err := Run(context.Background(), net, fs, "out.mrsl", mapping,
 		func(leaf int) (*LeafData, error) {
 			pts := make([]geom.Point, leaf+1) // varying sizes
 			labels := make([]int32, leaf+1)
