@@ -13,17 +13,24 @@ vet:
 	$(GO) vet ./...
 
 # Default test run: vet, the full suite, then the race detector over the
-# concurrency-heavy fault-tolerance packages.
+# concurrency-heavy fault-tolerance and telemetry packages.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry
 
 race:
 	$(GO) test -race ./...
 
 # Full benchmark sweep: every paper table/figure plus the ablations.
+# Results land in BENCH_run.txt (raw) and BENCH_run.json (machine-
+# readable name -> ns/op, B/op, allocs/op). BENCHFLAGS narrows the
+# sweep, e.g. make bench BENCHFLAGS='-benchtime=1x' BENCHPKGS=./internal/dsu
+BENCHFLAGS ?=
+BENCHPKGS ?= ./...
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' $(BENCHFLAGS) $(BENCHPKGS) > BENCH_run.txt || (cat BENCH_run.txt; exit 1)
+	cat BENCH_run.txt
+	$(GO) run ./cmd/benchjson -o BENCH_run.json BENCH_run.txt
 
 # Regenerate every evaluation artifact (measured + modeled rows).
 experiments:
@@ -34,3 +41,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_run.txt BENCH_run.json

@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON file, so CI can archive benchmark runs and
+// tooling can diff them across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_run.json
+//	go run ./cmd/benchjson -o BENCH_run.json bench.txt
+//
+// It understands the standard benchmark line —
+//
+//	BenchmarkName-8   1000000   1234 ns/op   512 B/op   3 allocs/op
+//
+// — including custom metrics (any extra "value unit" pairs), and tags
+// each benchmark with the `pkg:` header it appeared under. Lines that
+// are not benchmark results (test output, PASS/ok) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Package     string  `json:"package,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any custom b.ReportMetric units beyond the three
+	// standard ones, keyed by unit (e.g. "quality/op").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is the output document.
+type Run struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_run.json", "output JSON file (- for stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := write(*out, run); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(run.Benchmarks), *out)
+}
+
+func write(path string, run *Run) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(run)
+}
+
+func parse(in io.Reader) (*Run, error) {
+	run := &Run{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			run.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			run.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue // sub-benchmark log output starting with "Benchmark"
+		}
+		b.Package = pkg
+		run.Benchmarks = append(run.Benchmarks, b)
+	}
+	return run, sc.Err()
+}
+
+// parseLine parses one result line: name, iteration count, then
+// "value unit" pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, seenNs
+}

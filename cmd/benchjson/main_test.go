@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkFig9aPartitionTime/leaves=32-8         	       2	 512345678 ns/op	  1048576 B/op	    2048 allocs/op
+BenchmarkFig11Quality-8                         	       1	1234567890 ns/op	         0.9981 quality/op
+PASS
+ok  	repro	3.210s
+pkg: repro/internal/dsu
+BenchmarkUnionFind-8   	 1000000	      1234 ns/op	     512 B/op	       3 allocs/op
+Benchmark output that is not a result line
+--- BENCH: BenchmarkUnionFind-8
+ok  	repro/internal/dsu	1.234s
+`
+
+func TestParse(t *testing.T) {
+	run, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.GoOS != "linux" || run.GoArch != "amd64" || run.CPU != "AMD EPYC 7B13" {
+		t.Errorf("metadata = %q/%q/%q", run.GoOS, run.GoArch, run.CPU)
+	}
+	if len(run.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(run.Benchmarks), run.Benchmarks)
+	}
+	b := run.Benchmarks[0]
+	if b.Package != "repro" || !strings.HasPrefix(b.Name, "BenchmarkFig9aPartitionTime/") {
+		t.Errorf("first benchmark = %s %s", b.Package, b.Name)
+	}
+	if b.Iterations != 2 || b.NsPerOp != 512345678 || b.BytesPerOp != 1048576 || b.AllocsPerOp != 2048 {
+		t.Errorf("first benchmark values = %+v", b)
+	}
+	if q := run.Benchmarks[1].Metrics["quality/op"]; q != 0.9981 {
+		t.Errorf("custom metric quality/op = %v, want 0.9981", q)
+	}
+	last := run.Benchmarks[2]
+	if last.Package != "repro/internal/dsu" || last.Name != "BenchmarkUnionFind-8" || last.NsPerOp != 1234 {
+		t.Errorf("last benchmark = %+v", last)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	run, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\nBenchmarkNoNs-8 10 3 widgets/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Benchmarks) != 0 {
+		t.Fatalf("malformed lines parsed as %+v", run.Benchmarks)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/faultinject"
 	"repro/internal/ptio"
+	"repro/internal/telemetry"
 )
 
 // coordOptions bundles the coordinator-mode settings.
@@ -40,6 +42,9 @@ type coordOptions struct {
 	deadline        time.Duration
 	straggler       float64
 	slowWorker      time.Duration
+	traceOut        string
+	metricsOut      string
+	reportOut       string
 }
 
 func main() {
@@ -62,6 +67,9 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "abort the dispatch after this long (0 = none)")
 		straggler  = flag.Float64("straggler-factor", 0, "hedge partitions slower than this × the running p95 service time (0 = off)")
 		slowWorker = flag.Duration("slow-worker-delay", 0, "make the last spawned worker this much slower per request (straggler demo)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the dispatch (open in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics in Prometheus text format")
+		reportOut  = flag.String("report-out", "", "write a structured per-run JSON report")
 	)
 	flag.Parse()
 	if *worker {
@@ -87,6 +95,7 @@ func main() {
 		leaves: *leaves, workers: *workers, retries: *retries, noise: *noise,
 		plan: plan, ckptDir: *ckptDir, resume: *resume, deadline: *deadline,
 		straggler: *straggler, slowWorker: *slowWorker,
+		traceOut: *traceOut, metricsOut: *metricsOut, reportOut: *reportOut,
 	}
 	if err := coordinate(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "mrscan-dist:", err)
@@ -117,6 +126,16 @@ func coordinate(o coordOptions) error {
 	c.RequestTimeout = 2 * time.Minute
 	c.SetFaultPlan(plan)
 	c.StragglerFactor = o.straggler
+	var hub *telemetry.Hub
+	var runSpan *telemetry.Span
+	if o.traceOut != "" || o.metricsOut != "" || o.reportOut != "" {
+		// Wall-clock only: the distributed path runs on real sockets, so
+		// there is no simulated clock to read.
+		hub = telemetry.New(nil)
+		runSpan = hub.Start(nil, "mrscan-dist.run")
+		c.SetTelemetry(hub)
+		c.SetTraceParent(runSpan)
+	}
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -161,6 +180,10 @@ func coordinate(o coordOptions) error {
 				return fmt.Errorf("clearing stale checkpoints: %w", err)
 			}
 		}
+		if hub != nil {
+			store.SetTelemetry(hub)
+			store.SetTraceParent(runSpan)
+		}
 		runOpts.Checkpoint = store
 	}
 	ctx := context.Background()
@@ -172,6 +195,14 @@ func coordinate(o coordOptions) error {
 	res, err := c.RunContext(ctx, pts, runOpts)
 	stats := c.Stats()
 	c.Shutdown()
+	if hub != nil {
+		runSpan.End()
+		// Export even on failure: the trace shows the dispatch up to the
+		// abort, retries and hedges included.
+		if xerr := writeExports(hub, o); xerr != nil {
+			fmt.Fprintln(os.Stderr, "mrscan-dist:", xerr)
+		}
+	}
 	if err != nil {
 		if o.ckptDir != "" {
 			fmt.Fprintln(os.Stderr, "mrscan-dist: completed partitions are checkpointed; rerun with -resume to continue")
@@ -211,5 +242,34 @@ func coordinate(o coordOptions) error {
 	}
 	fmt.Printf("clusters found:   %d\n", res.NumClusters)
 	fmt.Printf("points in output: %d (noise skipped: %d)\n", len(records), skipped)
+	return nil
+}
+
+// writeExports dumps the hub through every exporter whose output path
+// is set.
+func writeExports(hub *telemetry.Hub, o coordOptions) error {
+	writeTo := func(path string, f func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f(out); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	}
+	if err := writeTo(o.traceOut, hub.Trace.WriteChromeTrace); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := writeTo(o.metricsOut, hub.Metrics.WritePrometheus); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if err := writeTo(o.reportOut, func(w io.Writer) error { return telemetry.WriteReport(w, hub) }); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mrscan"
 	"repro/internal/ptio"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +54,9 @@ func main() {
 		resume     = flag.Bool("resume", false, "restart from the last valid checkpoint in -checkpoint-dir (implies -checkpoint)")
 		ckptDir    = flag.String("checkpoint-dir", ".mrscan-ckpt", "directory holding checkpoint state across process restarts")
 		deadline   = flag.Duration("deadline", 0, "abort the run after this long (0 = none); completed phases stay checkpointed")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run (open in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics in Prometheus text format")
+		reportOut  = flag.String("report-out", "", "write a structured per-run JSON report (phase breakdown + metrics)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -80,10 +84,48 @@ func main() {
 	cfg.FaultPlan = plan
 	cfg.Checkpoint = *ckpt
 	cfg.Resume = *resume
-	if err := run(*input, *output, cfg, *format, *verbose, *ckptDir, *deadline); err != nil {
+	exp := exports{trace: *traceOut, metrics: *metricsOut, report: *reportOut}
+	if err := run(*input, *output, cfg, *format, *verbose, *ckptDir, *deadline, exp); err != nil {
 		fmt.Fprintln(os.Stderr, "mrscan:", err)
 		os.Exit(1)
 	}
+}
+
+// exports holds the telemetry output paths; empty paths disable the
+// corresponding exporter.
+type exports struct {
+	trace, metrics, report string
+}
+
+func (e exports) any() bool { return e.trace != "" || e.metrics != "" || e.report != "" }
+
+// write dumps the hub through every configured exporter. It runs even
+// after a failed run so the trace shows what happened up to the abort.
+func (e exports) write(hub *telemetry.Hub) error {
+	writeTo := func(path string, f func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f(out); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	}
+	if err := writeTo(e.trace, hub.Trace.WriteChromeTrace); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := writeTo(e.metrics, hub.Metrics.WritePrometheus); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if err := writeTo(e.report, func(w io.Writer) error { return telemetry.WriteReport(w, hub) }); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
+	return nil
 }
 
 // stageStateIn copies durable pipeline state (checkpoint snapshots and
@@ -138,8 +180,11 @@ func stageStateOut(fs *lustre.FS, dir string) error {
 	return nil
 }
 
-func run(input, output string, cfg mrscan.Config, format string, verbose bool, ckptDir string, deadline time.Duration) error {
+func run(input, output string, cfg mrscan.Config, format string, verbose bool, ckptDir string, deadline time.Duration, exp exports) error {
 	fs := lustre.New(lustre.Titan(), nil)
+	if exp.any() {
+		cfg.Telemetry = telemetry.New(fs.Clock())
+	}
 	// Stage the real input file onto the simulated PFS, converting text
 	// input to the binary format the pipeline consumes ("the input
 	// points are contained in a single binary or text file", §3).
@@ -178,6 +223,13 @@ func run(input, output string, cfg mrscan.Config, format string, verbose bool, c
 		defer cancel()
 	}
 	res, err := mrscan.RunContext(ctx, fs, "input.mrsc", "output.mrsl", cfg)
+	if cfg.Telemetry != nil {
+		// Export even on failure: a trace of an aborted run is exactly
+		// what you want when diagnosing it.
+		if xerr := exp.write(cfg.Telemetry); xerr != nil {
+			fmt.Fprintln(os.Stderr, "mrscan:", xerr)
+		}
+	}
 	if cfg.Checkpoint || cfg.Resume {
 		// Stage state out even on failure: the snapshots written before
 		// the abort are what the next -resume run restarts from.

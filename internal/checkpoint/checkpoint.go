@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"repro/internal/lustre"
+	"repro/internal/telemetry"
 )
 
 // Format constants. Version bumps invalidate old snapshots wholesale: a
@@ -166,6 +167,10 @@ type Store struct {
 	mu       sync.Mutex
 	manifest Manifest
 	loaded   bool
+	// hub and parent record save/restore spans when installed via
+	// SetTelemetry; a nil hub is inert (telemetry methods are nil-safe).
+	hub    *telemetry.Hub
+	parent *telemetry.Span
 }
 
 // manifestName is the manifest's file name on the store.
@@ -177,6 +182,28 @@ const manifestName = "MANIFEST.ckpt"
 // manifest.
 func NewStore(fs FS, runID string) *Store {
 	return &Store{fs: fs, runID: runID}
+}
+
+// SetTelemetry installs the hub save/restore spans and counters are
+// recorded on. A nil hub (the default) disables recording.
+func (s *Store) SetTelemetry(h *telemetry.Hub) {
+	s.mu.Lock()
+	s.hub = h
+	s.mu.Unlock()
+}
+
+// SetTraceParent nests the store's spans under s — usually the phase
+// span whose output is being snapshotted. Pass nil to detach.
+func (s *Store) SetTraceParent(sp *telemetry.Span) {
+	s.mu.Lock()
+	s.parent = sp
+	s.mu.Unlock()
+}
+
+func (s *Store) telemetry() (*telemetry.Hub, *telemetry.Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hub, s.parent
 }
 
 // ensureManifest loads the on-store manifest once, discarding it on
@@ -202,15 +229,23 @@ func (s *Store) ensureManifest() {
 // durable before the manifest references it (write-then-rename, snapshot
 // first), so a crash between the two leaves a consistent store.
 func (s *Store) Save(phase string, payload any) error {
+	hub, parent := s.telemetry()
+	sp := hub.Start(parent, "checkpoint.save", telemetry.String("phase", phase))
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		sp.End()
 		return fmt.Errorf("checkpoint: encoding %s: %w", phase, err)
 	}
+	sp.Annotate(telemetry.Int("bytes", buf.Len()))
 	name := phaseFile(phase)
 	crc, err := s.writeFile(name, buf.Bytes())
 	if err != nil {
+		sp.End()
 		return err
 	}
+	hub.Counter("checkpoint_saves_total", "phase", phase).Inc()
+	hub.Counter("checkpoint_bytes_total", "phase", phase).Add(int64(buf.Len()))
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ensureManifest()
@@ -361,13 +396,18 @@ func (s *Store) verifiedPayload(phase string) ([]byte, error) {
 // Load restores one phase's payload into out (a pointer to the type
 // passed to Save), verifying it first — see verifiedPayload.
 func (s *Store) Load(phase string, out any) error {
+	hub, parent := s.telemetry()
+	sp := hub.Start(parent, "checkpoint.restore", telemetry.String("phase", phase))
+	defer sp.End()
 	payload, err := s.verifiedPayload(phase)
 	if err != nil {
 		return err
 	}
+	sp.Annotate(telemetry.Int("bytes", len(payload)))
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
 		return fmt.Errorf("%w: %s: undecodable payload: %v", ErrCorrupt, phaseFile(phase), err)
 	}
+	hub.Counter("checkpoint_restores_total", "phase", phase).Inc()
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/grid"
 	"repro/internal/merge"
+	"repro/internal/telemetry"
 )
 
 // WorkRequest is one partition shipped to a worker.
@@ -247,6 +248,30 @@ type Coordinator struct {
 	plan    *faultinject.Plan
 	closed  bool
 	stats   Stats
+	hub     *telemetry.Hub
+	parent  *telemetry.Span
+}
+
+// SetTelemetry installs the hub the coordinator records dispatch spans
+// and fault-tolerance events (retries, hedges, lost workers) on. A nil
+// hub (the default) disables recording.
+func (c *Coordinator) SetTelemetry(h *telemetry.Hub) {
+	c.mu.Lock()
+	c.hub = h
+	c.mu.Unlock()
+}
+
+// SetTraceParent nests the coordinator's spans and events under s.
+func (c *Coordinator) SetTraceParent(s *telemetry.Span) {
+	c.mu.Lock()
+	c.parent = s
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) telemetry() (*telemetry.Hub, *telemetry.Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hub, c.parent
 }
 
 type workerConn struct {
@@ -388,7 +413,10 @@ func (c *Coordinator) removeWorker(w *workerConn) {
 		}
 	}
 	c.stats.WorkersLost++
+	hub, parent := c.hub, c.parent
 	c.mu.Unlock()
+	hub.Event(parent, "distrib.worker_lost", telemetry.Int("pid", w.pid))
+	hub.Counter("distrib_workers_lost_total").Inc()
 }
 
 // Heartbeat pings every connected worker in parallel (bounded by
@@ -403,7 +431,10 @@ func (c *Coordinator) Heartbeat(timeout time.Duration) int {
 	c.mu.Lock()
 	workers := append([]*workerConn(nil), c.workers...)
 	plan := c.plan
+	hub, parent := c.hub, c.parent
 	c.mu.Unlock()
+	sp := hub.Start(parent, "distrib.heartbeat", telemetry.Int("workers", len(workers)))
+	defer sp.End()
 	var wg sync.WaitGroup
 	for wi, w := range workers {
 		wg.Add(1)
@@ -482,6 +513,7 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 	c.mu.Lock()
 	workers := append([]*workerConn(nil), c.workers...)
 	plan := c.plan
+	hub, parent := c.hub, c.parent
 	c.mu.Unlock()
 	retry := c.Retry.withDefaults()
 	timeout := c.RequestTimeout
@@ -491,6 +523,9 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	dsp := hub.Start(parent, "distrib.dispatch",
+		telemetry.Int("partitions", len(reqs)), telemetry.Int("workers", len(workers)))
+	defer dsp.End()
 
 	responses := make([]*WorkResponse, len(reqs))
 	// Sized for the worst case — every attempt plus one hedge per index
@@ -545,6 +580,9 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 		c.mu.Lock()
 		c.stats.Reassigned++
 		c.mu.Unlock()
+		hub.Event(dsp, "distrib.retry",
+			telemetry.Int("leaf", reqs[ri].Leaf), telemetry.Int("attempt", n))
+		hub.Counter("distrib_retries_total").Inc()
 		delay := retry.backoff(n)
 		go func() {
 			time.Sleep(delay)
@@ -600,12 +638,14 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					hedged[ri] = true
 					launched++
 					queue <- workItem{ri: ri, hedge: true}
+					hub.Event(dsp, "distrib.hedge", telemetry.Int("leaf", reqs[ri].Leaf))
 				}
 				hmu.Unlock()
 				if launched > 0 {
 					c.mu.Lock()
 					c.stats.HedgesLaunched += launched
 					c.mu.Unlock()
+					hub.Counter("distrib_hedges_launched_total").Add(int64(launched))
 				}
 			}
 		}()
@@ -688,6 +728,8 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					c.mu.Lock()
 					c.stats.HedgesWon++
 					c.mu.Unlock()
+					hub.Event(dsp, "distrib.hedge_won", telemetry.Int("leaf", reqs[ri].Leaf))
+					hub.Counter("distrib_hedges_won_total").Inc()
 				}
 				if c.OnResponse != nil {
 					c.OnResponse(ri, resp)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dbscan"
 	"repro/internal/quality"
+	"repro/internal/telemetry"
 )
 
 // startMixedWorkers launches fast workers plus one deliberately slow
@@ -49,6 +50,8 @@ func TestStragglerHedging(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.StragglerFactor = 3
+	hub := telemetry.New(nil)
+	c.SetTelemetry(hub)
 	wg := startMixedWorkers(t, c, 3, delay)
 	start := time.Now()
 	res, err := c.Run(pts, Options{Eps: 0.1, MinPts: 10, Leaves: 12, DenseBox: true})
@@ -59,6 +62,16 @@ func TestStragglerHedging(t *testing.T) {
 	st := c.Stats()
 	if st.HedgesLaunched < 1 || st.HedgesWon < 1 {
 		t.Fatalf("hedges launched=%d won=%d, want >= 1 each", st.HedgesLaunched, st.HedgesWon)
+	}
+	// Every hedge decision must be visible in the trace and counters.
+	if got := len(hub.Trace.FindEvents("distrib.hedge")); got != st.HedgesLaunched {
+		t.Errorf("trace has %d distrib.hedge events, stats say %d launched", got, st.HedgesLaunched)
+	}
+	if got := len(hub.Trace.FindEvents("distrib.hedge_won")); got != st.HedgesWon {
+		t.Errorf("trace has %d distrib.hedge_won events, stats say %d won", got, st.HedgesWon)
+	}
+	if got := hub.Counter("distrib_hedges_launched_total").Value(); got != int64(st.HedgesLaunched) {
+		t.Errorf("distrib_hedges_launched_total = %d, stats say %d", got, st.HedgesLaunched)
 	}
 	if elapsed >= delay {
 		t.Fatalf("dispatch took %v — hedging did not beat the %v straggler", elapsed, delay)

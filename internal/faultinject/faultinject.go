@@ -114,9 +114,10 @@ type armedRule struct {
 // so substrates can consult their plan unconditionally. Plan is safe
 // for concurrent use.
 type Plan struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	rules map[Site][]*armedRule
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    map[Site][]*armedRule
+	observer func(site Site, err error, fatal bool)
 }
 
 // New returns an empty plan. The seed drives probabilistic rules; plans
@@ -150,6 +151,19 @@ func (p *Plan) ArmShared(r Rule, sites ...Site) *Plan {
 	return p
 }
 
+// SetObserver installs a callback invoked on every injected fault,
+// after the plan's internal lock is released — observers may safely
+// call back into the plan or into telemetry. A nil observer disables
+// notification.
+func (p *Plan) SetObserver(fn func(site Site, err error, fatal bool)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.observer = fn
+	p.mu.Unlock()
+}
+
 // Check consumes one operation at the site and returns the injected
 // error if any armed rule fires. A nil plan or an unarmed site always
 // passes (and costs nothing).
@@ -157,6 +171,19 @@ func (p *Plan) Check(site Site) error {
 	if p == nil {
 		return nil
 	}
+	err, fatal, obs := p.check(site)
+	if err != nil && obs != nil {
+		obs(site, err, fatal)
+	}
+	if fatal {
+		return &FatalError{Cause: err}
+	}
+	return err
+}
+
+// check evaluates the site's rules under the lock, returning the
+// injected error (pre-FatalError wrapping) and the observer to notify.
+func (p *Plan) check(site Site) (err error, fatal bool, obs func(Site, error, bool)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, ar := range p.rules[site] {
@@ -172,16 +199,13 @@ func (p *Plan) Check(site Site) error {
 			continue
 		}
 		ar.fired++
-		err := ar.Err
+		err = ar.Err
 		if err == nil {
 			err = ErrInjected
 		}
-		if ar.Fatal {
-			return &FatalError{Cause: err}
-		}
-		return err
+		return err, ar.Fatal, p.observer
 	}
-	return nil
+	return nil, false, nil
 }
 
 // Fired returns how many failures have been injected at the site so far

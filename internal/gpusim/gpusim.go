@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Config describes the simulated device.
@@ -66,7 +67,9 @@ func K20() Config {
 }
 
 // Stats aggregates device activity. All counters are cumulative since
-// device creation.
+// device creation. Stats is a read-side view over the device's
+// telemetry metrics (see SetTelemetry) — the registry is the single
+// source of truth; this struct exists for established callers.
 type Stats struct {
 	KernelLaunches int64
 	BlocksExecuted int64
@@ -82,15 +85,52 @@ type Stats struct {
 	PeakAllocBytes int64
 }
 
+// deviceMetrics caches the device's handles into a telemetry registry —
+// resolved once per SetTelemetry, updated with single atomic ops on the
+// hot paths.
+type deviceMetrics struct {
+	launches     *telemetry.Counter
+	blocks       *telemetry.Counter
+	h2dTransfers *telemetry.Counter
+	d2hTransfers *telemetry.Counter
+	h2dBytes     *telemetry.Counter
+	d2hBytes     *telemetry.Counter
+	kernelWallNs *telemetry.Counter
+	allocBytes   *telemetry.Gauge
+	peakAlloc    *telemetry.Gauge
+	occupancy    *telemetry.Histogram
+}
+
+func resolveDeviceMetrics(h *telemetry.Hub, device string) deviceMetrics {
+	return deviceMetrics{
+		launches:     h.Counter("gpusim_kernel_launches_total", "device", device),
+		blocks:       h.Counter("gpusim_blocks_executed_total", "device", device),
+		h2dTransfers: h.Counter("gpusim_h2d_transfers_total", "device", device),
+		d2hTransfers: h.Counter("gpusim_d2h_transfers_total", "device", device),
+		h2dBytes:     h.Counter("gpusim_h2d_bytes_total", "device", device),
+		d2hBytes:     h.Counter("gpusim_d2h_bytes_total", "device", device),
+		kernelWallNs: h.Counter("gpusim_kernel_wall_ns_total", "device", device),
+		allocBytes:   h.Gauge("gpusim_alloc_bytes", "device", device),
+		peakAlloc:    h.Gauge("gpusim_peak_alloc_bytes", "device", device),
+		occupancy:    h.Histogram("gpusim_sm_occupancy", telemetry.LinearBuckets(0.1, 0.1, 10), "device", device),
+	}
+}
+
 // Device is a simulated GPGPU. Safe for use by one host goroutine at a
 // time (like a CUDA stream); kernels themselves run on many goroutines.
 type Device struct {
 	cfg   Config
 	clock *simclock.Clock
 
-	mu    sync.Mutex
-	stats Stats
-	plan  *faultinject.Plan
+	mu     sync.Mutex
+	plan   *faultinject.Plan
+	hub    *telemetry.Hub
+	parent *telemetry.Span
+	m      deviceMetrics
+	// spans gates per-launch/per-transfer span recording: off on the
+	// private default hub (nobody will export it), on once a run-level
+	// hub is installed via SetTelemetry.
+	spans bool
 }
 
 // ErrOutOfMemory is returned by Alloc when device memory is exhausted.
@@ -104,7 +144,50 @@ func New(cfg Config, clock *simclock.Clock) *Device {
 	if clock == nil {
 		clock = simclock.New()
 	}
-	return &Device{cfg: cfg, clock: clock}
+	d := &Device{cfg: cfg, clock: clock}
+	d.hub = telemetry.New(clock)
+	d.m = resolveDeviceMetrics(d.hub, cfg.Name)
+	return d
+}
+
+// SetTelemetry points the device's metrics and spans at a run-level
+// hub, carrying any counts accumulated on the private default hub over
+// so the view stays cumulative. Per-launch and per-transfer spans are
+// recorded only on an installed hub. Install before heavy use.
+func (d *Device) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.m
+	d.hub = h
+	d.m = resolveDeviceMetrics(h, d.cfg.Name)
+	d.spans = true
+	d.m.launches.Add(old.launches.Value())
+	d.m.blocks.Add(old.blocks.Value())
+	d.m.h2dTransfers.Add(old.h2dTransfers.Value())
+	d.m.d2hTransfers.Add(old.d2hTransfers.Value())
+	d.m.h2dBytes.Add(old.h2dBytes.Value())
+	d.m.d2hBytes.Add(old.d2hBytes.Value())
+	d.m.kernelWallNs.Add(old.kernelWallNs.Value())
+	d.m.allocBytes.Set(old.allocBytes.Value())
+	d.m.peakAlloc.SetMax(old.peakAlloc.Value())
+}
+
+// SetTraceParent nests the device's spans (kernel launches, transfers)
+// under s — the leaf span of the cluster phase that owns this device.
+func (d *Device) SetTraceParent(s *telemetry.Span) {
+	d.mu.Lock()
+	d.parent = s
+	d.mu.Unlock()
+}
+
+// telemetry snapshots the hub, span parent and metric handles.
+func (d *Device) telemetry() (*telemetry.Hub, *telemetry.Span, deviceMetrics, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hub, d.parent, d.m, d.spans
 }
 
 // Config returns the device configuration.
@@ -130,11 +213,23 @@ func (d *Device) checkFault() error {
 // Clock returns the simulated clock costs are charged to.
 func (d *Device) Clock() *simclock.Clock { return d.clock }
 
-// Stats returns a snapshot of device statistics.
+// Stats returns a snapshot of device statistics, read back from the
+// telemetry registry.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	m := d.m
+	d.mu.Unlock()
+	return Stats{
+		KernelLaunches: m.launches.Value(),
+		BlocksExecuted: m.blocks.Value(),
+		H2DTransfers:   m.h2dTransfers.Value(),
+		D2HTransfers:   m.d2hTransfers.Value(),
+		H2DBytes:       m.h2dBytes.Value(),
+		D2HBytes:       m.d2hBytes.Value(),
+		KernelWall:     time.Duration(m.kernelWallNs.Value()),
+		AllocBytes:     m.allocBytes.Value(),
+		PeakAllocBytes: m.peakAlloc.Value(),
+	}
 }
 
 // resource names on the simulated clock.
@@ -160,14 +255,13 @@ func (d *Device) Alloc(name string, size int64) (*Buffer, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.cfg.MemBytes > 0 && d.stats.AllocBytes+size > d.cfg.MemBytes {
+	inUse := d.m.allocBytes.Value()
+	if d.cfg.MemBytes > 0 && inUse+size > d.cfg.MemBytes {
 		return nil, fmt.Errorf("%w: %q needs %d bytes, %d of %d in use",
-			ErrOutOfMemory, name, size, d.stats.AllocBytes, d.cfg.MemBytes)
+			ErrOutOfMemory, name, size, inUse, d.cfg.MemBytes)
 	}
-	d.stats.AllocBytes += size
-	if d.stats.AllocBytes > d.stats.PeakAllocBytes {
-		d.stats.PeakAllocBytes = d.stats.AllocBytes
-	}
+	d.m.allocBytes.Add(size)
+	d.m.peakAlloc.SetMax(inUse + size)
 	return &Buffer{dev: d, name: name, size: size}, nil
 }
 
@@ -181,7 +275,7 @@ func (b *Buffer) Free() {
 	}
 	b.freed = true
 	b.dev.mu.Lock()
-	b.dev.stats.AllocBytes -= b.size
+	b.dev.m.allocBytes.Add(-b.size)
 	b.dev.mu.Unlock()
 }
 
@@ -190,11 +284,14 @@ func (d *Device) CopyToDevice(b *Buffer, n int64) error {
 	if err := d.checkTransfer(b, n); err != nil {
 		return err
 	}
-	d.clock.Charge(d.pcieResource(), d.cfg.TransferLatency+simclock.BytesDuration(n, d.cfg.H2DBandwidth))
-	d.mu.Lock()
-	d.stats.H2DTransfers++
-	d.stats.H2DBytes += n
-	d.mu.Unlock()
+	cost := d.cfg.TransferLatency + simclock.BytesDuration(n, d.cfg.H2DBandwidth)
+	hub, parent, m, spans := d.telemetry()
+	if spans {
+		hub.RecordSim(parent, "gpu.h2d", cost, telemetry.Int64("bytes", n))
+	}
+	d.clock.Charge(d.pcieResource(), cost)
+	m.h2dTransfers.Inc()
+	m.h2dBytes.Add(n)
 	return nil
 }
 
@@ -203,11 +300,14 @@ func (d *Device) CopyFromDevice(b *Buffer, n int64) error {
 	if err := d.checkTransfer(b, n); err != nil {
 		return err
 	}
-	d.clock.Charge(d.pcieResource(), d.cfg.TransferLatency+simclock.BytesDuration(n, d.cfg.D2HBandwidth))
-	d.mu.Lock()
-	d.stats.D2HTransfers++
-	d.stats.D2HBytes += n
-	d.mu.Unlock()
+	cost := d.cfg.TransferLatency + simclock.BytesDuration(n, d.cfg.D2HBandwidth)
+	hub, parent, m, spans := d.telemetry()
+	if spans {
+		hub.RecordSim(parent, "gpu.d2h", cost, telemetry.Int64("bytes", n))
+	}
+	d.clock.Charge(d.pcieResource(), cost)
+	m.d2hTransfers.Inc()
+	m.d2hBytes.Add(n)
 	return nil
 }
 
@@ -274,6 +374,12 @@ func (d *Device) Launch(name string, lc LaunchConfig, k Kernel) error {
 	if err := d.checkFault(); err != nil {
 		return fmt.Errorf("gpusim: launching kernel %q on %s: %w", name, d.cfg.Name, err)
 	}
+	hub, parent, m, spans := d.telemetry()
+	var sp *telemetry.Span
+	if spans {
+		sp = hub.Start(parent, "kernel:"+name,
+			telemetry.Int("blocks", lc.Blocks), telemetry.Int("tpb", lc.ThreadsPerBlock))
+	}
 	start := time.Now()
 	var next int64 = -1
 	workers := d.cfg.SMs
@@ -299,10 +405,11 @@ func (d *Device) Launch(name string, lc LaunchConfig, k Kernel) error {
 	wg.Wait()
 	wall := time.Since(start)
 	d.clock.Charge(d.GPUResource(), d.cfg.LaunchOverhead+wall)
-	d.mu.Lock()
-	d.stats.KernelLaunches++
-	d.stats.BlocksExecuted += int64(lc.Blocks)
-	d.stats.KernelWall += wall
-	d.mu.Unlock()
+	sp.End()
+	m.launches.Inc()
+	m.blocks.Add(int64(lc.Blocks))
+	m.kernelWallNs.Add(wall.Nanoseconds())
+	occ := float64(workers) / float64(d.cfg.SMs)
+	m.occupancy.Observe(occ)
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Config describes the simulated file system.
@@ -57,7 +58,9 @@ func Titan() Config {
 	}
 }
 
-// Stats aggregates file system activity.
+// Stats aggregates file system activity. It is a read-side view over
+// the FS's telemetry counters (see SetTelemetry) — the registry is the
+// single source of truth; this struct exists for established callers.
 type Stats struct {
 	ReadOps      int64
 	WriteOps     int64
@@ -67,6 +70,27 @@ type Stats struct {
 	FilesCreated int64
 }
 
+// fsMetrics caches the FS's handles into a telemetry registry.
+type fsMetrics struct {
+	readOps      *telemetry.Counter
+	writeOps     *telemetry.Counter
+	bytesRead    *telemetry.Counter
+	bytesWritten *telemetry.Counter
+	seeks        *telemetry.Counter
+	filesCreated *telemetry.Counter
+}
+
+func resolveFSMetrics(h *telemetry.Hub) fsMetrics {
+	return fsMetrics{
+		readOps:      h.Counter("lustre_read_ops_total"),
+		writeOps:     h.Counter("lustre_write_ops_total"),
+		bytesRead:    h.Counter("lustre_bytes_read_total"),
+		bytesWritten: h.Counter("lustre_bytes_written_total"),
+		seeks:        h.Counter("lustre_seeks_total"),
+		filesCreated: h.Counter("lustre_files_created_total"),
+	}
+}
+
 // FS is a simulated parallel file system. Safe for concurrent use.
 type FS struct {
 	cfg   Config
@@ -74,10 +98,15 @@ type FS struct {
 
 	mu    sync.Mutex
 	files map[string]*file
-	stats Stats
 
 	// plan is consulted at the lustre.read / lustre.write fault sites.
-	plan *faultinject.Plan
+	plan   *faultinject.Plan
+	hub    *telemetry.Hub
+	parent *telemetry.Span
+	m      fsMetrics
+	// spans gates per-operation span recording: off on the private
+	// default hub, on once a run-level hub is installed via SetTelemetry.
+	spans bool
 }
 
 type file struct {
@@ -99,17 +128,67 @@ func New(cfg Config, clock *simclock.Clock) *FS {
 	if clock == nil {
 		clock = simclock.New()
 	}
-	return &FS{cfg: cfg, clock: clock, files: make(map[string]*file)}
+	fs := &FS{cfg: cfg, clock: clock, files: make(map[string]*file)}
+	fs.hub = telemetry.New(clock)
+	fs.m = resolveFSMetrics(fs.hub)
+	return fs
 }
 
 // Clock returns the simulated clock I/O costs are charged to.
 func (fs *FS) Clock() *simclock.Clock { return fs.clock }
 
-// Stats returns a snapshot of accumulated counters.
-func (fs *FS) Stats() Stats {
+// SetTelemetry points the file system's metrics and spans at a
+// run-level hub, carrying over counts accumulated on the private
+// default hub. Per-read/write spans are recorded only on an installed
+// hub (and bounded by the tracer's span cap — partition phases issue
+// very many small writes).
+func (fs *FS) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.stats
+	old := fs.m
+	fs.hub = h
+	fs.m = resolveFSMetrics(h)
+	fs.spans = true
+	fs.m.readOps.Add(old.readOps.Value())
+	fs.m.writeOps.Add(old.writeOps.Value())
+	fs.m.bytesRead.Add(old.bytesRead.Value())
+	fs.m.bytesWritten.Add(old.bytesWritten.Value())
+	fs.m.seeks.Add(old.seeks.Value())
+	fs.m.filesCreated.Add(old.filesCreated.Value())
+}
+
+// SetTraceParent nests the file system's I/O spans under s — the span
+// of the phase currently doing I/O. Pass nil to detach.
+func (fs *FS) SetTraceParent(s *telemetry.Span) {
+	fs.mu.Lock()
+	fs.parent = s
+	fs.mu.Unlock()
+}
+
+// telemetry snapshots the hub, span parent and metric handles.
+func (fs *FS) telemetry() (*telemetry.Hub, *telemetry.Span, fsMetrics, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.hub, fs.parent, fs.m, fs.spans
+}
+
+// Stats returns a snapshot of accumulated counters, read back from the
+// telemetry registry.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	m := fs.m
+	fs.mu.Unlock()
+	return Stats{
+		ReadOps:      m.readOps.Value(),
+		WriteOps:     m.writeOps.Value(),
+		BytesRead:    m.bytesRead.Value(),
+		BytesWritten: m.bytesWritten.Value(),
+		Seeks:        m.seeks.Value(),
+		FilesCreated: m.filesCreated.Value(),
+	}
 }
 
 // SetFaultPlan installs the fault plan consulted at the lustre.read and
@@ -138,7 +217,7 @@ func (fs *FS) Create(name string) *Handle {
 	fs.mu.Lock()
 	f := &file{}
 	fs.files[name] = f
-	fs.stats.FilesCreated++
+	fs.m.filesCreated.Inc()
 	fs.mu.Unlock()
 	return &Handle{fs: fs, f: f, name: name, lastOff: -1}
 }
@@ -165,7 +244,7 @@ func (fs *FS) OpenOrCreate(name string) *Handle {
 	if !ok {
 		f = &file{}
 		fs.files[name] = f
-		fs.stats.FilesCreated++
+		fs.m.filesCreated.Inc()
 	}
 	fs.mu.Unlock()
 	return &Handle{fs: fs, f: f, name: name, lastOff: -1}
@@ -227,13 +306,14 @@ func (fs *FS) List() []string {
 }
 
 // chargeIO charges stripe traffic for [off, off+n) to the OSTs it lands
-// on, plus a seek penalty when the handle moved discontiguously.
-func (fs *FS) chargeIO(off, n int64, seek bool) {
+// on, plus a seek penalty when the handle moved discontiguously. It
+// returns the total simulated cost so callers can record the operation
+// as a trace span.
+func (fs *FS) chargeIO(off, n int64, seek bool) time.Duration {
+	var total time.Duration
 	if seek {
 		fs.clock.Charge("lustre/seek", fs.cfg.SeekPenalty)
-		fs.mu.Lock()
-		fs.stats.Seeks++
-		fs.mu.Unlock()
+		total += fs.cfg.SeekPenalty
 	}
 	for n > 0 {
 		stripe := off / fs.cfg.StripeSize
@@ -243,11 +323,13 @@ func (fs *FS) chargeIO(off, n int64, seek bool) {
 		if chunk > inStripe {
 			chunk = inStripe
 		}
-		fs.clock.Charge(fmt.Sprintf("lustre/ost%d", ost),
-			simclock.BytesDuration(chunk, fs.cfg.OSTBandwidth))
+		cost := simclock.BytesDuration(chunk, fs.cfg.OSTBandwidth)
+		fs.clock.Charge(fmt.Sprintf("lustre/ost%d", ost), cost)
+		total += cost
 		off += chunk
 		n -= chunk
 	}
+	return total
 }
 
 // Handle is an open file descriptor with its own seek tracking. Handles
@@ -297,11 +379,16 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	h.lastOff = end
 	h.mu.Unlock()
 
-	h.fs.chargeIO(off, int64(len(p)), seek)
-	h.fs.mu.Lock()
-	h.fs.stats.WriteOps++
-	h.fs.stats.BytesWritten += int64(len(p))
-	h.fs.mu.Unlock()
+	cost := h.fs.chargeIO(off, int64(len(p)), seek)
+	hub, parent, m, spans := h.fs.telemetry()
+	if spans {
+		hub.RecordSim(parent, "lustre.write", cost, telemetry.Int64("bytes", int64(len(p))))
+	}
+	if seek {
+		m.seeks.Inc()
+	}
+	m.writeOps.Inc()
+	m.bytesWritten.Add(int64(len(p)))
 	return len(p), nil
 }
 
@@ -326,11 +413,16 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	h.lastOff = off + int64(n)
 	h.mu.Unlock()
 
-	h.fs.chargeIO(off, int64(n), seek)
-	h.fs.mu.Lock()
-	h.fs.stats.ReadOps++
-	h.fs.stats.BytesRead += int64(n)
-	h.fs.mu.Unlock()
+	cost := h.fs.chargeIO(off, int64(n), seek)
+	hub, parent, m, spans := h.fs.telemetry()
+	if spans {
+		hub.RecordSim(parent, "lustre.read", cost, telemetry.Int64("bytes", int64(n)))
+	}
+	if seek {
+		m.seeks.Inc()
+	}
+	m.readOps.Inc()
+	m.bytesRead.Add(int64(n))
 	if n < len(p) {
 		return n, io.EOF
 	}

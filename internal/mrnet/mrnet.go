@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // DefaultFanout is the 256-way fanout the paper uses for intermediate
@@ -109,10 +110,30 @@ func (n *Node) LeafRange() (lo, hi int) {
 	return n.firstLeaf, n.firstLeaf + n.numLeaves
 }
 
-// Stats counts overlay traffic.
+// Stats counts overlay traffic. It is a read-side view over the
+// network's telemetry counters (see SetTelemetry) — the registry is
+// the single source of truth; this struct exists for established
+// callers.
 type Stats struct {
 	Packets int64
 	Bytes   int64
+}
+
+// netMetrics caches the network's handles into a telemetry registry.
+type netMetrics struct {
+	packets    *telemetry.Counter
+	bytes      *telemetry.Counter
+	recoveries *telemetry.Counter
+	filterSec  *telemetry.Histogram
+}
+
+func resolveNetMetrics(h *telemetry.Hub, label string) netMetrics {
+	return netMetrics{
+		packets:    h.Counter("mrnet_packets_total", "net", label),
+		bytes:      h.Counter("mrnet_bytes_total", "net", label),
+		recoveries: h.Counter("mrnet_recoveries_total", "net", label),
+		filterSec:  h.Histogram("mrnet_filter_seconds", telemetry.DefSecondsBuckets(), "net", label),
+	}
 }
 
 // Network is an instantiated process tree.
@@ -123,13 +144,20 @@ type Network struct {
 	costs  CostModel
 	clock  *simclock.Clock
 
-	packets atomic.Int64
-	bytes   atomic.Int64
-
-	// topoMu guards tree mutations (FailNode re-parenting).
-	topoMu     sync.Mutex
-	recoveries atomic.Int64
-	plan       *faultinject.Plan
+	// topoMu guards tree mutations (FailNode re-parenting) and the
+	// telemetry installation below.
+	topoMu sync.Mutex
+	plan   *faultinject.Plan
+	hub    *telemetry.Hub
+	parent *telemetry.Span
+	m      netMetrics
+	// label distinguishes this network's metrics ("net" label) from
+	// other trees sharing one hub, e.g. the partitioner's tree vs the
+	// cluster tree in one pipeline run.
+	label string
+	// spans gates per-hop/per-filter span recording: off on the private
+	// default hub, on once a run-level hub is installed via SetTelemetry.
+	spans bool
 }
 
 // New builds a balanced tree with the given number of leaves and maximum
@@ -147,7 +175,9 @@ func New(leaves, fanout int, costs CostModel, clock *simclock.Clock) (*Network, 
 	if clock == nil {
 		clock = simclock.New()
 	}
-	net := &Network{costs: costs, clock: clock}
+	net := &Network{costs: costs, clock: clock, label: "net"}
+	net.hub = telemetry.New(clock)
+	net.m = resolveNetMetrics(net.hub, net.label)
 	net.root = &Node{id: 0, level: 0, leafIndex: -1}
 	net.nodes = append(net.nodes, net.root)
 	net.build(net.root, leaves, fanout)
@@ -226,16 +256,64 @@ func (net *Network) Depth() int {
 // Clock returns the simulated clock.
 func (net *Network) Clock() *simclock.Clock { return net.clock }
 
-// Stats returns overlay traffic counters.
+// SetTelemetry points the network's metrics and spans at a run-level
+// hub, carrying over counts accumulated on the private default hub.
+// Per-hop and per-filter spans are recorded only on an installed hub.
+// name becomes the "net" metric label distinguishing this tree from
+// others on the same hub (empty keeps the current label) — two trees
+// installed under one hub with the same label would share counters.
+func (net *Network) SetTelemetry(h *telemetry.Hub, name string) {
+	if h == nil {
+		return
+	}
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	if name != "" {
+		net.label = name
+	}
+	old := net.m
+	net.hub = h
+	net.m = resolveNetMetrics(h, net.label)
+	net.spans = true
+	net.m.packets.Add(old.packets.Value())
+	net.m.bytes.Add(old.bytes.Value())
+	net.m.recoveries.Add(old.recoveries.Value())
+}
+
+// SetTraceParent nests the network's hop/filter spans under s — the
+// span of the phase currently using the tree. Pass nil to detach.
+func (net *Network) SetTraceParent(s *telemetry.Span) {
+	net.topoMu.Lock()
+	net.parent = s
+	net.topoMu.Unlock()
+}
+
+// telemetry snapshots the hub, span parent and metric handles.
+func (net *Network) telemetry() (*telemetry.Hub, *telemetry.Span, netMetrics, bool) {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	return net.hub, net.parent, net.m, net.spans
+}
+
+// Stats returns overlay traffic counters, read back from the telemetry
+// registry.
 func (net *Network) Stats() Stats {
-	return Stats{Packets: net.packets.Load(), Bytes: net.bytes.Load()}
+	net.topoMu.Lock()
+	m := net.m
+	net.topoMu.Unlock()
+	return Stats{Packets: m.packets.Value(), Bytes: m.bytes.Value()}
 }
 
 // chargeHop records one payload crossing one tree edge.
 func (net *Network) chargeHop(level int, bytes int64) {
-	net.packets.Add(1)
-	net.bytes.Add(bytes)
+	hub, parent, m, spans := net.telemetry()
 	cost := net.costs.HopLatency + simclock.BytesDuration(bytes, net.costs.BytesPerSec)
+	if spans {
+		hub.RecordSim(parent, "mrnet.hop", cost,
+			telemetry.Int("level", level), telemetry.Int64("bytes", bytes))
+	}
+	m.packets.Inc()
+	m.bytes.Add(bytes)
 	net.clock.Charge(fmt.Sprintf("mrnet/level%d", level), cost)
 }
 
@@ -251,7 +329,12 @@ func (net *Network) SetFaultPlan(p *faultinject.Plan) {
 
 // Recoveries returns how many internal-node failures the network has
 // recovered from (via FailNode re-parenting).
-func (net *Network) Recoveries() int64 { return net.recoveries.Load() }
+func (net *Network) Recoveries() int64 {
+	net.topoMu.Lock()
+	m := net.m
+	net.topoMu.Unlock()
+	return m.recoveries.Value()
+}
 
 // NodeFailedError reports the simulated crash of an internal process.
 // Collectives catch it one level up, re-parent the failed node's
@@ -320,10 +403,14 @@ func (net *Network) FailNode(id int) error {
 	}
 	net.clock.Charge("mrnet/reconnect",
 		time.Duration(len(n.children))*net.costs.ReconnectLatency)
+	reparented := len(n.children)
 	n.failed = true
 	n.parent = nil
 	n.children = nil
-	net.recoveries.Add(1)
+	// topoMu is held: use the handles directly rather than telemetry().
+	net.m.recoveries.Inc()
+	net.hub.Event(net.parent, "mrnet.node_failed",
+		telemetry.Int("node", id), telemetry.Int("reparented", reparented))
 	return nil
 }
 
@@ -507,7 +594,15 @@ func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine
 			return zero, errAborted
 		}
 		if len(crashed) == 0 {
+			hub, parent, m, spans := net.telemetry()
+			var sp *telemetry.Span
+			if spans {
+				sp = hub.Start(parent, "mrnet.filter", telemetry.Int("node", n.id))
+			}
+			fstart := time.Now()
 			v, err := combine(n, results)
+			m.filterSec.Observe(time.Since(fstart).Seconds())
+			sp.End()
 			if err != nil {
 				err = fmt.Errorf("mrnet: filter at node %d: %w", n.id, err)
 				op.fail(err)

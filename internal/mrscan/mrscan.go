@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/ptio"
 	"repro/internal/simclock"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // Config configures a full Mr. Scan run.
@@ -151,6 +153,17 @@ type Config struct {
 	// before them. Resume implies Checkpoint. Snapshots from a different
 	// configuration (detected via a RunID fingerprint) are ignored.
 	Resume bool
+
+	// Telemetry, when non-nil, is the hub the run records on: phase
+	// spans under a "mrscan.run" root, and every substrate the run
+	// provisions (file system, overlay networks, each leaf's GPU device,
+	// the checkpoint store) pointed at it, so per-kernel, per-hop and
+	// per-I/O spans nest under their phase. Fault injections and phase
+	// retries appear as instant events. When nil the run provisions a
+	// private hub; Result.Telemetry exposes whichever was used, ready
+	// for the telemetry exporters (Chrome trace, Prometheus text, JSON
+	// report).
+	Telemetry *telemetry.Hub
 }
 
 // RetryPolicy bounds per-phase re-execution after a transient fault.
@@ -184,7 +197,9 @@ func PhaseSite(phase string) faultinject.Site {
 // unrecoverable fault names the phase it killed. Each attempt first
 // consults the fault plan at the phase's site, then checks the caller's
 // context; fatal faults and context errors are terminal (no retry).
-func (r RetryPolicy) runPhase(ctx context.Context, plan *faultinject.Plan, name string, retries *int, f func() error) error {
+// Every retry emits a "mrscan.retry" event under the phase span sp and
+// bumps the per-phase retry counter (hub may be nil).
+func (r RetryPolicy) runPhase(ctx context.Context, plan *faultinject.Plan, hub *telemetry.Hub, sp *telemetry.Span, name string, retries *int, f func() error) error {
 	attempts := r.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -205,6 +220,9 @@ func (r RetryPolicy) runPhase(ctx context.Context, plan *faultinject.Plan, name 
 		}
 		if a < attempts {
 			*retries++
+			hub.Event(sp, "mrscan.retry",
+				telemetry.String("phase", name), telemetry.Int("attempt", a))
+			hub.Counter("mrscan_phase_retries_total", "phase", name).Inc()
 			if r.Backoff > 0 {
 				time.Sleep(r.Backoff)
 			}
@@ -334,6 +352,11 @@ type Result struct {
 	// RestoredPhases is the subset of CompletedPhases that was restored
 	// from checkpoints instead of executed (empty without Resume).
 	RestoredPhases []string
+	// Telemetry is the hub the run recorded on — Config.Telemetry when
+	// set, otherwise the private hub the run provisioned. Hand it to the
+	// telemetry exporters to emit the Chrome trace, Prometheus metrics
+	// or the JSON run report.
+	Telemetry *telemetry.Hub
 }
 
 // File names used inside the simulated file system.
@@ -418,17 +441,40 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 	}
 	start := time.Now()
 	g := grid.New(cfg.Eps)
+	hub := cfg.Telemetry
+	if hub == nil {
+		hub = telemetry.New(fs.Clock())
+	}
+	fs.SetTelemetry(hub)
+	runSpan := hub.Start(nil, "mrscan.run")
+	// curSpan tracks the in-flight phase span so fault-observer events
+	// (fired from arbitrary substrate goroutines) nest correctly.
+	var curSpan atomic.Pointer[telemetry.Span]
+	if runSpan != nil {
+		curSpan.Store(runSpan)
+	}
 	if cfg.FaultPlan != nil {
 		fs.SetFaultPlan(cfg.FaultPlan)
+		cfg.FaultPlan.SetObserver(func(site faultinject.Site, ferr error, fatal bool) {
+			hub.Event(curSpan.Load(), "fault.injected",
+				telemetry.String("site", string(site)), telemetry.Bool("fatal", fatal))
+			hub.Counter("mrscan_faults_injected_total", "site", string(site)).Inc()
+		})
 	}
 	var retries struct{ partition, cluster, merge, sweep int }
 
-	res := &Result{OutputFile: outputFile}
+	res := &Result{OutputFile: outputFile, Telemetry: hub}
 	var partNet, clusterNet *mrnet.Network
 	// fail finalizes the partial result: whatever phases completed are
 	// named, stats that exist are filled, and the caller gets both the
-	// result and the error.
+	// result and the error. Open spans are closed so the trace of an
+	// aborted run still exports.
 	fail := func(err error) (*Result, error) {
+		if sp := curSpan.Load(); sp != nil {
+			sp.End()
+		}
+		runSpan.End()
+		fs.SetTraceParent(nil)
 		res.Times.Total = time.Since(start)
 		if partNet != nil {
 			res.Stats.NetRecoveries += partNet.Recoveries()
@@ -446,11 +492,36 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 	validPrefix := 0
 	if cfg.Checkpoint {
 		store = checkpoint.NewStore(checkpoint.LustreFS(fs), runFingerprint(&cfg, fs, inputFile))
+		store.SetTelemetry(hub)
 		if cfg.Resume {
 			validPrefix = store.ValidPrefix([]string{PhasePartition, PhaseCluster, PhaseMerge})
 		}
 	}
+	// beginPhase opens the span a pipeline phase's work records under and
+	// points the phase-agnostic substrates at it.
+	beginPhase := func(name string) *telemetry.Span {
+		sp := hub.Start(runSpan, "phase:"+name, telemetry.String(telemetry.AttrKind, telemetry.KindPhase))
+		if sp != nil {
+			curSpan.Store(sp)
+		}
+		fs.SetTraceParent(sp)
+		if store != nil {
+			store.SetTraceParent(sp)
+		}
+		return sp
+	}
+	// endPhase closes a phase span and returns its wall duration, so the
+	// reported Times derive from the same spans the trace exports; the
+	// stopwatch fallback covers hubs constructed without a tracer.
+	endPhase := func(sp *telemetry.Span, name string, fallback time.Duration) time.Duration {
+		sp.End()
+		if ss := hub.Trace.FindSpans("phase:" + name); len(ss) > 0 {
+			return ss[len(ss)-1].WallDuration()
+		}
+		return fallback
+	}
 	// --- Phase 1: partition (separate flat MRNet network, §3.1.3) ---
+	partSpan := beginPhase(PhasePartition)
 	partStart := time.Now()
 	// loadPartition returns partition j's owned and shadow points,
 	// either from the partition file or from the direct transfer.
@@ -484,6 +555,8 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			return nil, err
 		}
 		partNet.SetFaultPlan(cfg.FaultPlan)
+		partNet.SetTelemetry(hub, "partition")
+		partNet.SetTraceParent(partSpan)
 		distOpts := partition.DistOptions{
 			NumPartitions:  cfg.Leaves,
 			MinPts:         cfg.MinPts,
@@ -493,7 +566,7 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			SplitThreshold: cfg.HotCellThreshold,
 		}
 		var pc partitionCkpt
-		err = cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhasePartition, &retries.partition, func() error {
+		err = cfg.Retry.runPhase(ctx, cfg.FaultPlan, hub, partSpan, PhasePartition, &retries.partition, func() error {
 			if cfg.DirectPartitions {
 				direct, err := partition.DistributeDirect(ctx, partNet, fs, cfg.Eps, inputFile, distOpts)
 				if err != nil {
@@ -545,7 +618,7 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		}
 	}
 	res.CompletedPhases = append(res.CompletedPhases, PhasePartition)
-	res.Times.Partition = time.Since(partStart)
+	res.Times.Partition = endPhase(partSpan, PhasePartition, time.Since(partStart))
 	res.Times.PartitionReadSim = partReadSim
 	res.Times.PartitionWriteSim = partWriteSim
 
@@ -569,6 +642,7 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		}
 	}
 	clusterNet.SetFaultPlan(cfg.FaultPlan)
+	clusterNet.SetTelemetry(hub, "cluster")
 	type leafState struct {
 		owned     []geom.Point
 		labels    []int32
@@ -576,6 +650,8 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		gpuTime   time.Duration
 		stats     gdbscan.Stats
 	}
+	clusterSpan := beginPhase(PhaseCluster)
+	clusterNet.SetTraceParent(clusterSpan)
 	clusterStart := time.Now()
 	var states []*leafState
 	if validPrefix >= 2 {
@@ -601,6 +677,8 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		res.RestoredPhases = append(res.RestoredPhases, PhaseCluster)
 	} else {
 		clusterLeaf := func(leaf int) (*leafState, error) {
+			leafSpan := hub.Start(clusterSpan, "leaf", telemetry.Int("leaf", leaf))
+			defer leafSpan.End()
 			owned, shadow, err := loadPartition(leaf)
 			if err != nil {
 				return nil, err
@@ -612,6 +690,8 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			gpuCfg.Name = fmt.Sprintf("gpu%04d", leaf)
 			dev := gpusim.New(gpuCfg, fs.Clock())
 			dev.SetFaultPlan(cfg.FaultPlan)
+			dev.SetTelemetry(hub)
+			dev.SetTraceParent(leafSpan)
 			gpuStart := time.Now()
 			res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
 				Params:          dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts},
@@ -637,7 +717,7 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 				stats:     res.Stats,
 			}, nil
 		}
-		err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhaseCluster, &retries.cluster, func() error {
+		err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, hub, clusterSpan, PhaseCluster, &retries.cluster, func() error {
 			if cfg.SequentialLeaves {
 				states = make([]*leafState, cfg.Leaves)
 				for leaf := 0; leaf < cfg.Leaves; leaf++ {
@@ -676,9 +756,11 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		}
 	}
 	res.CompletedPhases = append(res.CompletedPhases, PhaseCluster)
-	res.Times.Cluster = time.Since(clusterStart)
+	res.Times.Cluster = endPhase(clusterSpan, PhaseCluster, time.Since(clusterStart))
 
 	// --- Phase 3: merge (progressive reduction up the tree, §3.3) ---
+	mergeSpan := beginPhase(PhaseMerge)
+	clusterNet.SetTraceParent(mergeSpan)
 	mergeStart := time.Now()
 	var final []*merge.Summary
 	if validPrefix >= 3 {
@@ -689,7 +771,7 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		final = mc.Final
 		res.RestoredPhases = append(res.RestoredPhases, PhaseMerge)
 	} else {
-		err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhaseMerge, &retries.merge, func() error {
+		err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, hub, mergeSpan, PhaseMerge, &retries.merge, func() error {
 			var err error
 			if cfg.MergeOverTCP {
 				final, err = mergeOverTCP(g, cfg.Eps, cfg.Leaves, cfg.Fanout,
@@ -726,12 +808,14 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		claims = merge.BorderClaims(final, mapping)
 	}
 	res.CompletedPhases = append(res.CompletedPhases, PhaseMerge)
-	res.Times.Merge = time.Since(mergeStart)
+	res.Times.Merge = endPhase(mergeSpan, PhaseMerge, time.Since(mergeStart))
 
 	// --- Phase 4: sweep (global IDs down the tree, parallel write, §3.4) ---
+	sweepSpan := beginPhase(PhaseSweep)
+	clusterNet.SetTraceParent(sweepSpan)
 	sweepStart := time.Now()
 	var sw *sweep.Result
-	err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, PhaseSweep, &retries.sweep, func() error {
+	err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, hub, sweepSpan, PhaseSweep, &retries.sweep, func() error {
 		var err error
 		sw, err = sweep.Run(ctx, clusterNet, fs, outputFile, mapping,
 			func(leaf int) (*sweep.LeafData, error) {
@@ -745,7 +829,10 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		return fail(err)
 	}
 	res.CompletedPhases = append(res.CompletedPhases, PhaseSweep)
-	res.Times.Sweep = time.Since(sweepStart)
+	res.Times.Sweep = endPhase(sweepSpan, PhaseSweep, time.Since(sweepStart))
+	runSpan.End()
+	fs.SetTraceParent(nil)
+	clusterNet.SetTraceParent(nil)
 
 	res.NumClusters = len(final)
 	res.Plan = plan

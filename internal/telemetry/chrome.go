@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace_event export: the collected spans render as two trace
+// "processes" — pid 1 holds wall-clock intervals (what ran on this
+// host), pid 2 holds simulated-time intervals (what the modeled Titan
+// hardware would have spent). Load the file in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// trace_event "X" (complete) events nest by time containment within one
+// thread lane, so concurrent siblings (parallel leaf spans under one
+// phase) must land on distinct tids. Lanes are assigned at export: each
+// span inherits its parent's lane unless an earlier sibling still
+// occupies it, in which case the span takes the first free lane or a
+// fresh one — a greedy interval coloring that keeps sequential children
+// stacked under their parent and spreads concurrency vertically.
+
+const (
+	wallPid = 1
+	simPid  = 2
+)
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// assignLanes maps span ID → lane (tid) for one time domain.
+func assignLanes(spans []SpanData, start, end func(SpanData) time.Duration) map[int64]int64 {
+	byID := make(map[int64]int, len(spans))
+	children := make(map[int64][]int)
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	var roots []int
+	for i, s := range spans {
+		if _, ok := byID[s.Parent]; s.Parent != 0 && ok {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			if start(spans[idx[a]]) != start(spans[idx[b]]) {
+				return start(spans[idx[a]]) < start(spans[idx[b]])
+			}
+			return spans[idx[a]].ID < spans[idx[b]].ID
+		})
+	}
+
+	lanes := make(map[int64]int64, len(spans))
+	var nextLane int64 = 1
+
+	// place assigns a lane to each span in idx (an ordered sibling set),
+	// preferring the parent's lane, then any sibling lane already free.
+	type laneUse struct {
+		lane int64
+		busy time.Duration // occupied until
+	}
+	var place func(idx []int, parentLane int64, parentStart time.Duration)
+	place = func(idx []int, parentLane int64, parentStart time.Duration) {
+		byStart(idx)
+		pool := []laneUse{{lane: parentLane, busy: parentStart}}
+		for _, i := range idx {
+			s := spans[i]
+			lane := int64(-1)
+			for j := range pool {
+				if pool[j].busy <= start(s) {
+					lane = pool[j].lane
+					pool[j].busy = end(s)
+					break
+				}
+			}
+			if lane < 0 {
+				lane = nextLane
+				nextLane++
+				pool = append(pool, laneUse{lane: lane, busy: end(s)})
+			}
+			lanes[s.ID] = lane
+			place(children[s.ID], lane, start(s))
+		}
+	}
+	// Roots share a synthetic "parent" covering all time, so concurrent
+	// roots also spread onto distinct lanes.
+	rootLane := nextLane
+	nextLane++
+	place(roots, rootLane, 0)
+	return lanes
+}
+
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteChromeTrace renders every span and event as Chrome trace_event
+// JSON on w.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := t.Events()
+
+	var out []chromeEvent
+	meta := func(pid int, name string) {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(wallPid, "wall clock")
+	meta(simPid, "simulated hardware")
+
+	domains := []struct {
+		pid   int
+		start func(SpanData) time.Duration
+		end   func(SpanData) time.Duration
+		evTs  func(EventData) time.Duration
+	}{
+		{wallPid, func(s SpanData) time.Duration { return s.StartWall }, func(s SpanData) time.Duration { return s.EndWall },
+			func(e EventData) time.Duration { return e.Wall }},
+		{simPid, func(s SpanData) time.Duration { return s.StartSim }, func(s SpanData) time.Duration { return s.EndSim },
+			func(e EventData) time.Duration { return e.Sim }},
+	}
+	for _, dom := range domains {
+		lanes := assignLanes(spans, dom.start, dom.end)
+		for _, s := range spans {
+			out = append(out, chromeEvent{
+				Name: s.Name, Cat: "mrscan", Ph: "X",
+				Ts:  micros(dom.start(s)),
+				Dur: micros(dom.end(s) - dom.start(s)),
+				Pid: dom.pid, Tid: lanes[s.ID],
+				Args: attrArgs(s.Attrs),
+			})
+		}
+		for _, e := range events {
+			lane, ok := lanes[e.Span]
+			if !ok {
+				lane = 0
+			}
+			out = append(out, chromeEvent{
+				Name: e.Name, Cat: "mrscan", Ph: "i", Scope: "t",
+				Ts:  micros(dom.evTs(e)),
+				Pid: dom.pid, Tid: lane,
+				Args: attrArgs(e.Attrs),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

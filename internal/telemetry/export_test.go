@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixedHub constructs a hub with fully deterministic contents: a
+// fake wall clock and explicit sim charges, shaped like a miniature run
+// (run → two phases, the second with two concurrent leaves).
+func buildFixedHub() *Hub {
+	clock := simclock.New()
+	tr, tick := fakeTracer(clock, time.Millisecond)
+	h := &Hub{Metrics: NewRegistry(), Trace: tr}
+
+	run := tr.Start(nil, "mrscan.run")
+	tick() // 1ms
+	p1 := tr.Start(run, "phase:partition", String(AttrKind, KindPhase))
+	clock.Charge("lustre/ost0", 20*time.Millisecond)
+	tr.RecordSim(p1, "lustre.write", 4*time.Millisecond, Int64("bytes", 1024))
+	tick() // 2ms
+	p1.End()
+	p2 := tr.Start(run, "phase:cluster", String(AttrKind, KindPhase))
+	// Two "concurrent" leaves: same start tick, distinct lanes.
+	l0 := tr.Start(p2, "leaf", Int("leaf", 0))
+	l1 := tr.Start(p2, "leaf", Int("leaf", 1))
+	tick() // 3ms
+	k := tr.Start(l0, "kernel:expand", Int("blocks", 13))
+	tick() // 4ms
+	k.End()
+	l0.End()
+	tick() // 5ms
+	l1.End()
+	tr.Event(p2, "mrscan.retry", String("phase", "cluster"), Int("attempt", 1))
+	p2.End()
+	tick() // 6ms
+	run.End()
+
+	h.Counter("mrscan_faults_injected_total", "site", "lustre.write").Add(2)
+	h.Gauge("gpusim_alloc_bytes", "device", "gpu0000").Set(4096)
+	occ := h.Histogram("gpusim_sm_occupancy", LinearBuckets(0.25, 0.25, 4), "device", "gpu0000")
+	occ.Observe(0.5)
+	occ.Observe(1.0)
+	return h
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	h := buildFixedHub()
+	var buf bytes.Buffer
+	if err := h.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must parse as JSON with the trace_event envelope before comparing.
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	checkGolden(t, "chrome_trace.golden.json", buf.Bytes())
+}
+
+// TestChromeTraceLanes pins the concurrency-layout property directly:
+// overlapping sibling spans land on different tids, nested spans share
+// their parent's tid.
+func TestChromeTraceLanes(t *testing.T) {
+	h := buildFixedHub()
+	spans := h.Trace.Spans()
+	lanes := assignLanes(spans,
+		func(s SpanData) time.Duration { return s.StartWall },
+		func(s SpanData) time.Duration { return s.EndWall })
+	byName := map[string][]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	leaves := byName["leaf"]
+	if len(leaves) != 2 {
+		t.Fatalf("want 2 leaf spans, got %d", len(leaves))
+	}
+	if lanes[leaves[0].ID] == lanes[leaves[1].ID] {
+		t.Fatal("concurrent sibling leaves must get distinct lanes")
+	}
+	kernel := byName["kernel:expand"][0]
+	var parentLeaf SpanData
+	for _, l := range leaves {
+		if l.ID == kernel.Parent {
+			parentLeaf = l
+		}
+	}
+	if lanes[kernel.ID] != lanes[parentLeaf.ID] {
+		t.Fatal("a kernel nested in a leaf should share its lane")
+	}
+	run := byName["mrscan.run"][0]
+	for _, p := range byName["phase:partition"] {
+		if lanes[p.ID] != lanes[run.ID] {
+			t.Fatal("sequential phase should share the run's lane")
+		}
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	h := buildFixedHub()
+	var buf bytes.Buffer
+	if err := h.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.txt", buf.Bytes())
+}
+
+func TestReport(t *testing.T) {
+	h := buildFixedHub()
+	rep := BuildReport(h)
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	if rep.Phases[0].Phase != "phase:partition" || rep.Phases[1].Phase != "phase:cluster" {
+		t.Fatalf("phase order wrong: %+v", rep.Phases)
+	}
+	if rep.Phases[0].WallNs != int64(time.Millisecond) {
+		t.Fatalf("partition wall = %d", rep.Phases[0].WallNs)
+	}
+	if rep.Phases[0].SimNs != int64(20*time.Millisecond) {
+		t.Fatalf("partition sim = %d", rep.Phases[0].SimNs)
+	}
+	if row, ok := rep.Phase("phase:cluster"); !ok || row.WallNs != int64(3*time.Millisecond) {
+		t.Fatalf("cluster row = %+v ok=%v", row, ok)
+	}
+	var retries *EventAgg
+	for i := range rep.Events {
+		if rep.Events[i].Name == "mrscan.retry" {
+			retries = &rep.Events[i]
+		}
+	}
+	if retries == nil || retries.Count != 1 {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	var round Report
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(round.Metrics) == 0 {
+		t.Fatal("report should embed the metric snapshot")
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one TYPE header per metric family, samples
+// sorted by name then labels, histograms expanded into cumulative
+// _bucket/_sum/_count series. The output is deterministic for a given
+// registry state, which the golden tests rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.Snapshot()
+	// Group into families (same name, same type) preserving sorted order.
+	lastFamily := ""
+	for _, m := range metrics {
+		if m.Name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		switch m.Type {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, labelString(m.Labels, "", ""), m.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			var cum int64
+			for i, bound := range m.Bounds {
+				cum += m.Buckets[i]
+				le := strconv.FormatFloat(bound, 'g', -1, 64)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelString(m.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.Buckets[len(m.Bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelString(m.Labels, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelString(m.Labels, "", ""),
+				strconv.FormatFloat(m.Sum, 'g', -1, 64)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels, "", ""), m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} with keys sorted, plus an optional
+// extra pair appended last when extraKey is non-empty (the histogram
+// "le" bound).
+func labelString(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	writePair := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for _, k := range keys {
+		writePair(k, labels[k])
+	}
+	if extraKey != "" {
+		writePair(extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
