@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments cover clean
+.PHONY: all build vet test race bench bench-compare experiments cover clean
 
 all: build vet test
 
@@ -13,10 +13,12 @@ vet:
 	$(GO) vet ./...
 
 # Default test run: vet, the full suite, then the race detector over the
-# concurrency-heavy fault-tolerance and telemetry packages.
+# concurrency-heavy fault-tolerance, telemetry, and cluster-phase
+# packages (gdbscan expansion blocks and gpusim buffer pools are hot
+# concurrent paths).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim
 
 race:
 	$(GO) test -race ./...
@@ -25,12 +27,20 @@ race:
 # Results land in BENCH_run.txt (raw) and BENCH_run.json (machine-
 # readable name -> ns/op, B/op, allocs/op). BENCHFLAGS narrows the
 # sweep, e.g. make bench BENCHFLAGS='-benchtime=1x' BENCHPKGS=./internal/dsu
+# BENCHPAT selects which benchmarks run (the -bench regexp).
 BENCHFLAGS ?=
 BENCHPKGS ?= ./...
+BENCHPAT ?= .
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' $(BENCHFLAGS) $(BENCHPKGS) > BENCH_run.txt || (cat BENCH_run.txt; exit 1)
+	$(GO) test -bench='$(BENCHPAT)' -benchmem -run='^$$' $(BENCHFLAGS) $(BENCHPKGS) > BENCH_run.txt || (cat BENCH_run.txt; exit 1)
 	cat BENCH_run.txt
 	$(GO) run ./cmd/benchjson -o BENCH_run.json BENCH_run.txt
+
+# Regression gate: compare the latest BENCH_run.json against the
+# committed seed baseline. Fails if any Cluster benchmark's wall clock
+# regressed more than 20%.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_seed.json -match '^BenchmarkCluster' BENCH_run.json
 
 # Regenerate every evaluation artifact (measured + modeled rows).
 experiments:

@@ -350,6 +350,85 @@ func BenchmarkCheckpointOverhead(b *testing.B) {
 	}
 }
 
+// --- Cluster-phase throughput benchmarks ---
+//
+// The cluster phase dominates the pipeline ("the time of the cluster
+// phase is dictated by the slowest node", §5), and a leaf processes its
+// partitions back-to-back on one device. These benchmarks measure that
+// inner loop directly: repeated gdbscan.Cluster calls on a single
+// simulated device over realistic partition shapes. They are the
+// wall-clock series gated by CI against BENCH_seed.json (cmd/benchjson
+// -compare).
+
+// benchClusterPartitions splits pts into the combined (owned + shadow)
+// per-leaf point sets the cluster phase sees, using the real partitioner.
+func benchClusterPartitions(b *testing.B, pts []Point, parts int) [][]Point {
+	b.Helper()
+	g := grid.New(0.1)
+	h := g.HistogramOf(pts)
+	plan, err := partition.MakePlan(g, h, parts, 40, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := partition.Split(plan, pts, partition.SplitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	combined := make([][]Point, parts)
+	for i := 0; i < parts; i++ {
+		combined[i] = append(append([]Point{}, split.Partitions[i]...), split.Shadows[i]...)
+	}
+	return combined
+}
+
+// BenchmarkClusterMultiPartition runs every partition of a dataset
+// through gdbscan.Cluster on one device per op — the per-leaf work loop
+// of the cluster phase. Device buffers and KD workspaces are reusable
+// across the calls, so this is where allocation churn shows up.
+func BenchmarkClusterMultiPartition(b *testing.B) {
+	for _, parts := range []int{4, 8} {
+		pts := twitterData(parts * benchPointsPerLeaf)
+		combined := benchClusterPartitions(b, pts, parts)
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			b.ReportAllocs()
+			dev := gpusim.New(gpusim.K20(), nil)
+			var ws gdbscan.Workspace
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, part := range combined {
+					if _, err := gdbscan.Cluster(dev, part, gdbscan.Options{
+						Params:    dbscan.Params{Eps: 0.1, MinPts: 40},
+						DenseBox:  true,
+						Workspace: &ws,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterSinglePartition is one partition-sized Cluster call per
+// op on a reused device: the classify+expand hot path without
+// multi-partition amortization.
+func BenchmarkClusterSinglePartition(b *testing.B) {
+	pts := twitterData(2 * benchPointsPerLeaf)
+	b.ReportAllocs()
+	dev := gpusim.New(gpusim.K20(), nil)
+	var ws gdbscan.Workspace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gdbscan.Cluster(dev, pts, gdbscan.Options{
+			Params:    dbscan.Params{Eps: 0.1, MinPts: 40},
+			DenseBox:  true,
+			Workspace: &ws,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIndexStructures compares the spatial indexes backing the
 // reference DBSCAN (§2.1: no index vs grid vs KD-tree).
 func BenchmarkIndexStructures(b *testing.B) {

@@ -1,11 +1,13 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON file, so CI can archive benchmark runs and
-// tooling can diff them across commits.
+// tooling can diff them across commits, and compares a run against a
+// committed baseline to gate performance regressions.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_run.json
 //	go run ./cmd/benchjson -o BENCH_run.json bench.txt
+//	go run ./cmd/benchjson -compare BENCH_seed.json -match '^BenchmarkCluster' BENCH_run.json
 //
 // It understands the standard benchmark line —
 //
@@ -14,15 +16,26 @@
 // — including custom metrics (any extra "value unit" pairs), and tags
 // each benchmark with the `pkg:` header it appeared under. Lines that
 // are not benchmark results (test output, PASS/ok) are ignored.
+//
+// With -compare, the input (a JSON document produced by an earlier
+// benchjson run, or raw bench text) is matched against the baseline by
+// package + name — the host's GOMAXPROCS suffix ("-8") is stripped, so
+// baselines transfer between machines with different core counts — and
+// the command exits nonzero if any matched benchmark's wall clock
+// (ns/op) regressed by more than -threshold percent, or if a baseline
+// benchmark selected by -match is missing from the run (deleting the
+// gated benchmark must not pass the gate).
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -50,6 +63,9 @@ type Run struct {
 
 func main() {
 	out := flag.String("o", "BENCH_run.json", "output JSON file (- for stdout)")
+	compare := flag.String("compare", "", "baseline JSON file; compare the input run against it instead of converting")
+	threshold := flag.Float64("threshold", 20, "ns/op regression threshold in percent for -compare")
+	match := flag.String("match", "", "regexp selecting benchmark names for -compare (default: all baseline benchmarks)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -62,6 +78,28 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	if *compare != "" {
+		base, err := readRunFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		cur, err := readRun(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		report, failed, err := compareRuns(base, cur, *threshold, *match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	run, err := parse(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -72,6 +110,94 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(run.Benchmarks), *out)
+}
+
+// readRunFile loads a run document from a file (JSON or bench text).
+func readRunFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readRun(f)
+}
+
+// readRun sniffs the input: a JSON document produced by benchjson, or
+// raw `go test -bench` text to parse on the fly.
+func readRun(in io.Reader) (*Run, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		var run Run
+		if err := json.Unmarshal(trimmed, &run); err != nil {
+			return nil, fmt.Errorf("parsing JSON run: %w", err)
+		}
+		return &run, nil
+	}
+	return parse(bytes.NewReader(data))
+}
+
+// benchKey identifies a benchmark across runs: package plus name with
+// the trailing GOMAXPROCS suffix ("-8") removed, so a baseline captured
+// on one machine gates runs from another.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func benchKey(b *Benchmark) string {
+	return b.Package + " " + procSuffix.ReplaceAllString(b.Name, "")
+}
+
+// compareRuns diffs cur against base on ns/op. It returns a human
+// report, whether the gate failed, and any setup error (bad regexp).
+// Failures: a matched benchmark regressing past thresholdPct, or a
+// matched baseline benchmark absent from cur.
+func compareRuns(base, cur *Run, thresholdPct float64, match string) (string, bool, error) {
+	var re *regexp.Regexp
+	if match != "" {
+		var err error
+		if re, err = regexp.Compile(match); err != nil {
+			return "", false, fmt.Errorf("bad -match regexp: %w", err)
+		}
+	}
+	curBy := make(map[string]*Benchmark, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		curBy[benchKey(&cur.Benchmarks[i])] = &cur.Benchmarks[i]
+	}
+	var sb strings.Builder
+	failed := false
+	compared := 0
+	for i := range base.Benchmarks {
+		b := &base.Benchmarks[i]
+		if re != nil && !re.MatchString(b.Name) {
+			continue
+		}
+		key := benchKey(b)
+		c, ok := curBy[key]
+		if !ok {
+			fmt.Fprintf(&sb, "MISSING  %-60s baseline %.0f ns/op, absent from run\n", key, b.NsPerOp)
+			failed = true
+			continue
+		}
+		compared++
+		deltaPct := 0.0
+		if b.NsPerOp > 0 {
+			deltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		verdict := "ok      "
+		if deltaPct > thresholdPct {
+			verdict = "REGRESS "
+			failed = true
+		}
+		fmt.Fprintf(&sb, "%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+			verdict, key, b.NsPerOp, c.NsPerOp, deltaPct)
+	}
+	if compared == 0 && !failed {
+		fmt.Fprintf(&sb, "benchjson: no baseline benchmarks matched\n")
+		failed = true
+	}
+	fmt.Fprintf(&sb, "benchjson: compared %d benchmarks against baseline (threshold %+.0f%%)\n", compared, thresholdPct)
+	return sb.String(), failed, nil
 }
 
 func write(path string, run *Run) error {

@@ -56,3 +56,82 @@ func TestParseIgnoresMalformed(t *testing.T) {
 		t.Fatalf("malformed lines parsed as %+v", run.Benchmarks)
 	}
 }
+
+func run(benches ...Benchmark) *Run { return &Run{Benchmarks: benches} }
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base := run(Benchmark{Package: "repro", Name: "BenchmarkCluster/parts=4", NsPerOp: 100})
+	cur := run(Benchmark{Package: "repro", Name: "BenchmarkCluster/parts=4", NsPerOp: 110})
+	report, failed, err := compareRuns(base, cur, 20, "")
+	if err != nil || failed {
+		t.Fatalf("10%% slowdown under 20%% threshold failed: %v\n%s", err, report)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := run(Benchmark{Package: "repro", Name: "BenchmarkCluster", NsPerOp: 100})
+	cur := run(Benchmark{Package: "repro", Name: "BenchmarkCluster", NsPerOp: 125})
+	report, failed, err := compareRuns(base, cur, 20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("25%% regression passed a 20%% gate:\n%s", report)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := run(Benchmark{Package: "repro", Name: "BenchmarkCluster", NsPerOp: 100})
+	cur := run(Benchmark{Package: "repro", Name: "BenchmarkCluster", NsPerOp: 50})
+	if _, failed, _ := compareRuns(base, cur, 20, ""); failed {
+		t.Fatal("a 50% improvement must pass")
+	}
+}
+
+func TestCompareStripsProcSuffix(t *testing.T) {
+	// Baseline captured on a 1-core host, run produced on an 8-core one.
+	base := run(Benchmark{Package: "repro", Name: "BenchmarkCluster/parts=4", NsPerOp: 100})
+	cur := run(Benchmark{Package: "repro", Name: "BenchmarkCluster/parts=4-8", NsPerOp: 105})
+	report, failed, err := compareRuns(base, cur, 20, "")
+	if err != nil || failed {
+		t.Fatalf("suffix mismatch broke the comparison: %v\n%s", err, report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := run(
+		Benchmark{Package: "repro", Name: "BenchmarkCluster", NsPerOp: 100},
+		Benchmark{Package: "repro", Name: "BenchmarkOther", NsPerOp: 100},
+	)
+	cur := run(Benchmark{Package: "repro", Name: "BenchmarkOther", NsPerOp: 100})
+	report, failed, err := compareRuns(base, cur, 20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed || !strings.Contains(report, "MISSING") {
+		t.Fatalf("deleted baseline benchmark passed the gate:\n%s", report)
+	}
+}
+
+func TestCompareMatchFilter(t *testing.T) {
+	base := run(
+		Benchmark{Package: "repro", Name: "BenchmarkCluster", NsPerOp: 100},
+		Benchmark{Package: "repro", Name: "BenchmarkNoisy", NsPerOp: 100},
+	)
+	cur := run(
+		Benchmark{Package: "repro", Name: "BenchmarkCluster", NsPerOp: 100},
+		Benchmark{Package: "repro", Name: "BenchmarkNoisy", NsPerOp: 900},
+	)
+	// The noisy benchmark regressed 9x, but only Cluster is gated.
+	if _, failed, err := compareRuns(base, cur, 20, "^BenchmarkCluster"); err != nil || failed {
+		t.Fatal("match filter did not exclude the un-gated benchmark")
+	}
+	// No benchmark matching the filter at all is a gate failure.
+	if _, failed, _ := compareRuns(base, cur, 20, "^BenchmarkAbsent"); !failed {
+		t.Fatal("empty comparison must fail, not silently pass")
+	}
+	// A bad regexp is a setup error.
+	if _, _, err := compareRuns(base, cur, 20, "("); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+}

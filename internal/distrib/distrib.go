@@ -108,6 +108,11 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 	if err := enc.Encode(Hello{Pid: pid}); err != nil {
 		return fmt.Errorf("distrib: worker hello: %w", err)
 	}
+	// One simulated device and one workspace for the connection's
+	// lifetime: a worker serves many partitions back-to-back, and the
+	// device buffer pool plus host scratch amortize across all of them
+	// exactly as on a cluster-phase leaf.
+	var scratch workerScratch
 	for {
 		var req WorkRequest
 		if err := dec.Decode(&req); err != nil {
@@ -123,7 +128,7 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 			if opt.Delay > 0 {
 				time.Sleep(opt.Delay)
 			}
-			resp = serve(&req)
+			resp = serve(&req, &scratch)
 		}
 		if err := enc.Encode(resp); err != nil {
 			return fmt.Errorf("distrib: worker replying: %w", err)
@@ -131,16 +136,27 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 	}
 }
 
+// workerScratch is the state a worker process reuses across the
+// partitions it serves: its simulated device (with buffer pool) and the
+// gdbscan host workspace.
+type workerScratch struct {
+	dev *gpusim.Device
+	ws  gdbscan.Workspace
+}
+
 // serve executes one partition, exactly like a cluster-phase leaf.
-func serve(req *WorkRequest) *WorkResponse {
+func serve(req *WorkRequest, scratch *workerScratch) *WorkResponse {
 	resp := &WorkResponse{Leaf: req.Leaf}
 	combined := make([]geom.Point, 0, len(req.Owned)+len(req.Shadow))
 	combined = append(combined, req.Owned...)
 	combined = append(combined, req.Shadow...)
-	dev := gpusim.New(gpusim.K20(), nil)
-	res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
-		Params:   dbscan.Params{Eps: req.Eps, MinPts: req.MinPts},
-		DenseBox: req.DenseBox,
+	if scratch.dev == nil {
+		scratch.dev = gpusim.New(gpusim.K20(), nil)
+	}
+	res, err := gdbscan.Cluster(scratch.dev, combined, gdbscan.Options{
+		Params:    dbscan.Params{Eps: req.Eps, MinPts: req.MinPts},
+		DenseBox:  req.DenseBox,
+		Workspace: &scratch.ws,
 	})
 	if err != nil {
 		resp.Err = err.Error()
@@ -213,6 +229,12 @@ type Stats struct {
 	// the mitigation removed.
 	HedgesLaunched int
 	HedgesWon      int
+	// ServeOrder records the request indices in the order they were
+	// handed to workers, across every dispatch of this coordinator. The
+	// dispatch queues partitions largest first, so the head of each
+	// dispatch's window is its biggest partition — the slowest-node
+	// bound (§5) made observable.
+	ServeOrder []int
 }
 
 // Coordinator accepts worker connections and dispatches partitions.
@@ -345,7 +367,9 @@ func WorkerFaultSite(i int) faultinject.Site {
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	st.ServeOrder = append([]int(nil), c.stats.ServeOrder...)
+	return st
 }
 
 // AcceptWorkers blocks until n workers have dialed in and identified
@@ -531,7 +555,18 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 	// Sized for the worst case — every attempt plus one hedge per index
 	// — so queue sends never block.
 	queue := make(chan workItem, len(reqs)*(retry.MaxAttempts+1))
-	for i := range reqs {
+	// Largest partitions first: the dispatch finishes when its slowest
+	// partition does (§5's slowest-node bound), so the biggest must
+	// never be the one still queued when the pool drains.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := &reqs[order[a]], &reqs[order[b]]
+		return len(ra.Owned)+len(ra.Shadow) > len(rb.Owned)+len(rb.Shadow)
+	})
+	for _, i := range order {
 		queue <- workItem{ri: i}
 	}
 	attempts := make([]int, len(reqs)) // guarded by hmu
@@ -673,6 +708,9 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					started[ri] = time.Now()
 				}
 				hmu.Unlock()
+				c.mu.Lock()
+				c.stats.ServeOrder = append(c.stats.ServeOrder, ri)
+				c.mu.Unlock()
 				if err := checkConnFault(plan, wi); err != nil {
 					// Injected connection fault: sever exactly as a
 					// crashed worker node would.

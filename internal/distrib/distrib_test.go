@@ -134,3 +134,42 @@ func TestMain(m *testing.M) {
 	}
 	os.Exit(m.Run())
 }
+
+// TestDispatchLargestFirst: with a single worker, the dispatch must hand
+// out partitions in descending size order — the dispatch ends when its
+// slowest partition finishes, so the biggest cannot be the last queued.
+func TestDispatchLargestFirst(t *testing.T) {
+	pts := dataset.Twitter(200, 3)
+	c, err := NewCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := startWorkers(t, c, 1)
+	// Sizes 1, 3, 2 points (plus a common tail so every request is valid).
+	reqs := []WorkRequest{
+		{Leaf: 0, Eps: 0.1, MinPts: 4, Owned: pts[:1]},
+		{Leaf: 1, Eps: 0.1, MinPts: 4, Owned: pts[:3]},
+		{Leaf: 2, Eps: 0.1, MinPts: 4, Owned: pts[:2]},
+	}
+	resps, err := c.Dispatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	wg.Wait()
+	for i, r := range resps {
+		if r == nil || r.Leaf != reqs[i].Leaf {
+			t.Fatalf("responses not indexed by request position: %+v", resps)
+		}
+	}
+	st := c.Stats()
+	want := []int{1, 2, 0} // descending by size: 3, 2, 1 points
+	if len(st.ServeOrder) != len(want) {
+		t.Fatalf("ServeOrder = %v, want %v", st.ServeOrder, want)
+	}
+	for i := range want {
+		if st.ServeOrder[i] != want[i] {
+			t.Fatalf("ServeOrder = %v, want %v (largest partition first)", st.ServeOrder, want)
+		}
+	}
+}

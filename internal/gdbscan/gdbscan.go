@@ -24,6 +24,13 @@
 // synchronous transfers per expansion round and disables both the early
 // classification exit and dense boxes, reproducing the cost profile the
 // paper optimizes away.
+//
+// A leaf node processes its partitions back-to-back on one device, so
+// Cluster supports an optional Workspace: host-side scratch (the KD-tree
+// and its flattened arrays, coordinate columns, per-block queues and
+// traversal stacks) is built into caller-provided backing arrays, and
+// device buffers are leased from the device's pool (gpusim.AllocPooled),
+// making repeated calls allocation-free on the classify/expand hot path.
 package gdbscan
 
 import (
@@ -79,6 +86,12 @@ type Options struct {
 	// LeafSize is the KD-tree region capacity (default kdtree default).
 	// It bounds dense-box granularity.
 	LeafSize int
+	// Workspace, when non-nil, provides reusable host-side scratch for
+	// this call, eliminating per-partition allocation when one caller
+	// clusters many partitions in sequence. A nil Workspace allocates
+	// fresh scratch (identical results, more garbage). A Workspace must
+	// not be shared by concurrent Cluster calls.
+	Workspace *Workspace
 }
 
 func (o *Options) setDefaults() {
@@ -110,6 +123,11 @@ type Stats struct {
 	DeviceH2DBytes  int64
 	DeviceD2HBytes  int64
 	DeviceTransfers int64
+	// RoundTransferBytes records, per expansion round of ModeCUDADClust,
+	// the modeled bytes of the round's two synchronous copies (state out
+	// + seeds in, §3.2.2) — 2 × 64 × blocks active in that round. Nil in
+	// ModeMrScan, whose expansion moves no per-round bytes.
+	RoundTransferBytes []int64
 }
 
 // Result is the clustering output. Labels are local (per-leaf) cluster IDs
@@ -119,6 +137,52 @@ type Result struct {
 	Core        []bool
 	NumClusters int
 	Stats       Stats
+}
+
+// collision records two cluster IDs that touched the same core point
+// (Figure 4); the pair is unioned on the host afterwards.
+type collision struct{ a, b int32 }
+
+// collSeenSlots is the size of the per-block direct-mapped cache that
+// suppresses duplicate collision records. Two expanding clusters meet
+// along a whole frontier of shared points; recording the same ID pair
+// once per contact wastes list space and host-side union-find time.
+const collSeenSlots = 128
+
+// blockScratch is the per-block working state of the expansion kernel.
+// Each block is executed by exactly one goroutine per launch, so blocks
+// use their own scratch without locks.
+type blockScratch struct {
+	queue      []int32
+	stack      []int32
+	collisions []collision
+	// seen is the duplicate-collision filter: seen[hash(pair)] == pair.
+	seen [collSeenSlots]uint64
+}
+
+// Workspace holds every reusable host-side array of a Cluster call. The
+// zero value is ready to use; pass the same Workspace to successive
+// calls (one partition after another on the same leaf) to stop them
+// re-allocating the KD-tree, coordinate columns, and per-block expansion
+// state. Not safe for concurrent use.
+type Workspace struct {
+	kd          kdtree.Workspace
+	xs, ys      []float64
+	labels      []int32
+	skipExpand  []bool
+	seeds       []int32
+	seedCluster []int32
+	boxes       []kdtree.Leaf
+	blocks      []blockScratch
+}
+
+// grow resizes s to n elements, reallocating only when capacity is
+// short. Contents are unspecified; callers overwrite or clear.
+func grow[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	return s[:n]
 }
 
 // Cluster runs the GPGPU DBSCAN over pts on dev.
@@ -131,6 +195,10 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 	if n == 0 {
 		return &Result{Labels: []int32{}, Core: []bool{}}, nil
 	}
+	ws := opt.Workspace
+	if ws == nil {
+		ws = &Workspace{}
+	}
 
 	eps := opt.Params.Eps
 	// minNeighbors excludes the point itself (the DBSCAN neighborhood
@@ -138,28 +206,32 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 	minNeighbors := opt.Params.MinPts - 1
 
 	// Host-side index construction (CUDA-DClust builds the KD-tree on the
-	// CPU and ships the flattened arrays).
-	tree := kdtree.Build(pts, opt.LeafSize)
-	flat := tree.Flatten()
-	xs := make([]float64, n)
-	ys := make([]float64, n)
+	// CPU and ships the flattened arrays) — into the workspace's backing
+	// arrays, so per-partition builds reuse allocations.
+	tree, flat := ws.kd.Build(pts, opt.LeafSize)
+	ws.xs = grow(ws.xs, n)
+	ws.ys = grow(ws.ys, n)
+	xs, ys := ws.xs, ws.ys
 	for i, p := range pts {
 		xs[i], ys[i] = p.X, p.Y
 	}
 
 	// Device allocation: point coords, flattened tree, flags and labels.
+	// Buffers are leased from the device pool: the second partition on a
+	// leaf reuses the first's allocations (pool hit) instead of paying
+	// another cudaMalloc.
 	const f64, i32 = 8, 4
 	treeBytes := int64(len(flat.Bounds))*f64 + int64(len(flat.Left)+len(flat.Right)+len(flat.Start)+len(flat.Count)+len(flat.Order))*i32
-	inBuf, err := dev.Alloc("gdbscan/input", int64(n)*2*f64+treeBytes)
+	inBuf, err := dev.AllocPooled("gdbscan/input", int64(n)*2*f64+treeBytes)
 	if err != nil {
 		return nil, fmt.Errorf("gdbscan: %w", err)
 	}
-	defer inBuf.Free()
-	outBuf, err := dev.Alloc("gdbscan/state", int64(n)*(i32+1))
+	defer inBuf.Release()
+	outBuf, err := dev.AllocPooled("gdbscan/state", int64(n)*(i32+1))
 	if err != nil {
 		return nil, fmt.Errorf("gdbscan: %w", err)
 	}
-	defer outBuf.Free()
+	defer outBuf.Release()
 
 	startStats := dev.Stats()
 
@@ -168,21 +240,26 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 		return nil, err
 	}
 
-	labels := make([]int32, n)
+	ws.labels = grow(ws.labels, n)
+	labels := ws.labels
 	for i := range labels {
 		labels[i] = -1
 	}
-	core := make([]bool, n)
+	core := make([]bool, n) // returned to the caller; never pooled
 	var stats Stats
 
 	// --- Dense box pass (§3.2.3) ---
 	// Cluster IDs: dense boxes take 0..nBoxes-1; expansion seeds take
 	// nBoxes..nBoxes+len(seeds)-1 (sparse; compacted at the end).
-	var boxes []kdtree.Leaf
+	ws.boxes = ws.boxes[:0]
 	nextCluster := int32(0)
-	skipExpand := make([]bool, n) // dense-box members are not expanded
+	ws.skipExpand = grow(ws.skipExpand, n)
+	skipExpand := ws.skipExpand // dense-box members are not expanded
+	for i := range skipExpand {
+		skipExpand[i] = false
+	}
 	if opt.DenseBox {
-		for _, leaf := range tree.Leaves() {
+		tree.VisitLeaves(func(leaf kdtree.Leaf) {
 			if len(leaf.Points) >= opt.Params.MinPts && leaf.Bounds.Diagonal() <= eps {
 				id := nextCluster
 				nextCluster++
@@ -191,14 +268,15 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 					core[pi] = true
 					skipExpand[pi] = true
 				}
-				boxes = append(boxes, leaf)
+				ws.boxes = append(ws.boxes, leaf)
 			}
-		}
-		stats.DenseBoxes = len(boxes)
-		for _, b := range boxes {
+		})
+		stats.DenseBoxes = len(ws.boxes)
+		for _, b := range ws.boxes {
 			stats.DenseBoxPoints += len(b.Points)
 		}
 	}
+	boxes := ws.boxes
 	nBoxes := nextCluster
 
 	// --- Pass one: classify core points ---
@@ -214,12 +292,7 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 		if i >= n || core[i] {
 			return
 		}
-		count := 0
-		flat.Range(xs, ys, xs[i], ys[i], eps, int32(i), func(int32) bool {
-			count++
-			return countLimit <= 0 || count < countLimit
-		})
-		if count >= minNeighbors {
+		if flat.CountRange(xs, ys, xs[i], ys[i], eps, int32(i), countLimit) >= minNeighbors {
 			core[i] = true
 		}
 	})
@@ -232,7 +305,7 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 	// Mr. Scan mode only core points are seeds (found by pass one); the
 	// CUDA-DClust profile seeds every point and discovers coreness as it
 	// goes.
-	var seeds []int32
+	seeds := ws.seeds[:0]
 	for i := 0; i < n; i++ {
 		if skipExpand[i] {
 			continue
@@ -241,35 +314,40 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 			seeds = append(seeds, int32(i))
 		}
 	}
+	ws.seeds = seeds
 	stats.CorePoints = countTrue(core)
 
-	seedCluster := make([]int32, len(seeds))
+	seedCluster := grow(ws.seedCluster, len(seeds))
+	ws.seedCluster = seedCluster
 	for si := range seeds {
 		seedCluster[si] = nBoxes + int32(si)
 	}
 	maxCluster := nBoxes + int32(len(seeds))
 
-	// Per-block collision buffers: each block is executed by exactly one
+	// Per-block scratch: expansion queue, KD traversal stack, collision
+	// list and duplicate filter. Each block is executed by exactly one
 	// goroutine per launch (and kernels in a stream run in order), so
-	// blocks may append to their own buffer without locks. In Mr. Scan
-	// mode the buffers are drained once after the bulk-issued kernels
+	// blocks may use their scratch without locks. In Mr. Scan mode the
+	// collision buffers are drained once after the bulk-issued kernels
 	// synchronize; the CUDA-DClust profile drains per round between its
 	// synchronous copies.
-	type collision struct{ a, b int32 }
-	blockCollisions := make([][]collision, opt.Blocks)
+	ws.blocks = grow(ws.blocks, opt.Blocks)
+	blocks := ws.blocks
+	for b := range blocks {
+		blocks[b].collisions = blocks[b].collisions[:0]
+		blocks[b].seen = [collSeenSlots]uint64{}
+	}
 	merges := dsu.New(int(maxCluster))
 	drainCollisions := func() {
-		for b := range blockCollisions {
-			for _, c := range blockCollisions[b] {
+		for b := range blocks {
+			for _, c := range blocks[b].collisions {
 				if merges.Union(int(c.a), int(c.b)) {
 					stats.Collisions++
 				}
 			}
-			blockCollisions[b] = blockCollisions[b][:0]
+			blocks[b].collisions = blocks[b].collisions[:0]
 		}
 	}
-
-	queues := make([][]int32, opt.Blocks) // per-block expansion queues
 
 	// §3.2.2: Mr. Scan issues every expansion kernel in bulk on a stream
 	// — "all kernel invocations needed to cluster the dataset to be
@@ -281,6 +359,7 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 		stream = dev.NewStream()
 	}
 
+	eps2 := eps * eps
 	for round := 0; round*opt.Blocks < len(seeds); round++ {
 		base := round * opt.Blocks
 		blocksThisRound := len(seeds) - base
@@ -300,38 +379,89 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 			if !atomic.CompareAndSwapInt32(&labels[seed], -1, myID) {
 				return
 			}
-			q := queues[ctx.Block][:0]
-			q = append(q, seed)
+			bs := &blocks[ctx.Block]
+			bounds, left, right := flat.Bounds, flat.Left, flat.Right
+			starts, counts, order := flat.Start, flat.Count, flat.Order
+			q := append(bs.queue[:0], seed)
+			stack := bs.stack
 			for len(q) > 0 {
 				p := q[len(q)-1]
 				q = q[:len(q)-1]
-				flat.Range(xs, ys, xs[p], ys[p], eps, p, func(nb int32) bool {
-					if core[nb] {
-						if atomic.CompareAndSwapInt32(&labels[nb], -1, myID) {
-							if !skipExpand[nb] {
-								q = append(q, nb)
-							} else {
-								// Dense-box member claimed by an
-								// expansion seed before its box pass ran
-								// cannot happen (boxes pre-label), so
-								// this branch is unreachable; kept for
-								// clarity.
-								panic("gdbscan: unlabeled dense-box member")
-							}
-						} else if other := atomic.LoadInt32(&labels[nb]); other != myID {
-							// Figure 4: two blocks share a core point —
-							// the clusters are the same cluster.
-							blockCollisions[ctx.Block] = append(blockCollisions[ctx.Block], collision{myID, other})
-						}
-					} else {
-						// Border point: first cluster to reach it claims
-						// it (DBSCAN's order dependence, §2.1).
-						atomic.CompareAndSwapInt32(&labels[nb], -1, myID)
+				cx, cy := xs[p], ys[p]
+				// Inlined KD range traversal (kdtree.Flat.Range) with the
+				// block's reusable stack: the expansion visits every
+				// neighbor of every core point, so per-visit callback
+				// indirection is the cluster phase's hottest cost.
+				stack = append(stack[:0], 0)
+				for len(stack) > 0 {
+					ni := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					bnd := bounds[4*ni : 4*ni+4 : 4*ni+4]
+					var dx, dy float64
+					if cx < bnd[0] {
+						dx = bnd[0] - cx
+					} else if cx > bnd[2] {
+						dx = cx - bnd[2]
 					}
-					return true
-				})
+					if cy < bnd[1] {
+						dy = bnd[1] - cy
+					} else if cy > bnd[3] {
+						dy = cy - bnd[3]
+					}
+					if dx*dx+dy*dy > eps2 {
+						continue
+					}
+					if left[ni] >= 0 {
+						stack = append(stack, left[ni], right[ni])
+						continue
+					}
+					s0, c0 := starts[ni], counts[ni]
+					for _, nb := range order[s0 : s0+c0] {
+						if nb == p {
+							continue
+						}
+						ddx := cx - xs[nb]
+						ddy := cy - ys[nb]
+						if ddx*ddx+ddy*ddy > eps2 {
+							continue
+						}
+						// Most neighbor visits land on points this block
+						// already claimed (a cluster's points see each
+						// other from many range queries), so check with a
+						// plain atomic load before paying for a CAS.
+						other := atomic.LoadInt32(&labels[nb])
+						if other == myID {
+							continue
+						}
+						if !core[nb] {
+							if other < 0 {
+								// Border point: first cluster to reach it
+								// claims it (DBSCAN's order dependence,
+								// §2.1).
+								atomic.CompareAndSwapInt32(&labels[nb], -1, myID)
+							}
+							continue
+						}
+						if other < 0 && atomic.CompareAndSwapInt32(&labels[nb], -1, myID) {
+							// Unlabeled implies not a dense-box member
+							// (boxes pre-label), so nb always expands.
+							q = append(q, nb)
+						} else if other = atomic.LoadInt32(&labels[nb]); other != myID {
+							// Figure 4: two blocks share a core point —
+							// the clusters are the same cluster. The seen
+							// filter drops repeats of the same ID pair.
+							key := uint64(uint32(myID))<<32 | uint64(uint32(other))
+							slot := (key * 0x9E3779B97F4A7C15) >> (64 - 7)
+							if bs.seen[slot] != key {
+								bs.seen[slot] = key
+								bs.collisions = append(bs.collisions, collision{myID, other})
+							}
+						}
+					}
+				}
 			}
-			queues[ctx.Block] = q[:0]
+			bs.queue = q[:0]
+			bs.stack = stack[:0]
 		}
 		lc := gpusim.LaunchConfig{Blocks: blocksThisRound, ThreadsPerBlock: 1}
 		if stream != nil {
@@ -345,7 +475,10 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 		// The baseline copies block state out and new seeds in after
 		// every iteration (§3.2.2: "at least two memory operations
 		// between the host and GPGPU after every DBSCAN iteration").
-		stateBytes := int64(opt.Blocks) * 64
+		// Only the blocks active this round move state — the final
+		// partial round is cheaper, and the ablation's modeled bytes
+		// must match 2×(points/blocks) exactly.
+		stateBytes := int64(blocksThisRound) * 64
 		if stateBytes > outBuf.Size() {
 			stateBytes = outBuf.Size()
 		}
@@ -355,6 +488,7 @@ func Cluster(dev *gpusim.Device, pts []geom.Point, opt Options) (*Result, error)
 		if err := dev.CopyToDevice(outBuf, stateBytes); err != nil {
 			return nil, err
 		}
+		stats.RoundTransferBytes = append(stats.RoundTransferBytes, 2*stateBytes)
 	}
 	if stream != nil {
 		if err := stream.Synchronize(); err != nil {

@@ -83,6 +83,15 @@ type Stats struct {
 	AllocBytes int64
 	// PeakAllocBytes is the high-water mark of device memory.
 	PeakAllocBytes int64
+	// PoolHits and PoolMisses count AllocPooled requests served by
+	// recycling a Released buffer vs. falling through to a fresh
+	// allocation. PoolBytes is the capacity currently parked in the pool.
+	PoolHits   int64
+	PoolMisses int64
+	PoolBytes  int64
+	// PoolReclaims counts the times memory pressure forced the pool to
+	// be freed wholesale before an allocation could succeed.
+	PoolReclaims int64
 }
 
 // deviceMetrics caches the device's handles into a telemetry registry —
@@ -99,6 +108,10 @@ type deviceMetrics struct {
 	allocBytes   *telemetry.Gauge
 	peakAlloc    *telemetry.Gauge
 	occupancy    *telemetry.Histogram
+	poolHits     *telemetry.Counter
+	poolMisses   *telemetry.Counter
+	poolReclaims *telemetry.Counter
+	poolBytes    *telemetry.Gauge
 }
 
 func resolveDeviceMetrics(h *telemetry.Hub, device string) deviceMetrics {
@@ -113,6 +126,10 @@ func resolveDeviceMetrics(h *telemetry.Hub, device string) deviceMetrics {
 		allocBytes:   h.Gauge("gpusim_alloc_bytes", "device", device),
 		peakAlloc:    h.Gauge("gpusim_peak_alloc_bytes", "device", device),
 		occupancy:    h.Histogram("gpusim_sm_occupancy", telemetry.LinearBuckets(0.1, 0.1, 10), "device", device),
+		poolHits:     h.Counter("gpusim_pool_hits_total", "device", device),
+		poolMisses:   h.Counter("gpusim_pool_misses_total", "device", device),
+		poolReclaims: h.Counter("gpusim_pool_reclaims_total", "device", device),
+		poolBytes:    h.Gauge("gpusim_pool_bytes", "device", device),
 	}
 }
 
@@ -127,6 +144,8 @@ type Device struct {
 	hub    *telemetry.Hub
 	parent *telemetry.Span
 	m      deviceMetrics
+	// pool is the free list AllocPooled recycles from (see pool.go).
+	pool []*Buffer
 	// spans gates per-launch/per-transfer span recording: off on the
 	// private default hub (nobody will export it), on once a run-level
 	// hub is installed via SetTelemetry.
@@ -173,6 +192,10 @@ func (d *Device) SetTelemetry(h *telemetry.Hub) {
 	d.m.kernelWallNs.Add(old.kernelWallNs.Value())
 	d.m.allocBytes.Set(old.allocBytes.Value())
 	d.m.peakAlloc.SetMax(old.peakAlloc.Value())
+	d.m.poolHits.Add(old.poolHits.Value())
+	d.m.poolMisses.Add(old.poolMisses.Value())
+	d.m.poolReclaims.Add(old.poolReclaims.Value())
+	d.m.poolBytes.Set(old.poolBytes.Value())
 }
 
 // SetTraceParent nests the device's spans (kernel launches, transfers)
@@ -229,6 +252,10 @@ func (d *Device) Stats() Stats {
 		KernelWall:     time.Duration(m.kernelWallNs.Value()),
 		AllocBytes:     m.allocBytes.Value(),
 		PeakAllocBytes: m.peakAlloc.Value(),
+		PoolHits:       m.poolHits.Value(),
+		PoolMisses:     m.poolMisses.Value(),
+		PoolBytes:      m.poolBytes.Value(),
+		PoolReclaims:   m.poolReclaims.Value(),
 	}
 }
 
@@ -242,10 +269,14 @@ func (d *Device) GPUResource() string { return d.cfg.Name + "/sm" }
 // accesses ordinary Go slices (the "device copy"), because simulating the
 // address space would add nothing to the cost model.
 type Buffer struct {
-	dev   *Device
-	name  string
-	size  int64
-	freed bool
+	dev  *Device
+	name string
+	// size is the logical byte size of the current lease; capacity is
+	// the underlying allocation, which can exceed size after the buffer
+	// has been recycled through the pool for a smaller request.
+	size     int64
+	capacity int64
+	freed    bool
 }
 
 // Alloc reserves size bytes of device memory.
@@ -262,20 +293,20 @@ func (d *Device) Alloc(name string, size int64) (*Buffer, error) {
 	}
 	d.m.allocBytes.Add(size)
 	d.m.peakAlloc.SetMax(inUse + size)
-	return &Buffer{dev: d, name: name, size: size}, nil
+	return &Buffer{dev: d, name: name, size: size, capacity: size}, nil
 }
 
-// Size returns the buffer's byte size.
+// Size returns the buffer's logical byte size.
 func (b *Buffer) Size() int64 { return b.size }
 
-// Free releases the buffer. Double frees are ignored.
+// Free releases the buffer's full capacity. Double frees are ignored.
 func (b *Buffer) Free() {
 	if b == nil || b.freed {
 		return
 	}
 	b.freed = true
 	b.dev.mu.Lock()
-	b.dev.m.allocBytes.Add(-b.size)
+	b.dev.m.allocBytes.Add(-b.capacity)
 	b.dev.mu.Unlock()
 }
 

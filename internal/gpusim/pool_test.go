@@ -1,0 +1,158 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestPoolRecyclesBuffer(t *testing.T) {
+	d := New(testConfig(), nil)
+	b1, err := d.AllocPooled("a", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Release()
+	if got := d.Stats().AllocBytes; got != 1000 {
+		t.Errorf("AllocBytes with pooled buffer = %d, want 1000 (still resident)", got)
+	}
+	// A smaller request recycles the parked buffer.
+	b2, err := d.AllocPooled("b", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Error("second AllocPooled did not recycle the released buffer")
+	}
+	if b2.Size() != 500 {
+		t.Errorf("recycled Size = %d, want the leased 500, not capacity", b2.Size())
+	}
+	st := d.Stats()
+	if st.PoolHits != 1 || st.PoolMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.PoolHits, st.PoolMisses)
+	}
+	// Transfers on a recycled lease work and charge the leased size.
+	if err := d.CopyToDevice(b2, b2.Size()); err != nil {
+		t.Fatal(err)
+	}
+	// Freeing a recycled buffer returns the full capacity.
+	b2.Free()
+	if got := d.Stats().AllocBytes; got != 0 {
+		t.Errorf("AllocBytes after free = %d, want 0 (capacity returned)", got)
+	}
+}
+
+func TestPoolBestFit(t *testing.T) {
+	d := New(testConfig(), nil)
+	small, _ := d.AllocPooled("small", 100)
+	big, _ := d.AllocPooled("big", 10_000)
+	small.Release()
+	big.Release()
+	got, err := d.AllocPooled("want-small", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != small {
+		t.Error("AllocPooled picked the larger buffer over the best fit")
+	}
+	// The larger parked buffer is still available for a larger request.
+	got2, err := d.AllocPooled("want-big", 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != big {
+		t.Error("AllocPooled did not recycle the remaining larger buffer")
+	}
+}
+
+func TestPoolTooSmallIsMiss(t *testing.T) {
+	d := New(testConfig(), nil)
+	b, _ := d.AllocPooled("a", 100)
+	b.Release()
+	b2, err := d.AllocPooled("bigger", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 == b {
+		t.Error("recycled a buffer smaller than the request")
+	}
+	if st := d.Stats(); st.PoolMisses != 2 {
+		t.Errorf("PoolMisses = %d, want 2", st.PoolMisses)
+	}
+}
+
+func TestPoolReleasedBufferRejectsTransfers(t *testing.T) {
+	d := New(testConfig(), nil)
+	b, _ := d.AllocPooled("a", 100)
+	b.Release()
+	if err := d.CopyToDevice(b, 10); err == nil {
+		t.Error("transfer on released buffer must fail")
+	}
+	b.Release() // double release is a no-op
+	if st := d.Stats(); st.PoolBytes != 100 {
+		t.Errorf("PoolBytes after double release = %d, want 100", st.PoolBytes)
+	}
+}
+
+func TestPoolReclaimOnOOM(t *testing.T) {
+	d := New(testConfig(), nil) // 1 MiB limit
+	b, err := d.AllocPooled("hog", 700_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	// 800k misses the pool (the parked 700k is too small) and together
+	// with the resident pooled capacity would exceed the 1 MiB device:
+	// the pool must be reclaimed, not reported as OOM.
+	got, err := d.AllocPooled("bigger-shape", 800_000)
+	if err != nil {
+		t.Fatalf("AllocPooled with reclaimable pool = %v", err)
+	}
+	st := d.Stats()
+	if st.PoolReclaims != 1 {
+		t.Errorf("PoolReclaims = %d, want 1", st.PoolReclaims)
+	}
+	if st.AllocBytes != 800_000 {
+		t.Errorf("AllocBytes after reclaim = %d, want 800000", st.AllocBytes)
+	}
+	got.Free()
+	// Truly over-capacity requests still OOM.
+	if _, err := d.AllocPooled("too-big", 4<<20); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized AllocPooled error = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestDrainPool(t *testing.T) {
+	d := New(testConfig(), nil)
+	b, _ := d.AllocPooled("a", 1000)
+	b.Release()
+	d.DrainPool()
+	st := d.Stats()
+	if st.AllocBytes != 0 || st.PoolBytes != 0 {
+		t.Errorf("after drain AllocBytes=%d PoolBytes=%d, want 0/0", st.AllocBytes, st.PoolBytes)
+	}
+	// Drained buffers are gone: the next request allocates fresh.
+	if _, err := d.AllocPooled("b", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.PoolHits != 0 {
+		t.Errorf("PoolHits after drain = %d, want 0", st.PoolHits)
+	}
+}
+
+func TestPoolStatsSurviveSetTelemetry(t *testing.T) {
+	d := New(testConfig(), nil)
+	b, _ := d.AllocPooled("a", 1000)
+	b.Release()
+	if _, err := d.AllocPooled("b", 500); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	d.SetTelemetry(telemetry.New(nil))
+	after := d.Stats()
+	if after.PoolHits != before.PoolHits || after.PoolMisses != before.PoolMisses ||
+		after.PoolBytes != before.PoolBytes {
+		t.Errorf("pool stats changed across SetTelemetry: before %+v after %+v", before, after)
+	}
+}

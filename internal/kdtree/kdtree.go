@@ -14,7 +14,8 @@
 package kdtree
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/geom"
 )
@@ -47,21 +48,30 @@ type node struct {
 // Build does not copy or reorder pts; it keeps a reference, so callers
 // must not mutate the slice while the tree is in use.
 func Build(pts []geom.Point, leafCap int) *Tree {
+	t := &Tree{}
+	t.buildInto(pts, leafCap)
+	return t
+}
+
+// buildInto (re)constructs the tree over pts, reusing t's order and node
+// backing arrays when their capacity suffices.
+func (t *Tree) buildInto(pts []geom.Point, leafCap int) {
 	if leafCap <= 0 {
 		leafCap = DefaultLeafSize
 	}
-	t := &Tree{
-		pts:     pts,
-		order:   make([]int32, len(pts)),
-		leafCap: leafCap,
+	t.pts = pts
+	t.leafCap = leafCap
+	if cap(t.order) < len(pts) {
+		t.order = make([]int32, len(pts))
 	}
+	t.order = t.order[:len(pts)]
+	t.nodes = t.nodes[:0]
 	for i := range t.order {
 		t.order[i] = int32(i)
 	}
 	if len(pts) > 0 {
 		t.build(0, int32(len(pts)))
 	}
-	return t
 }
 
 // build recursively constructs the subtree over order[start:end) and
@@ -85,9 +95,9 @@ func (t *Tree) build(start, end int32) int32 {
 	seg := t.order[start:end]
 	mid := len(seg) / 2
 	if axis == 0 {
-		sort.Slice(seg, func(a, b int) bool { return t.pts[seg[a]].X < t.pts[seg[b]].X })
+		slices.SortFunc(seg, func(a, b int32) int { return cmp.Compare(t.pts[a].X, t.pts[b].X) })
 	} else {
-		sort.Slice(seg, func(a, b int) bool { return t.pts[seg[a]].Y < t.pts[seg[b]].Y })
+		slices.SortFunc(seg, func(a, b int32) int { return cmp.Compare(t.pts[a].Y, t.pts[b].Y) })
 	}
 	split := coord(t.pts[seg[mid]], axis)
 	// Degenerate data (many identical coordinates) can make one side
@@ -194,16 +204,22 @@ type Leaf struct {
 // Leaves returns every leaf region of the tree.
 func (t *Tree) Leaves() []Leaf {
 	var out []Leaf
+	t.VisitLeaves(func(l Leaf) { out = append(out, l) })
+	return out
+}
+
+// VisitLeaves invokes fn for every leaf region of the tree, in node
+// order, without allocating the slice Leaves builds.
+func (t *Tree) VisitLeaves(fn func(Leaf)) {
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		if n.left < 0 {
-			out = append(out, Leaf{
+			fn(Leaf{
 				Bounds: n.bounds,
 				Points: t.order[n.start : n.start+n.count],
 			})
 		}
 	}
-	return out
 }
 
 // Flat is the array-of-structs flattening of the tree used by the gpusim
@@ -224,28 +240,71 @@ type Flat struct {
 	Order []int32
 }
 
-// Flatten produces the array form of the tree.
+// Flatten produces the array form of the tree. The result owns its
+// arrays (Order is a copy), so it outlives later reuse of the tree.
 func (t *Tree) Flatten() *Flat {
-	f := &Flat{
-		Bounds: make([]float64, 4*len(t.nodes)),
-		Left:   make([]int32, len(t.nodes)),
-		Right:  make([]int32, len(t.nodes)),
-		Start:  make([]int32, len(t.nodes)),
-		Count:  make([]int32, len(t.nodes)),
-		Order:  append([]int32(nil), t.order...),
+	f := &Flat{}
+	t.flattenInto(f, false)
+	return f
+}
+
+// flattenInto fills f from the tree, reusing f's backing arrays when
+// their capacity suffices. With shareOrder the flat view aliases the
+// tree's permutation instead of copying it — valid as long as neither
+// is rebuilt while the other is in use.
+func (t *Tree) flattenInto(f *Flat, shareOrder bool) {
+	n := len(t.nodes)
+	f.Bounds = grow(f.Bounds, 4*n)
+	f.Left = grow(f.Left, n)
+	f.Right = grow(f.Right, n)
+	f.Start = grow(f.Start, n)
+	f.Count = grow(f.Count, n)
+	if shareOrder {
+		f.Order = t.order
+	} else {
+		f.Order = grow(f.Order, len(t.order))
+		copy(f.Order, t.order)
 	}
 	for i := range t.nodes {
-		n := &t.nodes[i]
-		f.Bounds[4*i] = n.bounds.MinX
-		f.Bounds[4*i+1] = n.bounds.MinY
-		f.Bounds[4*i+2] = n.bounds.MaxX
-		f.Bounds[4*i+3] = n.bounds.MaxY
-		f.Left[i] = n.left
-		f.Right[i] = n.right
-		f.Start[i] = n.start
-		f.Count[i] = n.count
+		nd := &t.nodes[i]
+		f.Bounds[4*i] = nd.bounds.MinX
+		f.Bounds[4*i+1] = nd.bounds.MinY
+		f.Bounds[4*i+2] = nd.bounds.MaxX
+		f.Bounds[4*i+3] = nd.bounds.MaxY
+		f.Left[i] = nd.left
+		f.Right[i] = nd.right
+		f.Start[i] = nd.start
+		f.Count[i] = nd.count
 	}
-	return f
+}
+
+// grow resizes s to n elements, reallocating only when capacity is
+// short. Contents are unspecified (callers overwrite every element).
+func grow[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	return s[:n]
+}
+
+// Workspace holds the backing arrays of a tree and its flattened form so
+// repeated build+flatten cycles (one per partition on a cluster-phase
+// leaf) reuse allocations instead of re-allocating. The zero value is
+// ready to use. A Workspace serves one build at a time: the Tree and
+// Flat returned by Build become invalid at the next Build call. Not safe
+// for concurrent use.
+type Workspace struct {
+	tree Tree
+	flat Flat
+}
+
+// Build constructs the region KD-tree over pts into the workspace's
+// arrays and returns the tree plus its flattened form (which shares the
+// tree's point permutation — no copy).
+func (w *Workspace) Build(pts []geom.Point, leafCap int) (*Tree, *Flat) {
+	w.tree.buildInto(pts, leafCap)
+	w.tree.flattenInto(&w.flat, true)
+	return &w.tree, &w.flat
 }
 
 // Nodes returns the number of tree nodes (internal + leaf).
@@ -288,6 +347,50 @@ func (f *Flat) Range(xs, ys []float64, cx, cy, eps float64, self int32, fn func(
 		}
 		stack = append(stack, f.Left[ni], f.Right[ni])
 	}
+}
+
+// CountRange returns the number of points within eps of (cx, cy),
+// excluding index self, stopping early once limit is reached (limit <= 0
+// counts all). It is the closure-free form of Range used by the
+// classification kernel — the hot path runs without per-point callback
+// indirection or captures.
+func (f *Flat) CountRange(xs, ys []float64, cx, cy, eps float64, self int32, limit int) int {
+	if len(f.Left) == 0 {
+		return 0
+	}
+	eps2 := eps * eps
+	count := 0
+	var buf [64]int32
+	stack := append(buf[:0], 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := f.Bounds[4*ni : 4*ni+4]
+		dx := axisDist(cx, b[0], b[2])
+		dy := axisDist(cy, b[1], b[3])
+		if dx*dx+dy*dy > eps2 {
+			continue
+		}
+		if f.Left[ni] < 0 {
+			start, count32 := f.Start[ni], f.Count[ni]
+			for _, i := range f.Order[start : start+count32] {
+				if i == self {
+					continue
+				}
+				ddx := cx - xs[i]
+				ddy := cy - ys[i]
+				if ddx*ddx+ddy*ddy <= eps2 {
+					count++
+					if limit > 0 && count >= limit {
+						return count
+					}
+				}
+			}
+			continue
+		}
+		stack = append(stack, f.Left[ni], f.Right[ni])
+	}
+	return count
 }
 
 func axisDist(v, lo, hi float64) float64 {

@@ -92,6 +92,18 @@ type Config struct {
 	// as on Titan where every leaf owned a physical GPU.
 	SequentialLeaves bool
 
+	// ClusterWorkers bounds the number of leaves in flight during the
+	// cluster phase. Leaves are scheduled onto the worker pool largest
+	// partition first with work stealing: "the time of the cluster phase
+	// is dictated by the slowest node" (§5), so the biggest partition
+	// must never be the one still waiting when the pool drains. Each
+	// worker owns one simulated device and one gdbscan workspace for all
+	// the leaves it runs, so device buffer pools and host scratch
+	// amortize across its share of the phase. 0 (the default) gives
+	// every leaf its own worker — the paper's one-GPGPU-node-per-leaf
+	// hardware shape. Ignored when SequentialLeaves is set.
+	ClusterWorkers int
+
 	// DirectPartitions implements the paper's stated future work (§6):
 	// partition contents travel over the network directly to the
 	// clustering processes instead of through the parallel file system,
@@ -525,7 +537,10 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 	partStart := time.Now()
 	// loadPartition returns partition j's owned and shadow points,
 	// either from the partition file or from the direct transfer.
+	// partitionSize reports j's total point count (owned + shadow)
+	// without loading it — the cluster scheduler's largest-first key.
 	var loadPartition func(j int) (owned, shadow []geom.Point, err error)
+	var partitionSize func(j int) int64
 	var plan *partition.Plan
 	var totalPoints, writtenPoints int64
 	var partReadSim, partWriteSim time.Duration
@@ -541,10 +556,17 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
 				return parts[j], shadows[j], nil
 			}
+			partitionSize = func(j int) int64 {
+				return int64(len(parts[j]) + len(shadows[j]))
+			}
 		} else {
 			meta := pc.Meta
 			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
 				return partition.ReadPartition(fs, partitionFile, meta, j)
+			}
+			partitionSize = func(j int) int64 {
+				e := meta.Partitions[j]
+				return e.Count + e.ShadowCount
 			}
 		}
 		res.RestoredPhases = append(res.RestoredPhases, PhasePartition)
@@ -578,6 +600,9 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 				loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
 					return direct.Partitions[j], direct.Shadows[j], nil
 				}
+				partitionSize = func(j int) int64 {
+					return int64(len(direct.Partitions[j]) + len(direct.Shadows[j]))
+				}
 				pc = partitionCkpt{
 					Direct:        true,
 					Partitions:    direct.Partitions,
@@ -598,6 +623,10 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			partWriteSim = dist.WriteSim
 			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
 				return partition.ReadPartition(fs, partitionFile, dist.Meta, j)
+			}
+			partitionSize = func(j int) int64 {
+				e := dist.Meta.Partitions[j]
+				return e.Count + e.ShadowCount
 			}
 			pc = partitionCkpt{
 				Meta:          dist.Meta,
@@ -676,7 +705,11 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		}
 		res.RestoredPhases = append(res.RestoredPhases, PhaseCluster)
 	} else {
-		clusterLeaf := func(leaf int) (*leafState, error) {
+		// clusterLeaf runs one leaf's GPGPU DBSCAN + summary build on a
+		// caller-provided device and workspace; the scheduler reuses both
+		// across all leaves a worker processes, so device buffers (pool)
+		// and host scratch amortize over the worker's whole share.
+		clusterLeaf := func(dev *gpusim.Device, ws *gdbscan.Workspace, leaf int) (*leafState, error) {
 			leafSpan := hub.Start(clusterSpan, "leaf", telemetry.Int("leaf", leaf))
 			defer leafSpan.End()
 			owned, shadow, err := loadPartition(leaf)
@@ -686,11 +719,6 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			combined := make([]geom.Point, 0, len(owned)+len(shadow))
 			combined = append(combined, owned...)
 			combined = append(combined, shadow...)
-			gpuCfg := cfg.GPU
-			gpuCfg.Name = fmt.Sprintf("gpu%04d", leaf)
-			dev := gpusim.New(gpuCfg, fs.Clock())
-			dev.SetFaultPlan(cfg.FaultPlan)
-			dev.SetTelemetry(hub)
 			dev.SetTraceParent(leafSpan)
 			gpuStart := time.Now()
 			res, err := gdbscan.Cluster(dev, combined, gdbscan.Options{
@@ -700,6 +728,7 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 				Blocks:          cfg.Blocks,
 				ThreadsPerBlock: cfg.ThreadsPerBlock,
 				LeafSize:        cfg.LeafSize,
+				Workspace:       ws,
 			})
 			if err != nil {
 				return nil, err
@@ -717,23 +746,54 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 				stats:     res.Stats,
 			}, nil
 		}
+		newDevice := func(id int) *gpusim.Device {
+			gpuCfg := cfg.GPU
+			gpuCfg.Name = fmt.Sprintf("gpu%04d", id)
+			dev := gpusim.New(gpuCfg, fs.Clock())
+			dev.SetFaultPlan(cfg.FaultPlan)
+			dev.SetTelemetry(hub)
+			return dev
+		}
 		err := cfg.Retry.runPhase(ctx, cfg.FaultPlan, hub, clusterSpan, PhaseCluster, &retries.cluster, func() error {
 			if cfg.SequentialLeaves {
+				// One leaf at a time on its own device: each simulated
+				// node measured in isolation (the host workspace is
+				// shared — it never touches simulated time).
 				states = make([]*leafState, cfg.Leaves)
+				var ws gdbscan.Workspace
 				for leaf := 0; leaf < cfg.Leaves; leaf++ {
 					if cerr := ctx.Err(); cerr != nil {
 						return cerr
 					}
 					var err error
-					states[leaf], err = clusterLeaf(leaf)
+					states[leaf], err = clusterLeaf(newDevice(leaf), &ws, leaf)
 					if err != nil {
 						return err
 					}
 				}
 				return nil
 			}
+			workers := cfg.ClusterWorkers
+			if workers <= 0 || workers > cfg.Leaves {
+				workers = cfg.Leaves
+			}
+			sizes := make([]int64, cfg.Leaves)
+			for j := range sizes {
+				sizes[j] = partitionSize(j)
+			}
+			type workerState struct {
+				dev *gpusim.Device
+				ws  gdbscan.Workspace
+			}
+			wstates := make([]workerState, workers)
+			for w := range wstates {
+				wstates[w].dev = newDevice(w)
+			}
 			var err error
-			states, err = mrnet.LeafRun(ctx, clusterNet, clusterLeaf)
+			states, err = runLeavesScheduled(ctx, cfg.Leaves, workers, sizes,
+				func(w, leaf int) (*leafState, error) {
+					return clusterLeaf(wstates[w].dev, &wstates[w].ws, leaf)
+				})
 			return err
 		})
 		if err != nil {
