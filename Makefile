@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare experiments cover clean
+.PHONY: all build vet test race bench bench-compare chaos experiments cover clean
 
 all: build vet test
 
@@ -15,13 +15,21 @@ vet:
 # Default test run: vet, the full suite, then the race detector over the
 # concurrency-heavy fault-tolerance, telemetry, and cluster-phase
 # packages (gdbscan expansion blocks and gpusim buffer pools are hot
-# concurrent paths).
+# concurrent paths; chaos and lustre exercise the integrity ledger
+# under concurrent leaves).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre
 
 race:
 	$(GO) test -race ./...
+
+# Seeded chaos campaign: every run must match the fault-free reference
+# (or fail loudly) with zero silent corruption escapes. CHAOSFLAGS
+# appends, e.g. make chaos CHAOSFLAGS='-seeds 50 -fault-rate 0.8'.
+CHAOSFLAGS ?=
+chaos:
+	$(GO) run ./cmd/chaos -seeds 20 -out chaos-report.json $(CHAOSFLAGS)
 
 # Full benchmark sweep: every paper table/figure plus the ablations.
 # Results land in BENCH_run.txt (raw) and BENCH_run.json (machine-
@@ -51,4 +59,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_run.txt BENCH_run.json
+	rm -f BENCH_run.txt BENCH_run.json chaos-report.json

@@ -1,0 +1,416 @@
+// Package chaos is the seeded end-to-end integrity harness: it
+// generates random fault schedules — transient errors, silent payload
+// corruption, node kills, stragglers, even a mid-run process death —
+// runs the full partition→cluster→merge→sweep pipeline under each, and
+// asserts the three properties the fault-tolerance and data-integrity
+// layers promise:
+//
+//  1. Output quality: the run's labels match a fault-free reference run
+//     exactly, or score at least QualityFloor (default 0.995, the
+//     paper's §5.1.3 floor) on the DBDC metric. A run may instead fail
+//     loudly (fail-stop) — what it may never do is return wrong labels
+//     silently.
+//  2. Zero silent corruption escapes: every injected bit flip is
+//     accounted for — detected by a checksum, masked before any reader
+//     saw it, or still latent in a file no output depended on. The
+//     ledger injected == detected + masked + latent balances per site.
+//  3. Bounded wall time: each run completes within RunTimeout.
+//
+// Every schedule derives deterministically from its seed: a replayed
+// seed regenerates the same dataset and arms the identical fault plan.
+// (Concurrent leaves may interleave operations differently between
+// replays, so which exact operation a counter-triggered rule strikes
+// can shift — the invariants hold either way.)
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+	"repro/internal/integrity"
+	"repro/internal/lustre"
+	"repro/internal/mrscan"
+	"repro/internal/ptio"
+	"repro/internal/quality"
+	"repro/internal/telemetry"
+)
+
+// Options configures a chaos campaign.
+type Options struct {
+	// Seeds are the schedules to run, one pipeline campaign per seed.
+	Seeds []int64
+	// Points is the dataset size per run (default 6000).
+	Points int
+	// Leaves is the cluster-phase tree width (default 4).
+	Leaves int
+	// FaultRate in (0,1] scales how aggressively rules are armed
+	// (default 0.6); each candidate fault kind joins the schedule with
+	// probability proportional to it.
+	FaultRate float64
+	// RunTimeout bounds each pipeline run's wall time (default 2m);
+	// exceeding it is a chaos failure, not a hang.
+	RunTimeout time.Duration
+	// QualityFloor is the minimum acceptable DBDC score versus the
+	// fault-free reference labels (default 0.995, the paper's floor).
+	QualityFloor float64
+	// Logf, when set, receives per-run progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Points <= 0 {
+		o.Points = 6000
+	}
+	if o.Leaves <= 0 {
+		o.Leaves = 4
+	}
+	if o.FaultRate <= 0 {
+		o.FaultRate = 0.6
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 2 * time.Minute
+	}
+	if o.QualityFloor <= 0 {
+		o.QualityFloor = 0.995
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Outcome classifies one seeded run.
+type Outcome string
+
+const (
+	// OutcomeOK: the run completed and its labels pass the quality gate.
+	OutcomeOK Outcome = "ok"
+	// OutcomeFaulted: the run failed loudly (fail-stop) — acceptable, as
+	// long as the corruption ledger still balances.
+	OutcomeFaulted Outcome = "faulted"
+	// OutcomeFail: an invariant broke — silent escape, quality below the
+	// floor, double-counted ledger, or timeout. Chaos campaigns must
+	// report zero of these.
+	OutcomeFail Outcome = "FAIL"
+)
+
+// SiteLedger is one injection site's corruption accounting.
+type SiteLedger struct {
+	Injected int64 `json:"injected"`
+	Detected int64 `json:"detected"`
+	Masked   int64 `json:"masked"`
+	Latent   int64 `json:"latent,omitempty"`
+}
+
+// Escapes returns the site's unaccounted injections: positive means a
+// silent escape, negative means double counting. Both are failures.
+func (l SiteLedger) Escapes() int64 {
+	return l.Injected - l.Detected - l.Masked - l.Latent
+}
+
+// RunReport is the result of one seeded schedule.
+type RunReport struct {
+	Seed    int64    `json:"seed"`
+	Outcome Outcome  `json:"outcome"`
+	Reason  string   `json:"reason,omitempty"`
+	Spec    []string `json:"spec"`
+	// Quality is the DBDC score versus the fault-free reference
+	// (1.0 when identical); -1 when the run failed before producing
+	// output.
+	Quality   float64               `json:"quality"`
+	Identical bool                  `json:"identical"`
+	Resumed   bool                  `json:"resumed,omitempty"`
+	Ledger    map[string]SiteLedger `json:"ledger"`
+	Escapes   int64                 `json:"escapes"`
+	Elapsed   time.Duration         `json:"elapsed_ns"`
+	Err       string                `json:"err,omitempty"`
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	Runs    []RunReport `json:"runs"`
+	OK      int         `json:"ok"`
+	Faulted int         `json:"faulted"`
+	Failed  int         `json:"failed"`
+}
+
+// Seeds returns [base, base+n) for convenience.
+func Seeds(base int64, n int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = base + int64(i)
+	}
+	return s
+}
+
+// ledgerSites are the checksummed planes whose corruption accounting
+// the harness audits.
+var ledgerSites = []faultinject.Site{
+	faultinject.LustreRead,
+	faultinject.LustreWrite,
+	faultinject.GPUTransfer,
+	faultinject.MRNetHop,
+	faultinject.MRNetFrame,
+}
+
+// genSchedule arms a seeded random fault schedule on plan and reports
+// it as human-readable strings. Corrupt and error rules are kept off
+// the same mrnet.frame site so every TCP-frame flip is provably read by
+// a live peer (the ledger check requires it).
+func genSchedule(rng *rand.Rand, plan *faultinject.Plan, rate float64) (spec []string, hasFatal, tcpMerge bool) {
+	note := func(format string, args ...any) { spec = append(spec, fmt.Sprintf(format, args...)) }
+	pick := func(p float64) bool { return rng.Float64() < p*rate }
+
+	// Silent corruption on the checksummed byte and transfer planes.
+	if pick(0.9) {
+		n := 1 + rng.Int63n(2)
+		after := rng.Int63n(60)
+		plan.Arm(faultinject.LustreRead, faultinject.Rule{Corrupt: true, Times: n, After: after})
+		note("corrupt lustre.read times=%d after=%d", n, after)
+	}
+	if pick(0.9) {
+		n := 1 + rng.Int63n(2)
+		after := rng.Int63n(60)
+		plan.Arm(faultinject.LustreWrite, faultinject.Rule{Corrupt: true, Times: n, After: after})
+		note("corrupt lustre.write times=%d after=%d", n, after)
+	}
+	if pick(0.7) {
+		n := 1 + rng.Int63n(2)
+		after := rng.Int63n(20)
+		plan.Arm(faultinject.GPUTransfer, faultinject.Rule{Corrupt: true, Times: n, After: after})
+		note("corrupt gpusim.transfer times=%d after=%d", n, after)
+	}
+	if pick(0.7) {
+		n := 1 + rng.Int63n(2)
+		after := rng.Int63n(10)
+		plan.Arm(faultinject.MRNetHop, faultinject.Rule{Corrupt: true, Times: n, After: after})
+		note("corrupt mrnet.hop times=%d after=%d", n, after)
+	}
+	if pick(0.5) {
+		tcpMerge = true
+		n := 1 + rng.Int63n(3)
+		after := rng.Int63n(6)
+		plan.Arm(faultinject.MRNetFrame, faultinject.Rule{Corrupt: true, Times: n, After: after})
+		note("corrupt mrnet.frame times=%d after=%d (merge over TCP)", n, after)
+	}
+
+	// Transient errors, healed by phase retry or overlay re-parenting.
+	if pick(0.5) {
+		after := rng.Int63n(40)
+		plan.Arm(faultinject.LustreRead, faultinject.Rule{Times: 1, After: after})
+		note("error lustre.read after=%d", after)
+	}
+	if pick(0.4) {
+		after := rng.Int63n(10)
+		plan.Arm(faultinject.MRNetHop, faultinject.Rule{Times: 1, After: after})
+		note("error mrnet.hop after=%d", after)
+	}
+	if pick(0.4) {
+		after := rng.Int63n(8)
+		plan.Arm(faultinject.GPULaunch, faultinject.Rule{Times: 1, After: after})
+		note("error gpusim.launch after=%d", after)
+	}
+	// Node kill: an internal tree node dies and its children re-parent.
+	if pick(0.4) {
+		after := rng.Int63n(4)
+		plan.Arm(faultinject.MRNetNode, faultinject.Rule{Times: 1, After: after})
+		note("kill mrnet.node after=%d", after)
+	}
+	// Straggler: a slow-but-correct I/O path.
+	if pick(0.5) {
+		n := 1 + rng.Int63n(2)
+		d := time.Duration(1+rng.Int63n(8)) * time.Millisecond
+		plan.Arm(faultinject.LustreRead, faultinject.Rule{Delay: d, Times: n, After: rng.Int63n(30)})
+		note("straggle lustre.read delay=%v times=%d", d, n)
+	}
+	// Process death at a phase boundary; the campaign resumes from the
+	// last durable checkpoint and must still produce correct labels.
+	if pick(0.3) {
+		hasFatal = true
+		phase := []string{mrscan.PhaseCluster, mrscan.PhaseMerge}[rng.Intn(2)]
+		plan.Arm(mrscan.PhaseSite(phase), faultinject.Rule{Fatal: true, Times: 1})
+		note("fatal mrscan.phase.%s (then resume)", phase)
+	}
+	return spec, hasFatal, tcpMerge
+}
+
+// baseConfig is the pipeline configuration both the reference and the
+// chaos run share.
+func baseConfig(o Options) mrscan.Config {
+	cfg := mrscan.Default(0.1, 20, o.Leaves)
+	cfg.IncludeNoise = true
+	return cfg
+}
+
+// reference runs the pipeline fault-free and returns its labels.
+func reference(ctx context.Context, pts []geom.Point, o Options) ([]int, error) {
+	fs := lustre.New(lustre.Titan(), nil)
+	if err := ptio.WriteDataset(fs.Create("input.mrsc"), pts, false); err != nil {
+		return nil, err
+	}
+	res, err := mrscan.RunContext(ctx, fs, "input.mrsc", "output.mrsl", baseConfig(o))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fault-free reference run failed: %w", err)
+	}
+	return mrscan.LabelsByID(fs, res.OutputFile, pts)
+}
+
+// RunSeed executes one seeded schedule and audits the invariants.
+func RunSeed(seed int64, o Options) RunReport {
+	o.setDefaults()
+	start := time.Now()
+	rep := RunReport{Seed: seed, Quality: -1, Ledger: map[string]SiteLedger{}}
+	fail := func(format string, args ...any) RunReport {
+		rep.Outcome = OutcomeFail
+		rep.Reason = fmt.Sprintf(format, args...)
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+
+	pts := dataset.Twitter(o.Points, seed)
+	refCtx, cancelRef := context.WithTimeout(context.Background(), o.RunTimeout)
+	defer cancelRef()
+	refLabels, err := reference(refCtx, pts, o)
+	if err != nil {
+		return fail("reference: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	plan := faultinject.New(seed)
+	spec, hasFatal, tcpMerge := genSchedule(rng, plan, o.FaultRate)
+	rep.Spec = spec
+
+	fs := lustre.New(lustre.Titan(), nil)
+	if err := ptio.WriteDataset(fs.Create("input.mrsc"), pts, false); err != nil {
+		return fail("writing input: %v", err)
+	}
+	hub := telemetry.New(fs.Clock())
+	cfg := baseConfig(o)
+	cfg.FaultPlan = plan
+	cfg.Telemetry = hub
+	cfg.Retry = mrscan.RetryPolicy{MaxAttempts: 3}
+	cfg.MergeOverTCP = tcpMerge
+	cfg.Checkpoint = hasFatal
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.RunTimeout)
+	defer cancel()
+	res, runErr := mrscan.RunContext(ctx, fs, "input.mrsc", "output.mrsl", cfg)
+	if runErr != nil && hasFatal && faultinject.IsFatal(runErr) {
+		// The scheduled process death struck; restart from the durable
+		// checkpoints, exactly as an operator (or ALPS) would.
+		rep.Resumed = true
+		cfg.Resume = true
+		resumeCtx, cancelResume := context.WithTimeout(context.Background(), o.RunTimeout)
+		defer cancelResume()
+		res, runErr = mrscan.RunContext(resumeCtx, fs, "input.mrsc", "output.mrsl", cfg)
+	}
+	rep.Elapsed = time.Since(start)
+
+	// Invariant 2: the corruption ledger balances — no silent escapes,
+	// no double counting — whether or not the run completed.
+	audit := func() {
+		rep.Ledger = map[string]SiteLedger{}
+		rep.Escapes = 0
+		report := fs.IntegrityReport()
+		for _, site := range ledgerSites {
+			l := SiteLedger{
+				Injected: plan.CorruptionsInjected(site),
+				Detected: hub.Counter(integrity.MetricDetected, "site", string(site)).Value(),
+				Masked:   hub.Counter(integrity.MetricMasked, "site", string(site)).Value(),
+			}
+			if site == faultinject.LustreWrite {
+				l.Latent = report.Latent
+			}
+			if l.Injected+l.Detected+l.Masked+l.Latent > 0 {
+				rep.Ledger[string(site)] = l
+			}
+			rep.Escapes += l.Escapes()
+		}
+	}
+	audit()
+	if rep.Escapes != 0 {
+		return fail("corruption ledger off by %d (ledger %+v)", rep.Escapes, rep.Ledger)
+	}
+
+	if runErr != nil {
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			return fail("run exceeded %v wall bound: %v", o.RunTimeout, runErr)
+		}
+		// Fail-stop: the pipeline refused to produce output rather than
+		// risk wrong labels. Acceptable — the ledger above balanced.
+		rep.Outcome = OutcomeFaulted
+		rep.Err = runErr.Error()
+		return rep
+	}
+
+	// Invariant 1: output quality versus the fault-free reference.
+	labels, err := mrscan.LabelsByID(fs, res.OutputFile, pts)
+	if err != nil {
+		if errors.Is(err, lustre.ErrCorruptData) {
+			// Stored corruption struck the output file itself, and the
+			// consumer's checksummed read — the last hop of the
+			// end-to-end chain — caught it. A loud fail-stop: no wrong
+			// labels reached anyone. The detection just retired a
+			// latent taint, so refresh the ledger before returning.
+			rep.Outcome = OutcomeFaulted
+			rep.Err = err.Error()
+			audit()
+			if rep.Escapes != 0 {
+				return fail("corruption ledger off by %d after output read (ledger %+v)", rep.Escapes, rep.Ledger)
+			}
+			return rep
+		}
+		return fail("reading output: %v", err)
+	}
+	q, err := quality.Score(refLabels, labels)
+	if err != nil {
+		return fail("scoring: %v", err)
+	}
+	rep.Quality = q
+	rep.Identical = equalLabels(refLabels, labels)
+	if !rep.Identical && q < o.QualityFloor {
+		return fail("quality %.6f below floor %.4f", q, o.QualityFloor)
+	}
+	rep.Outcome = OutcomeOK
+	return rep
+}
+
+func equalLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the whole campaign sequentially (each run is itself
+// concurrent across leaves) and aggregates the report.
+func Run(o Options) *Report {
+	o.setDefaults()
+	rpt := &Report{}
+	for _, seed := range o.Seeds {
+		r := RunSeed(seed, o)
+		rpt.Runs = append(rpt.Runs, r)
+		switch r.Outcome {
+		case OutcomeOK:
+			rpt.OK++
+		case OutcomeFaulted:
+			rpt.Faulted++
+		default:
+			rpt.Failed++
+		}
+		o.Logf("chaos: seed %d: %s quality=%.6f escapes=%d elapsed=%v faults=%d [%s]",
+			seed, r.Outcome, r.Quality, r.Escapes, r.Elapsed.Round(time.Millisecond),
+			len(r.Spec), r.Reason)
+	}
+	return rpt
+}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// A small campaign must finish with zero invariant failures: every run
+// either produces reference-quality labels or fail-stops loudly, and
+// the corruption ledger balances exactly.
+func TestCampaignInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign skipped in -short mode")
+	}
+	opt := Options{
+		Seeds:      Seeds(1, 4),
+		Points:     2500,
+		Leaves:     4,
+		RunTimeout: time.Minute,
+		Logf:       t.Logf,
+	}
+	rpt := Run(opt)
+	if rpt.Failed != 0 {
+		for _, r := range rpt.Runs {
+			if r.Outcome == OutcomeFail {
+				t.Errorf("seed %d: %s (spec %v)", r.Seed, r.Reason, r.Spec)
+			}
+		}
+	}
+	if rpt.OK == 0 {
+		t.Error("campaign produced no clean runs — schedules may be too hot to be informative")
+	}
+	for _, r := range rpt.Runs {
+		if r.Escapes != 0 {
+			t.Errorf("seed %d: %d silent corruption escapes", r.Seed, r.Escapes)
+		}
+	}
+}
+
+// The schedule generator is a pure function of the seed.
+func TestScheduleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs skipped in -short mode")
+	}
+	opt := Options{Points: 2000, Leaves: 2, RunTimeout: time.Minute}
+	a := RunSeed(7, opt)
+	b := RunSeed(7, opt)
+	if len(a.Spec) != len(b.Spec) {
+		t.Fatalf("replay armed a different schedule: %v vs %v", a.Spec, b.Spec)
+	}
+	for i := range a.Spec {
+		if a.Spec[i] != b.Spec[i] {
+			t.Fatalf("replay spec[%d] = %q, want %q", i, b.Spec[i], a.Spec[i])
+		}
+	}
+	if a.Escapes != 0 || b.Escapes != 0 {
+		t.Fatalf("escapes: %d and %d, want 0", a.Escapes, b.Escapes)
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(10, 3)
+	if len(s) != 3 || s[0] != 10 || s[2] != 12 {
+		t.Fatalf("Seeds(10,3) = %v", s)
+	}
+}

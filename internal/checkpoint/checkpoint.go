@@ -35,13 +35,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"repro/internal/integrity"
 	"repro/internal/lustre"
 	"repro/internal/telemetry"
 )
@@ -52,11 +52,6 @@ const (
 	magic   = "MRCKPT"
 	version = 1
 )
-
-// castagnoli is the CRC32C table (the polynomial used by iSCSI, ext4
-// metadata and most storage-integrity paths, with hardware support on
-// current CPUs).
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt reports a snapshot that failed verification: bad magic,
 // unknown version, truncated payload, or checksum mismatch.
@@ -277,7 +272,7 @@ func (s *Store) saveManifestLocked() error {
 // writeFile writes payload under the integrity envelope via the atomic
 // write-then-rename protocol and returns the payload CRC.
 func (s *Store) writeFile(name string, payload []byte) (uint32, error) {
-	crc := crc32.Checksum(payload, castagnoli)
+	crc := integrity.Checksum(payload)
 	tmp := name + ".tmp"
 	f, err := s.fs.Create(tmp)
 	if err != nil {
@@ -350,7 +345,7 @@ func verifyEnvelope(f io.Reader, name string) ([]byte, error) {
 	if _, err := io.ReadFull(f, payload); err != nil {
 		return nil, fmt.Errorf("%w: %s: truncated payload", ErrCorrupt, name)
 	}
-	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+	if got := integrity.Checksum(payload); got != wantCRC {
 		return nil, fmt.Errorf("%w: %s: CRC32C %08x, want %08x", ErrCorrupt, name, got, wantCRC)
 	}
 	return payload, nil
@@ -387,7 +382,7 @@ func (s *Store) verifiedPayload(phase string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int64(len(payload)) != entry.Bytes || crc32.Checksum(payload, castagnoli) != entry.CRC {
+	if int64(len(payload)) != entry.Bytes || integrity.Checksum(payload) != entry.CRC {
 		return nil, fmt.Errorf("%w: %s: snapshot does not match manifest", ErrCorrupt, entry.File)
 	}
 	return payload, nil

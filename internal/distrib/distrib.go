@@ -6,15 +6,16 @@
 //
 // This is the deployment shape of the real system — MRNet backends on
 // separate Titan nodes receiving work from the tree — realized with
-// nothing but the standard library: gob-encoded messages over
-// length-delimited TCP streams. The in-process pipeline (internal/mrscan)
-// remains the fast path; this package exists so the clustering protocol
-// demonstrably survives a process boundary.
+// nothing but the standard library: gob-encoded messages in versioned,
+// CRC32C-checksummed envelopes over TCP (see envelope.go). The
+// in-process pipeline (internal/mrscan) remains the fast path; this
+// package exists so the clustering protocol demonstrably survives a
+// process boundary, including one that corrupts bits in flight.
 package distrib
 
 import (
 	"context"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gpusim"
 	"repro/internal/grid"
+	"repro/internal/integrity"
 	"repro/internal/merge"
 	"repro/internal/telemetry"
 )
@@ -103,9 +105,14 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 		return fmt.Errorf("distrib: worker dialing coordinator: %w", err)
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(Hello{Pid: pid}); err != nil {
+	hello, err := gobEncode(&Hello{Pid: pid})
+	if err != nil {
+		return fmt.Errorf("distrib: worker hello: %w", err)
+	}
+	// lastSent backs the NACK protocol: whenever the coordinator's CRC
+	// rejects our last envelope, recvVerified resends these bytes.
+	lastSent := hello
+	if err := writeEnvelope(conn, envData, hello); err != nil {
 		return fmt.Errorf("distrib: worker hello: %w", err)
 	}
 	// One simulated device and one workspace for the connection's
@@ -114,8 +121,12 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 	// exactly as on a cluster-phase leaf.
 	var scratch workerScratch
 	for {
+		p, err := recvVerified(conn, &lastSent)
+		if err != nil {
+			return fmt.Errorf("distrib: worker receiving: %w", err)
+		}
 		var req WorkRequest
-		if err := dec.Decode(&req); err != nil {
+		if err := gobDecode(p, &req); err != nil {
 			return fmt.Errorf("distrib: worker receiving: %w", err)
 		}
 		if req.Done {
@@ -130,7 +141,12 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 			}
 			resp = serve(&req, &scratch)
 		}
-		if err := enc.Encode(resp); err != nil {
+		out, err := gobEncode(resp)
+		if err != nil {
+			return fmt.Errorf("distrib: worker replying: %w", err)
+		}
+		lastSent = out
+		if err := writeEnvelope(conn, envData, out); err != nil {
 			return fmt.Errorf("distrib: worker replying: %w", err)
 		}
 	}
@@ -188,6 +204,14 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 250ms).
 	MaxDelay time.Duration
+	// MaxElapsed caps how long one worker may keep failing exchanges
+	// with verified payload corruption (default 2s). Corruption
+	// redispatches do not consume MaxAttempts — re-execution is free and
+	// no bad data was trusted — so this is the bound that removes a
+	// persistently-corrupting worker from the pool, exactly as a crashed
+	// one would be. The clock starts at a worker's first corrupt
+	// exchange and resets on its next clean one.
+	MaxElapsed time.Duration
 }
 
 func (r RetryPolicy) withDefaults() RetryPolicy {
@@ -199,6 +223,9 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if r.MaxDelay <= 0 {
 		r.MaxDelay = 250 * time.Millisecond
+	}
+	if r.MaxElapsed <= 0 {
+		r.MaxElapsed = 2 * time.Second
 	}
 	return r
 }
@@ -229,6 +256,11 @@ type Stats struct {
 	// the mitigation removed.
 	HedgesLaunched int
 	HedgesWon      int
+	// CorruptionRedispatches counts partitions re-queued because an
+	// exchange failed CRC verification past its retransmit budget.
+	// These do not consume a partition's MaxAttempts; they are bounded
+	// per worker by RetryPolicy.MaxElapsed.
+	CorruptionRedispatches int
 	// ServeOrder records the request indices in the order they were
 	// handed to workers, across every dispatch of this coordinator. The
 	// dispatch queues partitions largest first, so the head of each
@@ -298,39 +330,159 @@ func (c *Coordinator) telemetry() (*telemetry.Hub, *telemetry.Span) {
 
 type workerConn struct {
 	// mu serializes request/response exchanges, so heartbeats can
-	// interleave with dispatch without corrupting the gob streams.
+	// interleave with dispatch without corrupting the envelope stream.
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
 	pid  int
+	// idx is the worker's accept order — the index WorkerFaultSite
+	// targets for per-worker injection. Stable across removals of other
+	// workers.
+	idx  int
 	dead atomic.Bool
+	// corruptSince is the UnixNano of the worker's first corrupt
+	// exchange in the current streak (0 = clean); when the streak
+	// outlives RetryPolicy.MaxElapsed the worker is removed.
+	corruptSince atomic.Int64
 }
 
 var errWorkerDead = fmt.Errorf("distrib: worker connection already closed")
 
-// exchange performs one request/response round trip, bounded by timeout
-// when positive.
-func (w *workerConn) exchange(req *WorkRequest, timeout time.Duration) (*WorkResponse, error) {
+// exchange performs one request/response round trip over the
+// checksummed envelope protocol, bounded by timeout when positive.
+// Coordinator-side fault injection flips wire bits here: send-side at
+// distrib.request and the per-worker site (the request the worker
+// receives), receive-side at distrib.response (the response as it
+// crossed the wire). Every CRC failure — the worker's (signalled by its
+// NACK) or our own — is counted as a detection; an exchange that
+// exhausts maxEnvelopeRetries fails with ErrPayloadCorrupt and the
+// dispatch layer redispatches the partition.
+func (c *Coordinator) exchange(w *workerConn, req *WorkRequest, timeout time.Duration) (*WorkResponse, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.dead.Load() {
 		return nil, errWorkerDead
 	}
+	c.mu.Lock()
+	plan := c.plan
+	c.mu.Unlock()
 	if timeout > 0 {
 		if err := w.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 			return nil, err
 		}
 		defer w.conn.SetDeadline(time.Time{})
 	}
-	if err := w.enc.Encode(req); err != nil {
+	payload, err := gobEncode(req)
+	if err != nil {
 		return nil, err
 	}
-	var resp WorkResponse
-	if err := w.dec.Decode(&resp); err != nil {
+	sendSites := []faultinject.Site{faultinject.DistribRequest, WorkerFaultSite(w.idx)}
+	// send emits the request envelope, flipping one wire bit when a
+	// corrupt rule fires (at most one site per attempt, so injections
+	// and detections stay one-to-one). The payload stays clean: a
+	// retransmit re-consults the plan rather than replaying the flip.
+	send := func() (faultinject.Site, error) {
+		wire := encodeEnvelope(envData, payload)
+		var injected faultinject.Site
+		for _, s := range sendSites {
+			if cr := plan.CorruptCheck(s, int64(len(payload))); cr != nil {
+				wire[envHdrLen+cr.Offset] ^= 1 << cr.Bit
+				injected = s
+				break
+			}
+		}
+		_, werr := w.conn.Write(wire)
+		return injected, werr
+	}
+	pending, err := send()
+	if err != nil {
 		return nil, err
 	}
-	return &resp, nil
+	nacks, resends := 0, 0
+	for {
+		kind, p, crc, err := readEnvelope(w.conn)
+		if err != nil {
+			if pending != "" {
+				// The flipped request died with the connection before
+				// any verifier saw it: masked, not detected.
+				c.corruptionMasked(pending)
+			}
+			return nil, err
+		}
+		switch kind {
+		case envNack:
+			// The worker's CRC caught our corrupted request.
+			if pending != "" {
+				c.corruptionDetected(pending, resends < maxEnvelopeRetries)
+				pending = ""
+			}
+			resends++
+			if resends > maxEnvelopeRetries {
+				return nil, fmt.Errorf("distrib: worker %d rejected %d retransmits: %w", w.pid, resends, ErrPayloadCorrupt)
+			}
+			c.envelopeRetransmit()
+			if pending, err = send(); err != nil {
+				return nil, err
+			}
+		case envData:
+			injSite := faultinject.Site("")
+			if len(p) > 0 {
+				if cr := plan.CorruptCheck(faultinject.DistribResponse, int64(len(p))); cr != nil {
+					p[cr.Offset] ^= 1 << cr.Bit
+					injSite = faultinject.DistribResponse
+				}
+			}
+			if integrity.Checksum(p) != crc {
+				if injSite == "" {
+					injSite = faultinject.DistribResponse
+				}
+				nacks++
+				healed := nacks <= maxEnvelopeRetries
+				c.corruptionDetected(injSite, healed)
+				if !healed {
+					return nil, fmt.Errorf("distrib: worker %d: giving up after %d corrupt responses: %w", w.pid, nacks, ErrPayloadCorrupt)
+				}
+				c.envelopeRetransmit()
+				if err := writeEnvelope(w.conn, envNack, nil); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if pending != "" {
+				// Unreachable in the current protocol (a corrupted
+				// request is always NACKed first), kept so the ledger
+				// cannot leak an injection.
+				c.corruptionMasked(pending)
+			}
+			var resp WorkResponse
+			if err := gobDecode(p, &resp); err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		default:
+			return nil, fmt.Errorf("distrib: unknown envelope kind %d", kind)
+		}
+	}
+}
+
+// corruptionDetected counts one CRC-caught corruption on the shared
+// integrity counter, labeled by injection site.
+func (c *Coordinator) corruptionDetected(site faultinject.Site, healed bool) {
+	hub, parent := c.telemetry()
+	hub.Counter(integrity.MetricDetected, "site", string(site)).Inc()
+	hub.Event(parent, "integrity.corruption.detected",
+		telemetry.String("site", string(site)), telemetry.Bool("healed", healed))
+}
+
+// corruptionMasked counts an injected flip that no verifier ever saw
+// (the connection died first).
+func (c *Coordinator) corruptionMasked(site faultinject.Site) {
+	hub, _ := c.telemetry()
+	hub.Counter(integrity.MetricMasked, "site", string(site)).Inc()
+}
+
+func (c *Coordinator) envelopeRetransmit() {
+	hub, _ := c.telemetry()
+	hub.Counter("distrib_envelope_retransmits_total").Inc()
 }
 
 // NewCoordinator listens for workers on a loopback port.
@@ -357,8 +509,10 @@ func (c *Coordinator) SetFaultPlan(p *faultinject.Plan) {
 }
 
 // WorkerFaultSite returns the fault site consulted before each exchange
-// with the i-th connected worker (dispatch order), for targeted
-// kill-a-worker tests.
+// with the i-th connected worker (accept order), for targeted
+// kill-a-worker tests. A corrupt rule armed on the same site flips a
+// wire bit of only that worker's requests, for targeted
+// persistent-corrupter tests.
 func WorkerFaultSite(i int) faultinject.Site {
 	return faultinject.Site(fmt.Sprintf("distrib.worker.%d", i))
 }
@@ -392,16 +546,25 @@ func (c *Coordinator) AcceptWorkers(n int, timeout time.Duration) error {
 			}
 			return fmt.Errorf("distrib: accepting worker %d: %w", i, err)
 		}
-		w := &workerConn{
-			conn: conn,
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(conn),
-		}
+		w := &workerConn{conn: conn, idx: i}
 		if !deadline.IsZero() {
 			conn.SetReadDeadline(deadline)
 		}
+		// The hello rides the same checksummed envelope as every other
+		// message, so a peer from another protocol revision (or plain
+		// garbage on the port) is rejected here with a ProtocolError
+		// naming the mismatched field, not deep inside a dispatch.
+		kind, p, crc, err := readEnvelope(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("distrib: worker %d hello: %w", i, err)
+		}
+		if kind != envData || integrity.Checksum(p) != crc {
+			conn.Close()
+			return fmt.Errorf("distrib: worker %d hello: %w", i, ErrPayloadCorrupt)
+		}
 		var hello Hello
-		if err := w.dec.Decode(&hello); err != nil {
+		if err := gobDecode(p, &hello); err != nil {
 			conn.Close()
 			return fmt.Errorf("distrib: worker %d hello: %w", i, err)
 		}
@@ -468,7 +631,7 @@ func (c *Coordinator) Heartbeat(timeout time.Duration) int {
 				c.removeWorker(w)
 				return
 			}
-			resp, err := w.exchange(&WorkRequest{Ping: true}, timeout)
+			resp, err := c.exchange(w, &WorkRequest{Ping: true}, timeout)
 			if err != nil || !resp.Ping {
 				c.removeWorker(w)
 			}
@@ -728,7 +891,47 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					return
 				}
 				begin := time.Now()
-				resp, err := w.exchange(&reqs[ri], timeout)
+				resp, err := c.exchange(w, &reqs[ri], timeout)
+				if errors.Is(err, ErrPayloadCorrupt) && ctx.Err() == nil {
+					// Verified corruption: the exchange failed CRC past
+					// its retransmit budget, so nothing was trusted and
+					// re-execution is free. Redispatch after a backoff
+					// WITHOUT consuming the partition's MaxAttempts; a
+					// worker whose corruption streak outlives
+					// Retry.MaxElapsed is removed like a crashed node.
+					now := time.Now()
+					first := w.corruptSince.Load()
+					if first == 0 {
+						first = now.UnixNano()
+						w.corruptSince.Store(first)
+					}
+					hmu.Lock()
+					inflight[ri]--
+					covered := done[ri] || inflight[ri] > 0
+					hmu.Unlock()
+					c.mu.Lock()
+					c.stats.CorruptionRedispatches++
+					c.mu.Unlock()
+					hub.Event(dsp, "distrib.corrupt_redispatch",
+						telemetry.Int("leaf", reqs[ri].Leaf), telemetry.Int("worker", w.idx))
+					hub.Counter("distrib_corrupt_redispatches_total").Inc()
+					if !covered {
+						delay := retry.backoff(1)
+						go func() {
+							time.Sleep(delay)
+							queue <- workItem{ri: ri}
+						}()
+					}
+					if now.Sub(time.Unix(0, first)) > retry.MaxElapsed {
+						c.removeWorker(w)
+						hub.Event(dsp, "distrib.worker_corrupt_removed", telemetry.Int("worker", w.idx))
+						if alive.Add(-1) == 0 {
+							fail(fmt.Errorf("distrib: leaf %d: no surviving workers: %w", reqs[ri].Leaf, err))
+						}
+						return
+					}
+					continue
+				}
 				if err != nil {
 					c.removeWorker(w)
 					hmu.Lock()
@@ -748,6 +951,7 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					}
 					return
 				}
+				w.corruptSince.Store(0) // clean exchange ends any corruption streak
 				if resp.Err != "" {
 					fail(fmt.Errorf("distrib: worker %d leaf %d: %s", w.pid, resp.Leaf, resp.Err))
 					return
@@ -802,7 +1006,9 @@ func (c *Coordinator) Shutdown() {
 	c.closed = true
 	for _, w := range c.workers {
 		w.mu.Lock()
-		_ = w.enc.Encode(&WorkRequest{Done: true})
+		if p, err := gobEncode(&WorkRequest{Done: true}); err == nil {
+			_ = writeEnvelope(w.conn, envData, p)
+		}
 		w.conn.Close()
 		w.mu.Unlock()
 		w.dead.Store(true)

@@ -1,0 +1,182 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/integrity"
+)
+
+// Checksummed message envelopes for the coordinator/worker wire.
+//
+// Every message — including the worker's Hello — travels as:
+//
+//	[2B magic "MS"][1B version][1B kind][4B LE payload len][4B LE CRC32C][gob payload]
+//
+// The magic and version bytes reject a peer speaking a different
+// protocol revision at the first message with a ProtocolError, instead
+// of a confusing gob decode failure deep in a dispatch. The CRC32C
+// trailer covers the gob payload: a receiver whose recomputed sum
+// differs answers with a NACK envelope and the sender retransmits,
+// bounded by maxEnvelopeRetries per exchange, after which the exchange
+// fails with ErrPayloadCorrupt and the dispatch layer redispatches the
+// partition.
+//
+// Each payload is gob-encoded with a fresh encoder so every envelope is
+// self-contained: a retransmitted envelope is byte-identical to the
+// original, with no stream state to resynchronize (a plain gob stream
+// sends type descriptors once, which would make replay impossible).
+
+const (
+	envMagic   = "MS"
+	envVersion = 1
+	envHdrLen  = 12
+
+	// envelope kinds.
+	envData = 1 // gob payload
+	envNack = 2 // checksum reject: resend your last envelope
+
+	// maxEnvelope bounds a payload (64 MiB — partitions carry point
+	// slices) so a corrupted length field fails fast.
+	maxEnvelope = 64 << 20
+
+	// maxEnvelopeRetries bounds the NACK/retransmit dance per exchange.
+	maxEnvelopeRetries = 3
+)
+
+// ErrPayloadCorrupt reports an exchange abandoned because payload
+// corruption persisted past the retransmit budget. errors.Is-compatible
+// with integrity.ErrChecksum.
+var ErrPayloadCorrupt = integrity.ErrChecksum
+
+// ErrEnvelopeTorn reports a connection that died mid-envelope.
+// errors.Is-compatible with integrity.ErrTorn.
+var ErrEnvelopeTorn = integrity.ErrTorn
+
+// gobEncode serializes v with a fresh encoder (self-contained bytes).
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("distrib: encoding %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// gobDecode deserializes a self-contained payload into v.
+func gobDecode(p []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("distrib: decoding %T: %w", v, err)
+	}
+	return nil
+}
+
+// encodeEnvelope assembles a full wire envelope around payload.
+func encodeEnvelope(kind byte, payload []byte) []byte {
+	buf := make([]byte, envHdrLen+len(payload))
+	copy(buf, envMagic)
+	buf[2] = envVersion
+	buf[3] = kind
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:12], integrity.Checksum(payload))
+	copy(buf[envHdrLen:], payload)
+	return buf
+}
+
+// writeEnvelope emits one clean envelope (no fault injection) — the
+// worker side, NACKs, and the shutdown message use it.
+func writeEnvelope(w io.Writer, kind byte, payload []byte) error {
+	_, err := w.Write(encodeEnvelope(kind, payload))
+	return err
+}
+
+// readEnvelope reads one envelope and validates its framing: magic and
+// version (ProtocolError on mismatch), length (ErrTooLarge), and
+// completeness (io.EOF for a clean close between envelopes,
+// ErrEnvelopeTorn mid-envelope). The payload's CRC is returned
+// unverified so the caller can apply receive-side fault injection
+// before checking it.
+func readEnvelope(r io.Reader) (kind byte, payload []byte, crc uint32, err error) {
+	var hdr [envHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, 0, io.EOF
+		}
+		return 0, nil, 0, fmt.Errorf("distrib: envelope header: %w (%v)", ErrEnvelopeTorn, err)
+	}
+	if string(hdr[:2]) != envMagic {
+		return 0, nil, 0, &integrity.ProtocolError{
+			Plane: "distrib", Field: "magic",
+			Got: uint64(binary.LittleEndian.Uint16(hdr[:2])), Want: uint64('M') | uint64('S')<<8,
+		}
+	}
+	if hdr[2] != envVersion {
+		return 0, nil, 0, &integrity.ProtocolError{
+			Plane: "distrib", Field: "version", Got: uint64(hdr[2]), Want: envVersion,
+		}
+	}
+	kind = hdr[3]
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxEnvelope {
+		return 0, nil, 0, fmt.Errorf("distrib: envelope of %d bytes: %w", n, integrity.ErrTooLarge)
+	}
+	crc = binary.LittleEndian.Uint32(hdr[8:12])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("distrib: envelope payload: %w (%v)", ErrEnvelopeTorn, err)
+	}
+	return kind, payload, crc, nil
+}
+
+// recvVerified reads envelopes off conn until a clean data envelope
+// arrives, running the receiver's half of the integrity protocol with
+// no fault injection and no counters — the worker side. A corrupt
+// payload is NACKed (bounded); an incoming NACK triggers resend, the
+// caller's last sent payload.
+func recvVerified(conn net.Conn, lastSent *[]byte) ([]byte, error) {
+	nacks, resends := 0, 0
+	for {
+		kind, p, crc, err := readEnvelope(conn)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case envNack:
+			resends++
+			if resends > maxEnvelopeRetries {
+				return nil, fmt.Errorf("distrib: peer rejected %d retransmits: %w", resends, ErrPayloadCorrupt)
+			}
+			if *lastSent == nil {
+				return nil, fmt.Errorf("distrib: NACK with nothing to resend")
+			}
+			if err := writeEnvelope(conn, envData, *lastSent); err != nil {
+				return nil, err
+			}
+		case envData:
+			if integrity.Checksum(p) != crc {
+				nacks++
+				// Tolerate one corrupt receipt more than the sender
+				// will retransmit (initial send + maxEnvelopeRetries
+				// resends): the sender must always exhaust its budget
+				// first and fail with ErrPayloadCorrupt on its side,
+				// where the dispatch layer redispatches the partition —
+				// rather than this side closing the connection and
+				// turning verified corruption into a generic conn loss.
+				if nacks > maxEnvelopeRetries+1 {
+					return nil, fmt.Errorf("distrib: giving up after %d corrupt envelopes: %w", nacks, ErrPayloadCorrupt)
+				}
+				if err := writeEnvelope(conn, envNack, nil); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return p, nil
+		default:
+			return nil, fmt.Errorf("distrib: unknown envelope kind %d", kind)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package distrib
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -195,6 +197,68 @@ func TestRunCheckpointResume(t *testing.T) {
 	for i := range res1.Labels {
 		if res1.Labels[i] != res3.Labels[i] {
 			t.Fatalf("label %d differs after partial restore", i)
+		}
+	}
+}
+
+// TestRunCheckpointResumeTruncatedSnapshot: a snapshot file cut short
+// on disk (a coordinator killed mid-write, a filesystem that lost the
+// tail) must not poison the resume — verification rejects the torn
+// envelope, exactly that partition re-dispatches, and the labels come
+// out identical.
+func TestRunCheckpointResumeTruncatedSnapshot(t *testing.T) {
+	pts := dataset.Twitter(6000, 7)
+	opt := Options{Eps: 0.1, MinPts: 10, Leaves: 6, DenseBox: true}
+	dir := t.TempDir()
+	bk, err := checkpoint.DirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() *Result {
+		t.Helper()
+		c, err := NewCoordinator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg := startWorkers(t, c, 2)
+		o := opt
+		o.Checkpoint = checkpoint.NewStore(bk, "trunc-run")
+		res, err := c.Run(pts, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Shutdown()
+		wg.Wait()
+		return res
+	}
+
+	res1 := run()
+
+	// Tear the tail off one snapshot, as a crash mid-write would.
+	snap := filepath.Join(dir, "ckpt-"+clusterSnapshot(2)+".ckpt")
+	fi, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(snap, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	store := checkpoint.NewStore(bk, "trunc-run")
+	var resp WorkResponse
+	if err := store.Load(clusterSnapshot(2), &resp); err == nil {
+		t.Fatal("Load accepted a truncated snapshot")
+	}
+
+	res2 := run()
+	if res2.RestoredPartitions != opt.Leaves-1 {
+		t.Fatalf("resume restored %d partitions, want %d (truncated one re-dispatched)",
+			res2.RestoredPartitions, opt.Leaves-1)
+	}
+	for i := range res1.Labels {
+		if res1.Labels[i] != res2.Labels[i] {
+			t.Fatalf("label %d differs after truncated-snapshot resume: %d vs %d",
+				i, res1.Labels[i], res2.Labels[i])
 		}
 	}
 }

@@ -11,8 +11,11 @@
 //   - lustre.read / lustre.write — parallel file system I/O
 //   - mrnet.hop                  — overlay tree edge traffic
 //   - mrnet.node                 — internal overlay process crash
+//   - mrnet.frame                — TCP overlay wire frames
 //   - gpusim.launch              — GPGPU kernel launches
+//   - gpusim.transfer            — host↔device DMA transfers
 //   - distrib.conn               — coordinator→worker TCP exchanges
+//   - distrib.request/.response  — coordinator↔worker wire payloads
 //
 // A Rule fires either after a fixed number of operations (op-count
 // trigger) or with a seeded per-operation probability, for a bounded or
@@ -21,6 +24,15 @@
 // failures that must surface as errors. All counting is done under one
 // mutex, so a plan driven by a deterministic operation order reproduces
 // the same failure sequence on every run.
+//
+// Beyond clean error returns, a rule can inject silent *corruption*
+// (Corrupt: a deterministic bit flip in the payload crossing the site,
+// consulted via CorruptData/CorruptCheck rather than Check) or a
+// *straggle* (Delay: the operation succeeds late). Corruption rules
+// model the scale failure mode that errors cannot: data that is wrong
+// rather than missing. They are only useful against data planes that
+// checksum — the chaos harness asserts every injected corruption is
+// caught at a checksummed boundary.
 package faultinject
 
 import (
@@ -31,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Site names a fault injection point. Substrates define their own site
@@ -40,12 +53,16 @@ type Site string
 
 // Well-known fault sites consulted by the simulators.
 const (
-	LustreRead  Site = "lustre.read"
-	LustreWrite Site = "lustre.write"
-	MRNetHop    Site = "mrnet.hop"
-	MRNetNode   Site = "mrnet.node"
-	GPULaunch   Site = "gpusim.launch"
-	DistribConn Site = "distrib.conn"
+	LustreRead      Site = "lustre.read"
+	LustreWrite     Site = "lustre.write"
+	MRNetHop        Site = "mrnet.hop"
+	MRNetNode       Site = "mrnet.node"
+	MRNetFrame      Site = "mrnet.frame"
+	GPULaunch       Site = "gpusim.launch"
+	GPUTransfer     Site = "gpusim.transfer"
+	DistribConn     Site = "distrib.conn"
+	DistribRequest  Site = "distrib.request"
+	DistribResponse Site = "distrib.response"
 )
 
 // LustreIO is a pseudo-site accepted by Arm and Parse: it arms one rule
@@ -82,6 +99,40 @@ func IsFatal(err error) bool {
 	return errors.As(err, &fe)
 }
 
+// Corruption reports one injected payload corruption: which site it
+// crossed and which bit of the payload was flipped. Offset is relative
+// to the payload handed to CorruptData (or to the modeled transfer size
+// for CorruptCheck).
+type Corruption struct {
+	Site   Site
+	Offset int64
+	Bit    uint8
+}
+
+// CorruptionError is the error form of a Corruption, delivered to plan
+// observers so telemetry can record injection events. It is never
+// returned from an operation — corruption is silent by design; only a
+// downstream checksum turns it back into an error.
+type CorruptionError struct {
+	Corruption
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("faultinject: corrupted payload at %s (offset %d, bit %d)", e.Site, e.Offset, e.Bit)
+}
+
+// DelayError is delivered to plan observers when a Delay rule fires.
+// Like CorruptionError it never surfaces from the operation itself: the
+// op merely completes late, modeling a straggler.
+type DelayError struct {
+	Site Site
+	D    time.Duration
+}
+
+func (e *DelayError) Error() string {
+	return fmt.Sprintf("faultinject: straggle at %s (%v)", e.Site, e.D)
+}
+
 // Rule describes one fault trigger.
 type Rule struct {
 	// After is the number of Check calls at the armed site(s) that pass
@@ -99,6 +150,15 @@ type Rule struct {
 	// the run (no retry layer may absorb it) instead of surfacing as a
 	// recoverable error.
 	Fatal bool
+	// Corrupt makes this a corruption rule: instead of returning an
+	// error from Check (which ignores it), the rule fires from
+	// CorruptData/CorruptCheck and flips one seeded-deterministic bit
+	// of the payload crossing the site. Err/Fatal are ignored.
+	Corrupt bool
+	// Delay, when positive on a non-corrupt rule with no Err, makes
+	// the rule a straggler: a firing Check sleeps for Delay and then
+	// succeeds, modeling a slow-but-correct operation.
+	Delay time.Duration
 }
 
 // armedRule is a Rule plus its live counters. One armedRule may be
@@ -114,18 +174,25 @@ type armedRule struct {
 // so substrates can consult their plan unconditionally. Plan is safe
 // for concurrent use.
 type Plan struct {
-	mu       sync.Mutex
-	rng      *rand.Rand
-	rules    map[Site][]*armedRule
-	observer func(site Site, err error, fatal bool)
+	mu        sync.Mutex
+	rng       *rand.Rand
+	rules     map[Site][]*armedRule
+	observer  func(site Site, err error, fatal bool)
+	corrupted map[Site]int64
+	log       []Corruption
 }
+
+// maxCorruptionLog bounds the per-plan corruption log; counters keep
+// exact totals beyond it.
+const maxCorruptionLog = 4096
 
 // New returns an empty plan. The seed drives probabilistic rules; plans
 // with the same seed, rules and Check sequence inject identical faults.
 func New(seed int64) *Plan {
 	return &Plan{
-		rng:   rand.New(rand.NewSource(seed)),
-		rules: make(map[Site][]*armedRule),
+		rng:       rand.New(rand.NewSource(seed)),
+		rules:     make(map[Site][]*armedRule),
+		corrupted: make(map[Site]int64),
 	}
 }
 
@@ -165,28 +232,49 @@ func (p *Plan) SetObserver(fn func(site Site, err error, fatal bool)) {
 }
 
 // Check consumes one operation at the site and returns the injected
-// error if any armed rule fires. A nil plan or an unarmed site always
-// passes (and costs nothing).
+// error if any armed (non-corrupt) rule fires. A firing Delay rule
+// sleeps instead of erroring. A nil plan or an unarmed site always
+// passes (and costs nothing). Corruption rules never fire here — they
+// only answer CorruptData/CorruptCheck.
 func (p *Plan) Check(site Site) error {
 	if p == nil {
 		return nil
 	}
-	err, fatal, obs := p.check(site)
-	if err != nil && obs != nil {
-		obs(site, err, fatal)
+	p.mu.Lock()
+	ar := p.evalLocked(site, false)
+	obs := p.observer
+	p.mu.Unlock()
+	if ar == nil {
+		return nil
 	}
-	if fatal {
+	if ar.Err == nil && !ar.Fatal && ar.Delay > 0 {
+		// Straggler: the op completes, just late.
+		if obs != nil {
+			obs(site, &DelayError{Site: site, D: ar.Delay}, false)
+		}
+		time.Sleep(ar.Delay)
+		return nil
+	}
+	err := ar.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	if obs != nil {
+		obs(site, err, ar.Fatal)
+	}
+	if ar.Fatal {
 		return &FatalError{Cause: err}
 	}
 	return err
 }
 
-// check evaluates the site's rules under the lock, returning the
-// injected error (pre-FatalError wrapping) and the observer to notify.
-func (p *Plan) check(site Site) (err error, fatal bool, obs func(Site, error, bool)) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// evalLocked runs the trigger logic for the site's rules of one kind
+// (corrupt or not) under the plan lock, returning the firing rule.
+func (p *Plan) evalLocked(site Site, corrupt bool) *armedRule {
 	for _, ar := range p.rules[site] {
+		if ar.Corrupt != corrupt {
+			continue
+		}
 		if ar.Times > 0 && ar.fired >= ar.Times {
 			continue // exhausted: transient fault has passed
 		}
@@ -199,13 +287,114 @@ func (p *Plan) check(site Site) (err error, fatal bool, obs func(Site, error, bo
 			continue
 		}
 		ar.fired++
-		err = ar.Err
-		if err == nil {
-			err = ErrInjected
-		}
-		return err, ar.Fatal, p.observer
+		return ar
 	}
-	return nil, false, nil
+	return nil
+}
+
+// CorruptData consumes one operation at the site for corruption rules
+// and, if one fires, flips one seeded-deterministic bit of data in
+// place, records the injection, notifies the observer, and returns its
+// description. Empty payloads never fire (there is nothing to flip, so
+// the op is not consumed). The flip is silent: callers must rely on
+// their checksum layer — not the return value — to notice on the read
+// side.
+func (p *Plan) CorruptData(site Site, data []byte) *Corruption {
+	if p == nil || len(data) == 0 {
+		return nil
+	}
+	c, obs := p.corrupt(site, int64(len(data)))
+	if c == nil {
+		return nil
+	}
+	data[c.Offset] ^= 1 << c.Bit
+	if obs != nil {
+		obs(site, &CorruptionError{Corruption: *c}, false)
+	}
+	return c
+}
+
+// CorruptCheck is CorruptData for modeled data planes that move no real
+// bytes (the in-process overlay, simulated DMA): it consumes one op for
+// corruption rules at the site and reports what would have been flipped
+// in an n-byte transfer. n <= 0 is treated as a 1-byte frame — a wire
+// message always has at least header bytes to corrupt.
+func (p *Plan) CorruptCheck(site Site, n int64) *Corruption {
+	if p == nil {
+		return nil
+	}
+	if n <= 0 {
+		n = 1
+	}
+	c, obs := p.corrupt(site, n)
+	if c == nil {
+		return nil
+	}
+	if obs != nil {
+		obs(site, &CorruptionError{Corruption: *c}, false)
+	}
+	return c
+}
+
+// corrupt evaluates corruption rules at the site and draws the flip
+// position for an n-byte payload.
+func (p *Plan) corrupt(site Site, n int64) (*Corruption, func(Site, error, bool)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.evalLocked(site, true) == nil {
+		return nil, nil
+	}
+	c := &Corruption{
+		Site:   site,
+		Offset: p.rng.Int63n(n),
+		Bit:    uint8(p.rng.Intn(8)),
+	}
+	p.corrupted[site]++
+	if len(p.log) < maxCorruptionLog {
+		p.log = append(p.log, *c)
+	}
+	return c, p.observer
+}
+
+// CorruptionsInjected returns how many corruptions have been injected
+// at the site so far.
+func (p *Plan) CorruptionsInjected(site Site) int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.corrupted[site]
+}
+
+// TotalCorruptions returns the total corruptions injected across all
+// sites. The chaos harness checks this against the detected + masked
+// counts reported by the checksummed planes.
+func (p *Plan) TotalCorruptions() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, c := range p.corrupted {
+		n += c
+	}
+	return n
+}
+
+// Corruptions returns the injection log (site + offset per flip),
+// bounded at maxCorruptionLog entries; the counters stay exact beyond
+// that.
+func (p *Plan) Corruptions() []Corruption {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Corruption, len(p.log))
+	copy(out, p.log)
+	return out
 }
 
 // Fired returns how many failures have been injected at the site so far
@@ -271,11 +460,13 @@ func (p *Plan) Sites() []Site {
 //
 // Keys: after=N (op-count trigger), times=K (failure budget, 0 =
 // permanent), prob=P (probability trigger), msg=S (error text), fatal=B
-// (kill the run instead of erroring — see FatalError). The pseudo-site
-// lustre.io arms a shared rule over lustre.read and lustre.write.
-// Example:
+// (kill the run instead of erroring — see FatalError), corrupt=B (flip
+// a payload bit instead of erroring — see CorruptData), delay=D (a
+// straggle duration, e.g. 50ms). The pseudo-site lustre.io arms a
+// shared rule over lustre.read and lustre.write. Example:
 //
 //	lustre.io:after=100,times=2;mrnet.node:times=1;mrnet.hop:prob=0.001
+//	lustre.read:corrupt=true,times=2;distrib.response:corrupt=true,prob=0.01
 //
 // An empty spec yields a nil plan (no injection).
 func Parse(spec string, seed int64) (*Plan, error) {
@@ -330,6 +521,18 @@ func Parse(spec string, seed int64) (*Plan, error) {
 					return nil, fmt.Errorf("faultinject: entry %q: bad fatal=%q", entry, v)
 				}
 				r.Fatal = b
+			case "corrupt":
+				b, err := strconv.ParseBool(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: entry %q: bad corrupt=%q", entry, v)
+				}
+				r.Corrupt = b
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("faultinject: entry %q: bad delay=%q", entry, v)
+				}
+				r.Delay = d
 			default:
 				return nil, fmt.Errorf("faultinject: entry %q: unknown key %q", entry, k)
 			}

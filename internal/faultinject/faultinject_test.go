@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNilPlanAndUnarmedSitePass(t *testing.T) {
@@ -297,5 +298,127 @@ func TestConcurrentMixedRules(t *testing.T) {
 	}
 	if got := p.TotalFired(); got != 8 {
 		t.Fatalf("TotalFired = %d, want 8 (5 shared + 3 hop)", got)
+	}
+}
+
+// TestCorruptRuleFlipsExactlyOneBit: a corrupt rule flips one seeded
+// bit of the payload, silently, and records the injection; error-rule
+// Check never consumes a corrupt rule and vice versa.
+func TestCorruptRuleFlipsExactlyOneBit(t *testing.T) {
+	p := New(42).Arm(LustreRead, Rule{Corrupt: true, Times: 1})
+	if err := p.Check(LustreRead); err != nil {
+		t.Fatalf("Check fired a corrupt rule as an error: %v", err)
+	}
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	data := append([]byte(nil), orig...)
+	c := p.CorruptData(LustreRead, data)
+	if c == nil {
+		t.Fatal("corrupt rule did not fire")
+	}
+	diff := 0
+	for i := range orig {
+		if x := orig[i] ^ data[i]; x != 0 {
+			diff++
+			if x&(x-1) != 0 {
+				t.Fatalf("byte %d changed by more than one bit: %08b", i, x)
+			}
+			if int64(i) != c.Offset || x != 1<<c.Bit {
+				t.Fatalf("flip at byte %d bit pattern %08b, Corruption says offset %d bit %d", i, x, c.Offset, c.Bit)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diff)
+	}
+	if got := p.CorruptionsInjected(LustreRead); got != 1 {
+		t.Fatalf("CorruptionsInjected = %d, want 1", got)
+	}
+	// Budget exhausted: no further flips.
+	if c := p.CorruptData(LustreRead, data); c != nil {
+		t.Fatalf("exhausted rule fired again: %+v", c)
+	}
+	// Empty payloads cannot fire (nothing to flip).
+	p2 := New(1).Arm(LustreRead, Rule{Corrupt: true, Times: 1})
+	if c := p2.CorruptData(LustreRead, nil); c != nil {
+		t.Fatalf("empty payload fired: %+v", c)
+	}
+	if got := p2.CorruptionsInjected(LustreRead); got != 0 {
+		t.Fatalf("empty payload recorded an injection: %d", got)
+	}
+}
+
+// TestCorruptCheckModeledPlane: CorruptCheck reports a flip position
+// inside an n-byte modeled transfer without touching real bytes.
+func TestCorruptCheckModeledPlane(t *testing.T) {
+	p := New(7).Arm(GPUTransfer, Rule{Corrupt: true, Times: 2})
+	for i := 0; i < 2; i++ {
+		c := p.CorruptCheck(GPUTransfer, 512)
+		if c == nil {
+			t.Fatalf("fire %d: rule did not fire", i)
+		}
+		if c.Offset < 0 || c.Offset >= 512 || c.Bit > 7 {
+			t.Fatalf("fire %d: out-of-range flip %+v", i, c)
+		}
+	}
+	if c := p.CorruptCheck(GPUTransfer, 512); c != nil {
+		t.Fatalf("exhausted rule fired: %+v", c)
+	}
+	if got := p.TotalCorruptions(); got != 2 {
+		t.Fatalf("TotalCorruptions = %d, want 2", got)
+	}
+}
+
+// TestDelayRule: a delay-only rule straggles the op without failing it.
+func TestDelayRule(t *testing.T) {
+	p := New(0).Arm(LustreRead, Rule{Delay: 30 * time.Millisecond, Times: 1})
+	var seen error
+	p.SetObserver(func(site Site, err error, fatal bool) { seen = err })
+	start := time.Now()
+	if err := p.Check(LustreRead); err != nil {
+		t.Fatalf("delay rule failed the op: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("op straggled only %v, want ~30ms", d)
+	}
+	var de *DelayError
+	if !errors.As(seen, &de) || de.D != 30*time.Millisecond {
+		t.Fatalf("observer saw %v, want a 30ms DelayError", seen)
+	}
+	// Budget spent: the next op is prompt.
+	start = time.Now()
+	if err := p.Check(LustreRead); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("second op straggled %v, want prompt", d)
+	}
+}
+
+// TestParseCorruptAndDelay: the spec grammar covers the corrupt and
+// delay keys, and rejects malformed values.
+func TestParseCorruptAndDelay(t *testing.T) {
+	p, err := Parse("lustre.read:corrupt=true,times=2;mrnet.hop:delay=15ms,times=1", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if c := p.CorruptData(LustreRead, buf); c == nil {
+		t.Fatal("parsed corrupt rule did not fire")
+	}
+	start := time.Now()
+	if err := p.Check(MRNetHop); err != nil {
+		t.Fatalf("parsed delay rule failed the op: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("parsed delay straggled only %v", d)
+	}
+	for _, bad := range []string{
+		"lustre.read:corrupt=maybe",
+		"mrnet.hop:delay=-5ms",
+		"mrnet.hop:delay=fast",
+	} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", bad)
+		}
 	}
 }

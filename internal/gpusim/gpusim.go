@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/integrity"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
@@ -112,24 +113,30 @@ type deviceMetrics struct {
 	poolMisses   *telemetry.Counter
 	poolReclaims *telemetry.Counter
 	poolBytes    *telemetry.Gauge
+	// Transfer-integrity ledger: corrupted DMA transfers caught by the
+	// modeled end-to-end CRC, and the re-transfers that healed them.
+	corruptTransfers *telemetry.Counter
+	transferRetries  *telemetry.Counter
 }
 
 func resolveDeviceMetrics(h *telemetry.Hub, device string) deviceMetrics {
 	return deviceMetrics{
-		launches:     h.Counter("gpusim_kernel_launches_total", "device", device),
-		blocks:       h.Counter("gpusim_blocks_executed_total", "device", device),
-		h2dTransfers: h.Counter("gpusim_h2d_transfers_total", "device", device),
-		d2hTransfers: h.Counter("gpusim_d2h_transfers_total", "device", device),
-		h2dBytes:     h.Counter("gpusim_h2d_bytes_total", "device", device),
-		d2hBytes:     h.Counter("gpusim_d2h_bytes_total", "device", device),
-		kernelWallNs: h.Counter("gpusim_kernel_wall_ns_total", "device", device),
-		allocBytes:   h.Gauge("gpusim_alloc_bytes", "device", device),
-		peakAlloc:    h.Gauge("gpusim_peak_alloc_bytes", "device", device),
-		occupancy:    h.Histogram("gpusim_sm_occupancy", telemetry.LinearBuckets(0.1, 0.1, 10), "device", device),
-		poolHits:     h.Counter("gpusim_pool_hits_total", "device", device),
-		poolMisses:   h.Counter("gpusim_pool_misses_total", "device", device),
-		poolReclaims: h.Counter("gpusim_pool_reclaims_total", "device", device),
-		poolBytes:    h.Gauge("gpusim_pool_bytes", "device", device),
+		launches:         h.Counter("gpusim_kernel_launches_total", "device", device),
+		blocks:           h.Counter("gpusim_blocks_executed_total", "device", device),
+		h2dTransfers:     h.Counter("gpusim_h2d_transfers_total", "device", device),
+		d2hTransfers:     h.Counter("gpusim_d2h_transfers_total", "device", device),
+		h2dBytes:         h.Counter("gpusim_h2d_bytes_total", "device", device),
+		d2hBytes:         h.Counter("gpusim_d2h_bytes_total", "device", device),
+		kernelWallNs:     h.Counter("gpusim_kernel_wall_ns_total", "device", device),
+		allocBytes:       h.Gauge("gpusim_alloc_bytes", "device", device),
+		peakAlloc:        h.Gauge("gpusim_peak_alloc_bytes", "device", device),
+		occupancy:        h.Histogram("gpusim_sm_occupancy", telemetry.LinearBuckets(0.1, 0.1, 10), "device", device),
+		poolHits:         h.Counter("gpusim_pool_hits_total", "device", device),
+		poolMisses:       h.Counter("gpusim_pool_misses_total", "device", device),
+		poolReclaims:     h.Counter("gpusim_pool_reclaims_total", "device", device),
+		poolBytes:        h.Gauge("gpusim_pool_bytes", "device", device),
+		corruptTransfers: h.Counter(integrity.MetricDetected, "site", string(faultinject.GPUTransfer)),
+		transferRetries:  h.Counter("gpusim_transfer_retries_total", "device", device),
 	}
 }
 
@@ -196,6 +203,8 @@ func (d *Device) SetTelemetry(h *telemetry.Hub) {
 	d.m.poolMisses.Add(old.poolMisses.Value())
 	d.m.poolReclaims.Add(old.poolReclaims.Value())
 	d.m.poolBytes.Set(old.poolBytes.Value())
+	d.m.corruptTransfers.Add(old.corruptTransfers.Value())
+	d.m.transferRetries.Add(old.transferRetries.Value())
 }
 
 // SetTraceParent nests the device's spans (kernel launches, transfers)
@@ -310,15 +319,66 @@ func (b *Buffer) Free() {
 	b.dev.mu.Unlock()
 }
 
+// maxTransferRetries bounds how many corrupted DMA transfers of one
+// payload are re-issued before the device gives up — mirroring a driver
+// that downs the link after repeated CRC errors.
+const maxTransferRetries = 3
+
+// ErrTransferCorrupt reports a host↔device transfer that kept failing
+// its end-to-end CRC across maxTransferRetries re-issues.
+var ErrTransferCorrupt = errors.New("gpusim: transfer corrupt after retries")
+
+// transferIntegrity models the PCIe end-to-end CRC: a corrupt rule
+// firing at gpusim.transfer means the DMA'd bytes arrived flipped, the
+// far side's CRC check catches it, and the transfer is re-issued (the
+// wire time was still spent, so the cost is charged per attempt). The
+// payload bytes themselves live in host slices, so — unlike the byte
+// planes — detection here is certain by construction. Returns the extra
+// cost of the corrupted attempts.
+func (d *Device) transferIntegrity(dir string, n int64, cost time.Duration) (time.Duration, error) {
+	d.mu.Lock()
+	plan := d.plan
+	d.mu.Unlock()
+	if plan == nil {
+		return 0, nil
+	}
+	var extra time.Duration
+	for attempt := 0; ; attempt++ {
+		c := plan.CorruptCheck(faultinject.GPUTransfer, n)
+		if c == nil {
+			return extra, nil
+		}
+		d.clock.Charge(d.pcieResource(), cost)
+		extra += cost
+		hub, parent, m, _ := d.telemetry()
+		m.corruptTransfers.Inc()
+		m.transferRetries.Inc()
+		hub.Event(parent, "integrity.corruption.detected",
+			telemetry.String("site", string(faultinject.GPUTransfer)),
+			telemetry.String("device", d.cfg.Name),
+			telemetry.String("dir", dir),
+			telemetry.Int64("offset", c.Offset),
+			telemetry.Bool("healed", attempt+1 < maxTransferRetries),
+		)
+		if attempt+1 >= maxTransferRetries {
+			return extra, fmt.Errorf("gpusim: %s transfer of %d bytes: %w", dir, n, ErrTransferCorrupt)
+		}
+	}
+}
+
 // CopyToDevice charges a host→device transfer of n bytes.
 func (d *Device) CopyToDevice(b *Buffer, n int64) error {
 	if err := d.checkTransfer(b, n); err != nil {
 		return err
 	}
 	cost := d.cfg.TransferLatency + simclock.BytesDuration(n, d.cfg.H2DBandwidth)
+	extra, err := d.transferIntegrity("h2d", n, cost)
+	if err != nil {
+		return err
+	}
 	hub, parent, m, spans := d.telemetry()
 	if spans {
-		hub.RecordSim(parent, "gpu.h2d", cost, telemetry.Int64("bytes", n))
+		hub.RecordSim(parent, "gpu.h2d", cost+extra, telemetry.Int64("bytes", n))
 	}
 	d.clock.Charge(d.pcieResource(), cost)
 	m.h2dTransfers.Inc()
@@ -332,9 +392,13 @@ func (d *Device) CopyFromDevice(b *Buffer, n int64) error {
 		return err
 	}
 	cost := d.cfg.TransferLatency + simclock.BytesDuration(n, d.cfg.D2HBandwidth)
+	extra, err := d.transferIntegrity("d2h", n, cost)
+	if err != nil {
+		return err
+	}
 	hub, parent, m, spans := d.telemetry()
 	if spans {
-		hub.RecordSim(parent, "gpu.d2h", cost, telemetry.Int64("bytes", n))
+		hub.RecordSim(parent, "gpu.d2h", cost+extra, telemetry.Int64("bytes", n))
 	}
 	d.clock.Charge(d.pcieResource(), cost)
 	m.d2hTransfers.Inc()

@@ -282,3 +282,57 @@ func TestLaunchFaultInjection(t *testing.T) {
 		t.Errorf("KernelLaunches = %d, want 2 (failed launch not counted)", st.KernelLaunches)
 	}
 }
+
+// A corrupt rule at gpusim.transfer models a flipped DMA: the end-to-end
+// CRC catches it, the wire time is paid again, and the transfer is
+// re-issued transparently.
+func TestTransferCorruptionRetransfers(t *testing.T) {
+	clock := simclock.New()
+	d := New(testConfig(), clock)
+	plan := faultinject.New(11)
+	plan.Arm(faultinject.GPUTransfer, faultinject.Rule{Corrupt: true, Times: 1})
+	d.SetFaultPlan(plan)
+
+	b, err := d.Alloc("buf", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyToDevice(b, 4096); err != nil {
+		t.Fatalf("CopyToDevice: %v", err)
+	}
+	s := d.Stats()
+	if s.H2DTransfers != 1 {
+		t.Fatalf("H2DTransfers = %d, want 1 (retry is the same logical transfer)", s.H2DTransfers)
+	}
+	if got := d.m.transferRetries.Value(); got != 1 {
+		t.Fatalf("transfer retries = %d, want 1", got)
+	}
+	if got := d.m.corruptTransfers.Value(); got != 1 {
+		t.Fatalf("corruptions detected = %d, want 1", got)
+	}
+	// One clean + one corrupted attempt: the PCIe resource paid twice.
+	cost := testConfig().TransferLatency + simclock.BytesDuration(4096, testConfig().H2DBandwidth)
+	if got := clock.Resource("test/pcie"); got != 2*cost {
+		t.Fatalf("pcie time = %v, want %v", got, 2*cost)
+	}
+}
+
+// A persistently corrupting link surfaces ErrTransferCorrupt after the
+// bounded re-transfers instead of spinning forever.
+func TestTransferCorruptionBounded(t *testing.T) {
+	d := New(testConfig(), nil)
+	plan := faultinject.New(12)
+	plan.Arm(faultinject.GPUTransfer, faultinject.Rule{Corrupt: true}) // unlimited
+	d.SetFaultPlan(plan)
+
+	b, err := d.Alloc("buf", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyFromDevice(b, 64); !errors.Is(err, ErrTransferCorrupt) {
+		t.Fatalf("CopyFromDevice err = %v, want ErrTransferCorrupt", err)
+	}
+	if got := plan.CorruptionsInjected(faultinject.GPUTransfer); got != maxTransferRetries {
+		t.Fatalf("injected = %d, want %d", got, maxTransferRetries)
+	}
+}

@@ -1,0 +1,174 @@
+package lustre
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func integrityFS(t *testing.T) *FS {
+	t.Helper()
+	fs := New(Config{OSTs: 4, StripeSize: 1 << 16}, nil)
+	fs.EnableIntegrity()
+	return fs
+}
+
+func patterned(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	return p
+}
+
+// A transient read-side bit flip is caught by block verification and
+// healed by a reread: the caller sees clean data and no error.
+func TestIntegrityReadCorruptionHealed(t *testing.T) {
+	fs := integrityFS(t)
+	plan := faultinject.New(1)
+	plan.Arm(faultinject.LustreRead, faultinject.Rule{Corrupt: true, Times: 1})
+	fs.SetFaultPlan(plan)
+
+	want := patterned(3 * integrityBlock / 2)
+	h := fs.Create("data")
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(want))
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("healed read returned wrong bytes")
+	}
+	r := fs.IntegrityReport()
+	if r.DetectedRead != 1 || r.Rereads != 1 || r.Latent != 0 {
+		t.Fatalf("report = %+v, want 1 detected read, 1 reread, 0 latent", r)
+	}
+	if n := plan.CorruptionsInjected(faultinject.LustreRead); n != 1 {
+		t.Fatalf("injected = %d, want 1", n)
+	}
+}
+
+// A write-side flip lands in the store after the checksums were
+// recorded; the next read of that block detects it and fails loudly
+// instead of returning wrong bytes.
+func TestIntegrityWriteCorruptionDetectedOnRead(t *testing.T) {
+	fs := integrityFS(t)
+	plan := faultinject.New(2)
+	plan.Arm(faultinject.LustreWrite, faultinject.Rule{Corrupt: true, Times: 1})
+	fs.SetFaultPlan(plan)
+
+	h := fs.Create("data")
+	if _, err := h.WriteAt(patterned(integrityBlock), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if r := fs.IntegrityReport(); r.Latent != 1 {
+		t.Fatalf("latent = %d after corrupted write, want 1", r.Latent)
+	}
+	got := make([]byte, integrityBlock)
+	if _, err := h.ReadAt(got, 0); !errors.Is(err, ErrCorruptData) {
+		t.Fatalf("ReadAt err = %v, want ErrCorruptData", err)
+	}
+	r := fs.IntegrityReport()
+	if r.DetectedWrite != 1 || r.Latent != 0 {
+		t.Fatalf("report = %+v, want 1 detected write, 0 latent", r)
+	}
+}
+
+// Fully overwriting a corrupted block retires the taint as masked: the
+// bad bytes never reached a reader.
+func TestIntegrityWriteCorruptionMaskedByOverwrite(t *testing.T) {
+	fs := integrityFS(t)
+	plan := faultinject.New(3)
+	plan.Arm(faultinject.LustreWrite, faultinject.Rule{Corrupt: true, Times: 1})
+	fs.SetFaultPlan(plan)
+
+	h := fs.Create("data")
+	if _, err := h.WriteAt(patterned(integrityBlock), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	want := patterned(integrityBlock)
+	for i := range want {
+		want[i] ^= 0xff
+	}
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got := make([]byte, integrityBlock)
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after overwrite: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("overwrite did not replace corrupted bytes")
+	}
+	r := fs.IntegrityReport()
+	if r.Masked != 1 || r.DetectedWrite != 0 || r.Latent != 0 {
+		t.Fatalf("report = %+v, want 1 masked", r)
+	}
+}
+
+// Partially overwriting a corrupted block performs the guard-tag
+// read-modify-write verify and detects the stored corruption at write
+// time, so the taint is never re-checksummed into a valid block.
+func TestIntegrityPartialOverwriteDetects(t *testing.T) {
+	fs := integrityFS(t)
+	plan := faultinject.New(4)
+	plan.Arm(faultinject.LustreWrite, faultinject.Rule{Corrupt: true, Times: 1})
+	fs.SetFaultPlan(plan)
+
+	h := fs.Create("data")
+	if _, err := h.WriteAt(patterned(integrityBlock), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if _, err := h.WriteAt([]byte{1, 2, 3}, 10); !errors.Is(err, ErrCorruptData) {
+		t.Fatalf("partial overwrite err = %v, want ErrCorruptData", err)
+	}
+	r := fs.IntegrityReport()
+	if r.DetectedWrite != 1 || r.Latent != 0 {
+		t.Fatalf("report = %+v, want 1 detected write, 0 latent", r)
+	}
+}
+
+// Removing a file retires its taints as masked: unlinked data cannot
+// influence output, so the chaos ledger still balances.
+func TestIntegrityRemoveMasksTaints(t *testing.T) {
+	fs := integrityFS(t)
+	plan := faultinject.New(5)
+	plan.Arm(faultinject.LustreWrite, faultinject.Rule{Corrupt: true, Times: 1})
+	fs.SetFaultPlan(plan)
+
+	h := fs.Create("data")
+	if _, err := h.WriteAt(patterned(integrityBlock), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	fs.Remove("data")
+	r := fs.IntegrityReport()
+	if r.Masked != 1 || r.Latent != 0 {
+		t.Fatalf("report = %+v, want 1 masked, 0 latent", r)
+	}
+}
+
+// Without integrity enabled an injected read flip escapes silently —
+// the scenario the checksummed planes exist to prevent.
+func TestCorruptionEscapesWithoutIntegrity(t *testing.T) {
+	fs := New(Config{OSTs: 4, StripeSize: 1 << 16}, nil)
+	plan := faultinject.New(6)
+	plan.Arm(faultinject.LustreRead, faultinject.Rule{Corrupt: true, Times: 1})
+	fs.SetFaultPlan(plan)
+
+	want := patterned(256)
+	h := fs.Create("data")
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(want))
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("expected the injected flip to corrupt the unprotected read")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/integrity"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
@@ -78,16 +79,26 @@ type fsMetrics struct {
 	bytesWritten *telemetry.Counter
 	seeks        *telemetry.Counter
 	filesCreated *telemetry.Counter
+	// Integrity ledger (see integrity.go): detections by side, taints
+	// retired as masked, and verification rereads.
+	corruptReads  *telemetry.Counter
+	corruptWrites *telemetry.Counter
+	corruptMasked *telemetry.Counter
+	rereads       *telemetry.Counter
 }
 
 func resolveFSMetrics(h *telemetry.Hub) fsMetrics {
 	return fsMetrics{
-		readOps:      h.Counter("lustre_read_ops_total"),
-		writeOps:     h.Counter("lustre_write_ops_total"),
-		bytesRead:    h.Counter("lustre_bytes_read_total"),
-		bytesWritten: h.Counter("lustre_bytes_written_total"),
-		seeks:        h.Counter("lustre_seeks_total"),
-		filesCreated: h.Counter("lustre_files_created_total"),
+		readOps:       h.Counter("lustre_read_ops_total"),
+		writeOps:      h.Counter("lustre_write_ops_total"),
+		bytesRead:     h.Counter("lustre_bytes_read_total"),
+		bytesWritten:  h.Counter("lustre_bytes_written_total"),
+		seeks:         h.Counter("lustre_seeks_total"),
+		filesCreated:  h.Counter("lustre_files_created_total"),
+		corruptReads:  h.Counter(integrity.MetricDetected, "site", string(faultinject.LustreRead)),
+		corruptWrites: h.Counter(integrity.MetricDetected, "site", string(faultinject.LustreWrite)),
+		corruptMasked: h.Counter(integrity.MetricMasked, "site", string(faultinject.LustreWrite)),
+		rereads:       h.Counter("lustre_integrity_rereads_total"),
 	}
 }
 
@@ -107,11 +118,25 @@ type FS struct {
 	// spans gates per-operation span recording: off on the private
 	// default hub, on once a run-level hub is installed via SetTelemetry.
 	spans bool
+	// integrity gates per-block CRC32C tracking and read verification
+	// (see integrity.go / EnableIntegrity).
+	integrity bool
 }
 
 type file struct {
 	mu   sync.RWMutex
 	data []byte
+
+	// imu guards the integrity state below; always acquired after mu.
+	imu sync.Mutex
+	// sums holds one CRC32C per integrityBlock-sized block of data,
+	// covering [b*block, min((b+1)*block, len(data))). nil until the
+	// first operation with integrity enabled.
+	sums []uint32
+	// tainted counts the injected write corruptions still stored in each
+	// block and not yet detected or masked — two flips landing in one
+	// block are two ledger entries, not one.
+	tainted map[int64]int64
 }
 
 // ErrNotExist is returned when opening a file that was never created.
@@ -158,6 +183,10 @@ func (fs *FS) SetTelemetry(h *telemetry.Hub) {
 	fs.m.bytesWritten.Add(old.bytesWritten.Value())
 	fs.m.seeks.Add(old.seeks.Value())
 	fs.m.filesCreated.Add(old.filesCreated.Value())
+	fs.m.corruptReads.Add(old.corruptReads.Value())
+	fs.m.corruptWrites.Add(old.corruptWrites.Value())
+	fs.m.corruptMasked.Add(old.corruptMasked.Value())
+	fs.m.rereads.Add(old.rereads.Value())
 }
 
 // SetTraceParent nests the file system's I/O spans under s — the span
@@ -251,10 +280,14 @@ func (fs *FS) OpenOrCreate(name string) *Handle {
 }
 
 // Remove deletes a file. Removing a missing file is not an error.
+// Outstanding taints on the unlinked file are retired as masked — data
+// that no longer exists cannot corrupt any output.
 func (fs *FS) Remove(name string) {
 	fs.mu.Lock()
+	f := fs.files[name]
 	delete(fs.files, name)
 	fs.mu.Unlock()
+	fs.maskTaints(f)
 }
 
 // Rename atomically renames a file, replacing newname if it exists —
@@ -267,16 +300,22 @@ func (fs *FS) Remove(name string) {
 // exactly as with POSIX descriptors.
 func (fs *FS) Rename(oldname, newname string) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	f, ok := fs.files[oldname]
 	if !ok {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotExist, oldname)
 	}
 	if oldname == newname {
+		fs.mu.Unlock()
 		return nil
 	}
+	replaced := fs.files[newname]
 	fs.files[newname] = f
 	delete(fs.files, oldname)
+	fs.mu.Unlock()
+	if replaced != f {
+		fs.maskTaints(replaced) // the unlinked old contents can't be read by name anymore
+	}
 	return nil
 }
 
@@ -364,14 +403,49 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	if err := h.fs.checkFault(faultinject.LustreWrite); err != nil {
 		return 0, fmt.Errorf("lustre: write %q at %d: %w", h.name, off, err)
 	}
+	h.fs.mu.Lock()
+	plan, withIntegrity := h.fs.plan, h.fs.integrity
+	h.fs.mu.Unlock()
+
 	h.f.mu.Lock()
 	end := off + int64(len(p))
+	oldSize := int64(len(h.f.data))
+	var masked int64
+	if withIntegrity {
+		h.f.ensureSums()
+		// Guard-tag read-modify-write: blocks whose prior contents
+		// survive this write are verified before we touch them, so a
+		// stored corruption is detected instead of re-checksummed.
+		var (
+			corrupt      []int64
+			corruptCount int64
+		)
+		corrupt, corruptCount, masked = h.f.verifyWriteCover(off, end)
+		if len(corrupt) > 0 {
+			h.f.mu.Unlock()
+			_, _, m, _ := h.fs.telemetry()
+			if masked > 0 {
+				m.corruptMasked.Add(masked)
+			}
+			h.fs.detect(faultinject.LustreWrite, h.name, corrupt[0]*integrityBlock, false, corruptCount)
+			return 0, fmt.Errorf("lustre: write %q at %d: stored block %d: %w", h.name, off, corrupt[0], ErrCorruptData)
+		}
+	}
 	if end > int64(len(h.f.data)) {
 		grown := make([]byte, end)
 		copy(grown, h.f.data)
 		h.f.data = grown
 	}
 	copy(h.f.data[off:end], p)
+	if withIntegrity {
+		h.f.recomputeSums(off, end, oldSize)
+	}
+	// Injected write corruption flips a stored bit after the checksums
+	// are recorded (bad DMA between client checksum and OST platter):
+	// the flip is silent here and caught by a later read or overwrite.
+	if c := plan.CorruptData(faultinject.LustreWrite, h.f.data[off:end]); c != nil && withIntegrity {
+		h.f.taint(off + c.Offset)
+	}
 	h.f.mu.Unlock()
 
 	h.mu.Lock()
@@ -383,6 +457,9 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	hub, parent, m, spans := h.fs.telemetry()
 	if spans {
 		hub.RecordSim(parent, "lustre.write", cost, telemetry.Int64("bytes", int64(len(p))))
+	}
+	if masked > 0 {
+		m.corruptMasked.Add(masked)
 	}
 	if seek {
 		m.seeks.Inc()
@@ -400,11 +477,40 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	if err := h.fs.checkFault(faultinject.LustreRead); err != nil {
 		return 0, fmt.Errorf("lustre: read %q at %d: %w", h.name, off, err)
 	}
+	h.fs.mu.Lock()
+	plan, withIntegrity := h.fs.plan, h.fs.integrity
+	h.fs.mu.Unlock()
+
 	h.f.mu.RLock()
 	size := int64(len(h.f.data))
 	var n int
 	if off < size {
 		n = copy(p, h.f.data[off:])
+	}
+	// Injected read corruption flips a bit of the returned copy — wire
+	// corruption between OST and client. The store stays clean, so a
+	// verification-triggered reread heals it.
+	injected := plan.CorruptData(faultinject.LustreRead, p[:n])
+	var (
+		rereads      int64
+		storedTaints int64
+		corruptBlock int64 = -1
+	)
+	if withIntegrity && n > 0 {
+		h.f.ensureSums()
+		corrupt := h.f.verifyRead(p[:n], off, n)
+		if len(corrupt) > 0 && injected != nil {
+			// Transient: refetch the whole range from the store (no
+			// second injection — one op, one corruption) and reverify.
+			copy(p[:n], h.f.data[off:off+int64(n)])
+			rereads++
+			corrupt = h.f.verifyRead(p[:n], off, n)
+		}
+		if len(corrupt) > 0 {
+			// Persistent: the stored bytes are wrong.
+			storedTaints = h.f.retireTaints(corrupt)
+			corruptBlock = corrupt[0]
+		}
 	}
 	h.f.mu.RUnlock()
 
@@ -414,15 +520,26 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	h.mu.Unlock()
 
 	cost := h.fs.chargeIO(off, int64(n), seek)
+	if rereads > 0 {
+		cost += h.fs.chargeIO(off, int64(n), false) // the reread pays the wire again
+		h.fs.detect(faultinject.LustreRead, h.name, off+injected.Offset, true, 1)
+	}
 	hub, parent, m, spans := h.fs.telemetry()
 	if spans {
 		hub.RecordSim(parent, "lustre.read", cost, telemetry.Int64("bytes", int64(n)))
 	}
+	m.rereads.Add(rereads)
 	if seek {
 		m.seeks.Inc()
 	}
 	m.readOps.Inc()
 	m.bytesRead.Add(int64(n))
+	if corruptBlock >= 0 {
+		if storedTaints > 0 {
+			h.fs.detect(faultinject.LustreWrite, h.name, corruptBlock*integrityBlock, false, storedTaints)
+		}
+		return 0, fmt.Errorf("lustre: read %q at %d: stored block %d: %w", h.name, off, corruptBlock, ErrCorruptData)
+	}
 	if n < len(p) {
 		return n, io.EOF
 	}

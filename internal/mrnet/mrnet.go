@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/integrity"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
@@ -125,14 +126,20 @@ type netMetrics struct {
 	bytes      *telemetry.Counter
 	recoveries *telemetry.Counter
 	filterSec  *telemetry.Histogram
+	// Frame-integrity ledger: corrupted edge frames caught by the
+	// modeled CRC32C trailer, and the retransmits that healed them.
+	corruptHops *telemetry.Counter
+	retransmits *telemetry.Counter
 }
 
 func resolveNetMetrics(h *telemetry.Hub, label string) netMetrics {
 	return netMetrics{
-		packets:    h.Counter("mrnet_packets_total", "net", label),
-		bytes:      h.Counter("mrnet_bytes_total", "net", label),
-		recoveries: h.Counter("mrnet_recoveries_total", "net", label),
-		filterSec:  h.Histogram("mrnet_filter_seconds", telemetry.DefSecondsBuckets(), "net", label),
+		packets:     h.Counter("mrnet_packets_total", "net", label),
+		bytes:       h.Counter("mrnet_bytes_total", "net", label),
+		recoveries:  h.Counter("mrnet_recoveries_total", "net", label),
+		filterSec:   h.Histogram("mrnet_filter_seconds", telemetry.DefSecondsBuckets(), "net", label),
+		corruptHops: h.Counter(integrity.MetricDetected, "site", string(faultinject.MRNetHop)),
+		retransmits: h.Counter("mrnet_retransmits_total", "net", label),
 	}
 }
 
@@ -278,6 +285,8 @@ func (net *Network) SetTelemetry(h *telemetry.Hub, name string) {
 	net.m.packets.Add(old.packets.Value())
 	net.m.bytes.Add(old.bytes.Value())
 	net.m.recoveries.Add(old.recoveries.Value())
+	net.m.corruptHops.Add(old.corruptHops.Value())
+	net.m.retransmits.Add(old.retransmits.Value())
 }
 
 // SetTraceParent nests the network's hop/filter spans under s — the
@@ -317,10 +326,46 @@ func (net *Network) chargeHop(level int, bytes int64) {
 	net.clock.Charge(fmt.Sprintf("mrnet/level%d", level), cost)
 }
 
+// maxHopRetransmits bounds CRC-triggered retransmits of one frame on
+// one edge before the edge is declared bad and the collective fails
+// (to be retried a level up or by the phase retry policy).
+const maxHopRetransmits = 3
+
+// ErrHopCorrupt reports a tree edge that kept corrupting a frame past
+// the retransmit budget.
+var ErrHopCorrupt = errors.New("mrnet: frame corrupt after retransmits")
+
+// transmitHop models one checksummed frame crossing a tree edge: a
+// corrupt rule firing at mrnet.hop means the frame's bits flipped on
+// the wire, the CRC32C trailer catches it at the receiving process, and
+// the frame is retransmitted — charging the edge again. In-process
+// payloads move by reference, so the flip itself is modeled; what is
+// real is the detection accounting and the retransmit cost.
+func (net *Network) transmitHop(level int, bytes int64) error {
+	for attempt := 0; ; attempt++ {
+		c := net.faultPlan().CorruptCheck(faultinject.MRNetHop, bytes)
+		net.chargeHop(level, bytes)
+		if c == nil {
+			return nil
+		}
+		hub, parent, m, _ := net.telemetry()
+		m.corruptHops.Inc()
+		m.retransmits.Inc()
+		hub.Event(parent, "integrity.corruption.detected",
+			telemetry.String("site", string(faultinject.MRNetHop)),
+			telemetry.Int("level", level),
+			telemetry.Int64("offset", c.Offset),
+			telemetry.Bool("healed", attempt+1 < maxHopRetransmits))
+		if attempt+1 >= maxHopRetransmits {
+			return ErrHopCorrupt
+		}
+	}
+}
+
 // SetFaultPlan installs the fault plan consulted at the mrnet.hop site
-// (per tree-edge transfer) and the mrnet.node site (internal process
-// crash, recovered by re-parenting). Set it before starting collectives;
-// a nil plan disables injection.
+// (per tree-edge transfer, error rules and corrupt rules) and the
+// mrnet.node site (internal process crash, recovered by re-parenting).
+// Set it before starting collectives; a nil plan disables injection.
 func (net *Network) SetFaultPlan(p *faultinject.Plan) {
 	net.topoMu.Lock()
 	net.plan = p
@@ -573,7 +618,12 @@ func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine
 				if size != nil {
 					b = size(v)
 				}
-				net.chargeHop(c.level, b)
+				if ferr := net.transmitHop(c.level, b); ferr != nil {
+					err = fmt.Errorf("mrnet: hop from node %d to node %d: %w", c.id, n.id, ferr)
+					op.fail(err)
+					errs[i] = err
+					return
+				}
 				results[i] = v
 				doneMu.Lock()
 				done[c] = v
@@ -708,7 +758,12 @@ func multicastAt[T any](net *Network, n *Node, payload T, split func(*Node, T) (
 				if size != nil {
 					b = size(parts[i])
 				}
-				net.chargeHop(c.level, b)
+				if ferr := net.transmitHop(c.level, b); ferr != nil {
+					err := fmt.Errorf("mrnet: hop from node %d to node %d: %w", n.id, c.id, ferr)
+					op.fail(err)
+					errs[i] = err
+					return
+				}
 				if err := multicastAt(net, c, parts[i], split, deliver, size, op); err != nil {
 					errs[i] = err
 					return

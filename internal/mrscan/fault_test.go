@@ -188,3 +188,32 @@ func TestGPUFaultNamesClusterPhase(t *testing.T) {
 		t.Errorf("transient GPU fault not absorbed by retry: %v", err)
 	}
 }
+
+// TestTCPMergeKillMidFrameRecovers: a process killed mid-frame during
+// the TCP merge tears the overlay; the merge-phase retry rebuilds it
+// from the durable partition outputs and the run completes correctly.
+func TestTCPMergeKillMidFrameRecovers(t *testing.T) {
+	pts := dataset.Twitter(5000, 21)
+	cfg := Default(0.1, 40, 4)
+	cfg.MergeOverTCP = true
+	cfg.Retry = RetryPolicy{MaxAttempts: 3}
+
+	_, want, err := RunPoints(pts, Default(0.1, 40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultPlan = faultinject.New(0).
+		Arm(faultinject.MRNetFrame, faultinject.Rule{Times: 1})
+	res, got, err := RunPoints(pts, cfg)
+	if err != nil {
+		t.Fatalf("mid-frame kill not recovered by merge retry: %v", err)
+	}
+	if res.Times.MergeRetries == 0 {
+		t.Error("MergeRetries = 0: the torn frame should have cost one merge attempt")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label[%d] = %d, want %d: recovery changed the clustering", i, got[i], want[i])
+		}
+	}
+}

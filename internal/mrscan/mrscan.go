@@ -467,6 +467,9 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 	}
 	if cfg.FaultPlan != nil {
 		fs.SetFaultPlan(cfg.FaultPlan)
+		// A run that may see injected corruption gets the checksummed
+		// data plane: without it a lustre bit flip escapes silently.
+		fs.EnableIntegrity()
 		cfg.FaultPlan.SetObserver(func(site faultinject.Site, ferr error, fatal bool) {
 			hub.Event(curSpan.Load(), "fault.injected",
 				telemetry.String("site", string(site)), telemetry.Bool("fatal", fatal))
@@ -835,6 +838,7 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			var err error
 			if cfg.MergeOverTCP {
 				final, err = mergeOverTCP(g, cfg.Eps, cfg.Leaves, cfg.Fanout,
+					cfg.FaultPlan, hub,
 					func(leaf int) []*merge.Summary { return states[leaf].summaries })
 				return err
 			}

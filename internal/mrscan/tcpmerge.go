@@ -5,9 +5,11 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/grid"
 	"repro/internal/merge"
 	"repro/internal/mrnet"
+	"repro/internal/telemetry"
 )
 
 // mergeOverTCP runs the §3.3.2 progressive merge over a tree of real TCP
@@ -17,7 +19,11 @@ import (
 // filter, and re-encodes the reduced summaries upstream. Demonstrates
 // that the merge protocol is transport-independent — the property that
 // lets MRNet instantiate the same tree across a physical cluster.
-func mergeOverTCP(g grid.Grid, eps float64, leaves, fanout int, summaries func(leaf int) []*merge.Summary) ([]*merge.Summary, error) {
+// The fault plan and hub (both may be nil) give the frame layer its
+// injection site and integrity counters; a frame torn by an injected
+// sender death fails the Reduce, and the merge phase's retry rebuilds
+// the whole overlay from the surviving summaries.
+func mergeOverTCP(g grid.Grid, eps float64, leaves, fanout int, plan *faultinject.Plan, hub *telemetry.Hub, summaries func(leaf int) []*merge.Summary) ([]*merge.Summary, error) {
 	encode := func(sums []*merge.Summary) ([]byte, error) {
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(sums); err != nil {
@@ -52,6 +58,8 @@ func mergeOverTCP(g grid.Grid, eps float64, leaves, fanout int, summaries func(l
 		return nil, err
 	}
 	defer net.Close()
+	net.SetFaultPlan(plan)
+	net.SetTelemetry(hub)
 	out, err := net.Reduce(nil)
 	if err != nil {
 		return nil, err
