@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare chaos experiments cover clean
+.PHONY: all build vet test race bench bench-compare chaos soak experiments cover clean
 
 all: build vet test
 
@@ -16,10 +16,11 @@ vet:
 # concurrency-heavy fault-tolerance, telemetry, and cluster-phase
 # packages (gdbscan expansion blocks and gpusim buffer pools are hot
 # concurrent paths; chaos and lustre exercise the integrity ledger
-# under concurrent leaves).
+# under concurrent leaves; server schedules concurrent jobs over all of
+# them).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server
 
 race:
 	$(GO) test -race ./...
@@ -30,6 +31,16 @@ race:
 CHAOSFLAGS ?=
 chaos:
 	$(GO) run ./cmd/chaos -seeds 20 -out chaos-report.json $(CHAOSFLAGS)
+
+# Server soak: seeded overload campaigns against the job server —
+# multi-tenant bursts past queue capacity, injected faults, and a
+# mid-campaign drain + restart per seed. Fails on any silent drop,
+# untyped rejection, or quality-floor miss; the JSON report lands in
+# soak-report.json. SOAKFLAGS appends, e.g.
+# make soak SOAKFLAGS='-seeds 25 -tenants 5'.
+SOAKFLAGS ?=
+soak:
+	$(GO) run ./cmd/chaos -mode overload -seeds 10 -out soak-report.json $(SOAKFLAGS)
 
 # Full benchmark sweep: every paper table/figure plus the ablations.
 # Results land in BENCH_run.txt (raw) and BENCH_run.json (machine-
@@ -45,10 +56,10 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_run.json BENCH_run.txt
 
 # Regression gate: compare the latest BENCH_run.json against the
-# committed seed baseline. Fails if any Cluster benchmark's wall clock
-# regressed more than 20%.
+# committed seed baseline. Fails if any Cluster or Partition benchmark's
+# wall clock regressed more than 20%.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_seed.json -match '^BenchmarkCluster' BENCH_run.json
+	$(GO) run ./cmd/benchjson -compare BENCH_seed.json -match '^Benchmark(Cluster|Partition)' BENCH_run.json
 
 # Regenerate every evaluation artifact (measured + modeled rows).
 experiments:
@@ -59,4 +70,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_run.txt BENCH_run.json chaos-report.json
+	rm -f BENCH_run.txt BENCH_run.json chaos-report.json soak-report.json

@@ -22,6 +22,8 @@
 package mrscan
 
 import (
+	"context"
+
 	"repro/internal/dataset"
 	"repro/internal/dbscan"
 	"repro/internal/geom"
@@ -90,11 +92,28 @@ func Run(fs *FS, inputFile, outputFile string, cfg Config) (*Result, error) {
 	return mrscan.Run(fs, inputFile, outputFile, cfg)
 }
 
+// RunContext is Run under a caller context: cancellation or deadline
+// expiry aborts the pipeline at the next phase or tree-hop boundary. The
+// returned error wraps the context error, and the partial Result lists
+// the phases that completed before the abort — with Config.Checkpoint
+// those phases are durable, so a later Resume run picks up where the
+// deadline struck. Long-running callers (the mrscand job server, CLIs
+// with -deadline) use this entry point.
+func RunContext(ctx context.Context, fs *FS, inputFile, outputFile string, cfg Config) (*Result, error) {
+	return mrscan.RunContext(ctx, fs, inputFile, outputFile, cfg)
+}
+
 // RunPoints is the in-memory convenience entry point: it provisions a
 // fresh simulated file system, stores pts, runs the pipeline, and returns
 // per-point global cluster labels aligned with pts (-1 = noise).
 func RunPoints(pts []Point, cfg Config) (*Result, []int, error) {
 	return mrscan.RunPoints(pts, cfg)
+}
+
+// RunPointsContext is RunPoints under a caller context, aborting at the
+// next phase boundary on cancellation or deadline expiry.
+func RunPointsContext(ctx context.Context, pts []Point, cfg Config) (*Result, []int, error) {
+	return mrscan.RunPointsContext(ctx, pts, cfg)
 }
 
 // DBSCAN runs the reference sequential DBSCAN (Ester et al., KDD'96) with

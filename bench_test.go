@@ -409,6 +409,35 @@ func BenchmarkClusterMultiPartition(b *testing.B) {
 	}
 }
 
+// BenchmarkPartition is the partition-phase microbenchmark: the full
+// in-memory partition computation — density histogram, plan (with the
+// backward rebalancing pass), and the point split with shadow
+// regions — per op, at cluster-phase leaf counts. It pins the baseline
+// for the partition-phase attack (ROADMAP item 2); like the Cluster
+// series it is wall-clock gated by CI against BENCH_seed.json.
+func BenchmarkPartition(b *testing.B) {
+	for _, leaves := range []int{4, 8} {
+		pts := twitterData(leaves * benchPointsPerLeaf)
+		b.Run(fmt.Sprintf("leaves=%d", leaves), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := grid.New(0.1)
+				h := g.HistogramOf(pts)
+				plan, err := partition.MakePlan(g, h, leaves, 40, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				split, err := partition.Split(plan, pts, partition.SplitOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(plan.MaxTotal())/plan.MeanTotal(), "imbalance")
+				b.ReportMetric(float64(len(split.Partitions)), "partitions")
+			}
+		})
+	}
+}
+
 // BenchmarkClusterSinglePartition is one partition-sized Cluster call per
 // op on a reused device: the classify+expand hot path without
 // multi-partition amortization.

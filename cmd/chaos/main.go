@@ -10,8 +10,15 @@
 //	chaos -seeds 5 -seed-base 100   # seeds 100..104
 //	chaos -seeds 20 -out report.json
 //
+// With -mode overload it instead storms the job server: multi-tenant
+// bursts past queue capacity with seeded faults, a mid-campaign drain
+// and restart on the same state directory, and the serving-contract
+// audit — typed rejections only, zero silent drops, quality floors met.
+//
+//	chaos -mode overload -seeds 10
+//
 // Exit status is nonzero if any run FAILs (loud fail-stop runs are
-// acceptable; silent corruption or bad labels are not).
+// acceptable; silent corruption, bad labels, or dropped jobs are not).
 package main
 
 import (
@@ -26,49 +33,87 @@ import (
 
 func main() {
 	var (
+		mode     = flag.String("mode", "pipeline", "campaign kind: pipeline | overload")
 		seeds    = flag.Int("seeds", 20, "number of seeded schedules to run")
 		seedBase = flag.Int64("seed-base", 1, "first seed")
-		points   = flag.Int("points", 6000, "dataset points per run")
-		leaves   = flag.Int("leaves", 4, "cluster-phase leaves")
-		rate     = flag.Float64("fault-rate", 0.6, "fault schedule intensity in (0,1]")
+		points   = flag.Int("points", 0, "dataset points per run (0 = mode default)")
+		leaves   = flag.Int("leaves", 0, "cluster-phase leaves (0 = mode default)")
+		rate     = flag.Float64("fault-rate", 0, "fault schedule intensity in (0,1] (0 = mode default)")
 		duration = flag.Duration("duration", 2*time.Minute, "wall-time bound per run")
-		floor    = flag.Float64("quality-floor", 0.995, "minimum DBDC quality vs the fault-free reference")
+		floor    = flag.Float64("quality-floor", 0, "minimum DBDC quality vs the fault-free reference (0 = mode default)")
+		tenants  = flag.Int("tenants", 0, "overload mode: concurrent tenants (0 = default)")
+		jobs     = flag.Int("jobs-per-tenant", 0, "overload mode: burst size per tenant (0 = default)")
 		out      = flag.String("out", "", "write the JSON campaign report to this file")
 	)
 	flag.Parse()
 
-	opt := chaos.Options{
-		Seeds:        chaos.Seeds(*seedBase, *seeds),
-		Points:       *points,
-		Leaves:       *leaves,
-		FaultRate:    *rate,
-		RunTimeout:   *duration,
-		QualityFloor: *floor,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	rpt := chaos.Run(opt)
 
-	if *out != "" {
-		data, err := json.MarshalIndent(rpt, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chaos: encoding report: %v\n", err)
-			os.Exit(1)
+	switch *mode {
+	case "pipeline":
+		opt := chaos.Options{
+			Seeds:        chaos.Seeds(*seedBase, *seeds),
+			Points:       *points,
+			Leaves:       *leaves,
+			FaultRate:    *rate,
+			RunTimeout:   *duration,
+			QualityFloor: *floor,
+			Logf:         logf,
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "chaos: writing report: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	fmt.Printf("chaos: %d runs: %d ok, %d faulted (fail-stop), %d FAILED\n",
-		len(rpt.Runs), rpt.OK, rpt.Faulted, rpt.Failed)
-	if rpt.Failed > 0 {
-		for _, r := range rpt.Runs {
-			if r.Outcome == chaos.OutcomeFail {
-				fmt.Printf("  seed %d: %s\n", r.Seed, r.Reason)
+		rpt := chaos.Run(opt)
+		writeReport(*out, rpt)
+		fmt.Printf("chaos: %d runs: %d ok, %d faulted (fail-stop), %d FAILED\n",
+			len(rpt.Runs), rpt.OK, rpt.Faulted, rpt.Failed)
+		if rpt.Failed > 0 {
+			for _, r := range rpt.Runs {
+				if r.Outcome == chaos.OutcomeFail {
+					fmt.Printf("  seed %d: %s\n", r.Seed, r.Reason)
+				}
 			}
+			os.Exit(1)
 		}
+	case "overload":
+		rpt := chaos.RunOverload(chaos.OverloadOptions{
+			Seeds:         chaos.Seeds(*seedBase, *seeds),
+			Tenants:       *tenants,
+			JobsPerTenant: *jobs,
+			Points:        *points,
+			Leaves:        *leaves,
+			FaultRate:     *rate,
+			RunTimeout:    *duration,
+			DegradedFloor: *floor,
+			Logf:          logf,
+		})
+		writeReport(*out, rpt)
+		fmt.Printf("chaos overload: %d runs: %d ok, %d FAILED\n",
+			len(rpt.Runs), rpt.OK, rpt.Failed)
+		if rpt.Failed > 0 {
+			for _, r := range rpt.Runs {
+				if r.Outcome == chaos.OutcomeFail {
+					fmt.Printf("  seed %d: %s\n", r.Seed, r.Reason)
+				}
+			}
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "chaos: unknown -mode %q (want pipeline or overload)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func writeReport(path string, rpt any) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rpt, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: writing report: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"time"
 
@@ -128,58 +127,6 @@ func (e exports) write(hub *telemetry.Hub) error {
 	return nil
 }
 
-// stageStateIn copies durable pipeline state (checkpoint snapshots and
-// partition artifacts) from dir onto the fresh simulated FS, so a
-// resumed process sees what the previous one left behind.
-func stageStateIn(fs *lustre.FS, dir string) error {
-	entries, err := os.ReadDir(dir)
-	if os.IsNotExist(err) {
-		return nil // nothing to resume from
-	}
-	if err != nil {
-		return err
-	}
-	for _, e := range entries {
-		if e.IsDir() || !mrscan.IsStateFile(e.Name()) {
-			continue
-		}
-		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return err
-		}
-		if _, err := fs.Create(e.Name()).WriteAt(b, 0); err != nil {
-			return fmt.Errorf("staging %s in: %w", e.Name(), err)
-		}
-	}
-	return nil
-}
-
-// stageStateOut copies durable pipeline state off the simulated FS into
-// dir. It runs even after a failed run — the checkpoints written before
-// the failure are exactly what -resume needs.
-func stageStateOut(fs *lustre.FS, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for _, name := range fs.List() {
-		if !mrscan.IsStateFile(name) {
-			continue
-		}
-		h, err := fs.Open(name)
-		if err != nil {
-			return err
-		}
-		b := make([]byte, h.Size())
-		if _, err := h.ReadAt(b, 0); err != nil && err != io.EOF {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 func run(input, output string, cfg mrscan.Config, format string, verbose bool, ckptDir string, deadline time.Duration, exp exports) error {
 	fs := lustre.New(lustre.Titan(), nil)
 	if exp.any() {
@@ -212,7 +159,7 @@ func run(input, output string, cfg mrscan.Config, format string, verbose bool, c
 	}
 
 	if cfg.Resume {
-		if err := stageStateIn(fs, ckptDir); err != nil {
+		if err := mrscan.StageStateIn(fs, ckptDir); err != nil {
 			return fmt.Errorf("staging checkpoint state in: %w", err)
 		}
 	}
@@ -233,7 +180,7 @@ func run(input, output string, cfg mrscan.Config, format string, verbose bool, c
 	if cfg.Checkpoint || cfg.Resume {
 		// Stage state out even on failure: the snapshots written before
 		// the abort are what the next -resume run restarts from.
-		if serr := stageStateOut(fs, ckptDir); serr != nil {
+		if serr := mrscan.StageStateOut(fs, ckptDir); serr != nil {
 			fmt.Fprintln(os.Stderr, "mrscan: staging checkpoint state out:", serr)
 		}
 	}

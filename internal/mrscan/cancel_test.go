@@ -1,0 +1,87 @@
+package mrscan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/lustre"
+	"repro/internal/ptio"
+	"repro/internal/telemetry"
+)
+
+// TestCancelMidClusterReleasesDeviceBuffers is the cleanup regression
+// test for aborted jobs: a job server cancels work all the time
+// (deadlines, drains), and a cancelled run must leave every simulated
+// device's accounting at baseline — all allocations either freed or
+// parked in the reuse pool (gpusim_alloc_bytes == gpusim_pool_bytes),
+// never held by a leaked in-use buffer. The run is parked mid-cluster
+// by a straggler rule on the GPU launch site, cancelled, and audited.
+func TestCancelMidClusterReleasesDeviceBuffers(t *testing.T) {
+	const leaves = 4
+	pts := dataset.Twitter(3000, 31)
+	hub := telemetry.New(nil)
+	cfg := Default(0.1, 20, leaves)
+	cfg.IncludeNoise = true
+	cfg.Telemetry = hub
+	// Every kernel launch straggles: the cluster phase is reliably still
+	// in flight when the cancel lands, whichever leaf it is on.
+	cfg.FaultPlan = faultinject.New(1).Arm(faultinject.GPULaunch,
+		faultinject.Rule{Times: 1000, Delay: 20 * time.Millisecond})
+
+	fs := lustre.New(lustre.Titan(), nil)
+	if err := ptio.WriteDataset(fs.Create("input.mrsc"), pts, false); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, fs, "input.mrsc", "output.mrsl", cfg)
+		done <- err
+	}()
+
+	// Wait for the partition phase to finish (its span has ended), so
+	// the cancel strikes inside the cluster phase.
+	for start := time.Now(); ; {
+		if len(hub.Trace.FindSpans("phase:"+PhasePartition)) > 0 {
+			break
+		}
+		if time.Since(start) > 30*time.Second {
+			t.Fatal("partition phase never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-done
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled in the chain", err)
+	}
+
+	// Device accounting must be at baseline on every device the phase
+	// provisioned: resident bytes all parked in the pool, zero held by
+	// in-use buffers a cancelled leaf forgot to release.
+	touched := 0
+	for w := 0; w < leaves; w++ {
+		device := fmt.Sprintf("gpu%04d", w)
+		alloc := hub.Gauge("gpusim_alloc_bytes", "device", device).Value()
+		pool := hub.Gauge("gpusim_pool_bytes", "device", device).Value()
+		if alloc != pool {
+			t.Errorf("device %s: alloc=%d pool=%d — %d bytes leaked in-use after cancel",
+				device, alloc, pool, alloc-pool)
+		}
+		if alloc > 0 {
+			touched++
+		}
+	}
+	if touched == 0 {
+		t.Fatal("no device allocated anything — the cancel landed before the cluster phase ran")
+	}
+}

@@ -935,13 +935,22 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 // system, stores pts as the input file, runs the pipeline, and returns the
 // result plus per-point global labels aligned with pts (noise = -1).
 func RunPoints(pts []geom.Point, cfg Config) (*Result, []int, error) {
+	return RunPointsContext(context.Background(), pts, cfg)
+}
+
+// RunPointsContext is RunPoints under a caller context: cancellation or
+// deadline expiry aborts the run at the next phase or tree-hop boundary,
+// exactly as RunContext. The partial result is discarded — callers that
+// need the completed-phase list or durable checkpoints after an abort
+// should drive RunContext against their own file system.
+func RunPointsContext(ctx context.Context, pts []geom.Point, cfg Config) (*Result, []int, error) {
 	fs := lustre.New(lustre.Titan(), nil)
 	in := fs.Create("input.mrsc")
 	if err := ptio.WriteDataset(in, pts, cfg.HasWeight); err != nil {
 		return nil, nil, err
 	}
 	cfg.IncludeNoise = true
-	res, err := Run(fs, "input.mrsc", "output.mrsl", cfg)
+	res, err := RunContext(ctx, fs, "input.mrsc", "output.mrsl", cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,95 @@
+package mrscan
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/lustre"
+	"repro/internal/ptio"
+	"repro/internal/telemetry"
+)
+
+// TestParallelPipelines is the package-level shared-state audit for the
+// job server: it runs several full pipelines concurrently in one
+// process — the server's steady state — and requires each to produce
+// exactly the labels its own sequential run produces. Any mutable
+// package-level state (a shared registry, pool, or rand default) shows
+// up here as a -race report or as cross-talk between the label sets.
+func TestParallelPipelines(t *testing.T) {
+	const pipelines = 6
+	// Distinct datasets and configurations so cross-talk cannot hide
+	// behind identical answers; some jobs exercise the retry and
+	// checkpoint paths at the same time as clean runs.
+	refs := make([][]int, pipelines)
+	for i := range refs {
+		pts := dataset.Twitter(1200+200*i, int64(100+i))
+		cfg := Default(0.1, 20, 2+i%3)
+		cfg.IncludeNoise = true
+		_, labels, err := RunPoints(pts, cfg)
+		if err != nil {
+			t.Fatalf("reference %d: %v", i, err)
+		}
+		refs[i] = labels
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, pipelines)
+	for i := 0; i < pipelines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pts := dataset.Twitter(1200+200*i, int64(100+i))
+			cfg := Default(0.1, 20, 2+i%3)
+			cfg.IncludeNoise = true
+			cfg.Telemetry = telemetry.New(nil)
+			cfg.Retry = RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}
+			switch i % 3 {
+			case 1:
+				// A transient fault healed by retry, running concurrently
+				// with clean pipelines.
+				cfg.FaultPlan = faultinject.New(int64(i)).Arm(
+					faultinject.GPULaunch, faultinject.Rule{Times: 1})
+			case 2:
+				cfg.Checkpoint = true
+			}
+
+			fs := lustre.New(lustre.Titan(), nil)
+			if err := ptio.WriteDataset(fs.Create("input.mrsc"), pts, false); err != nil {
+				errs[i] = fmt.Errorf("writing input: %w", err)
+				return
+			}
+			res, err := RunContext(context.Background(), fs, "input.mrsc", "output.mrsl", cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			labels, err := LabelsByID(fs, res.OutputFile, pts)
+			if err != nil {
+				errs[i] = fmt.Errorf("reading labels: %w", err)
+				return
+			}
+			if len(labels) != len(refs[i]) {
+				errs[i] = fmt.Errorf("got %d labels, reference has %d", len(labels), len(refs[i]))
+				return
+			}
+			for k := range labels {
+				if labels[k] != refs[i][k] {
+					errs[i] = fmt.Errorf("label %d = %d, sequential reference says %d — cross-pipeline interference",
+						k, labels[k], refs[i][k])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("pipeline %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package mrscan
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lustre"
+)
+
+// Checkpoint state staging: the pipeline's durable state (checkpoint
+// snapshots plus the partition artifacts a file-mode resume re-reads)
+// lives on the simulated parallel file system, which dies with the
+// process. Long-lived callers — the CLI across invocations, the job
+// server across drain/restart cycles — carry that state over a real OS
+// directory: StageStateOut after a checkpointed (or aborted) run,
+// StageStateIn before a resumed one.
+
+// StageStateIn copies durable pipeline state (checkpoint snapshots and
+// partition artifacts, per IsStateFile) from dir onto fs, so a resumed
+// process sees what the previous one left behind. A missing dir is not
+// an error — there is simply nothing to resume from.
+func StageStateIn(fs *lustre.FS, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !IsStateFile(e.Name()) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if _, err := fs.Create(e.Name()).WriteAt(b, 0); err != nil {
+			return fmt.Errorf("staging %s in: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// StageStateOut copies durable pipeline state off fs into dir (created
+// if missing). Call it even after a failed run — the checkpoints written
+// before the failure are exactly what the next resumed run needs.
+func StageStateOut(fs *lustre.FS, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range fs.List() {
+		if !IsStateFile(name) {
+			continue
+		}
+		h, err := fs.Open(name)
+		if err != nil {
+			return err
+		}
+		b := make([]byte, h.Size())
+		if _, err := h.ReadAt(b, 0); err != nil && err != io.EOF {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

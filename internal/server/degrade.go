@@ -1,0 +1,334 @@
+package server
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// Graceful degradation: past the overload watermarks the server keeps
+// serving by answering a cheaper question. Following the subsampled
+// similarity-queries construction (Jiang, Jang & Łącki, "Faster DBSCAN
+// via subsampled similarity queries", NeurIPS 2020), a degraded job
+// clusters a seeded uniform subsample of its input at rate s with
+// MinPts scaled by s — a point that is core in the full data has ~s·k
+// sampled eps-neighbors in expectation, so density thresholds survive
+// the sampling — and then attaches each unsampled point to the cluster
+// of its nearest labeled sampled neighbor within eps. The result is a
+// bounded-loss clustering (≥ 0.95 DBDC against the full-quality
+// reference on the workloads in internal/chaos) at roughly s of the
+// cluster-phase cost, and the job's status records Degraded/SampleRate
+// so the loss is never silent.
+
+// latencyWindow is a fixed-size ring of recent completed-job latencies,
+// feeding the p95 overload watermark.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func newLatencyWindow(size int) *latencyWindow {
+	return &latencyWindow{buf: make([]time.Duration, size)}
+}
+
+func (w *latencyWindow) add(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile latency over the window (0 when
+// empty).
+func (w *latencyWindow) p95() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return 0
+	}
+	tmp := make([]time.Duration, w.n)
+	if w.n < len(w.buf) {
+		copy(tmp, w.buf[:w.n])
+	} else {
+		copy(tmp, w.buf)
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	idx := (95*w.n + 99) / 100 // ceil(0.95 n)
+	if idx > 0 {
+		idx--
+	}
+	return tmp[idx]
+}
+
+// shouldDegradeLocked is the overload watermark check applied to each
+// new admission: total queue depth beyond DegradeQueueDepth, or p95
+// completed-job latency beyond DegradeP95. Caller holds s.mu.
+func (s *Server) shouldDegradeLocked() bool {
+	if s.cfg.DegradeQueueDepth > 0 && s.queued >= s.cfg.DegradeQueueDepth {
+		return true
+	}
+	if s.cfg.DegradeP95 > 0 && s.lat.p95() >= s.cfg.DegradeP95 {
+		return true
+	}
+	return false
+}
+
+// jobSeed derives the deterministic subsample seed from the job ID, so
+// a resumed degraded job regenerates the exact same sample (and thus
+// the same input bytes and checkpoint fingerprint) as its first run.
+func jobSeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64() & math.MaxInt64)
+}
+
+// effectiveMinPts returns the pipeline MinPts for the job: the spec
+// value, scaled by the sample rate when degraded (floor 2 — MinPts 1
+// would declare every sampled point core).
+func effectiveMinPts(job *Job) int {
+	if !job.degraded {
+		return job.spec.MinPts
+	}
+	m := int(math.Round(float64(job.spec.MinPts) * job.sampleRate))
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// subsample draws a seeded uniform sample of pts at the given rate,
+// preserving point identity (IDs ride along). It returns the sampled
+// points and their indices into pts.
+func subsample(pts []geom.Point, rate float64, seed int64) ([]geom.Point, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	sample := make([]geom.Point, 0, int(float64(len(pts))*rate)+1)
+	idx := make([]int32, 0, cap(sample))
+	for i, p := range pts {
+		if rng.Float64() < rate {
+			sample = append(sample, p)
+			idx = append(idx, int32(i))
+		}
+	}
+	if len(sample) == 0 { // degenerate rate/seed: keep at least one point
+		sample = append(sample, pts[0])
+		idx = append(idx, 0)
+	}
+	return sample, idx
+}
+
+// attachUnsampled expands sample labels back to the full input.
+// Sampled points in clusters keep their pipeline label; every other
+// point — unsampled ones, plus sampled points the thinned run called
+// noise — is attached by DBSCAN's own membership rules, estimated on
+// the sample:
+//
+//   - A sampled point is estimated-core when its eps-neighborhood in
+//     the sample reaches the scaled MinPts (the same threshold the
+//     thinned pipeline clustered with).
+//   - A point joins the majority cluster among its estimated-core
+//     sampled neighbors — only core points recruit, mirroring the
+//     border-point rule; attaching to any cluster member would bleed
+//     clusters into the surrounding noise.
+//   - A point with no core neighbor but whose own sampled-neighbor
+//     count reaches the scaled threshold is itself estimated-core (its
+//     full neighborhood is ~1/s larger), so it joins the majority
+//     cluster among all its clustered neighbors rather than drop to
+//     noise.
+//
+// Majority vote rather than nearest-neighbor keeps boundary points
+// with the cluster that dominates their neighborhood. The pass is
+// O(n · log(s·n)) via a KD-tree over the sample.
+//
+// A recovery pass then repairs what binomial thinning lost. Points
+// still unlabeled after the estimated pass are the ones the sample had
+// no evidence for; for exactly those the pass switches to the full
+// data and applies DBSCAN's real rules — a point is core iff its full
+// eps-neighborhood reaches the unscaled MinPts — propagating labels
+// outward from already-labeled core points until a fixpoint. Each
+// round is a Jacobi update (votes read the previous round's labels) so
+// the result is independent of iteration order. Exact coreness is only
+// computed for unlabeled points, keeping the pass a fraction of a full
+// clustering: the subsampled pipeline already paid ~rate² of the pair
+// cost, and this spends O(unlabeled · query) to claw back the quality.
+func attachUnsampled(pts []geom.Point, sampled []int32, sampleLabels []int, eps float64, scaledMinPts, minPts int) []int {
+	labels := make([]int, len(pts))
+	for i := range labels {
+		labels[i] = -1
+	}
+	for si, pi := range sampled {
+		labels[pi] = sampleLabels[si]
+	}
+	sample := make([]geom.Point, len(sampled))
+	for si, pi := range sampled {
+		sample[si] = pts[pi]
+	}
+	tree := kdtree.Build(sample, 64)
+	core := make([]bool, len(sample))
+	for si, sp := range sample {
+		cnt := 0
+		tree.Range(sp, eps, int32(si), func(int32) bool {
+			cnt++
+			return cnt < scaledMinPts // early exit once core is proven
+		})
+		core[si] = cnt+1 >= scaledMinPts // +1: the point itself
+	}
+
+	// isCore marks, on full-input indices, the points allowed to recruit
+	// neighbors in the recovery pass: clustered estimated-core sampled
+	// points now, estimated-core attachments and exact-core recoveries as
+	// the passes find them.
+	isCore := make([]bool, len(pts))
+	for si, pi := range sampled {
+		if sampleLabels[si] >= 0 && core[si] {
+			isCore[pi] = true
+		}
+	}
+
+	coreVotes := make(map[int]int, 8)
+	allVotes := make(map[int]int, 8)
+	for i, p := range pts {
+		if labels[i] >= 0 {
+			continue // clustered sampled point: keep its pipeline label
+		}
+		clear(coreVotes)
+		clear(allVotes)
+		total := 0
+		tree.Range(p, eps, -1, func(si int32) bool {
+			total++
+			if l := sampleLabels[si]; l >= 0 {
+				allVotes[l]++
+				if core[si] {
+					coreVotes[l]++
+				}
+			}
+			return true
+		})
+		votes := coreVotes
+		estCore := false
+		if len(votes) == 0 {
+			if total < scaledMinPts {
+				continue // no sample evidence; the recovery pass decides
+			}
+			votes = allVotes // estimated-core point extends the cluster
+			estCore = true
+		}
+		best, bestN := -1, 0
+		for l, n := range votes {
+			if n > bestN || (n == bestN && l < best) {
+				best, bestN = l, n
+			}
+		}
+		if bestN > 0 {
+			labels[i] = best
+			if estCore {
+				isCore[i] = true
+			}
+		}
+	}
+
+	// Recovery: exact-density label propagation over the full data.
+	fullTree := kdtree.Build(pts, 64)
+	coreStat := make([]int8, len(pts)) // 0 unknown, 1 core, 2 not
+	fullCore := func(i int) bool {
+		if coreStat[i] == 0 {
+			cnt := 0
+			fullTree.Range(pts[i], eps, int32(i), func(int32) bool {
+				cnt++
+				return cnt < minPts
+			})
+			if cnt+1 >= minPts {
+				coreStat[i] = 1
+			} else {
+				coreStat[i] = 2
+			}
+		}
+		return coreStat[i] == 1
+	}
+	type attach struct {
+		i, label int
+		core     bool
+	}
+	votes := make(map[int]int, 8)
+	for round := 0; round < 64; round++ {
+		var wave []attach
+		for i := range pts {
+			if labels[i] >= 0 {
+				continue
+			}
+			clear(votes)
+			fullTree.Range(pts[i], eps, int32(i), func(j int32) bool {
+				if labels[j] >= 0 && isCore[j] {
+					votes[labels[j]]++
+				}
+				return true
+			})
+			if len(votes) == 0 {
+				continue // no labeled core in reach yet; later rounds may arrive
+			}
+			best, bestN := -1, 0
+			for l, n := range votes {
+				if n > bestN || (n == bestN && l < best) {
+					best, bestN = l, n
+				}
+			}
+			wave = append(wave, attach{i, best, fullCore(i)})
+		}
+		if len(wave) == 0 {
+			break
+		}
+		for _, a := range wave {
+			labels[a.i] = a.label
+			if a.core {
+				isCore[a.i] = true
+			}
+		}
+	}
+
+	// Formation: thinning can erase whole small clusters — ones whose
+	// scaled density fell below the sampled threshold everywhere, so no
+	// labeled seed exists for the wave to grow from. Any exact-core
+	// point still unlabeled here anchors a genuine DBSCAN cluster of the
+	// full data; expand each such connected component of exact cores
+	// (borders ride along) under a fresh label.
+	next := 0
+	for _, l := range labels {
+		if l >= next {
+			next = l + 1
+		}
+	}
+	for i := range pts {
+		if labels[i] >= 0 || !fullCore(i) {
+			continue
+		}
+		comp := []int32{int32(i)}
+		labels[i] = next
+		isCore[i] = true
+		for head := 0; head < len(comp); head++ {
+			c := comp[head]
+			fullTree.Range(pts[c], eps, c, func(j int32) bool {
+				if labels[j] >= 0 {
+					return true
+				}
+				labels[j] = next
+				if fullCore(int(j)) {
+					isCore[j] = true
+					comp = append(comp, j)
+				}
+				return true
+			})
+		}
+		next++
+	}
+	return labels
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/quality"
+)
+
+func TestDegradedModeQuality(t *testing.T) {
+	// DegradeP95 of 1ns: the moment any job has completed, the latency
+	// watermark is crossed and every subsequent admission degrades —
+	// a deterministic way to drive the watermark without racing the
+	// queue.
+	s, err := New(Config{Workers: 1, DegradeP95: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pts := testPoints(4000, 11)
+	spec := testSpec("acme", pts)
+
+	warm, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, warm); st.State != StateCompleted || st.Degraded {
+		t.Fatalf("warmup job: state=%s degraded=%v, want completed full-quality", st.State, st.Degraded)
+	}
+
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id)
+	if st.State != StateCompleted {
+		t.Fatalf("degraded job state = %s (err %q)", st.State, st.Err)
+	}
+	if !st.Degraded || st.SampleRate != 0.8 {
+		t.Fatalf("job past the watermark not marked degraded (degraded=%v rate=%v)",
+			st.Degraded, st.SampleRate)
+	}
+	got, err := s.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("degraded job returned %d labels for %d points — attach pass lost points",
+			len(got), len(pts))
+	}
+	q, err := quality.Score(referenceLabels(t, pts, spec), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance floor for degraded mode: bounded, recorded quality
+	// loss — never silent garbage.
+	if q < 0.95 {
+		t.Fatalf("degraded job quality %.4f, want >= 0.95", q)
+	}
+	t.Logf("degraded quality at rate 0.8: %.4f", q)
+
+	// NoDegrade opts a job out even past the watermark.
+	spec.NoDegrade = true
+	id, err = s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, id); st.Degraded {
+		t.Fatalf("NoDegrade job was degraded")
+	}
+}
+
+func TestDegradeQueueDepthWatermark(t *testing.T) {
+	// Disable the latency watermark; drive the queue-depth one: with
+	// the single worker pinned by a slow job and one job queued, the
+	// next admission sees depth >= 1 and degrades.
+	s, err := New(Config{Workers: 1, DegradeQueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pts := testPoints(1500, 12)
+	first, err := s.Submit(testSpec("acme", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if st, _ := s.Status(first); st.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := s.Submit(testSpec("acme", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := s.Submit(testSpec("acme", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, third); !st.Degraded {
+		t.Fatalf("admission at queue depth >= watermark did not degrade")
+	}
+	waitTerminal(t, s, first)
+	waitTerminal(t, s, second)
+}
+
+func TestSubsampleDeterminism(t *testing.T) {
+	pts := testPoints(2000, 13)
+	s1, i1 := subsample(pts, 0.5, jobSeed("job-000042"))
+	s2, i2 := subsample(pts, 0.5, jobSeed("job-000042"))
+	if len(s1) != len(s2) {
+		t.Fatalf("same seed, different sample sizes: %d vs %d", len(s1), len(s2))
+	}
+	for k := range i1 {
+		if i1[k] != i2[k] || s1[k] != s2[k] {
+			t.Fatalf("same seed diverged at sample element %d", k)
+		}
+	}
+	// The rate actually thins the data (loose bounds; the sampler is
+	// Bernoulli, not exact-count).
+	if n := len(s1); n < len(pts)/3 || n > 2*len(pts)/3 {
+		t.Fatalf("rate-0.5 sample kept %d of %d points", n, len(pts))
+	}
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/mrscan"
+	"repro/internal/quality"
+)
+
+// TestDrainSuspendsAndResumes is the SIGTERM story end to end: a job is
+// killed mid-run by a drain, suspended with its checkpoints staged to
+// the state directory, and a fresh server on the same directory resumes
+// it from the completed-phase prefix and finishes it with labels
+// matching the fault-free reference.
+func TestDrainSuspendsAndResumes(t *testing.T) {
+	stateDir := t.TempDir()
+	s, err := New(Config{Workers: 1, StateDir: stateDir, DrainTimeout: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pts := testPoints(2500, 21)
+	spec := testSpec("acme", pts)
+	// A straggler rule at the cluster phase: partition completes (and is
+	// checkpointed), then the job parks for long enough that the drain
+	// deadline strikes mid-run, deterministically.
+	spec.FaultPlan = faultinject.New(3).Arm(mrscan.PhaseSite(mrscan.PhaseCluster),
+		faultinject.Rule{Times: 1, Delay: 500 * time.Millisecond})
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Also leave a job queued behind the in-flight one: a drain must
+	// suspend it too, not drop it.
+	queuedID, err := s.Submit(testSpec("acme", testPoints(1000, 22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the partition phase of the in-flight job has finished
+	// (its span has ended on the job's private hub) so the suspension
+	// has a checkpointed prefix to resume from.
+	s.mu.Lock()
+	hub := s.jobs[id].hub
+	s.mu.Unlock()
+	for start := time.Now(); ; {
+		if len(hub.Trace.FindSpans("phase:"+mrscan.PhasePartition)) > 0 {
+			break
+		}
+		if time.Since(start) > 30*time.Second {
+			t.Fatal("partition phase never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.Drain()
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateSuspended {
+		t.Fatalf("in-flight job after drain: state = %s (err %q), want suspended", st.State, st.Err)
+	}
+	if qst, _ := s.Status(queuedID); qst.State != StateSuspended {
+		t.Fatalf("queued job after drain: state = %s, want suspended", qst.State)
+	}
+	if _, err := s.Submit(spec); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+	}
+	s.Close()
+
+	// Restart against the same state directory: both suspended jobs are
+	// re-admitted and finish.
+	s2, err := New(Config{Workers: 1, StateDir: stateDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st = waitTerminal(t, s2, id)
+	if st.State != StateCompleted {
+		t.Fatalf("resumed job state = %s (err %q), want completed", st.State, st.Err)
+	}
+	if !st.Resumed {
+		t.Fatalf("restarted job not marked resumed")
+	}
+	if len(st.RestoredPhases) == 0 {
+		t.Fatalf("resumed job restored no phases; completed=%v", st.CompletedPhases)
+	}
+	if qst := waitTerminal(t, s2, queuedID); qst.State != StateCompleted {
+		t.Fatalf("recovered queued job state = %s (err %q)", qst.State, qst.Err)
+	}
+
+	labels, err := s2.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quality.Score(referenceLabels(t, pts, spec), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.995 {
+		t.Fatalf("resumed job quality %.4f vs fault-free reference, want >= 0.995", q)
+	}
+	if got := s2.Hub().Counter("server_jobs_resumed_total", "tenant", "acme").Value(); got != 2 {
+		t.Fatalf("server_jobs_resumed_total after restart = %d, want 2", got)
+	}
+}
+
+// TestDrainIdle: draining a quiet server returns promptly and further
+// submissions are rejected with the typed error.
+func TestDrainIdle(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain of an idle server hung")
+	}
+	if _, err := s.Submit(testSpec("acme", testPoints(100, 1))); !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+	s.Close()
+}
+
+// TestRecoveryPreservesDegradedDecision: a degraded job suspended by a
+// drain resumes degraded at the same sample rate — the journal carries
+// the decision so the resumed run regenerates the same subsample and
+// matches its checkpoint fingerprint.
+func TestRecoveryPreservesDegradedDecision(t *testing.T) {
+	stateDir := t.TempDir()
+	s, err := New(Config{Workers: 1, StateDir: stateDir, DegradeP95: time.Nanosecond, SampleRate: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := testPoints(1200, 23)
+	warm, err := s.Submit(testSpec("acme", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, warm)
+
+	// Admit a degraded job but drain before any worker can take it:
+	// stall the worker with a slow job first.
+	slow := testSpec("acme", pts)
+	slow.FaultPlan = faultinject.New(5).Arm(mrscan.PhaseSite(mrscan.PhasePartition),
+		faultinject.Rule{Times: 1, Delay: 300 * time.Millisecond})
+	slowID, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if st, _ := s.Status(slowID); st.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	id, err := s.Submit(testSpec("acme", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Status(id); !st.Degraded {
+		t.Fatalf("setup: job not degraded at admission")
+	}
+	s.Drain()
+	s.Close()
+
+	s2, err := New(Config{Workers: 1, StateDir: stateDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := waitTerminal(t, s2, id)
+	if st.State != StateCompleted {
+		t.Fatalf("recovered degraded job state = %s (err %q)", st.State, st.Err)
+	}
+	if !st.Degraded || st.SampleRate != 0.4 {
+		t.Fatalf("recovery lost the degraded decision: degraded=%v rate=%v, want true/0.4",
+			st.Degraded, st.SampleRate)
+	}
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// HTTP front end for the job server, mounted by cmd/mrscand:
+//
+//	POST /api/v1/jobs             submit → 202 {"id":...}, or a typed
+//	                              rejection: 429 queue_full/quota,
+//	                              503 draining/breaker
+//	GET  /api/v1/jobs             list job statuses
+//	GET  /api/v1/jobs/{id}        one job's status
+//	GET  /api/v1/jobs/{id}/result labels of a completed job
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 200 serving / 503 draining
+//
+// Rejection bodies are {"error":..., "reason":...} with machine-
+// readable reasons mirroring the typed errors, and 429s carry a
+// Retry-After hint — backpressure that HTTP clients can act on.
+
+// submitRequest is the POST body. Either inline points or a generated
+// dataset must be given.
+type submitRequest struct {
+	Tenant string  `json:"tenant"`
+	Eps    float64 `json:"eps"`
+	MinPts int     `json:"min_pts"`
+	Leaves int     `json:"leaves,omitempty"`
+	// DeadlineMS overrides the server's per-job timeout (milliseconds).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// NoDegrade opts out of degraded mode for this job.
+	NoDegrade bool `json:"no_degrade,omitempty"`
+	// Points carries the dataset inline…
+	Points []pointJSON `json:"points,omitempty"`
+	// …or Dataset asks the server to generate one of the paper's
+	// distributions (handy for curl-driven exploration and soak tests).
+	Dataset *datasetJSON `json:"dataset,omitempty"`
+}
+
+type pointJSON struct {
+	ID uint64  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+type datasetJSON struct {
+	Dist string `json:"dist"` // twitter | sdss | uniform
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+}
+
+type errorJSON struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Handler returns the HTTP API over the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "invalid JSON: " + err.Error(), Reason: "bad_request"})
+		return
+	}
+	spec := JobSpec{
+		Tenant: req.Tenant, Eps: req.Eps, MinPts: req.MinPts,
+		Leaves: req.Leaves, NoDegrade: req.NoDegrade,
+	}
+	if req.DeadlineMS > 0 {
+		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	switch {
+	case len(req.Points) > 0:
+		spec.Points = make([]geom.Point, len(req.Points))
+		for i, p := range req.Points {
+			spec.Points[i] = geom.Point{ID: p.ID, X: p.X, Y: p.Y}
+		}
+	case req.Dataset != nil:
+		pts, err := generate(*req.Dataset)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error(), Reason: "bad_request"})
+			return
+		}
+		spec.Points = pts
+	default:
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "submission needs points or dataset", Reason: "bad_request"})
+		return
+	}
+
+	id, err := s.Submit(spec)
+	if err != nil {
+		code, reason := rejectionStatus(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, errorJSON{Error: err.Error(), Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+// rejectionStatus maps the typed admission errors onto HTTP semantics.
+func rejectionStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrBreakerOpen):
+		return http.StatusServiceUnavailable, "breaker"
+	default:
+		return http.StatusBadRequest, "bad_request"
+	}
+}
+
+func generate(d datasetJSON) ([]geom.Point, error) {
+	if d.N <= 0 || d.N > 10_000_000 {
+		return nil, fmt.Errorf("dataset n must be in (0, 10M], got %d", d.N)
+	}
+	switch d.Dist {
+	case "twitter":
+		return dataset.Twitter(d.N, d.Seed), nil
+	case "sdss":
+		return dataset.SDSS(d.N, d.Seed), nil
+	case "uniform":
+		return dataset.Uniform(d.N, d.Seed, geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset dist %q (want twitter|sdss|uniform)", d.Dist)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error(), Reason: "unknown_job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	labels, err := s.Result(id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error(), Reason: "unknown_job"})
+		return
+	case errors.Is(err, ErrJobNotFinished):
+		writeJSON(w, http.StatusConflict, errorJSON{Error: err.Error(), Reason: "not_finished"})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error(), Reason: "failed"})
+		return
+	}
+	st, _ := s.Status(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":           id,
+		"num_clusters": st.NumClusters,
+		"degraded":     st.Degraded,
+		"sample_rate":  st.SampleRate,
+		"labels":       labels,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.hub.Metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "serving"})
+}

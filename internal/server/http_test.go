@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp, m
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp, m
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, m := postJSON(t, ts, "/api/v1/jobs",
+		`{"tenant":"acme","eps":0.1,"min_pts":20,"leaves":2,"dataset":{"dist":"twitter","n":1500,"seed":9}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %v", resp.StatusCode, m)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		t.Fatalf("submit returned no id: %v", m)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, m = getJSON(t, ts, "/api/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status code = %d", resp.StatusCode)
+		}
+		if st := m["state"]; st == string(StateCompleted) {
+			break
+		} else if st == string(StateFailed) {
+			t.Fatalf("job failed: %v", m["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %v", m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, m = getJSON(t, ts, "/api/v1/jobs/"+id+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d body %v", resp.StatusCode, m)
+	}
+	labels, _ := m["labels"].([]any)
+	if len(labels) != 1500 {
+		t.Fatalf("result has %d labels, want 1500", len(labels))
+	}
+
+	// Metrics exposition carries the per-tenant serving counters.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"server_jobs_admitted_total", `tenant="acme"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPRejectionMapping(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Bad request: no points, no dataset.
+	resp, m := postJSON(t, ts, "/api/v1/jobs", `{"tenant":"x","eps":0.1,"min_pts":5}`)
+	if resp.StatusCode != http.StatusBadRequest || m["reason"] != "bad_request" {
+		t.Fatalf("empty submit: status %d reason %v", resp.StatusCode, m["reason"])
+	}
+
+	// Unknown job.
+	resp, _ = getJSON(t, ts, "/api/v1/jobs/job-999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", resp.StatusCode)
+	}
+
+	// Draining maps to 503 with the typed reason, and healthz flips.
+	s.Drain()
+	resp, m = postJSON(t, ts, "/api/v1/jobs",
+		`{"tenant":"x","eps":0.1,"min_pts":5,"dataset":{"dist":"uniform","n":100,"seed":1}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || m["reason"] != "draining" {
+		t.Fatalf("draining submit: status %d reason %v", resp.StatusCode, m["reason"])
+	}
+	resp, _ = getJSON(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	s.Close()
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/ptio"
+)
+
+// The job journal is what makes drain honest: an admitted job's spec
+// and input become durable before Submit returns its ID, its state file
+// tracks every transition, and its checkpoint directory holds the
+// pipeline snapshots staged out at suspension. A server restarted on
+// the same directory re-admits every job whose state is non-terminal —
+// so the overload invariant ("every admitted job terminates as
+// completed, failed-loudly, or resumed") survives process death.
+//
+// Layout under StateDir:
+//
+//	jobs/<id>/spec.json   submission parameters (+ degraded decision)
+//	jobs/<id>/input.mrsc  the full input dataset
+//	jobs/<id>/state       current State, written atomically
+//	jobs/<id>/ckpt/       staged pipeline checkpoints (mrscan.StageStateOut)
+
+// persistedSpec is the on-disk form of a job's parameters. The degraded
+// decision is persisted so a resumed job regenerates the same
+// subsample (same seed = job ID) and thus the same checkpoint
+// fingerprint as its first attempt.
+type persistedSpec struct {
+	Tenant     string  `json:"tenant"`
+	Eps        float64 `json:"eps"`
+	MinPts     int     `json:"min_pts"`
+	Leaves     int     `json:"leaves"`
+	DeadlineNS int64   `json:"deadline_ns,omitempty"`
+	NoDegrade  bool    `json:"no_degrade,omitempty"`
+	Degraded   bool    `json:"degraded,omitempty"`
+	SampleRate float64 `json:"sample_rate,omitempty"`
+}
+
+// recoveredJob is one non-terminal job found at startup.
+type recoveredJob struct {
+	id     string
+	spec   persistedSpec
+	points []geom.Point
+}
+
+// journal persists jobs under dir; the zero value (empty dir) disables
+// durability and every method becomes a no-op.
+type journal struct {
+	dir string
+}
+
+func (j journal) enabled() bool { return j.dir != "" }
+
+func (j journal) jobDir(id string) string  { return filepath.Join(j.dir, "jobs", id) }
+func (j journal) ckptDir(id string) string { return filepath.Join(j.jobDir(id), "ckpt") }
+
+// writeSpec makes an admitted job durable: spec.json, the input
+// dataset, and an initial "queued" state file.
+func (j journal) writeSpec(id string, spec persistedSpec, pts []geom.Point) error {
+	if !j.enabled() {
+		return nil
+	}
+	dir := j.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spec.json"), b, 0o644); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := ptio.WriteDataset(&buf, pts, false); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "input.mrsc"), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return j.setState(id, string(StateQueued))
+}
+
+// setState records the job's state transition atomically (tmp +
+// rename), so a crash mid-write can never leave a corrupt state file.
+func (j journal) setState(id, state string) error {
+	if !j.enabled() {
+		return nil
+	}
+	path := filepath.Join(j.jobDir(id), "state")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(state+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// recoverJobs scans the journal for jobs a previous instance left in a
+// non-terminal state (queued, running, suspended) and loads them for
+// re-admission, plus the highest job sequence number seen anywhere so
+// new IDs never collide with journaled ones. Jobs are returned in ID
+// order, which is submission order.
+func (j journal) recoverJobs() ([]recoveredJob, int, error) {
+	if !j.enabled() {
+		return nil, 0, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(j.dir, "jobs"))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []recoveredJob
+	maxSeq := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		if n, ok := jobSeq(id); ok && n > maxSeq {
+			maxSeq = n
+		}
+		raw, err := os.ReadFile(filepath.Join(j.jobDir(id), "state"))
+		if err != nil {
+			continue // half-written job: never fully admitted, skip
+		}
+		state := State(strings.TrimSpace(string(raw)))
+		if state == StateCompleted || state == StateFailed {
+			continue
+		}
+		var spec persistedSpec
+		sb, err := os.ReadFile(filepath.Join(j.jobDir(id), "spec.json"))
+		if err != nil {
+			return nil, 0, fmt.Errorf("server: recovering %s: %w", id, err)
+		}
+		if err := json.Unmarshal(sb, &spec); err != nil {
+			return nil, 0, fmt.Errorf("server: recovering %s: %w", id, err)
+		}
+		in, err := os.Open(filepath.Join(j.jobDir(id), "input.mrsc"))
+		if err != nil {
+			return nil, 0, fmt.Errorf("server: recovering %s: %w", id, err)
+		}
+		pts, err := ptio.ReadDataset(in)
+		in.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("server: recovering %s input: %w", id, err)
+		}
+		out = append(out, recoveredJob{id: id, spec: spec, points: pts})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out, maxSeq, nil
+}
+
+// jobSeq extracts the numeric sequence from a "job-000042" ID.
+func jobSeq(id string) (int, bool) {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, prefix))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
