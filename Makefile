@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare chaos soak experiments cover clean
+.PHONY: all build vet test race bench bench-compare chaos soak crash experiments cover clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ vet:
 # them).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server ./internal/checkpoint
 
 race:
 	$(GO) test -race ./...
@@ -41,6 +41,18 @@ chaos:
 SOAKFLAGS ?=
 soak:
 	$(GO) run ./cmd/chaos -mode overload -seeds 10 -out soak-report.json $(SOAKFLAGS)
+
+# Crash-point recovery campaign: simulate power failure at every sampled
+# durability-relevant file-system operation and audit that nothing
+# acknowledged (checkpointed phases, journaled jobs) is ever lost,
+# recovery is idempotent, and resumed labels equal the fault-free
+# reference. The JSON report lands in crash-report.json. CRASHFLAGS
+# appends, e.g. make crash CRASHFLAGS='-seeds 20 -crash-points 40' or
+# the mutation check make crash CRASHFLAGS="-drop-syncs '*.ckpt*'"
+# (which must FAIL).
+CRASHFLAGS ?=
+crash:
+	$(GO) run ./cmd/chaos -mode crash -seeds 10 -out crash-report.json $(CRASHFLAGS)
 
 # Full benchmark sweep: every paper table/figure plus the ablations.
 # Results land in BENCH_run.txt (raw) and BENCH_run.json (machine-
@@ -70,4 +82,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_run.txt BENCH_run.json chaos-report.json soak-report.json
+	rm -f BENCH_run.txt BENCH_run.json chaos-report.json soak-report.json crash-report.json

@@ -17,6 +17,20 @@
 //
 //	chaos -mode overload -seeds 10
 //
+// With -mode crash it simulates power failure instead of runtime
+// faults: a probe run enumerates every durability-relevant file-system
+// operation, then each sampled operation becomes a crash point — power
+// is lost exactly there, unsynced writes drop and tear, unsynced
+// renames vanish — and the restarted process must lose nothing it
+// acknowledged: checkpointed phases restore instead of recomputing,
+// journaled jobs are re-admitted and terminate, recovery is idempotent
+// under a second crash, and the final labels equal the fault-free
+// reference exactly. The -drop-syncs / -drop-dir-syncs mutation flags
+// turn chosen fsyncs into lies; a correct harness must then FAIL.
+//
+//	chaos -mode crash -seeds 10 -crash-points 20
+//	chaos -mode crash -seeds 2 -drop-syncs '*.ckpt*'   # must FAIL
+//
 // Exit status is nonzero if any run FAILs (loud fail-stop runs are
 // acceptable; silent corruption, bad labels, or dropped jobs are not).
 package main
@@ -33,7 +47,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "pipeline", "campaign kind: pipeline | overload")
+		mode     = flag.String("mode", "pipeline", "campaign kind: pipeline | overload | crash")
 		seeds    = flag.Int("seeds", 20, "number of seeded schedules to run")
 		seedBase = flag.Int64("seed-base", 1, "first seed")
 		points   = flag.Int("points", 0, "dataset points per run (0 = mode default)")
@@ -44,6 +58,12 @@ func main() {
 		tenants  = flag.Int("tenants", 0, "overload mode: concurrent tenants (0 = default)")
 		jobs     = flag.Int("jobs-per-tenant", 0, "overload mode: burst size per tenant (0 = default)")
 		out      = flag.String("out", "", "write the JSON campaign report to this file")
+
+		crashPoints  = flag.Int("crash-points", 0, "crash mode: pipeline crash points per seed (0 = default, <0 disables the leg)")
+		journalPts   = flag.Int("journal-crash-points", 0, "crash mode: job-journal crash points per seed (0 = default, <0 disables the leg)")
+		journalJobs  = flag.Int("journal-jobs", 0, "crash mode: submit burst size of the journal workload (0 = default)")
+		dropSyncs    = flag.String("drop-syncs", "", "crash mode mutation: file fsyncs matching this pattern silently lie (campaign must FAIL)")
+		dropDirSyncs = flag.Bool("drop-dir-syncs", false, "crash mode mutation: every directory sync silently lies (campaign must FAIL)")
 	)
 	flag.Parse()
 
@@ -97,8 +117,32 @@ func main() {
 			}
 			os.Exit(1)
 		}
+	case "crash":
+		rpt := chaos.RunCrash(chaos.CrashOptions{
+			Seeds:              chaos.Seeds(*seedBase, *seeds),
+			Points:             *points,
+			Leaves:             *leaves,
+			CrashPoints:        *crashPoints,
+			JournalCrashPoints: *journalPts,
+			JournalJobs:        *journalJobs,
+			RunTimeout:         *duration,
+			DropSyncs:          *dropSyncs,
+			DropDirSyncs:       *dropDirSyncs,
+			Logf:               logf,
+		})
+		writeReport(*out, rpt)
+		fmt.Printf("chaos crash: %d seeds, %d crash points: %d ok, %d FAILED\n",
+			len(rpt.Runs), rpt.CrashPoints, rpt.OK, rpt.Failed)
+		if rpt.Failed > 0 {
+			for _, r := range rpt.Runs {
+				if r.Outcome == chaos.OutcomeFail {
+					fmt.Printf("  seed %d: %s\n", r.Seed, r.Reason)
+				}
+			}
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "chaos: unknown -mode %q (want pipeline or overload)\n", *mode)
+		fmt.Fprintf(os.Stderr, "chaos: unknown -mode %q (want pipeline, overload or crash)\n", *mode)
 		os.Exit(2)
 	}
 }

@@ -62,7 +62,7 @@ func main() {
 		retries    = flag.Int("retries", 3, "max workers a partition is sent to before the run fails")
 		faultPlan  = flag.String("fault-plan", "", "fault injection plan, e.g. 'distrib.worker.0:after=1' (see internal/faultinject)")
 		faultSeed  = flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault rules")
-		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-partition checkpoints (empty = no checkpointing)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-partition checkpoints, written crash-consistently: fsync before the atomic rename, directory sync after (empty = no checkpointing)")
 		resume     = flag.Bool("resume", false, "restore partitions checkpointed in -checkpoint-dir by an earlier run")
 		deadline   = flag.Duration("deadline", 0, "abort the dispatch after this long (0 = none)")
 		straggler  = flag.Float64("straggler-factor", 0, "hedge partitions slower than this × the running p95 service time (0 = off)")

@@ -8,6 +8,15 @@
 // deadline to finish, and whatever remains is checkpointed to the state
 // directory for the next instance to resume.
 //
+// The state directory is crash-consistent, not merely restart-
+// consistent: a job's spec, input, and queued record are fsynced (files
+// and directories, in write-ahead order) before Submit acknowledges it,
+// so an acknowledged job survives power failure, not just a graceful
+// drain. On startup the previous instance's journal is replayed — a
+// torn final record (crash mid-append) is repaired and counted, while
+// interior journal corruption refuses startup loudly rather than
+// guessing.
+//
 //	mrscand -addr :8080 -state-dir /var/lib/mrscand
 //
 //	curl -s localhost:8080/api/v1/jobs -d '{"tenant":"acme",
@@ -72,7 +81,10 @@ func main() {
 		os.Exit(1)
 	}
 	if n := len(s.Jobs()); n > 0 {
-		log.Printf("mrscand: recovered %d suspended jobs from %s", n, *stateDir)
+		log.Printf("mrscand: recovered %d journaled job(s) from %s", n, *stateDir)
+	}
+	if torn := s.Hub().Counter("server_journal_torn_tail_total").Value(); torn > 0 {
+		log.Printf("mrscand: repaired a torn journal tail (crash mid-append) in %s", *stateDir)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -1,0 +1,659 @@
+package chaos
+
+// Crash-point recovery harness. Where the fault campaign (chaos.go)
+// injects corruption and process death into a *running* pipeline, this
+// harness simulates power failure underneath the durable-state writers
+// and audits the sync-ordering discipline, ALICE-style:
+//
+//  1. Enumerate: a fault-free probe run with the crash simulator
+//     enabled (but never armed) measures the op space — every
+//     durability-relevant file-system operation gets a sequence number.
+//  2. Crash: for each sampled sequence number, a fresh run is armed to
+//     lose power exactly there. Unsynced writes are dropped, reordered
+//     and torn; unsynced creates and renames survive only as a seeded
+//     per-directory prefix (see lustre.Recover).
+//  3. Audit: the process restarts on the surviving state and must
+//     uphold the acknowledgment invariants — nothing that was
+//     acknowledged durable before the crash may be lost, recovery must
+//     be idempotent (a crash during recovery, recovered again, changes
+//     nothing), and the final output must equal the fault-free
+//     reference exactly or fail loudly. Silent corruption is never
+//     acceptable.
+//
+// Two writers are exercised: the pipeline's checkpoint path (a phase
+// whose snapshot Save returned is acknowledged and must be restored,
+// not recomputed) and the job server's write-ahead journal (a job whose
+// Submit returned is acknowledged and must be journaled terminal or
+// re-admitted after restart).
+//
+// The mutation hooks DropSyncs/DropDirSyncs turn selected fsyncs into
+// lies — they succeed, cost and log like a real sync but persist
+// nothing. A harness that stays green under a lying fsync proves
+// nothing; tests arm the hooks and require the campaign to FAIL.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/lustre"
+	"repro/internal/mrscan"
+	"repro/internal/ptio"
+	"repro/internal/server"
+)
+
+// CrashOptions configures a crash-point campaign.
+type CrashOptions struct {
+	// Seeds are the campaigns to run, one op-space enumeration per seed.
+	Seeds []int64
+	// Points is the pipeline dataset size per run (default 2000).
+	Points int
+	// Leaves is the cluster-phase tree width (default 4).
+	Leaves int
+	// CrashPoints is how many pipeline crash points are sampled per seed
+	// (default 20; <0 skips the pipeline leg).
+	CrashPoints int
+	// JournalCrashPoints is how many job-server journal crash points are
+	// sampled per seed (default 4; <0 skips the journal leg).
+	JournalCrashPoints int
+	// JournalJobs is the submit burst size of the journal workload
+	// (default 3).
+	JournalJobs int
+	// RecoveryCrashEvery makes every Nth crash point a double crash: a
+	// second power failure is armed during the recovery itself, and the
+	// second recovery must leave the same end state (default 3).
+	RecoveryCrashEvery int
+	// RunTimeout bounds each pipeline run or job wait (default 2m).
+	RunTimeout time.Duration
+
+	// DropSyncs is a path.Match pattern; file fsyncs on matching names
+	// silently lie (succeed but persist nothing). A mutation hook: the
+	// campaign must FAIL under it, proving the harness detects a missing
+	// fsync.
+	DropSyncs string
+	// DropDirSyncs makes every directory sync lie. Mutation hook.
+	DropDirSyncs bool
+
+	// Logf, when set, receives per-crash-point progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *CrashOptions) setDefaults() {
+	if o.Points <= 0 {
+		o.Points = 2000
+	}
+	if o.Leaves <= 0 {
+		o.Leaves = 4
+	}
+	if o.CrashPoints == 0 {
+		o.CrashPoints = 20
+	}
+	if o.JournalCrashPoints == 0 {
+		o.JournalCrashPoints = 4
+	}
+	if o.JournalJobs <= 0 {
+		o.JournalJobs = 3
+	}
+	if o.RecoveryCrashEvery <= 0 {
+		o.RecoveryCrashEvery = 3
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 2 * time.Minute
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// syncFilter builds the lying-fsync filter from the mutation hooks; nil
+// when no mutation is armed.
+func (o CrashOptions) syncFilter() func(kind lustre.OpKind, name string) bool {
+	if o.DropSyncs == "" && !o.DropDirSyncs {
+		return nil
+	}
+	return func(kind lustre.OpKind, name string) bool {
+		if o.DropDirSyncs && kind == lustre.OpSyncDir {
+			return false
+		}
+		if o.DropSyncs != "" && kind == lustre.OpSync {
+			if ok, _ := path.Match(o.DropSyncs, name); ok {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// CrashPointReport is the audit of one pipeline crash point.
+type CrashPointReport struct {
+	// Seq is the op sequence number the crash was armed at.
+	Seq int64 `json:"seq"`
+	// DoubleCrash marks a point where a second power failure was armed
+	// during the recovery run.
+	DoubleCrash bool `json:"double_crash,omitempty"`
+	// CompletedBeforeCrash marks a run that finished before its armed
+	// point was reached (op interleavings shift between runs); the
+	// durable output is still audited against the reference.
+	CompletedBeforeCrash bool `json:"completed_before_crash,omitempty"`
+	// AckedPhases are the phases whose checkpoint Save returned before
+	// the crash — the acknowledgment set the recovery must honour.
+	AckedPhases []string `json:"acked_phases,omitempty"`
+	// RestoredPhases is what the post-crash resume actually restored.
+	RestoredPhases []string `json:"restored_phases,omitempty"`
+	Outcome        Outcome  `json:"outcome"`
+	Reason         string   `json:"reason,omitempty"`
+}
+
+// JournalCrashReport is the audit of one job-server journal crash point.
+type JournalCrashReport struct {
+	Seq         int64 `json:"seq"`
+	DoubleCrash bool  `json:"double_crash,omitempty"`
+	// AckedJobs is how many Submit calls returned an ID before the
+	// crash; every one of them must survive it.
+	AckedJobs int `json:"acked_jobs"`
+	// TornTail records that replay found (and repaired) a torn final
+	// journal record — expected wreckage, not a failure.
+	TornTail bool    `json:"torn_tail,omitempty"`
+	Outcome  Outcome `json:"outcome"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// CrashRunReport aggregates one seed's crash points.
+type CrashRunReport struct {
+	Seed    int64   `json:"seed"`
+	Outcome Outcome `json:"outcome"`
+	Reason  string  `json:"reason,omitempty"`
+	// PipelineOps / JournalOps are the op-space sizes the probe runs
+	// measured; crash points are sampled from [2, ops].
+	PipelineOps int64                `json:"pipeline_ops,omitempty"`
+	JournalOps  int64                `json:"journal_ops,omitempty"`
+	Points      []CrashPointReport   `json:"points,omitempty"`
+	Journal     []JournalCrashReport `json:"journal,omitempty"`
+	Elapsed     time.Duration        `json:"elapsed_ns"`
+}
+
+// CrashCampaignReport aggregates a campaign.
+type CrashCampaignReport struct {
+	Runs []CrashRunReport `json:"runs"`
+	// CrashPoints is the total number of crash points exercised.
+	CrashPoints int `json:"crash_points"`
+	OK          int `json:"ok"`
+	Failed      int `json:"failed"`
+}
+
+// RunCrash executes a crash-point campaign over all seeds.
+func RunCrash(o CrashOptions) CrashCampaignReport {
+	o.setDefaults()
+	var rep CrashCampaignReport
+	for _, seed := range o.Seeds {
+		r := RunCrashSeed(seed, o)
+		rep.Runs = append(rep.Runs, r)
+		rep.CrashPoints += len(r.Points) + len(r.Journal)
+		if r.Outcome == OutcomeFail {
+			rep.Failed++
+		} else {
+			rep.OK++
+		}
+	}
+	return rep
+}
+
+// ckptPhases are the checkpointable phases, in pipeline order. The
+// sweep is not snapshotted (its artifact is the output file itself), so
+// it is never part of the acknowledgment set.
+var ckptPhases = []string{mrscan.PhasePartition, mrscan.PhaseCluster, mrscan.PhaseMerge}
+
+// RunCrashSeed enumerates one seed's op spaces and audits every sampled
+// crash point in both legs.
+func RunCrashSeed(seed int64, o CrashOptions) CrashRunReport {
+	o.setDefaults()
+	start := time.Now()
+	rep := CrashRunReport{Seed: seed, Outcome: OutcomeOK}
+	fail := func(format string, args ...any) CrashRunReport {
+		rep.Outcome = OutcomeFail
+		rep.Reason = fmt.Sprintf(format, args...)
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+	note := func(outcome Outcome, reason string) {
+		if outcome == OutcomeFail && rep.Outcome != OutcomeFail {
+			rep.Outcome = OutcomeFail
+			rep.Reason = reason
+		}
+	}
+
+	if o.CrashPoints > 0 {
+		pts := dataset.Twitter(o.Points, seed)
+		base := Options{Points: o.Points, Leaves: o.Leaves, RunTimeout: o.RunTimeout}
+		base.setDefaults()
+		refCtx, cancelRef := context.WithTimeout(context.Background(), o.RunTimeout)
+		refLabels, err := reference(refCtx, pts, base)
+		cancelRef()
+		if err != nil {
+			return fail("reference: %v", err)
+		}
+
+		// Probe: the same checkpointed run, crash sim counting ops but
+		// never armed, to measure the op space.
+		probeFS, err := newCrashFS(pts, seed)
+		if err != nil {
+			return fail("probe: %v", err)
+		}
+		probeCtx, cancelProbe := context.WithTimeout(context.Background(), o.RunTimeout)
+		_, err = mrscan.RunContext(probeCtx, probeFS, "input.mrsc", "output.mrsl", crashPipelineCfg(o))
+		cancelProbe()
+		if err != nil {
+			return fail("probe run: %v", err)
+		}
+		rep.PipelineOps = probeFS.OpCount()
+		if rep.PipelineOps < 2 {
+			return fail("probe run recorded only %d durability ops", rep.PipelineOps)
+		}
+
+		rng := rand.New(rand.NewSource(seed*0x9e3779b9 + 1))
+		for i, k := range sampleSeqs(rng, 2, rep.PipelineOps, o.CrashPoints) {
+			pr := runPipelineCrashPoint(seed, k, (i+1)%o.RecoveryCrashEvery == 0, pts, refLabels, o)
+			rep.Points = append(rep.Points, pr)
+			note(pr.Outcome, fmt.Sprintf("pipeline crash@%d: %s", pr.Seq, pr.Reason))
+			o.Logf("chaos crash: seed %d pipeline crash@%d: %s", seed, k, pr.Outcome)
+		}
+	}
+
+	if o.JournalCrashPoints > 0 {
+		jops, err := journalProbe(seed, o)
+		if err != nil {
+			return fail("journal probe: %v", err)
+		}
+		rep.JournalOps = jops
+		jrng := rand.New(rand.NewSource(seed*0x9e3779b9 + 2))
+		for i, k := range sampleSeqs(jrng, 2, jops, o.JournalCrashPoints) {
+			jr := runJournalCrashPoint(seed, k, (i+1)%o.RecoveryCrashEvery == 0, o)
+			rep.Journal = append(rep.Journal, jr)
+			note(jr.Outcome, fmt.Sprintf("journal crash@%d: %s", jr.Seq, jr.Reason))
+			o.Logf("chaos crash: seed %d journal crash@%d: %s", seed, k, jr.Outcome)
+		}
+	}
+
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// newCrashFS provisions a file system with the input dataset already on
+// stable storage (written before the simulator is enabled, so the
+// baseline is durable and the op space covers only the run itself).
+func newCrashFS(pts []geom.Point, simSeed int64) (*lustre.FS, error) {
+	fs := lustre.New(lustre.Titan(), nil)
+	if err := ptio.WriteDataset(fs.Create("input.mrsc"), pts, false); err != nil {
+		return nil, err
+	}
+	fs.EnableCrashSim(simSeed)
+	return fs, nil
+}
+
+func crashPipelineCfg(o CrashOptions) mrscan.Config {
+	cfg := mrscan.Default(0.1, 20, o.Leaves)
+	cfg.IncludeNoise = true
+	cfg.Checkpoint = true
+	return cfg
+}
+
+// sampleSeqs samples up to n distinct sequence numbers from [lo, hi],
+// sorted ascending.
+func sampleSeqs(rng *rand.Rand, lo, hi int64, n int) []int64 {
+	if hi < lo {
+		return nil
+	}
+	seen := make(map[int64]bool)
+	var out []int64
+	for i := 0; i < 4*n && len(out) < n; i++ {
+		k := lo + rng.Int63n(hi-lo+1)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// runPipelineCrashPoint loses power at op k of a checkpointed pipeline
+// run, recovers, and audits: acknowledged phase checkpoints restore
+// instead of recomputing, the resumed labels equal the fault-free
+// reference exactly, and (for double-crash points) a second power
+// failure during the recovery changes nothing.
+func runPipelineCrashPoint(seed, k int64, doubleCrash bool, pts []geom.Point, refLabels []int, o CrashOptions) CrashPointReport {
+	pr := CrashPointReport{Seq: k, DoubleCrash: doubleCrash, Outcome: OutcomeOK}
+	fail := func(format string, args ...any) CrashPointReport {
+		pr.Outcome = OutcomeFail
+		pr.Reason = fmt.Sprintf(format, args...)
+		return pr
+	}
+
+	simSeed := seed*1_000_003 + k
+	fs, err := newCrashFS(pts, simSeed)
+	if err != nil {
+		return fail("staging input: %v", err)
+	}
+	if f := o.syncFilter(); f != nil {
+		fs.SetSyncFilter(f)
+	}
+	fs.ArmCrash(k)
+
+	// acked accumulates, across every crashed attempt, the phases whose
+	// checkpoint Save returned — the durably-acknowledged set.
+	acked := make(map[string]bool)
+	noteAcked := func(r *mrscan.Result) {
+		if r == nil {
+			return
+		}
+		for _, p := range r.CompletedPhases {
+			for _, cp := range ckptPhases {
+				if p == cp {
+					acked[p] = true
+				}
+			}
+		}
+	}
+	ackedList := func() []string {
+		var out []string
+		for _, p := range ckptPhases {
+			if acked[p] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	cfg := crashPipelineCfg(o)
+	ctx, cancel := context.WithTimeout(context.Background(), o.RunTimeout)
+	res, runErr := mrscan.RunContext(ctx, fs, "input.mrsc", "output.mrsl", cfg)
+	cancel()
+	noteAcked(res)
+
+	if runErr == nil {
+		// The run finished before its armed point was reached (op
+		// interleavings shift between runs). Power-fail now: the sweep
+		// synced the output before acknowledging, so the durable image
+		// must still carry the exact reference labels.
+		pr.CompletedBeforeCrash = true
+		fs.CrashNow()
+		if _, err := fs.Recover(); err != nil {
+			return fail("recover: %v", err)
+		}
+		labels, err := mrscan.LabelsByID(fs, res.OutputFile, pts)
+		if err != nil {
+			return fail("completed run lost its synced output: %v", err)
+		}
+		if !equalLabels(labels, refLabels) {
+			return fail("completed run's durable output differs from the reference")
+		}
+		pr.AckedPhases = ackedList()
+		return pr
+	}
+	if !fs.Crashed() {
+		return fail("run failed without a crash: %v", runErr)
+	}
+	if _, err := fs.Recover(); err != nil {
+		return fail("recover: %v", err)
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Resume = true
+
+	if doubleCrash {
+		// Idempotence: lose power again during the recovery run itself,
+		// recover a second time, and require the final resume to uphold
+		// the same invariants.
+		rng := rand.New(rand.NewSource(simSeed ^ 0x7e57))
+		fs.ArmCrash(fs.OpCount() + 1 + rng.Int63n(32))
+		ctx2, cancel2 := context.WithTimeout(context.Background(), o.RunTimeout)
+		res2, err2 := mrscan.RunContext(ctx2, fs, "input.mrsc", "output.mrsl", resumeCfg)
+		cancel2()
+		noteAcked(res2)
+		if err2 != nil && !fs.Crashed() {
+			return fail("recovery run failed without a crash: %v", err2)
+		}
+		if !fs.Crashed() {
+			// The recovery outran the second armed point; power-fail now.
+			fs.CrashNow()
+		}
+		if _, err := fs.Recover(); err != nil {
+			return fail("second recover: %v", err)
+		}
+	}
+
+	ctx3, cancel3 := context.WithTimeout(context.Background(), o.RunTimeout)
+	res3, err3 := mrscan.RunContext(ctx3, fs, "input.mrsc", "output.mrsl", resumeCfg)
+	cancel3()
+	if err3 != nil {
+		return fail("resume after recovery failed: %v", err3)
+	}
+	labels, err := mrscan.LabelsByID(fs, res3.OutputFile, pts)
+	if err != nil {
+		return fail("reading resumed output: %v", err)
+	}
+	if !equalLabels(labels, refLabels) {
+		return fail("resumed labels differ from the fault-free reference")
+	}
+	pr.AckedPhases = ackedList()
+	pr.RestoredPhases = res3.RestoredPhases
+	restored := make(map[string]bool, len(res3.RestoredPhases))
+	for _, p := range res3.RestoredPhases {
+		restored[p] = true
+	}
+	for _, p := range ackedList() {
+		if !restored[p] {
+			return fail("acknowledged %s checkpoint was lost: the resume re-executed it", p)
+		}
+	}
+	return pr
+}
+
+// Journal leg: the job server's write-ahead journal under power
+// failure. The server's job pipelines run on private file systems; only
+// the journal writes go through the crash-simulated one, so the op
+// space covers exactly the durability path Submit acknowledges through.
+
+func journalServerConfig(jfs server.JournalFS) server.Config {
+	return server.Config{
+		Workers:   2,
+		StateDir:  "state",
+		JournalFS: jfs,
+	}
+}
+
+func journalWorkload(seed int64, o CrashOptions) []server.JobSpec {
+	specs := make([]server.JobSpec, o.JournalJobs)
+	for i := range specs {
+		specs[i] = server.JobSpec{
+			Tenant: "crash",
+			Points: dataset.Twitter(300, seed+31*int64(i)),
+			Eps:    0.1, MinPts: 10, Leaves: 2,
+		}
+	}
+	return specs
+}
+
+// journalProbe runs the journal workload to completion with the crash
+// sim counting (never armed) and returns the op-space size.
+func journalProbe(seed int64, o CrashOptions) (int64, error) {
+	sfs := lustre.New(lustre.Titan(), nil)
+	sfs.EnableCrashSim(seed)
+	srv, err := server.New(journalServerConfig(server.LustreJournalFS(sfs)))
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	var ids []string
+	for _, spec := range journalWorkload(seed, o) {
+		id, err := srv.Submit(spec)
+		if err != nil {
+			return 0, err
+		}
+		ids = append(ids, id)
+	}
+	if err := waitTerminal(srv, ids, o.RunTimeout); err != nil {
+		return 0, err
+	}
+	return sfs.OpCount(), nil
+}
+
+// waitTerminal polls until every job is in a terminal state.
+func waitTerminal(srv *server.Server, ids []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := ""
+		for _, id := range ids {
+			st, err := srv.Status(id)
+			if err != nil {
+				return fmt.Errorf("job %s: %w", id, err)
+			}
+			if !st.State.Terminal() {
+				pending = id
+				break
+			}
+		}
+		if pending == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s not terminal after %v", pending, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitTerminalSettled is waitTerminal without the error: after a crash
+// the in-memory jobs still settle (their pipelines run on private file
+// systems), we just give them the chance to before auditing.
+func waitTerminalSettled(srv *server.Server, ids []string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, id := range ids {
+			st, err := srv.Status(id)
+			if err != nil || !st.State.Terminal() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// runJournalCrashPoint loses power at journal op k during a submit
+// burst and audits the acknowledgment invariant: every job whose Submit
+// returned an ID has a durable journal record, and after restart it is
+// journaled terminal or re-admitted and driven to termination. Interior
+// journal corruption is never acceptable; a torn tail is repaired and
+// counted.
+func runJournalCrashPoint(seed, k int64, doubleCrash bool, o CrashOptions) JournalCrashReport {
+	jr := JournalCrashReport{Seq: k, DoubleCrash: doubleCrash, Outcome: OutcomeOK}
+	fail := func(format string, args ...any) JournalCrashReport {
+		jr.Outcome = OutcomeFail
+		jr.Reason = fmt.Sprintf(format, args...)
+		return jr
+	}
+
+	sfs := lustre.New(lustre.Titan(), nil)
+	sfs.EnableCrashSim(seed*1_000_003 + k)
+	if f := o.syncFilter(); f != nil {
+		sfs.SetSyncFilter(f)
+	}
+	jfs := server.LustreJournalFS(sfs)
+	srv, err := server.New(journalServerConfig(jfs))
+	if err != nil {
+		return fail("starting server: %v", err)
+	}
+	sfs.ArmCrash(k)
+
+	var acked []string
+	for _, spec := range journalWorkload(seed, o) {
+		if id, err := srv.Submit(spec); err == nil {
+			acked = append(acked, id)
+		}
+	}
+	jr.AckedJobs = len(acked)
+	waitTerminalSettled(srv, acked, o.RunTimeout)
+	srv.Close()
+	if !sfs.Crashed() {
+		sfs.CrashNow()
+	}
+	if _, err := sfs.Recover(); err != nil {
+		return fail("recover: %v", err)
+	}
+
+	// Audit 1: every acknowledged job has a durable journal record —
+	// Submit fsynced the queued record before returning the ID.
+	states, torn, err := server.JournalStates(jfs, "state")
+	if err != nil {
+		return fail("journal replay: %v", err)
+	}
+	jr.TornTail = torn
+	for _, id := range acked {
+		if _, ok := states[id]; !ok {
+			return fail("acknowledged job %s has no durable journal record", id)
+		}
+	}
+
+	if doubleCrash {
+		// Idempotence: lose power again during the restart's journal
+		// replay (which may be mid torn-tail repair), recover, and
+		// require the next restart to proceed as if the first crash
+		// never happened twice.
+		rng := rand.New(rand.NewSource(seed ^ (k << 8)))
+		sfs.ArmCrash(sfs.OpCount() + 1 + rng.Int63n(8))
+		srv2, err := server.New(journalServerConfig(jfs))
+		if err == nil {
+			// Recovery outran the armed point; power-fail underneath the
+			// running server instead.
+			srv2.Close()
+		} else if !sfs.Crashed() {
+			return fail("restart failed without a crash: %v", err)
+		}
+		if !sfs.Crashed() {
+			sfs.CrashNow()
+		}
+		if _, err := sfs.Recover(); err != nil {
+			return fail("second recover: %v", err)
+		}
+	}
+
+	// Audit 2: a server restarted on the surviving state re-admits every
+	// acknowledged non-terminal job and drives it to termination.
+	srv3, err := server.New(journalServerConfig(jfs))
+	if err != nil {
+		return fail("restart on recovered state: %v", err)
+	}
+	defer srv3.Close()
+	states, _, err = server.JournalStates(jfs, "state")
+	if err != nil {
+		return fail("journal replay after restart: %v", err)
+	}
+	var pending []string
+	for _, id := range acked {
+		st, ok := states[id]
+		if !ok {
+			return fail("acknowledged job %s lost its journal record across recovery", id)
+		}
+		if st == server.StateCompleted || st == server.StateFailed {
+			continue
+		}
+		if _, err := srv3.Status(id); err != nil {
+			return fail("acknowledged job %s (journaled %q) not re-admitted after restart", id, st)
+		}
+		pending = append(pending, id)
+	}
+	if err := waitTerminal(srv3, pending, o.RunTimeout); err != nil {
+		return fail("re-admitted jobs did not terminate: %v", err)
+	}
+	return jr
+}

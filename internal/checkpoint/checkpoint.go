@@ -12,11 +12,18 @@
 // Durability protocol, defended against the two classic failure modes:
 //
 //   - Torn writes (crash mid-snapshot): every snapshot is first written
-//     to a ".tmp" name and then atomically renamed into place; the
-//     manifest — itself written with the same protocol — is updated only
-//     after the snapshot rename. A crash at any instant leaves either
-//     the old manifest (pointing at old, intact snapshots) or the new
-//     one (pointing at the new, fully-written snapshot).
+//     to a ".tmp" name, fsynced, and then atomically renamed into place,
+//     with the directory synced after the rename; the manifest — itself
+//     written with the same protocol — is updated only after the
+//     snapshot rename. The sync ordering matters as much as the rename:
+//     without the file sync a power failure can expose the *renamed*
+//     name with empty or torn contents (rename is atomic but the data
+//     was still in the page cache), and without the directory sync the
+//     rename itself may not survive. A crash at any instant therefore
+//     leaves either the old manifest (pointing at old, intact
+//     snapshots) or the new one (pointing at the new, fully-written,
+//     durable snapshot). Invariant: when Save returns, the snapshot and
+//     the manifest entry recording it are both on stable storage.
 //   - Silent corruption (bit rot, partial RAID reconstruction): every
 //     snapshot carries a CRC32C (Castagnoli) checksum over its payload
 //     plus a magic/version header; Load verifies both and returns
@@ -61,19 +68,25 @@ var ErrCorrupt = errors.New("checkpoint: snapshot corrupt")
 var ErrNoCheckpoint = errors.New("checkpoint: no snapshot")
 
 // File is the handle surface snapshots are read and written through.
+// Sync flushes written bytes to stable storage (fsync).
 type File interface {
 	io.Reader
 	io.Writer
+	Sync() error
 }
 
 // FS is the storage surface the store needs: named files with POSIX
-// rename semantics. Implemented by LustreFS (the simulated parallel file
-// system) and DirFS (a real OS directory).
+// rename semantics plus a directory sync to make renames durable.
+// Implemented by LustreFS (the simulated parallel file system) and
+// DirFS (a real OS directory).
 type FS interface {
 	Create(name string) (File, error)
 	Open(name string) (File, error)
 	Rename(oldname, newname string) error
 	Remove(name string) error
+	// SyncDir makes completed renames durable (fsync of the store's
+	// directory). Stores are flat, so one directory suffices.
+	SyncDir() error
 }
 
 // lustreFS adapts *lustre.FS to the FS interface.
@@ -88,6 +101,7 @@ func (l lustreFS) Create(name string) (File, error) { return l.fs.Create(name), 
 func (l lustreFS) Open(name string) (File, error)   { return l.fs.Open(name) }
 func (l lustreFS) Rename(o, n string) error         { return l.fs.Rename(o, n) }
 func (l lustreFS) Remove(name string) error         { l.fs.Remove(name); return nil }
+func (l lustreFS) SyncDir() error                   { return l.fs.SyncDir(".") }
 
 // dirFS implements FS on a real OS directory, for checkpoint state that
 // must survive process restarts (the distributed coordinator).
@@ -125,6 +139,15 @@ func (d dirFS) Remove(name string) error {
 		return nil
 	}
 	return err
+}
+
+func (d dirFS) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
 }
 
 // Manifest is the run's durable table of contents: which phases have
@@ -270,7 +293,11 @@ func (s *Store) saveManifestLocked() error {
 }
 
 // writeFile writes payload under the integrity envelope via the atomic
-// write-then-rename protocol and returns the payload CRC.
+// write-then-rename protocol and returns the payload CRC. Sync
+// ordering: the tmp file's bytes are fsynced *before* the rename (so
+// the published name can never surface empty or torn after a crash)
+// and the directory is fsynced *after* (so the rename itself is
+// durable when writeFile returns).
 func (s *Store) writeFile(name string, payload []byte) (uint32, error) {
 	crc := integrity.Checksum(payload)
 	tmp := name + ".tmp"
@@ -289,6 +316,9 @@ func (s *Store) writeFile(name string, payload []byte) (uint32, error) {
 	if _, err := f.Write(payload); err != nil {
 		return 0, fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
 	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)
+	}
 	if c, ok := f.(io.Closer); ok {
 		if err := c.Close(); err != nil {
 			return 0, fmt.Errorf("checkpoint: closing %s: %w", tmp, err)
@@ -296,6 +326,9 @@ func (s *Store) writeFile(name string, payload []byte) (uint32, error) {
 	}
 	if err := s.fs.Rename(tmp, name); err != nil {
 		return 0, fmt.Errorf("checkpoint: publishing %s: %w", name, err)
+	}
+	if err := s.fs.SyncDir(); err != nil {
+		return 0, fmt.Errorf("checkpoint: syncing store directory after publishing %s: %w", name, err)
 	}
 	return crc, nil
 }
@@ -327,7 +360,7 @@ func (s *Store) loadFile(name string, out any) error {
 func verifyEnvelope(f io.Reader, name string) ([]byte, error) {
 	var hdr [len(magic) + 2 + 4 + 8]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, name)
+		return nil, fmt.Errorf("%w: %s: short header: %w", ErrCorrupt, name, integrity.ErrTorn)
 	}
 	if string(hdr[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, name)
@@ -343,7 +376,7 @@ func verifyEnvelope(f io.Reader, name string) ([]byte, error) {
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(f, payload); err != nil {
-		return nil, fmt.Errorf("%w: %s: truncated payload", ErrCorrupt, name)
+		return nil, fmt.Errorf("%w: %s: truncated payload: %w", ErrCorrupt, name, integrity.ErrTorn)
 	}
 	if got := integrity.Checksum(payload); got != wantCRC {
 		return nil, fmt.Errorf("%w: %s: CRC32C %08x, want %08x", ErrCorrupt, name, got, wantCRC)

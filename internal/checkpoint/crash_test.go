@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/integrity"
+	"repro/internal/lustre"
+)
+
+// saveWorkload performs two Saves (the second replaces the first) so
+// crash points cover both the fresh-publish and replace paths.
+func saveWorkload(st *Store) error {
+	if err := st.Save("partition", testSnap(40)); err != nil {
+		return err
+	}
+	return st.Save("cluster", testSnap(60))
+}
+
+// TestCrashPointSweepNeverCorrupts enumerates every crash point during
+// a Save sequence and checks, for each: a phase whose Save returned
+// (was acknowledged) before the crash verifies after recovery, and no
+// phase is ever *silently* corrupt — Verify either succeeds or returns
+// a typed error that forces re-execution.
+func TestCrashPointSweepNeverCorrupts(t *testing.T) {
+	probe := lustre.New(lustre.Titan(), nil)
+	probe.EnableCrashSim(1)
+	if err := saveWorkload(NewStore(LustreFS(probe), "run1")); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.OpCount()
+	if total < 10 {
+		t.Fatalf("save workload produced only %d ops", total)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		for k := int64(2); k <= total; k++ {
+			fs := lustre.New(lustre.Titan(), nil)
+			fs.EnableCrashSim(seed)
+			fs.ArmCrash(k)
+			st := NewStore(LustreFS(fs), "run1")
+			var acked []string
+			if err := st.Save("partition", testSnap(40)); err == nil {
+				acked = append(acked, "partition")
+				if err := st.Save("cluster", testSnap(60)); err == nil {
+					acked = append(acked, "cluster")
+				}
+			}
+			if !fs.Crashed() {
+				t.Fatalf("seed %d k=%d: no crash fired", seed, k)
+			}
+			if _, err := fs.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			st2 := NewStore(LustreFS(fs), "run1") // restarted process
+			for _, phase := range acked {
+				if err := st2.Verify(phase); err != nil {
+					t.Fatalf("seed %d k=%d: acknowledged phase %s lost after crash: %v", seed, k, phase, err)
+				}
+				var got snap
+				if err := st2.Load(phase, &got); err != nil || len(got.Points) == 0 {
+					t.Fatalf("seed %d k=%d: acknowledged phase %s unreadable: %v", seed, k, phase, err)
+				}
+			}
+			// Unacked phases must be absent or loudly corrupt, never a
+			// renamed-but-empty/torn snapshot that verifies.
+			for _, phase := range []string{"partition", "cluster"} {
+				if err := st2.Verify(phase); err != nil &&
+					!errors.Is(err, ErrNoCheckpoint) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("seed %d k=%d: %s: untyped verify error %v", seed, k, phase, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMissingFileSyncCaught is the renamed-but-empty regression: if the
+// data fsync before the rename is dropped (a lying fsync), some crash
+// must expose an acknowledged snapshot that no longer verifies — and
+// the sweep above proves the honest protocol never does.
+func TestMissingFileSyncCaught(t *testing.T) {
+	testLyingSyncCaught(t, func(fs *lustre.FS) {
+		fs.SetSyncFilter(func(kind lustre.OpKind, name string) bool {
+			return kind != lustre.OpSync // drop every file fsync, keep dir syncs
+		})
+	})
+}
+
+// TestMissingDirSyncCaught is the missing-dir-sync regression: without
+// the directory sync after the rename, an acknowledged snapshot's
+// rename can vanish in a crash.
+func TestMissingDirSyncCaught(t *testing.T) {
+	testLyingSyncCaught(t, func(fs *lustre.FS) {
+		fs.SetSyncFilter(func(kind lustre.OpKind, name string) bool {
+			return kind != lustre.OpSyncDir // drop every dir sync, keep file fsyncs
+		})
+	})
+}
+
+func testLyingSyncCaught(t *testing.T, mutate func(*lustre.FS)) {
+	t.Helper()
+	for seed := int64(1); seed <= 30; seed++ {
+		fs := lustre.New(lustre.Titan(), nil)
+		fs.EnableCrashSim(seed)
+		mutate(fs)
+		st := NewStore(LustreFS(fs), "run1")
+		if err := saveWorkload(st); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashNow()
+		if _, err := fs.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		st2 := NewStore(LustreFS(fs), "run1")
+		for _, phase := range []string{"partition", "cluster"} {
+			if err := st2.Verify(phase); err != nil {
+				return // the dropped sync lost an acknowledged snapshot — caught
+			}
+		}
+	}
+	t.Fatal("no seed in 1..30 exposed the dropped sync — the protocol test has no teeth")
+}
+
+// TestTornTailTyped: a snapshot cut short reports both ErrCorrupt and
+// integrity.ErrTorn, so readers can distinguish a torn tail (expected
+// after a crash, re-execute the phase) from interior bit rot.
+func TestTornTailTyped(t *testing.T) {
+	fs, st := newLustreStore(t, "run1")
+	if err := st.Save("merge", testSnap(50)); err != nil {
+		t.Fatal(err)
+	}
+	name := phaseFile("merge")
+	h, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, h.Size())
+	if _, err := h.ReadAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, len(magic) + 5, len(data) - 7} {
+		trunc := fs.Create(name)
+		if cut > 0 {
+			if _, err := trunc.WriteAt(data[:cut], 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		err := st.Verify("merge")
+		if !errors.Is(err, ErrCorrupt) || !errors.Is(err, integrity.ErrTorn) {
+			t.Fatalf("cut at %d: Verify = %v, want ErrCorrupt and integrity.ErrTorn", cut, err)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package lustre
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func readBack(t *testing.T, fs *FS, name string) []byte {
+	t.Helper()
+	h, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("open %q: %v", name, err)
+	}
+	b := make([]byte, h.Size())
+	if len(b) == 0 {
+		return b
+	}
+	if _, err := h.ReadAt(b, 0); err != nil {
+		t.Fatalf("read %q: %v", name, err)
+	}
+	return b
+}
+
+func exists(fs *FS, name string) bool {
+	_, err := fs.Open(name)
+	return err == nil
+}
+
+// TestCrashSimDisabledIsFree: without EnableCrashSim, Sync and SyncDir
+// succeed, charge nothing, and track nothing.
+func TestCrashSimDisabledIsFree(t *testing.T) {
+	fs := New(Titan(), nil)
+	h := fs.Create("f")
+	if _, err := h.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Clock().Now()
+	if err := fs.Sync("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Clock().Now(); got != before {
+		t.Fatalf("disabled sync charged simulated time: %v -> %v", before, got)
+	}
+	if fs.OpCount() != 0 || fs.CrashSimEnabled() {
+		t.Fatal("disabled crash sim is tracking operations")
+	}
+}
+
+// TestSyncedDataSurvivesAnyCrash: fsynced contents and dir-synced names
+// survive a power failure at any later point, for every seed.
+func TestSyncedDataSurvivesAnyCrash(t *testing.T) {
+	payload := bytes.Repeat([]byte("durable!"), 512)
+	for seed := int64(1); seed <= 40; seed++ {
+		fs := New(Titan(), nil)
+		fs.EnableCrashSim(seed)
+		h := fs.Create("data")
+		if _, err := h.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.SyncDir("."); err != nil {
+			t.Fatal(err)
+		}
+		// Unsynced noise after the sync must not disturb it.
+		if _, err := fs.Create("noise").WriteAt([]byte("junk"), 0); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashNow()
+		if _, err := fs.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readBack(t, fs, "data"); !bytes.Equal(got, payload) {
+			t.Fatalf("seed %d: synced data lost or torn (%d bytes, want %d)", seed, len(got), len(payload))
+		}
+	}
+}
+
+// TestUnsyncedWritesDropAndTear: without a sync, some seed must lose or
+// tear the data — otherwise the model is vacuous.
+func TestUnsyncedWritesDropAndTear(t *testing.T) {
+	payload := bytes.Repeat([]byte("volatile"), 512)
+	damaged := false
+	for seed := int64(1); seed <= 20 && !damaged; seed++ {
+		fs := New(Titan(), nil)
+		fs.EnableCrashSim(seed)
+		if _, err := fs.Create("data").WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashNow()
+		rpt, err := fs.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exists(fs, "data") {
+			damaged = true // the create itself did not survive
+			continue
+		}
+		if got := readBack(t, fs, "data"); !bytes.Equal(got, payload) {
+			damaged = true
+		}
+		if rpt.PendingNS == 0 {
+			t.Fatalf("seed %d: pending namespace ops not tracked", seed)
+		}
+	}
+	if !damaged {
+		t.Fatal("no seed in 1..20 dropped or tore an unsynced write — crash model too forgiving")
+	}
+}
+
+// TestRenameDurabilityNeedsDirSync: with file sync + dir sync the
+// renamed name survives every crash; without the dir sync some seed
+// must lose it (the rename was only in the page cache).
+func TestRenameDurabilityNeedsDirSync(t *testing.T) {
+	payload := []byte("snapshot-contents")
+	run := func(seed int64, dirSync bool) (*FS, error) {
+		fs := New(Titan(), nil)
+		fs.EnableCrashSim(seed)
+		h := fs.Create("snap.tmp")
+		if _, err := h.WriteAt(payload, 0); err != nil {
+			return nil, err
+		}
+		if err := h.Sync(); err != nil {
+			return nil, err
+		}
+		if err := fs.Rename("snap.tmp", "snap"); err != nil {
+			return nil, err
+		}
+		if dirSync {
+			if err := fs.SyncDir("."); err != nil {
+				return nil, err
+			}
+		}
+		fs.CrashNow()
+		if _, err := fs.Recover(); err != nil {
+			return nil, err
+		}
+		return fs, nil
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		fs, err := run(seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exists(fs, "snap") {
+			t.Fatalf("seed %d: dir-synced rename lost", seed)
+		}
+		if got := readBack(t, fs, "snap"); !bytes.Equal(got, payload) {
+			t.Fatalf("seed %d: dir-synced rename exposed bad contents", seed)
+		}
+	}
+	lost := false
+	for seed := int64(1); seed <= 40 && !lost; seed++ {
+		fs, err := run(seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lost = !exists(fs, "snap")
+	}
+	if !lost {
+		t.Fatal("no seed in 1..40 lost an un-dir-synced rename — rename is silently durable")
+	}
+}
+
+// TestArmCrashDeterministic: the same seed and crash point yield
+// byte-identical recovered state, and the op log is stable across
+// identical runs — every crash point is enumerable.
+func TestArmCrashDeterministic(t *testing.T) {
+	workload := func(fs *FS) error {
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("f%d", i)
+			h := fs.Create(name)
+			if _, err := h.WriteAt(bytes.Repeat([]byte{byte('a' + i)}, 100*(i+1)), 0); err != nil {
+				return err
+			}
+			if i%2 == 0 {
+				if err := h.Sync(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := fs.SyncDir("."); err != nil {
+			return err
+		}
+		return fs.Rename("f3", "f3.final")
+	}
+	probe := New(Titan(), nil)
+	probe.EnableCrashSim(7)
+	if err := workload(probe); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.OpCount()
+	if total < 8 {
+		t.Fatalf("op log too small: %d", total)
+	}
+	for k := int64(2); k <= total; k++ {
+		var snaps [2]map[string]string
+		for trial := 0; trial < 2; trial++ {
+			fs := New(Titan(), nil)
+			fs.EnableCrashSim(7)
+			fs.ArmCrash(k)
+			err := workload(fs)
+			if k <= total && err == nil {
+				t.Fatalf("k=%d: workload survived an armed crash", k)
+			}
+			if !fs.Crashed() {
+				t.Fatalf("k=%d: workload failed without a crash: %v", k, err)
+			}
+			if _, err := fs.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			snap := make(map[string]string)
+			for _, name := range fs.List() {
+				snap[name] = string(readBack(t, fs, name))
+			}
+			snaps[trial] = snap
+		}
+		if len(snaps[0]) != len(snaps[1]) {
+			t.Fatalf("k=%d: nondeterministic recovery (file sets differ)", k)
+		}
+		for name, data := range snaps[0] {
+			if snaps[1][name] != data {
+				t.Fatalf("k=%d: nondeterministic recovery of %q", k, name)
+			}
+		}
+	}
+}
+
+// TestCrashedOpsFailStop: every operation between the power failure
+// and Recover reports ErrCrashed.
+func TestCrashedOpsFailStop(t *testing.T) {
+	fs := New(Titan(), nil)
+	h := fs.Create("f")
+	if _, err := h.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.EnableCrashSim(1)
+	fs.CrashNow()
+	if _, err := h.WriteAt([]byte("y"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("WriteAt after crash = %v", err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ReadAt after crash = %v", err)
+	}
+	if _, err := fs.Open("f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Open after crash = %v", err)
+	}
+	if err := fs.Sync("f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync after crash = %v", err)
+	}
+	if err := fs.SyncDir("."); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("SyncDir after crash = %v", err)
+	}
+	if err := fs.Rename("f", "g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Rename after crash = %v", err)
+	}
+	if _, err := fs.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Service restored; a second crash can be armed (recovery
+	// idempotence runs re-crash during recovery).
+	if _, err := fs.Create("g").WriteAt([]byte("z"), 0); err != nil {
+		t.Fatalf("write after recover: %v", err)
+	}
+	fs.CrashNow()
+	if _, err := fs.Recover(); err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+}
+
+// TestSyncFilterLies: a filtered sync reports success but persists
+// nothing — the mutation hook behind the harness's "remove one fsync
+// and the audit must fail" check.
+func TestSyncFilterLies(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 4096)
+	lost := false
+	for seed := int64(1); seed <= 20 && !lost; seed++ {
+		fs := New(Titan(), nil)
+		fs.EnableCrashSim(seed)
+		fs.SetSyncFilter(func(kind OpKind, name string) bool { return kind != OpSync })
+		h := fs.Create("f")
+		if _, err := h.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Sync(); err != nil {
+			t.Fatalf("lying sync must still report success: %v", err)
+		}
+		if err := fs.SyncDir("."); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashNow()
+		if _, err := fs.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(readBack(t, fs, "f"), payload) {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("no seed in 1..20 lost data behind a lying fsync")
+	}
+}
+
+// TestRecoverRebaselinesIntegrity: block checksums are recomputed over
+// the recovered contents — losing unsynced data is a durability event,
+// not corruption.
+func TestRecoverRebaselinesIntegrity(t *testing.T) {
+	fs := New(Titan(), nil)
+	fs.EnableIntegrity()
+	fs.EnableCrashSim(3)
+	h := fs.Create("f")
+	if _, err := h.WriteAt(bytes.Repeat([]byte("abc"), 5000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(bytes.Repeat([]byte("XYZ"), 5000), 2000); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashNow()
+	if _, err := fs.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if !exists(fs, "f") {
+		t.Skip("seed dropped the file entirely")
+	}
+	h2, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, h2.Size())
+	if _, err := h2.ReadAt(b, 0); err != nil {
+		t.Fatalf("post-recovery read tripped integrity: %v", err)
+	}
+}

@@ -79,6 +79,10 @@ type fsMetrics struct {
 	bytesWritten *telemetry.Counter
 	seeks        *telemetry.Counter
 	filesCreated *telemetry.Counter
+	// Durability model (see crash.go): honoured file and directory
+	// syncs.
+	syncs    *telemetry.Counter
+	dirSyncs *telemetry.Counter
 	// Integrity ledger (see integrity.go): detections by side, taints
 	// retired as masked, and verification rereads.
 	corruptReads  *telemetry.Counter
@@ -95,6 +99,8 @@ func resolveFSMetrics(h *telemetry.Hub) fsMetrics {
 		bytesWritten:  h.Counter("lustre_bytes_written_total"),
 		seeks:         h.Counter("lustre_seeks_total"),
 		filesCreated:  h.Counter("lustre_files_created_total"),
+		syncs:         h.Counter("lustre_syncs_total"),
+		dirSyncs:      h.Counter("lustre_dir_syncs_total"),
 		corruptReads:  h.Counter(integrity.MetricDetected, "site", string(faultinject.LustreRead)),
 		corruptWrites: h.Counter(integrity.MetricDetected, "site", string(faultinject.LustreWrite)),
 		corruptMasked: h.Counter(integrity.MetricMasked, "site", string(faultinject.LustreWrite)),
@@ -121,11 +127,21 @@ type FS struct {
 	// integrity gates per-block CRC32C tracking and read verification
 	// (see integrity.go / EnableIntegrity).
 	integrity bool
+	// cs holds the durability / power-failure model; nil (the default)
+	// disables it entirely (see crash.go / EnableCrashSim).
+	cs *crashState
 }
 
 type file struct {
 	mu   sync.RWMutex
 	data []byte
+
+	// Durability model (crash.go), tracked only while crash simulation
+	// is enabled: durable is the image on stable storage as of the last
+	// honoured Sync; dirty holds the unsynced writes since. Guarded by
+	// mu.
+	durable []byte
+	dirty   []writeRec
 
 	// imu guards the integrity state below; always acquired after mu.
 	imu sync.Mutex
@@ -183,6 +199,8 @@ func (fs *FS) SetTelemetry(h *telemetry.Hub) {
 	fs.m.bytesWritten.Add(old.bytesWritten.Value())
 	fs.m.seeks.Add(old.seeks.Value())
 	fs.m.filesCreated.Add(old.filesCreated.Value())
+	fs.m.syncs.Add(old.syncs.Value())
+	fs.m.dirSyncs.Add(old.dirSyncs.Value())
 	fs.m.corruptReads.Add(old.corruptReads.Value())
 	fs.m.corruptWrites.Add(old.corruptWrites.Value())
 	fs.m.corruptMasked.Add(old.corruptMasked.Value())
@@ -241,11 +259,15 @@ func (fs *FS) checkFault(site faultinject.Site) error {
 }
 
 // Create makes (or truncates) a file and returns a handle positioned at
-// offset 0.
+// offset 0. Under crash simulation the new name is not durable until
+// the parent directory is synced.
 func (fs *FS) Create(name string) *Handle {
 	fs.mu.Lock()
 	f := &file{}
 	fs.files[name] = f
+	if fs.cs != nil {
+		fs.cs.nsOp(OpCreate, name, "", f)
+	}
 	fs.m.filesCreated.Inc()
 	fs.mu.Unlock()
 	return &Handle{fs: fs, f: f, name: name, lastOff: -1}
@@ -254,6 +276,10 @@ func (fs *FS) Create(name string) *Handle {
 // Open returns a handle on an existing file.
 func (fs *FS) Open(name string) (*Handle, error) {
 	fs.mu.Lock()
+	if fs.cs != nil && fs.cs.crashed {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("lustre: open %q: %w", name, ErrCrashed)
+	}
 	f, ok := fs.files[name]
 	fs.mu.Unlock()
 	if !ok {
@@ -273,6 +299,9 @@ func (fs *FS) OpenOrCreate(name string) *Handle {
 	if !ok {
 		f = &file{}
 		fs.files[name] = f
+		if fs.cs != nil {
+			fs.cs.nsOp(OpCreate, name, "", f)
+		}
 		fs.m.filesCreated.Inc()
 	}
 	fs.mu.Unlock()
@@ -286,6 +315,9 @@ func (fs *FS) Remove(name string) {
 	fs.mu.Lock()
 	f := fs.files[name]
 	delete(fs.files, name)
+	if fs.cs != nil && f != nil {
+		fs.cs.nsOp(OpRemove, name, "", nil)
+	}
 	fs.mu.Unlock()
 	fs.maskTaints(f)
 }
@@ -298,6 +330,17 @@ func (fs *FS) Remove(name string) {
 // handles on oldname keep operating on the renamed file, and handles on
 // a replaced newname keep operating on the now-unlinked old contents,
 // exactly as with POSIX descriptors.
+//
+// Atomic is not durable. Rename returns success as soon as the
+// in-memory (page-cache) namespace is updated; after a power failure
+// the rename may simply not have happened, and either name may be
+// visible. A successful return promises only that readers *now* see
+// newname and that no crash exposes a half-renamed state. Callers that
+// need the rename to survive a crash must (1) Sync the file's contents
+// first — otherwise the new name can surface with torn or empty
+// contents — and (2) SyncDir the parent directory after. There is no
+// ErrNotDurable escape hatch: durability is solely the caller's sync
+// ordering, which is exactly what the crash harness audits.
 func (fs *FS) Rename(oldname, newname string) error {
 	fs.mu.Lock()
 	f, ok := fs.files[oldname]
@@ -308,6 +351,10 @@ func (fs *FS) Rename(oldname, newname string) error {
 	if oldname == newname {
 		fs.mu.Unlock()
 		return nil
+	}
+	if fs.cs != nil && !fs.cs.nsOp(OpRename, newname, oldname, f) {
+		fs.mu.Unlock()
+		return fmt.Errorf("lustre: rename %q -> %q: %w", oldname, newname, ErrCrashed)
 	}
 	replaced := fs.files[newname]
 	fs.files[newname] = f
@@ -400,11 +447,22 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if err := h.fs.crashCheck(); err != nil {
+		return 0, fmt.Errorf("lustre: write %q at %d: %w", h.name, off, err)
+	}
 	if err := h.fs.checkFault(faultinject.LustreWrite); err != nil {
 		return 0, fmt.Errorf("lustre: write %q at %d: %w", h.name, off, err)
 	}
 	h.fs.mu.Lock()
 	plan, withIntegrity := h.fs.plan, h.fs.integrity
+	var wseq int64
+	if h.fs.cs != nil {
+		var cerr error
+		if wseq, cerr = h.fs.cs.op(OpWrite, h.name, off, len(p)); cerr != nil {
+			h.fs.mu.Unlock()
+			return 0, fmt.Errorf("lustre: write %q at %d: %w", h.name, off, cerr)
+		}
+	}
 	h.fs.mu.Unlock()
 
 	h.f.mu.Lock()
@@ -446,6 +504,9 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	if c := plan.CorruptData(faultinject.LustreWrite, h.f.data[off:end]); c != nil && withIntegrity {
 		h.f.taint(off + c.Offset)
 	}
+	if wseq > 0 {
+		h.f.dirty = append(h.f.dirty, writeRec{seq: wseq, off: off, data: append([]byte(nil), p...)})
+	}
 	h.f.mu.Unlock()
 
 	h.mu.Lock()
@@ -473,6 +534,9 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("lustre: negative offset %d on %q", off, h.name)
+	}
+	if err := h.fs.crashCheck(); err != nil {
+		return 0, fmt.Errorf("lustre: read %q at %d: %w", h.name, off, err)
 	}
 	if err := h.fs.checkFault(faultinject.LustreRead); err != nil {
 		return 0, fmt.Errorf("lustre: read %q at %d: %w", h.name, off, err)

@@ -227,7 +227,11 @@ func (r RetryPolicy) runPhase(ctx context.Context, plan *faultinject.Plan, hub *
 		if err == nil {
 			return nil
 		}
-		if faultinject.IsFatal(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if faultinject.IsFatal(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, lustre.ErrCrashed) {
+			// A simulated power failure is terminal: retrying against a
+			// crashed file system can only fail again — the run must
+			// stop so the harness can Recover and restart it.
 			break
 		}
 		if a < attempts {
@@ -643,6 +647,21 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 		if err != nil {
 			return fail(err)
 		}
+		if !cfg.DirectPartitions {
+			// Sync-ordering invariant: the partition artifacts must be
+			// durable before the phase checkpoint (or any later ack)
+			// references them — a resume that restores the partition
+			// checkpoint re-reads the partition file, so a crash must
+			// never leave a durable checkpoint over torn partitions.
+			for _, name := range []string{partitionFile, metadataFile} {
+				if err := fs.Sync(name); err != nil {
+					return fail(fmt.Errorf("mrscan: syncing %s: %w", name, err))
+				}
+			}
+			if err := fs.SyncDir("."); err != nil {
+				return fail(fmt.Errorf("mrscan: syncing partition output dir: %w", err))
+			}
+		}
 		if store != nil {
 			if err := store.Save(PhasePartition, &pc); err != nil {
 				return fail(fmt.Errorf("mrscan: checkpointing %s phase: %w", PhasePartition, err))
@@ -891,6 +910,15 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 	})
 	if err != nil {
 		return fail(err)
+	}
+	// Sync-ordering invariant: a successful return acknowledges the
+	// output file, so it must be durable before the sweep phase is
+	// reported complete.
+	if err := fs.Sync(outputFile); err != nil {
+		return fail(fmt.Errorf("mrscan: syncing %s: %w", outputFile, err))
+	}
+	if err := fs.SyncDir("."); err != nil {
+		return fail(fmt.Errorf("mrscan: syncing output dir: %w", err))
 	}
 	res.CompletedPhases = append(res.CompletedPhases, PhaseSweep)
 	res.Times.Sweep = endPhase(sweepSpan, PhaseSweep, time.Since(sweepStart))

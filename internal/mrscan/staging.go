@@ -47,6 +47,9 @@ func StageStateIn(fs *lustre.FS, dir string) error {
 // StageStateOut copies durable pipeline state off fs into dir (created
 // if missing). Call it even after a failed run — the checkpoints written
 // before the failure are exactly what the next resumed run needs.
+// Staged files are fsynced and the directory synced before returning:
+// staging out is the last act before a process exits (drain, crash
+// handoff), so "returned" must mean "on stable storage".
 func StageStateOut(fs *lustre.FS, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -63,9 +66,36 @@ func StageStateOut(fs *lustre.FS, dir string) error {
 		if _, err := h.ReadAt(b, 0); err != nil && err != io.EOF {
 			return err
 		}
-		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+		if err := writeFileSync(filepath.Join(dir, name), b); err != nil {
 			return err
 		}
 	}
-	return nil
+	return syncOSDir(dir)
+}
+
+// writeFileSync is os.WriteFile plus an fsync before close.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncOSDir fsyncs a directory so freshly created names are durable.
+func syncOSDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

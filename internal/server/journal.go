@@ -2,32 +2,80 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
+	"path"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/integrity"
+	"repro/internal/lustre"
+	"repro/internal/mrscan"
 	"repro/internal/ptio"
+	"repro/internal/telemetry"
 )
 
-// The job journal is what makes drain honest: an admitted job's spec
-// and input become durable before Submit returns its ID, its state file
-// tracks every transition, and its checkpoint directory holds the
-// pipeline snapshots staged out at suspension. A server restarted on
-// the same directory re-admits every job whose state is non-terminal —
-// so the overload invariant ("every admitted job terminates as
-// completed, failed-loudly, or resumed") survives process death.
+// The job journal is what makes drain and restart honest: an admitted
+// job's spec and input become durable — fsynced, not merely written —
+// before Submit returns its ID, every state transition is a CRC-framed
+// record appended (and fsynced) to a write-ahead log, and its
+// checkpoint directory holds the pipeline snapshots staged out at
+// suspension. A server restarted on the same directory replays the log
+// and re-admits every job whose last record is non-terminal, so the
+// overload invariant ("every admitted job terminates as completed,
+// failed-loudly, or resumed") survives not just process death but
+// power failure.
 //
 // Layout under StateDir:
 //
+//	journal.log           append-only state records (see record framing)
 //	jobs/<id>/spec.json   submission parameters (+ degraded decision)
 //	jobs/<id>/input.mrsc  the full input dataset
-//	jobs/<id>/state       current State, written atomically
-//	jobs/<id>/ckpt/       staged pipeline checkpoints (mrscan.StageStateOut)
+//	jobs/<id>/ckpt/       staged pipeline checkpoints
+//
+// Sync-ordering invariant (writeSpec): spec.json and input.mrsc are
+// written and fsynced, their directories are synced, and only then is
+// the "queued" record appended and fsynced. When Submit returns, the
+// queued record is durable, and the record being durable implies the
+// spec and input it points at are too. Crash replay therefore never
+// finds a record without its files; job directories *without* a record
+// (the crash hit mid-writeSpec, before the ack) are skipped — the
+// caller never learned the ID, so nothing was lost.
+//
+// Torn-tail policy (replay): the final record of the log may be torn
+// by a crash mid-append — that is expected, not corruption. Replay
+// truncates it (crash-safely: repaired log to a tmp name, fsync,
+// rename, dir sync) and continues, counting
+// server_journal_torn_tail_total. A damaged record with a valid record
+// *after* it cannot be explained by a torn append, so replay fails
+// loudly with ErrJournalCorrupt rather than silently dropping
+// acknowledged transitions.
+
+// ErrJournalCorrupt reports a damaged interior journal record — data
+// loss that a torn final append cannot explain. The server refuses to
+// start on such a journal rather than guess.
+var ErrJournalCorrupt = errors.New("server: journal corrupt")
+
+// Journal record framing: magic "JL", a version byte, little-endian
+// payload length and CRC32C, then a JSON payload.
+const (
+	recVersion    = 1
+	recHeaderSize = 2 + 1 + 4 + 4
+	maxRecordSize = 1 << 20
+)
+
+// logRecord is one journaled state transition.
+type logRecord struct {
+	Seq   int64  `json:"seq"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
 
 // persistedSpec is the on-disk form of a job's parameters. The degraded
 // decision is persisted so a resumed job regenerates the same
@@ -51,106 +99,267 @@ type recoveredJob struct {
 	points []geom.Point
 }
 
-// journal persists jobs under dir; the zero value (empty dir) disables
-// durability and every method becomes a no-op.
+// journal persists jobs under dir on a JournalFS; an empty dir
+// disables durability and every method becomes a no-op.
 type journal struct {
+	fs  JournalFS
 	dir string
+	hub *telemetry.Hub
+
+	mu         sync.Mutex // serializes appends and seq
+	seq        int64
+	rootSynced bool
 }
 
-func (j journal) enabled() bool { return j.dir != "" }
+func newJournal(fs JournalFS, dir string, hub *telemetry.Hub) *journal {
+	if fs == nil {
+		fs = osJournalFS{}
+	}
+	return &journal{fs: fs, dir: dir, hub: hub}
+}
 
-func (j journal) jobDir(id string) string  { return filepath.Join(j.dir, "jobs", id) }
-func (j journal) ckptDir(id string) string { return filepath.Join(j.jobDir(id), "ckpt") }
+func (j *journal) enabled() bool { return j.dir != "" }
 
-// writeSpec makes an admitted job durable: spec.json, the input
-// dataset, and an initial "queued" state file.
-func (j journal) writeSpec(id string, spec persistedSpec, pts []geom.Point) error {
+func (j *journal) logPath() string          { return path.Join(j.dir, "journal.log") }
+func (j *journal) jobsDir() string          { return path.Join(j.dir, "jobs") }
+func (j *journal) jobDir(id string) string  { return path.Join(j.jobsDir(), id) }
+func (j *journal) ckptDir(id string) string { return path.Join(j.jobDir(id), "ckpt") }
+
+// isNotExist matches missing files from either JournalFS backend.
+func isNotExist(err error) bool {
+	return errors.Is(err, os.ErrNotExist) || errors.Is(err, lustre.ErrNotExist)
+}
+
+// writeSpec makes an admitted job durable: spec.json and the input
+// dataset fsynced, their directory entries synced, then the initial
+// "queued" record appended to the log and fsynced — in that order, so
+// the ack (the record) is durable only after everything it implies.
+func (j *journal) writeSpec(id string, spec persistedSpec, pts []geom.Point) error {
 	if !j.enabled() {
 		return nil
 	}
 	dir := j.jobDir(id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := j.fs.MkdirAll(dir); err != nil {
 		return err
 	}
 	b, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "spec.json"), b, 0o644); err != nil {
+	if err := j.fs.WriteFileSync(path.Join(dir, "spec.json"), b); err != nil {
 		return err
 	}
 	var buf bytes.Buffer
 	if err := ptio.WriteDataset(&buf, pts, false); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "input.mrsc"), buf.Bytes(), 0o644); err != nil {
+	if err := j.fs.WriteFileSync(path.Join(dir, "input.mrsc"), buf.Bytes()); err != nil {
+		return err
+	}
+	if err := j.fs.SyncDir(dir); err != nil {
+		return err
+	}
+	if err := j.fs.SyncDir(j.jobsDir()); err != nil {
+		return err
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
 		return err
 	}
 	return j.setState(id, string(StateQueued))
 }
 
-// setState records the job's state transition atomically (tmp +
-// rename), so a crash mid-write can never leave a corrupt state file.
-func (j journal) setState(id, state string) error {
+// setState appends one state-transition record to the log and fsyncs
+// it. When setState returns nil, the transition is on stable storage.
+func (j *journal) setState(id, state string) error {
 	if !j.enabled() {
 		return nil
 	}
-	path := filepath.Join(j.jobDir(id), "state")
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(state+"\n"), 0o644); err != nil {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	frame, err := encodeRecord(logRecord{Seq: j.seq, ID: id, State: state})
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := j.fs.AppendSync(j.logPath(), frame); err != nil {
+		j.hub.Counter("server_journal_append_errors_total").Inc()
+		return err
+	}
+	if !j.rootSynced {
+		// First append created the log file; its name must be durable
+		// too.
+		if err := j.fs.SyncDir(j.dir); err != nil {
+			return err
+		}
+		j.rootSynced = true
+	}
+	return nil
 }
 
-// recoverJobs scans the journal for jobs a previous instance left in a
-// non-terminal state (queued, running, suspended) and loads them for
-// re-admission, plus the highest job sequence number seen anywhere so
-// new IDs never collide with journaled ones. Jobs are returned in ID
-// order, which is submission order.
-func (j journal) recoverJobs() ([]recoveredJob, int, error) {
-	if !j.enabled() {
-		return nil, 0, nil
+func encodeRecord(rec logRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
 	}
-	entries, err := os.ReadDir(filepath.Join(j.dir, "jobs"))
-	if os.IsNotExist(err) {
-		return nil, 0, nil
+	frame := make([]byte, recHeaderSize+len(payload))
+	frame[0], frame[1], frame[2] = 'J', 'L', recVersion
+	binary.LittleEndian.PutUint32(frame[3:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[7:], integrity.Checksum(payload))
+	copy(frame[recHeaderSize:], payload)
+	return frame, nil
+}
+
+// validRecordAfter reports whether any byte position after from starts
+// a fully-valid record — the discriminator between a torn tail (no
+// valid data follows the damage) and interior corruption (it does).
+func validRecordAfter(data []byte, from int) bool {
+	for i := from; i+recHeaderSize <= len(data); i++ {
+		if data[i] != 'J' || data[i+1] != 'L' || data[i+2] != recVersion {
+			continue
+		}
+		n := int(binary.LittleEndian.Uint32(data[i+3:]))
+		if n > maxRecordSize || i+recHeaderSize+n > len(data) {
+			continue
+		}
+		payload := data[i+recHeaderSize : i+recHeaderSize+n]
+		if integrity.Checksum(payload) == binary.LittleEndian.Uint32(data[i+7:]) && json.Valid(payload) {
+			return true
+		}
 	}
+	return false
+}
+
+// decodeRecords parses the log, returning the valid records, the byte
+// length of the valid prefix, and whether a torn tail was dropped.
+// Interior corruption returns ErrJournalCorrupt.
+func decodeRecords(data []byte) (recs []logRecord, goodLen int, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		bad := func(reason string) ([]logRecord, int, bool, error) {
+			if validRecordAfter(data, off+1) {
+				return nil, 0, false, fmt.Errorf("%w: %s at offset %d with valid records after it", ErrJournalCorrupt, reason, off)
+			}
+			return recs, off, true, nil
+		}
+		rest := data[off:]
+		if len(rest) < recHeaderSize {
+			return recs, off, true, nil // torn mid-header
+		}
+		if rest[0] != 'J' || rest[1] != 'L' || rest[2] != recVersion {
+			return bad("bad record header")
+		}
+		n := int(binary.LittleEndian.Uint32(rest[3:]))
+		if n > maxRecordSize {
+			return bad("implausible record length")
+		}
+		if len(rest) < recHeaderSize+n {
+			return recs, off, true, nil // torn mid-payload
+		}
+		payload := rest[recHeaderSize : recHeaderSize+n]
+		if integrity.Checksum(payload) != binary.LittleEndian.Uint32(rest[7:]) {
+			return bad("record checksum mismatch")
+		}
+		var rec logRecord
+		if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+			return bad("undecodable record payload")
+		}
+		recs = append(recs, rec)
+		off += recHeaderSize + n
+	}
+	return recs, off, false, nil
+}
+
+// replayLog reads and decodes the journal, repairing a torn tail
+// in place (crash-safely: tmp + fsync + rename + dir sync) when
+// repair is true. Returns the last state per job and the highest
+// record sequence.
+func (j *journal) replayLog(repair bool) (map[string]State, int64, error) {
+	states := make(map[string]State)
+	raw, err := j.fs.ReadFile(j.logPath())
+	if isNotExist(err) {
+		return states, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: reading journal: %w", err)
+	}
+	recs, goodLen, torn, err := decodeRecords(raw)
 	if err != nil {
 		return nil, 0, err
 	}
-	var out []recoveredJob
+	if torn {
+		j.hub.Counter("server_journal_torn_tail_total").Inc()
+		j.hub.Event(nil, "server.journal-torn-tail",
+			telemetry.Int("dropped_bytes", len(raw)-goodLen))
+		if repair {
+			tmp := j.logPath() + ".tmp"
+			if err := j.fs.WriteFileSync(tmp, raw[:goodLen]); err != nil {
+				return nil, 0, fmt.Errorf("server: repairing torn journal: %w", err)
+			}
+			if err := j.fs.Rename(tmp, j.logPath()); err != nil {
+				return nil, 0, fmt.Errorf("server: repairing torn journal: %w", err)
+			}
+			if err := j.fs.SyncDir(j.dir); err != nil {
+				return nil, 0, fmt.Errorf("server: repairing torn journal: %w", err)
+			}
+		}
+	}
+	var maxSeq int64
+	for _, r := range recs {
+		states[r.ID] = State(r.State)
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	return states, maxSeq, nil
+}
+
+// recoverJobs replays the journal and loads every job whose last
+// record is non-terminal (queued, running, suspended) for
+// re-admission, plus the highest job sequence number seen anywhere so
+// new IDs never collide with journaled ones. Jobs are returned in ID
+// order, which is submission order. Job directories without any
+// journal record were never acknowledged and are skipped.
+func (j *journal) recoverJobs() ([]recoveredJob, int, error) {
+	if !j.enabled() {
+		return nil, 0, nil
+	}
+	states, maxRecSeq, err := j.replayLog(true)
+	if err != nil {
+		return nil, 0, err
+	}
+	j.mu.Lock()
+	j.seq = maxRecSeq
+	if len(states) > 0 {
+		j.rootSynced = true
+	}
+	j.mu.Unlock()
+
 	maxSeq := 0
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+	if names, err := j.fs.ReadDirNames(j.jobsDir()); err == nil {
+		for _, id := range names {
+			if n, ok := jobSeq(id); ok && n > maxSeq {
+				maxSeq = n
+			}
 		}
-		id := e.Name()
-		if n, ok := jobSeq(id); ok && n > maxSeq {
-			maxSeq = n
-		}
-		raw, err := os.ReadFile(filepath.Join(j.jobDir(id), "state"))
-		if err != nil {
-			continue // half-written job: never fully admitted, skip
-		}
-		state := State(strings.TrimSpace(string(raw)))
+	}
+	var out []recoveredJob
+	for id, state := range states {
 		if state == StateCompleted || state == StateFailed {
 			continue
 		}
 		var spec persistedSpec
-		sb, err := os.ReadFile(filepath.Join(j.jobDir(id), "spec.json"))
+		sb, err := j.fs.ReadFile(path.Join(j.jobDir(id), "spec.json"))
 		if err != nil {
 			return nil, 0, fmt.Errorf("server: recovering %s: %w", id, err)
 		}
 		if err := json.Unmarshal(sb, &spec); err != nil {
 			return nil, 0, fmt.Errorf("server: recovering %s: %w", id, err)
 		}
-		in, err := os.Open(filepath.Join(j.jobDir(id), "input.mrsc"))
+		in, err := j.fs.ReadFile(path.Join(j.jobDir(id), "input.mrsc"))
 		if err != nil {
-			return nil, 0, fmt.Errorf("server: recovering %s: %w", id, err)
+			return nil, 0, fmt.Errorf("server: recovering %s input: %w", id, err)
 		}
-		pts, err := ptio.ReadDataset(in)
-		in.Close()
+		pts, err := ptio.ReadDataset(bytes.NewReader(in))
 		if err != nil {
 			return nil, 0, fmt.Errorf("server: recovering %s input: %w", id, err)
 		}
@@ -158,6 +367,100 @@ func (j journal) recoverJobs() ([]recoveredJob, int, error) {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
 	return out, maxSeq, nil
+}
+
+// stageOut copies the pipeline's checkpoint state files from a job's
+// simulated file system into its journal checkpoint directory, fsynced
+// and dir-synced — suspension is an ack, so the staged state must be
+// durable before the suspended record is written.
+func (j *journal) stageOut(fs *lustre.FS, id string) error {
+	if !j.enabled() {
+		return nil
+	}
+	dir := j.ckptDir(id)
+	if err := j.fs.MkdirAll(dir); err != nil {
+		return err
+	}
+	for _, name := range fs.List() {
+		if !mrscan.IsStateFile(name) {
+			continue
+		}
+		h, err := fs.Open(name)
+		if err != nil {
+			return err
+		}
+		data := make([]byte, h.Size())
+		if len(data) > 0 {
+			if _, err := h.ReadAt(data, 0); err != nil {
+				return err
+			}
+		}
+		if err := j.fs.WriteFileSync(path.Join(dir, name), data); err != nil {
+			return err
+		}
+	}
+	if err := j.fs.SyncDir(dir); err != nil {
+		return err
+	}
+	return j.fs.SyncDir(j.jobDir(id))
+}
+
+// stageIn copies a job's staged checkpoint state back onto a fresh
+// simulated file system before a resumed run.
+func (j *journal) stageIn(fs *lustre.FS, id string) error {
+	if !j.enabled() {
+		return nil
+	}
+	names, err := j.fs.ReadDirNames(j.ckptDir(id))
+	if isNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		data, err := j.fs.ReadFile(path.Join(j.ckptDir(id), name))
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			fs.Create(name)
+			continue
+		}
+		if _, err := fs.Create(name).WriteAt(data, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JournalStates replays the job journal under dir read-only (no
+// repair) and returns the last journaled state per job ID plus whether
+// the log ends in a torn tail. Interior corruption returns
+// ErrJournalCorrupt. A nil fs uses the real OS filesystem. This is the
+// audit surface the crash harness (and operators) use to check the
+// acknowledgment invariant without starting a server.
+func JournalStates(fs JournalFS, dir string) (map[string]State, bool, error) {
+	j := newJournal(fs, dir, nil)
+	if !j.enabled() {
+		return nil, false, errors.New("server: JournalStates: empty dir")
+	}
+	raw, err := j.fs.ReadFile(j.logPath())
+	if isNotExist(err) {
+		return map[string]State{}, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	recs, _, torn, err := decodeRecords(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	states := make(map[string]State, len(recs))
+	for _, r := range recs {
+		states[r.ID] = State(r.State)
+	}
+	return states, torn, nil
 }
 
 // jobSeq extracts the numeric sequence from a "job-000042" ID.

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lustre"
+)
+
+// JournalFS is the storage surface the job journal writes through. The
+// default implementation is the real OS filesystem (the daemon's state
+// directory must survive process death); the crash harness substitutes
+// a simulated crash-capable filesystem to audit the journal's sync
+// ordering under power failure.
+//
+// Durability contract: WriteFileSync and AppendSync return only after
+// the written bytes are on stable storage (fsync). SyncDir makes
+// completed creates/renames under dir durable. Rename is atomic but
+// not durable until SyncDir, exactly as POSIX.
+type JournalFS interface {
+	MkdirAll(dir string) error
+	WriteFileSync(name string, data []byte) error
+	AppendSync(name string, data []byte) error
+	ReadFile(name string) ([]byte, error)
+	ReadDirNames(dir string) ([]string, error)
+	Rename(oldname, newname string) error
+	SyncDir(dir string) error
+}
+
+// osJournalFS implements JournalFS on the real filesystem.
+type osJournalFS struct{}
+
+func (osJournalFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osJournalFS) WriteFileSync(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osJournalFS) AppendSync(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osJournalFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osJournalFS) ReadDirNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osJournalFS) Rename(o, n string) error { return os.Rename(o, n) }
+
+func (osJournalFS) SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// lustreJournalFS implements JournalFS on the simulated parallel file
+// system, whose namespace is flat: slash-separated journal paths are
+// just file names, directories are implicit, and SyncDir maps to the
+// simulator's per-directory namespace sync. Used by the crash harness
+// to drive the journal through simulated power failures.
+type lustreJournalFS struct{ fs *lustre.FS }
+
+// LustreJournalFS adapts a simulated file system as journal storage.
+func LustreJournalFS(fs *lustre.FS) JournalFS { return lustreJournalFS{fs} }
+
+func (lustreJournalFS) MkdirAll(dir string) error { return nil }
+
+func (l lustreJournalFS) WriteFileSync(name string, data []byte) error {
+	h := l.fs.Create(name)
+	if len(data) > 0 {
+		if _, err := h.WriteAt(data, 0); err != nil {
+			return err
+		}
+	}
+	return h.Sync()
+}
+
+func (l lustreJournalFS) AppendSync(name string, data []byte) error {
+	h := l.fs.OpenOrCreate(name)
+	if _, err := h.WriteAt(data, h.Size()); err != nil {
+		return err
+	}
+	return h.Sync()
+}
+
+func (l lustreJournalFS) ReadFile(name string) ([]byte, error) {
+	h, err := l.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, h.Size())
+	if len(data) == 0 {
+		return data, nil
+	}
+	if _, err := h.ReadAt(data, 0); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func (l lustreJournalFS) ReadDirNames(dir string) ([]string, error) {
+	prefix := dir + "/"
+	seen := make(map[string]bool)
+	var names []string
+	for _, n := range l.fs.List() {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		first := strings.SplitN(n[len(prefix):], "/", 2)[0]
+		if !seen[first] {
+			seen[first] = true
+			names = append(names, first)
+		}
+	}
+	if len(names) == 0 {
+		return nil, os.ErrNotExist
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (l lustreJournalFS) Rename(o, n string) error { return l.fs.Rename(o, n) }
+
+func (l lustreJournalFS) SyncDir(dir string) error { return l.fs.SyncDir(dir) }

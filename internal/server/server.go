@@ -247,6 +247,11 @@ type Config struct {
 	// inputs and staged checkpoints — the substrate of drain/resume.
 	// Empty disables durability: drains cancel and fail in-flight jobs.
 	StateDir string
+	// JournalFS is the storage the journal writes through. Nil (the
+	// default) uses the real OS filesystem; the crash harness injects a
+	// simulated crash-capable filesystem to audit sync ordering under
+	// power failure.
+	JournalFS JournalFS
 	// Telemetry is the server-level hub (metrics + transition events).
 	// Nil provisions a private hub, exposed via Hub().
 	Telemetry *telemetry.Hub
@@ -296,7 +301,7 @@ func (c *Config) setDefaults() {
 type Server struct {
 	cfg Config
 	hub *telemetry.Hub
-	jr  journal
+	jr  *journal
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -330,7 +335,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		hub:     hub,
-		jr:      journal{dir: cfg.StateDir},
+		jr:      newJournal(cfg.JournalFS, cfg.StateDir, hub),
 		tenants: make(map[string]*tenantState),
 		jobs:    make(map[string]*Job),
 		lat:     newLatencyWindow(64),
@@ -736,7 +741,7 @@ func (s *Server) runJob(job *Job) {
 	cfg.Telemetry = job.hub
 	cfg.Checkpoint = s.jr.enabled()
 	if job.resumed && s.jr.enabled() {
-		if err := mrscan.StageStateIn(fs, s.jr.ckptDir(job.id)); err != nil {
+		if err := s.jr.stageIn(fs, job.id); err != nil {
 			s.finish(job, nil, nil, fmt.Errorf("server: staging checkpoint state in: %w", err))
 			return
 		}
@@ -749,7 +754,7 @@ func (s *Server) runJob(job *Job) {
 			// The snapshots written before the abort are what a resumed
 			// run restarts from — stage them out even (especially) on
 			// failure.
-			if serr := mrscan.StageStateOut(fs, s.jr.ckptDir(job.id)); serr != nil {
+			if serr := s.jr.stageOut(fs, job.id); serr != nil {
 				runErr = errors.Join(runErr, fmt.Errorf("server: staging checkpoint state out: %w", serr))
 			}
 		}
