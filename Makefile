@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare chaos soak crash experiments cover clean
+.PHONY: all build vet test race bench bench-compare chaos soak crash stream experiments cover clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ vet:
 # them).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server ./internal/checkpoint
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server ./internal/checkpoint ./internal/stream
 
 race:
 	$(GO) test -race ./...
@@ -54,6 +54,16 @@ CRASHFLAGS ?=
 crash:
 	$(GO) run ./cmd/chaos -mode crash -seeds 10 -out crash-report.json $(CRASHFLAGS)
 
+# Streaming smoke: the incremental engine's seeded equivalence suite
+# under the race detector, then a short seeded chaos campaign — firehose
+# ingest with a drain/restart mid-sequence, labels audited tick-by-tick
+# against the fault-free reference. STREAMFLAGS appends, e.g.
+# make stream STREAMFLAGS='-seeds 20 -ticks 30'.
+STREAMFLAGS ?=
+stream:
+	$(GO) test -race -short -count=1 ./internal/stream
+	$(GO) run ./cmd/chaos -mode stream -seeds 5 -out stream-report.json $(STREAMFLAGS)
+
 # Full benchmark sweep: every paper table/figure plus the ablations.
 # Results land in BENCH_run.txt (raw) and BENCH_run.json (machine-
 # readable name -> ns/op, B/op, allocs/op). BENCHFLAGS narrows the
@@ -68,10 +78,10 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_run.json BENCH_run.txt
 
 # Regression gate: compare the latest BENCH_run.json against the
-# committed seed baseline. Fails if any Cluster or Partition benchmark's
-# wall clock regressed more than 20%.
+# committed seed baseline. Fails if any Cluster, Partition, or
+# StreamTick benchmark's wall clock regressed more than 20%.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_seed.json -match '^Benchmark(Cluster|Partition)' BENCH_run.json
+	$(GO) run ./cmd/benchjson -compare BENCH_seed.json -match '^Benchmark(Cluster|Partition|StreamTick)' BENCH_run.json
 
 # Regenerate every evaluation artifact (measured + modeled rows).
 experiments:
@@ -82,4 +92,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_run.txt BENCH_run.json chaos-report.json soak-report.json crash-report.json
+	rm -f BENCH_run.txt BENCH_run.json chaos-report.json soak-report.json crash-report.json stream-report.json

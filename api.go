@@ -31,6 +31,7 @@ import (
 	"repro/internal/mrscan"
 	"repro/internal/ptio"
 	"repro/internal/quality"
+	"repro/internal/stream"
 	"repro/internal/sweep"
 )
 
@@ -125,6 +126,45 @@ func DBSCAN(pts []Point, eps float64, minPts int) ([]int, error) {
 		return nil, err
 	}
 	return res.Labels, nil
+}
+
+// Stream is a sliding-window incremental DBSCAN engine: Tick ingests a
+// batch of points and expires the batch from WindowTicks ago, repairing
+// cluster labels by re-evaluating only the grid cells the tick dirtied
+// (plus their neighbor rings). Labels after every tick match a batch
+// DBSCAN over the current window contents.
+type Stream = stream.Engine
+
+// StreamConfig parameterizes a Stream: Eps/MinPts as in DBSCAN, the
+// window length in ticks, optional subsampled ε-queries for over-dense
+// cells, and an optional periodic full re-anchor.
+type StreamConfig = stream.Config
+
+// StreamTickStats summarizes the incremental work one Tick performed.
+type StreamTickStats = stream.TickStats
+
+// StreamSnapshot is a consistent labeled view of a Stream's window.
+type StreamSnapshot = stream.Snapshot
+
+// StreamWindowState is a Stream's durable state: the arrival batches
+// still inside the window. Labels are recomputed on restore.
+type StreamWindowState = stream.WindowState
+
+// NewStream returns an empty sliding-window engine.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	return stream.New(cfg)
+}
+
+// RestoreStream rebuilds a Stream from saved window state; the restored
+// engine reproduces the saving engine's labels exactly.
+func RestoreStream(cfg StreamConfig, ws StreamWindowState) (*Stream, error) {
+	return stream.Restore(cfg, ws)
+}
+
+// Firehose generates a seeded stream of tick batches with drifting
+// Twitter-style hotspots — the input shape Stream is built for.
+func Firehose(ticks, perTick int, seed int64) [][]Point {
+	return dataset.Firehose(ticks, perTick, seed, dataset.DefaultFirehoseOptions())
 }
 
 // Quality computes the DBDC quality metric of §5.1.3: the mean over

@@ -60,3 +60,43 @@ func TestGenerators(t *testing.T) {
 		t.Errorf("Blobs produced %d points", n)
 	}
 }
+
+func TestStreamFacade(t *testing.T) {
+	s, err := NewStream(StreamConfig{Eps: 0.12, MinPts: 5, WindowTicks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range Firehose(8, 60, 21) {
+		if _, err := s.Tick(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap.Points) != 4*60 {
+		t.Fatalf("window holds %d points, want %d", len(snap.Points), 4*60)
+	}
+	// The stream labeling must agree with batch DBSCAN on the window.
+	ref, err := DBSCAN(snap.Points, 0.12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quality(ref, snap.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.999 {
+		t.Fatalf("stream vs batch DBDC = %.4f, want ~1", q)
+	}
+
+	// Drain/restore round trip through the facade.
+	r, err := RestoreStream(StreamConfig{Eps: 0.12, MinPts: 5, WindowTicks: 4}, s.WindowState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := r.Snapshot()
+	for i := range snap.Labels {
+		if rs.Labels[i] != snap.Labels[i] {
+			t.Fatalf("restored stream label %d differs at %v", i, rs.Points[i])
+		}
+	}
+}

@@ -31,6 +31,14 @@
 //	chaos -mode crash -seeds 10 -crash-points 20
 //	chaos -mode crash -seeds 2 -drop-syncs '*.ckpt*'   # must FAIL
 //
+// With -mode stream it audits the sliding-window streaming engine: a
+// seeded firehose is fed through the server with a drain/restart in the
+// middle, invalid batches are injected along the way, and after every
+// tick the served labels must exactly equal a fault-free reference
+// engine fed the same sequence.
+//
+//	chaos -mode stream -seeds 10
+//
 // Exit status is nonzero if any run FAILs (loud fail-stop runs are
 // acceptable; silent corruption, bad labels, or dropped jobs are not).
 package main
@@ -47,7 +55,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "pipeline", "campaign kind: pipeline | overload | crash")
+		mode     = flag.String("mode", "pipeline", "campaign kind: pipeline | overload | crash | stream")
 		seeds    = flag.Int("seeds", 20, "number of seeded schedules to run")
 		seedBase = flag.Int64("seed-base", 1, "first seed")
 		points   = flag.Int("points", 0, "dataset points per run (0 = mode default)")
@@ -64,6 +72,10 @@ func main() {
 		journalJobs  = flag.Int("journal-jobs", 0, "crash mode: submit burst size of the journal workload (0 = default)")
 		dropSyncs    = flag.String("drop-syncs", "", "crash mode mutation: file fsyncs matching this pattern silently lie (campaign must FAIL)")
 		dropDirSyncs = flag.Bool("drop-dir-syncs", false, "crash mode mutation: every directory sync silently lies (campaign must FAIL)")
+
+		ticks   = flag.Int("ticks", 0, "stream mode: firehose length in ticks (0 = default)")
+		perTick = flag.Int("per-tick", 0, "stream mode: points per tick (0 = default)")
+		window  = flag.Int("window-ticks", 0, "stream mode: sliding window in ticks (0 = default)")
 	)
 	flag.Parse()
 
@@ -141,8 +153,28 @@ func main() {
 			}
 			os.Exit(1)
 		}
+	case "stream":
+		rpt := chaos.RunStream(chaos.StreamOptions{
+			Seeds:       chaos.Seeds(*seedBase, *seeds),
+			Ticks:       *ticks,
+			PerTick:     *perTick,
+			WindowTicks: *window,
+			RunTimeout:  *duration,
+			Logf:        logf,
+		})
+		writeReport(*out, rpt)
+		fmt.Printf("chaos stream: %d runs: %d ok, %d FAILED\n",
+			len(rpt.Runs), rpt.OK, rpt.Failed)
+		if rpt.Failed > 0 {
+			for _, r := range rpt.Runs {
+				if r.Outcome == chaos.OutcomeFail {
+					fmt.Printf("  seed %d: %s\n", r.Seed, r.Reason)
+				}
+			}
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "chaos: unknown -mode %q (want pipeline, overload or crash)\n", *mode)
+		fmt.Fprintf(os.Stderr, "chaos: unknown -mode %q (want pipeline, overload, crash or stream)\n", *mode)
 		os.Exit(2)
 	}
 }

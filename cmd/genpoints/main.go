@@ -7,9 +7,17 @@
 //	genpoints -dist sdss -n 500000 -format text -o sky.txt
 //	genpoints -dist uniform -n 100000 -o noise.mrsc
 //	genpoints -dist blobs -n 100000 -blobs 12 -sigma 0.2 -o blobs.mrsc
+//
+// With -firehose it instead emits a timestamped stream for the sliding-
+// window engine: drifting Twitter-style hotspots over background noise,
+// one "tick id x y" line per point, in tick order. Feed it to a stream
+// via the /api/v1/streams API or replay it in tests.
+//
+//	genpoints -firehose -ticks 60 -per-tick 5000 -seed 42 -o firehose.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +37,47 @@ func main() {
 		blobs  = flag.Int("blobs", 10, "blob count (blobs distribution)")
 		sigma  = flag.Float64("sigma", 0.2, "blob spread (blobs distribution)")
 		weight = flag.Bool("weight", false, "include the per-point weight field")
+
+		firehose = flag.Bool("firehose", false, "generate a timestamped firehose stream instead of a static dataset")
+		ticks    = flag.Int("ticks", 60, "firehose: number of ticks")
+		perTick  = flag.Int("per-tick", 1000, "firehose: points per tick")
 	)
 	flag.Parse()
-	if err := run(*dist, *n, *seed, *out, *format, *blobs, *sigma, *weight); err != nil {
+	var err error
+	if *firehose {
+		err = runFirehose(*ticks, *perTick, *seed, *out)
+	} else {
+		err = run(*dist, *n, *seed, *out, *format, *blobs, *sigma, *weight)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "genpoints:", err)
 		os.Exit(1)
 	}
+}
+
+// runFirehose writes one "tick id x y" text line per point, tick-major,
+// so the file replays in arrival order.
+func runFirehose(ticks, perTick int, seed int64, out string) error {
+	if ticks <= 0 || perTick <= 0 {
+		return fmt.Errorf("firehose needs positive -ticks and -per-tick, got %d and %d", ticks, perTick)
+	}
+	batches := dataset.Firehose(ticks, perTick, seed, dataset.DefaultFirehoseOptions())
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for ti, batch := range batches {
+		for _, p := range batch {
+			fmt.Fprintf(w, "%d %d %g %g\n", ti, p.ID, p.X, p.Y)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d firehose points (%d ticks x %d) to %s\n", ticks*perTick, ticks, perTick, out)
+	return f.Close()
 }
 
 func run(dist string, n int, seed int64, out, format string, blobs int, sigma float64, weight bool) error {

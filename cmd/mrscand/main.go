@@ -24,6 +24,18 @@
 //	curl -s localhost:8080/api/v1/jobs/job-000001
 //	curl -s localhost:8080/api/v1/jobs/job-000001/result
 //	curl -s localhost:8080/metrics
+//
+// Long-lived sliding-window streams live next to the batch jobs: create
+// one with POST /api/v1/streams, feed ticks of timestamped points to
+// .../points, and read labels from .../clusters or .../snapshot. Stream
+// windows are checkpointed to the state directory on every tick, so a
+// restarted instance recovers each stream with its labels intact.
+//
+//	curl -s localhost:8080/api/v1/streams -d '{"tenant":"acme",
+//	  "eps":0.1,"min_pts":10,"window_ticks":30}'
+//	curl -s localhost:8080/api/v1/streams/stream-000001/points \
+//	  -d '{"points":[{"id":1,"x":0.5,"y":0.5}]}'
+//	curl -s localhost:8080/api/v1/streams/stream-000001/clusters
 package main
 
 import (
@@ -58,6 +70,7 @@ func main() {
 		degradeP95   = flag.Duration("degrade-p95", 0, "p95 job-latency watermark for degraded mode (0 disables)")
 		sampleRate   = flag.Float64("sample-rate", 0.8, "degraded-mode subsample rate in (0,1)")
 		stateDir     = flag.String("state-dir", "", "durable directory for drain/resume (empty disables)")
+		streamsCap   = flag.Int("streams-per-tenant", 4, "concurrent sliding-window streams per tenant (<0 disables the cap)")
 	)
 	flag.Parse()
 
@@ -75,6 +88,7 @@ func main() {
 		DegradeP95:        *degradeP95,
 		SampleRate:        *sampleRate,
 		StateDir:          *stateDir,
+		StreamsPerTenant:  *streamsCap,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrscand: %v\n", err)
@@ -82,6 +96,9 @@ func main() {
 	}
 	if n := len(s.Jobs()); n > 0 {
 		log.Printf("mrscand: recovered %d journaled job(s) from %s", n, *stateDir)
+	}
+	if n := len(s.Streams()); n > 0 {
+		log.Printf("mrscand: recovered %d stream(s) with windows intact from %s", n, *stateDir)
 	}
 	if torn := s.Hub().Counter("server_journal_torn_tail_total").Value(); torn > 0 {
 		log.Printf("mrscand: repaired a torn journal tail (crash mid-append) in %s", *stateDir)

@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// The stream scenario audits the sliding-window engine's serving
+// contract across faults: a server ingests a seeded firehose, is
+// drained and killed mid-sequence, and a fresh instance on the same
+// state directory recovers the stream and keeps ticking. Because the
+// engine's labels are deterministic (restart-stable cluster IDs), the
+// audit is exact equality — after every tick, on either side of the
+// restart, the served snapshot must be bit-identical to a fault-free
+// reference engine fed the same full sequence. Invalid batches
+// (duplicate IDs, over-quota ticks) injected along the way must be
+// rejected with typed errors and leave the window untouched.
+
+// StreamOptions configures a stream chaos campaign.
+type StreamOptions struct {
+	// Seeds are the campaign seeds (one server lifecycle per seed).
+	Seeds []int64
+	// Ticks is the firehose length (default 12); PerTick the batch size
+	// (default 300); WindowTicks the sliding window (default 4).
+	Ticks       int
+	PerTick     int
+	WindowTicks int
+	// RunTimeout bounds one seed's lifecycle (default 2m).
+	RunTimeout time.Duration
+	// Logf, when set, receives per-seed progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *StreamOptions) setDefaults() {
+	if o.Ticks <= 0 {
+		o.Ticks = 12
+	}
+	if o.PerTick <= 0 {
+		o.PerTick = 300
+	}
+	if o.WindowTicks <= 0 {
+		o.WindowTicks = 4
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 2 * time.Minute
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// StreamRunReport is the audited result of one seed's lifecycle.
+type StreamRunReport struct {
+	Seed    int64         `json:"seed"`
+	Outcome Outcome       `json:"outcome"`
+	Reason  string        `json:"reason,omitempty"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Ticks         int `json:"ticks"`
+	Points        int `json:"points"`
+	RestartAtTick int `json:"restart_at_tick"`
+	// InvalidRejected counts injected bad batches the server rejected
+	// with typed errors (every injection must land here).
+	InvalidRejected int `json:"invalid_rejected"`
+	FinalClusters   int `json:"final_clusters"`
+}
+
+// StreamReport aggregates a stream chaos campaign.
+type StreamReport struct {
+	Runs   []StreamRunReport `json:"runs"`
+	OK     int               `json:"ok"`
+	Failed int               `json:"failed"`
+}
+
+// RunStream executes the stream campaign.
+func RunStream(o StreamOptions) *StreamReport {
+	o.setDefaults()
+	rpt := &StreamReport{}
+	for _, seed := range o.Seeds {
+		r := RunStreamSeed(seed, o)
+		rpt.Runs = append(rpt.Runs, r)
+		if r.Outcome == OutcomeFail {
+			rpt.Failed++
+			o.Logf("stream seed %d: FAIL: %s", seed, r.Reason)
+		} else {
+			rpt.OK++
+			o.Logf("stream seed %d: ok (%d ticks, %d points, restart at tick %d, %d invalid rejected, %d clusters)",
+				seed, r.Ticks, r.Points, r.RestartAtTick, r.InvalidRejected, r.FinalClusters)
+		}
+	}
+	return rpt
+}
+
+// RunStreamSeed runs one seeded firehose through a drain/restart
+// lifecycle and audits label fidelity against the fault-free reference.
+func RunStreamSeed(seed int64, o StreamOptions) StreamRunReport {
+	o.setDefaults()
+	start := time.Now()
+	rep := StreamRunReport{Seed: seed, Ticks: o.Ticks}
+	fail := func(format string, args ...any) StreamRunReport {
+		rep.Outcome = OutcomeFail
+		rep.Reason = fmt.Sprintf(format, args...)
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+
+	stateDir, err := os.MkdirTemp("", "mrscan-stream-")
+	if err != nil {
+		return fail("creating state dir: %v", err)
+	}
+	defer os.RemoveAll(stateDir)
+
+	rng := rand.New(rand.NewSource(seed))
+	batches := dataset.Firehose(o.Ticks, o.PerTick, seed, dataset.DefaultFirehoseOptions())
+	spec := server.StreamSpec{
+		Tenant: "chaos", Name: "firehose", Eps: 0.12, MinPts: 8,
+		WindowTicks: o.WindowTicks,
+	}
+	ref, err := stream.New(stream.Config{Eps: spec.Eps, MinPts: spec.MinPts, WindowTicks: spec.WindowTicks})
+	if err != nil {
+		return fail("building reference engine: %v", err)
+	}
+
+	// The restart strikes somewhere in the interior of the sequence so
+	// both generations tick a nonempty share.
+	cut := 2 + rng.Intn(o.Ticks-3)
+	rep.RestartAtTick = cut
+
+	cfg := server.Config{Workers: 1, StateDir: stateDir}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return fail("starting server: %v", err)
+	}
+	id, err := srv.CreateStream(spec)
+	if err != nil {
+		srv.Close()
+		return fail("creating stream: %v", err)
+	}
+
+	// feed runs one audited tick: with some probability an invalid batch
+	// (duplicate in-window ID) goes first — it must be rejected with an
+	// error and must not perturb the labels the valid tick then produces.
+	feed := func(s *server.Server, ti int) error {
+		batch := batches[ti]
+		if ti > 0 && rng.Float64() < 0.3 {
+			bad := make([]geom.Point, len(batch))
+			copy(bad, batch)
+			bad[0] = batches[ti-1][0] // still live in the window
+			if _, err := s.StreamTick(id, bad); err == nil {
+				return fmt.Errorf("tick %d: duplicate-ID batch accepted", ti)
+			}
+			rep.InvalidRejected++
+		}
+		if _, err := s.StreamTick(id, batch); err != nil {
+			return fmt.Errorf("tick %d: %w", ti, err)
+		}
+		if _, err := ref.Tick(batch); err != nil {
+			return fmt.Errorf("tick %d reference: %w", ti, err)
+		}
+		rep.Points += len(batch)
+		got, err := s.StreamSnapshot(id)
+		if err != nil {
+			return fmt.Errorf("tick %d snapshot: %w", ti, err)
+		}
+		want := ref.Snapshot()
+		if len(got.Points) != len(want.Points) || got.NumClusters != want.NumClusters {
+			return fmt.Errorf("tick %d: served window (%d pts, %d clusters) != reference (%d pts, %d clusters)",
+				ti, len(got.Points), got.NumClusters, len(want.Points), want.NumClusters)
+		}
+		for i := range got.Points {
+			if got.Points[i].ID != want.Points[i].ID || got.Labels[i] != want.Labels[i] {
+				return fmt.Errorf("tick %d point %d: served (id %d, label %d) != reference (id %d, label %d)",
+					ti, i, got.Points[i].ID, got.Labels[i], want.Points[i].ID, want.Labels[i])
+			}
+		}
+		rep.FinalClusters = got.NumClusters
+		return nil
+	}
+
+	for ti := 0; ti < cut; ti++ {
+		if err := feed(srv, ti); err != nil {
+			srv.Close()
+			return fail("generation 1: %v", err)
+		}
+	}
+
+	// SIGTERM: drain and shut down generation 1 with the window durable.
+	srv.Drain()
+	srv.Close()
+
+	// Generation 2 on the same directory must recover the stream with
+	// its window intact before serving, then keep ticking.
+	srv2, err := server.New(cfg)
+	if err != nil {
+		return fail("restarting server: %v", err)
+	}
+	defer srv2.Close()
+	st, err := srv2.StreamStatus(id)
+	if err != nil {
+		return fail("stream not recovered after restart: %v", err)
+	}
+	if !st.Recovered {
+		return fail("stream %s present after restart but not flagged recovered", id)
+	}
+	if st.Tick != cut {
+		return fail("recovered stream at tick %d, want %d", st.Tick, cut)
+	}
+	got, err := srv2.StreamSnapshot(id)
+	if err != nil {
+		return fail("recovered snapshot: %v", err)
+	}
+	want := ref.Snapshot()
+	if len(got.Points) != len(want.Points) {
+		return fail("recovered window has %d points, reference %d", len(got.Points), len(want.Points))
+	}
+	for i := range got.Points {
+		if got.Points[i].ID != want.Points[i].ID || got.Labels[i] != want.Labels[i] {
+			return fail("recovered point %d: (id %d, label %d) != reference (id %d, label %d)",
+				i, got.Points[i].ID, got.Labels[i], want.Points[i].ID, want.Labels[i])
+		}
+	}
+
+	for ti := cut; ti < o.Ticks; ti++ {
+		if err := feed(srv2, ti); err != nil {
+			return fail("generation 2: %v", err)
+		}
+		if time.Since(start) > o.RunTimeout {
+			return fail("campaign exceeded its %v wall-time bound at tick %d", o.RunTimeout, ti)
+		}
+	}
+
+	if err := srv2.CloseStream(id); err != nil {
+		return fail("closing stream: %v", err)
+	}
+
+	rep.Outcome = OutcomeOK
+	rep.Elapsed = time.Since(start)
+	return rep
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// FirehoseOptions tunes the streaming Twitter-style generator.
+type FirehoseOptions struct {
+	// Hotspots is the number of simultaneously active hotspots (cities,
+	// events) points cluster around.
+	Hotspots int
+	// Sigma is the Gaussian spread of a hotspot's points.
+	Sigma float64
+	// Drift is the per-tick hotspot displacement as a fraction of the
+	// domain side — hotspots wander, so the set of dirtied grid cells
+	// moves between ticks.
+	Drift float64
+	// BackgroundFrac is the fraction of points drawn uniformly over the
+	// whole domain instead of around a hotspot.
+	BackgroundFrac float64
+	// Churn is the per-tick probability that a hotspot dies and respawns
+	// elsewhere, modeling events starting and ending.
+	Churn float64
+	// Domain is the square domain side length; points lie in
+	// [0,Domain)².
+	Domain float64
+}
+
+// DefaultFirehoseOptions sizes hotspots at the 0.1-degree Eps scale the
+// Twitter evaluation uses, on a unit-free 10×10 domain.
+func DefaultFirehoseOptions() FirehoseOptions {
+	return FirehoseOptions{
+		Hotspots:       6,
+		Sigma:          0.05,
+		Drift:          0.004,
+		BackgroundFrac: 0.15,
+		Churn:          0.02,
+		Domain:         10,
+	}
+}
+
+// Firehose generates a seeded stream of tick batches: ticks batches of
+// perTick points each, drawn around drifting hotspots. Point IDs are
+// globally unique and increase with arrival order, so batches feed
+// straight into a stream engine. The same (ticks, perTick, seed, opt)
+// always yields the same stream.
+func Firehose(ticks, perTick int, seed int64, opt FirehoseOptions) [][]geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	type hotspot struct {
+		x, y   float64
+		vx, vy float64
+	}
+	spawn := func() hotspot {
+		angle := rng.Float64() * 2 * math.Pi
+		step := opt.Drift * opt.Domain
+		return hotspot{
+			x:  rng.Float64() * opt.Domain,
+			y:  rng.Float64() * opt.Domain,
+			vx: math.Cos(angle) * step,
+			vy: math.Sin(angle) * step,
+		}
+	}
+	spots := make([]hotspot, opt.Hotspots)
+	for i := range spots {
+		spots[i] = spawn()
+	}
+	clamp := func(v float64) float64 {
+		// Reflect at the domain edges so hotspots stay inside.
+		if v < 0 {
+			v = -v
+		}
+		if v > opt.Domain {
+			v = 2*opt.Domain - v
+		}
+		return math.Mod(math.Abs(v), opt.Domain)
+	}
+
+	out := make([][]geom.Point, ticks)
+	id := uint64(0)
+	for t := 0; t < ticks; t++ {
+		// Advance the hotspot field.
+		for i := range spots {
+			if rng.Float64() < opt.Churn {
+				spots[i] = spawn()
+				continue
+			}
+			spots[i].x = clamp(spots[i].x + spots[i].vx)
+			spots[i].y = clamp(spots[i].y + spots[i].vy)
+		}
+		batch := make([]geom.Point, perTick)
+		for j := range batch {
+			var x, y float64
+			if len(spots) == 0 || rng.Float64() < opt.BackgroundFrac {
+				x = rng.Float64() * opt.Domain
+				y = rng.Float64() * opt.Domain
+			} else {
+				h := spots[rng.Intn(len(spots))]
+				x = clamp(h.x + rng.NormFloat64()*opt.Sigma)
+				y = clamp(h.y + rng.NormFloat64()*opt.Sigma)
+			}
+			batch[j] = geom.Point{ID: id, X: x, Y: y, Weight: 1}
+			id++
+		}
+		out[t] = batch
+	}
+	return out
+}

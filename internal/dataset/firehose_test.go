@@ -1,0 +1,57 @@
+package dataset
+
+import "testing"
+
+func TestFirehoseDeterministicAndUnique(t *testing.T) {
+	opt := DefaultFirehoseOptions()
+	a := Firehose(10, 50, 3, opt)
+	b := Firehose(10, 50, 3, opt)
+	if len(a) != 10 {
+		t.Fatalf("got %d ticks, want 10", len(a))
+	}
+	seen := make(map[uint64]bool)
+	for ti := range a {
+		if len(a[ti]) != 50 {
+			t.Fatalf("tick %d: %d points, want 50", ti, len(a[ti]))
+		}
+		for i := range a[ti] {
+			if a[ti][i] != b[ti][i] {
+				t.Fatalf("tick %d point %d: not deterministic: %v vs %v", ti, i, a[ti][i], b[ti][i])
+			}
+			p := a[ti][i]
+			if seen[p.ID] {
+				t.Fatalf("duplicate point ID %d", p.ID)
+			}
+			seen[p.ID] = true
+			if p.X < 0 || p.X >= opt.Domain || p.Y < 0 || p.Y >= opt.Domain {
+				t.Fatalf("point %v outside [0,%v)^2", p, opt.Domain)
+			}
+		}
+	}
+}
+
+func TestFirehoseDrifts(t *testing.T) {
+	// With drift on and background off, the mean position of hotspot
+	// points should move over a long horizon.
+	opt := DefaultFirehoseOptions()
+	opt.Hotspots = 1
+	opt.BackgroundFrac = 0
+	opt.Churn = 0
+	opt.Drift = 0.01
+	batches := Firehose(60, 40, 11, opt)
+	mean := func(ti int) (float64, float64) {
+		var mx, my float64
+		for _, p := range batches[ti] {
+			mx += p.X
+			my += p.Y
+		}
+		n := float64(len(batches[ti]))
+		return mx / n, my / n
+	}
+	x0, y0 := mean(0)
+	x1, y1 := mean(59)
+	dx, dy := x1-x0, y1-y0
+	if dx*dx+dy*dy < 0.01 {
+		t.Fatalf("hotspot did not drift: mean moved only (%v, %v) over 60 ticks", dx, dy)
+	}
+}

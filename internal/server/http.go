@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/dataset"
@@ -18,13 +21,30 @@ import (
 //	                              503 draining/breaker
 //	GET  /api/v1/jobs             list job statuses
 //	GET  /api/v1/jobs/{id}        one job's status
-//	GET  /api/v1/jobs/{id}/result labels of a completed job
+//	GET  /api/v1/jobs/{id}/result labels of a completed job (chunked)
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /healthz                 200 serving / 503 draining
+//
+// Streaming clustering rides alongside the batch jobs:
+//
+//	POST   /api/v1/streams                create → 201 {"id":...}, or
+//	                                      429 stream_limit, 503 draining
+//	GET    /api/v1/streams                list stream statuses
+//	GET    /api/v1/streams/{id}           one stream's status
+//	POST   /api/v1/streams/{id}/points    feed one tick of arrivals →
+//	                                      tick stats; 429 quota applies
+//	GET    /api/v1/streams/{id}/clusters  cluster summary (ids + sizes)
+//	GET    /api/v1/streams/{id}/snapshot  full labeled window (chunked)
+//	DELETE /api/v1/streams/{id}           close and discard the stream
 //
 // Rejection bodies are {"error":..., "reason":...} with machine-
 // readable reasons mirroring the typed errors, and 429s carry a
 // Retry-After hint — backpressure that HTTP clients can act on.
+//
+// Large label payloads (job results, stream snapshots) are written
+// incrementally through a fixed-size buffer rather than materialized as
+// one in-memory JSON document, so a million-point result costs the
+// handler kilobytes, not hundreds of megabytes.
 
 // submitRequest is the POST body. Either inline points or a generated
 // dataset must be given.
@@ -68,6 +88,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /api/v1/streams", s.handleStreamCreate)
+	mux.HandleFunc("GET /api/v1/streams", s.handleStreamList)
+	mux.HandleFunc("GET /api/v1/streams/{id}", s.handleStreamStatus)
+	mux.HandleFunc("POST /api/v1/streams/{id}/points", s.handleStreamTick)
+	mux.HandleFunc("GET /api/v1/streams/{id}/clusters", s.handleStreamClusters)
+	mux.HandleFunc("GET /api/v1/streams/{id}/snapshot", s.handleStreamSnapshot)
+	mux.HandleFunc("DELETE /api/v1/streams/{id}", s.handleStreamDelete)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -133,6 +160,10 @@ func rejectionStatus(err error) (int, string) {
 		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, ErrBreakerOpen):
 		return http.StatusServiceUnavailable, "breaker"
+	case errors.Is(err, ErrStreamLimit):
+		return http.StatusTooManyRequests, "stream_limit"
+	case errors.Is(err, ErrUnknownStream):
+		return http.StatusNotFound, "unknown_stream"
 	default:
 		return http.StatusBadRequest, "bad_request"
 	}
@@ -182,13 +213,198 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, _ := s.Status(id)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id":           id,
-		"num_clusters": st.NumClusters,
-		"degraded":     st.Degraded,
-		"sample_rate":  st.SampleRate,
-		"labels":       labels,
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	fmt.Fprintf(bw, `{"id":%q,"num_clusters":%d,"degraded":%t,"sample_rate":%s,"labels":`,
+		id, st.NumClusters, st.Degraded,
+		strconv.FormatFloat(st.SampleRate, 'g', -1, 64))
+	writeLabelArray(bw, labels)
+	bw.WriteString("}\n")
+	bw.Flush()
+}
+
+// writeLabelArray streams an int array through bw; the bufio layer
+// flushes to the client every time its fixed buffer fills, so the
+// response never exists in memory all at once.
+func writeLabelArray(bw *bufio.Writer, labels []int) {
+	bw.WriteByte('[')
+	var scratch [20]byte
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.Write(strconv.AppendInt(scratch[:0], int64(l), 10))
+	}
+	bw.WriteByte(']')
+}
+
+// createStreamRequest is the POST /api/v1/streams body.
+type createStreamRequest struct {
+	Tenant             string  `json:"tenant"`
+	Name               string  `json:"name,omitempty"`
+	Eps                float64 `json:"eps"`
+	MinPts             int     `json:"min_pts"`
+	WindowTicks        int     `json:"window_ticks"`
+	SubsampleThreshold int     `json:"subsample_threshold,omitempty"`
+	SubsampleRate      float64 `json:"subsample_rate,omitempty"`
+	ReanchorEvery      int     `json:"reanchor_every,omitempty"`
+	Seed               int64   `json:"seed,omitempty"`
+}
+
+// tickStatsJSON is the POST .../points response: what the tick did.
+type tickStatsJSON struct {
+	Tick         int     `json:"tick"`
+	Arrivals     int     `json:"arrivals"`
+	Expired      int     `json:"expired"`
+	DirtyCells   int     `json:"dirty_cells"`
+	WindowPoints int     `json:"window_points"`
+	NumClusters  int     `json:"num_clusters"`
+	Reanchored   bool    `json:"reanchored"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// streamError writes a stream-API error with the right HTTP semantics.
+func streamError(w http.ResponseWriter, err error) {
+	code, reason := rejectionStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorJSON{Error: err.Error(), Reason: reason})
+}
+
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	var req createStreamRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "invalid JSON: " + err.Error(), Reason: "bad_request"})
+		return
+	}
+	id, err := s.CreateStream(StreamSpec{
+		Tenant: req.Tenant, Name: req.Name, Eps: req.Eps, MinPts: req.MinPts,
+		WindowTicks: req.WindowTicks, SubsampleThreshold: req.SubsampleThreshold,
+		SubsampleRate: req.SubsampleRate, ReanchorEvery: req.ReanchorEvery,
+		Seed: req.Seed,
 	})
+	if err != nil {
+		streamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) handleStreamList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Streams())
+}
+
+func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.StreamStatus(r.PathValue("id"))
+	if err != nil {
+		streamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleStreamTick(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Points []pointJSON `json:"points"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "invalid JSON: " + err.Error(), Reason: "bad_request"})
+		return
+	}
+	pts := make([]geom.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = geom.Point{ID: p.ID, X: p.X, Y: p.Y}
+	}
+	stats, err := s.StreamTick(r.PathValue("id"), pts)
+	if err != nil {
+		streamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tickStatsJSON{
+		Tick: stats.Tick, Arrivals: stats.Arrivals, Expired: stats.Expired,
+		DirtyCells: stats.DirtyCells, WindowPoints: stats.WindowPoints,
+		NumClusters: stats.Clusters, Reanchored: stats.Reanchored,
+		ElapsedMS: float64(stats.Elapsed.Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleStreamClusters(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.StreamSnapshot(r.PathValue("id"))
+	if err != nil {
+		streamError(w, err)
+		return
+	}
+	sizes := make(map[int]int)
+	noise := 0
+	for _, l := range snap.Labels {
+		if l < 0 {
+			noise++
+		} else {
+			sizes[l]++
+		}
+	}
+	type clusterJSON struct {
+		ID   int `json:"id"`
+		Size int `json:"size"`
+	}
+	clusters := make([]clusterJSON, 0, len(sizes))
+	for id, n := range sizes {
+		clusters = append(clusters, clusterJSON{ID: id, Size: n})
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a].ID < clusters[b].ID })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tick":          snap.Tick,
+		"window_points": len(snap.Points),
+		"num_clusters":  snap.NumClusters,
+		"noise":         noise,
+		"clusters":      clusters,
+	})
+}
+
+// handleStreamSnapshot streams the full labeled window in chunks, the
+// same way job results are served: point records are appended to a
+// fixed-size buffer that flushes as it fills.
+func (s *Server) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.StreamSnapshot(id)
+	if err != nil {
+		streamError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	fmt.Fprintf(bw, `{"id":%q,"tick":%d,"num_clusters":%d,"points":[`,
+		id, snap.Tick, snap.NumClusters)
+	var scratch []byte
+	for i, p := range snap.Points {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		scratch = scratch[:0]
+		scratch = append(scratch, `{"id":`...)
+		scratch = strconv.AppendUint(scratch, p.ID, 10)
+		scratch = append(scratch, `,"x":`...)
+		scratch = strconv.AppendFloat(scratch, p.X, 'g', -1, 64)
+		scratch = append(scratch, `,"y":`...)
+		scratch = strconv.AppendFloat(scratch, p.Y, 'g', -1, 64)
+		scratch = append(scratch, `,"label":`...)
+		scratch = strconv.AppendInt(scratch, int64(snap.Labels[i]), 10)
+		scratch = append(scratch, '}')
+		bw.Write(scratch)
+	}
+	bw.WriteString("]}\n")
+	bw.Flush()
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.CloseStream(r.PathValue("id")); err != nil {
+		streamError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -255,6 +255,9 @@ type Config struct {
 	// Telemetry is the server-level hub (metrics + transition events).
 	// Nil provisions a private hub, exposed via Hub().
 	Telemetry *telemetry.Hub
+	// StreamsPerTenant caps a tenant's concurrent sliding-window streams
+	// (default 4; negative disables the cap).
+	StreamsPerTenant int
 }
 
 func (c *Config) setDefaults() {
@@ -294,6 +297,9 @@ func (c *Config) setDefaults() {
 	if c.SampleRate <= 0 || c.SampleRate >= 1 {
 		c.SampleRate = 0.8
 	}
+	if c.StreamsPerTenant == 0 {
+		c.StreamsPerTenant = 4
+	}
 }
 
 // Server is a multi-tenant clustering job server. Create with New, stop
@@ -314,6 +320,9 @@ type Server struct {
 	seq      int
 	draining bool
 	closed   bool
+
+	streams   map[string]*streamState
+	streamSeq int
 
 	global *breaker
 	lat    *latencyWindow
@@ -338,6 +347,7 @@ func New(cfg Config) (*Server, error) {
 		jr:      newJournal(cfg.JournalFS, cfg.StateDir, hub),
 		tenants: make(map[string]*tenantState),
 		jobs:    make(map[string]*Job),
+		streams: make(map[string]*streamState),
 		lat:     newLatencyWindow(64),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -346,6 +356,9 @@ func New(cfg Config) (*Server, error) {
 		hub.Gauge("server_breaker_state", "scope", "global"))
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverStreams(); err != nil {
 		return nil, err
 	}
 	s.wg.Add(cfg.Workers)

@@ -1,0 +1,440 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geom"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// Stream serving: tenants hold long-lived sliding-window clustering
+// streams next to their batch jobs. Admission reuses the tenant
+// machinery — the drain gate, the per-tenant point quota (a stream's
+// live window holds quota tokens exactly like a queued job's input;
+// arrivals charge tokens, expiries refund them), and a per-tenant cap
+// on concurrent streams.
+//
+// Durability differs from jobs by design: instead of journal + replay,
+// every tick persists the engine's WindowState through a
+// checkpoint.Store under StateDir/streams/<id>/ (atomic write-then-
+// rename, CRC-verified). The window is therefore crash-consistent by
+// construction — there is nothing to stage at drain time, and a new
+// server on the same directory restores every stream before it starts
+// serving. Stream state lives on the real filesystem (checkpoint.DirFS);
+// the crash-simulating JournalFS covers only the job journal.
+
+// Stream-specific typed errors.
+var (
+	// ErrUnknownStream: no stream with that ID.
+	ErrUnknownStream = errors.New("server: unknown stream")
+	// ErrStreamLimit: the tenant is at its concurrent-stream cap.
+	ErrStreamLimit = errors.New("server: stream limit reached")
+)
+
+// StreamSpec describes one stream creation.
+type StreamSpec struct {
+	// Tenant is the owning principal (empty means "default").
+	Tenant string
+	// Name is an optional human label recorded on status output.
+	Name string
+	// Eps, MinPts, WindowTicks parameterize the engine (stream.Config).
+	Eps         float64
+	MinPts      int
+	WindowTicks int
+	// SubsampleThreshold/SubsampleRate enable approximate ε-queries for
+	// over-dense cells (0 threshold = exact).
+	SubsampleThreshold int
+	SubsampleRate      float64
+	// ReanchorEvery forces a periodic full recompute (0 disables).
+	ReanchorEvery int
+	// Seed feeds the subsampling hash.
+	Seed int64
+}
+
+// StreamStatus is a point-in-time snapshot of one stream.
+type StreamStatus struct {
+	ID           string  `json:"id"`
+	Tenant       string  `json:"tenant"`
+	Name         string  `json:"name,omitempty"`
+	Eps          float64 `json:"eps"`
+	MinPts       int     `json:"min_pts"`
+	WindowTicks  int     `json:"window_ticks"`
+	Tick         int     `json:"tick"`
+	WindowPoints int     `json:"window_points"`
+	NumClusters  int     `json:"num_clusters"`
+	Recovered    bool    `json:"recovered,omitempty"`
+}
+
+// streamState is the server-side record of one stream. s.mu guards the
+// registry and token accounting; st.mu serializes engine access so a
+// slow snapshot never blocks the whole server.
+type streamState struct {
+	id        string
+	spec      StreamSpec
+	recovered bool
+
+	mu    sync.Mutex
+	eng   *stream.Engine
+	store *checkpoint.Store // nil without a StateDir
+}
+
+// persistedStreamSpec is the gob image of a stream's configuration,
+// saved as the "spec" phase of its checkpoint store.
+type persistedStreamSpec struct {
+	Tenant             string
+	Name               string
+	Eps                float64
+	MinPts             int
+	WindowTicks        int
+	SubsampleThreshold int
+	SubsampleRate      float64
+	ReanchorEvery      int
+	Seed               int64
+}
+
+func (p persistedStreamSpec) spec() StreamSpec {
+	return StreamSpec{
+		Tenant: p.Tenant, Name: p.Name, Eps: p.Eps, MinPts: p.MinPts,
+		WindowTicks: p.WindowTicks, SubsampleThreshold: p.SubsampleThreshold,
+		SubsampleRate: p.SubsampleRate, ReanchorEvery: p.ReanchorEvery, Seed: p.Seed,
+	}
+}
+
+func fromSpec(sp StreamSpec) persistedStreamSpec {
+	return persistedStreamSpec{
+		Tenant: sp.Tenant, Name: sp.Name, Eps: sp.Eps, MinPts: sp.MinPts,
+		WindowTicks: sp.WindowTicks, SubsampleThreshold: sp.SubsampleThreshold,
+		SubsampleRate: sp.SubsampleRate, ReanchorEvery: sp.ReanchorEvery, Seed: sp.Seed,
+	}
+}
+
+// engineConfig maps a StreamSpec onto the engine's Config. The engine
+// reports metrics on the server hub labeled by stream ID.
+func (s *Server) engineConfig(id string, sp StreamSpec) stream.Config {
+	return stream.Config{
+		Eps: sp.Eps, MinPts: sp.MinPts, WindowTicks: sp.WindowTicks,
+		SubsampleThreshold: sp.SubsampleThreshold, SubsampleRate: sp.SubsampleRate,
+		ReanchorEvery: sp.ReanchorEvery, Seed: sp.Seed,
+		Name: id, Telemetry: s.hub,
+	}
+}
+
+// streamDir is a stream's durable directory under the state dir.
+func (s *Server) streamDir(id string) string {
+	return filepath.Join(s.cfg.StateDir, "streams", id)
+}
+
+// CreateStream admits and registers a new stream, durably persisting
+// its spec before the ID is returned.
+func (s *Server) CreateStream(sp StreamSpec) (string, error) {
+	if sp.Tenant == "" {
+		sp.Tenant = "default"
+	}
+	if _, err := stream.New(stream.Config{
+		Eps: sp.Eps, MinPts: sp.MinPts, WindowTicks: sp.WindowTicks,
+		SubsampleThreshold: sp.SubsampleThreshold, SubsampleRate: sp.SubsampleRate,
+		ReanchorEvery: sp.ReanchorEvery,
+	}); err != nil {
+		return "", err
+	}
+
+	s.mu.Lock()
+	reject := func(reason string, err error) (string, error) {
+		s.hub.Counter("server_streams_rejected_total", "tenant", sp.Tenant, "reason", reason).Inc()
+		s.mu.Unlock()
+		return "", err
+	}
+	if s.draining || s.closed {
+		return reject("draining", fmt.Errorf("%w: tenant %s", ErrDraining, sp.Tenant))
+	}
+	if s.cfg.StreamsPerTenant > 0 {
+		active := 0
+		for _, st := range s.streams {
+			if st.spec.Tenant == sp.Tenant {
+				active++
+			}
+		}
+		if active >= s.cfg.StreamsPerTenant {
+			return reject("stream_limit", fmt.Errorf("%w: tenant %s at %d streams",
+				ErrStreamLimit, sp.Tenant, active))
+		}
+	}
+	s.streamSeq++
+	id := fmt.Sprintf("stream-%06d", s.streamSeq)
+	st := &streamState{id: id, spec: sp}
+	eng, err := stream.New(s.engineConfig(id, sp))
+	if err != nil {
+		s.mu.Unlock()
+		return "", err
+	}
+	st.eng = eng
+	s.streams[id] = st
+	s.hub.Counter("server_streams_created_total", "tenant", sp.Tenant).Inc()
+	s.hub.Gauge("server_streams_active", "tenant", sp.Tenant).Add(1)
+	s.mu.Unlock()
+
+	if s.cfg.StateDir != "" {
+		store, err := s.openStreamStore(id)
+		if err == nil {
+			err = store.Save("spec", fromSpec(sp))
+		}
+		if err != nil {
+			s.mu.Lock()
+			delete(s.streams, id)
+			s.hub.Gauge("server_streams_active", "tenant", sp.Tenant).Add(-1)
+			s.mu.Unlock()
+			return "", fmt.Errorf("server: persisting stream spec: %w", err)
+		}
+		st.mu.Lock()
+		st.store = store
+		st.mu.Unlock()
+	}
+	s.hub.Event(nil, "server.stream-created", telemetry.String("tenant", sp.Tenant),
+		telemetry.String("stream", id))
+	return id, nil
+}
+
+func (s *Server) openStreamStore(id string) (*checkpoint.Store, error) {
+	fs, err := checkpoint.DirFS(s.streamDir(id))
+	if err != nil {
+		return nil, err
+	}
+	store := checkpoint.NewStore(fs, id)
+	store.SetTelemetry(s.hub)
+	return store, nil
+}
+
+// lookupStream fetches a stream under s.mu.
+func (s *Server) lookupStream(id string) (*streamState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownStream, id)
+	}
+	return st, nil
+}
+
+// StreamTick feeds one tick of arrivals into a stream. Admission gates
+// apply per tick: draining rejects new points, and the tenant's point
+// quota is charged for arrivals and refunded for expiries, so a
+// stream's live window counts against the same budget as queued jobs.
+// On success the window state is durably checkpointed before returning.
+func (s *Server) StreamTick(id string, pts []geom.Point) (stream.TickStats, error) {
+	st, err := s.lookupStream(id)
+	if err != nil {
+		return stream.TickStats{}, err
+	}
+	tenant := st.spec.Tenant
+
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.hub.Counter("server_streams_rejected_total", "tenant", tenant, "reason", "draining").Inc()
+		s.mu.Unlock()
+		return stream.TickStats{}, fmt.Errorf("%w: tenant %s", ErrDraining, tenant)
+	}
+	t := s.tenantLocked(tenant)
+	need := int64(len(pts))
+	if s.cfg.TenantQuota > 0 && t.tokens+need > s.cfg.TenantQuota {
+		s.hub.Counter("server_streams_rejected_total", "tenant", tenant, "reason", "quota").Inc()
+		s.mu.Unlock()
+		return stream.TickStats{}, fmt.Errorf("%w: tenant %s holds %d of %d points, tick needs %d",
+			ErrQuotaExceeded, tenant, t.tokens, s.cfg.TenantQuota, need)
+	}
+	t.tokens += need
+	s.hub.Gauge("server_tenant_tokens", "tenant", tenant).Set(t.tokens)
+	s.mu.Unlock()
+
+	st.mu.Lock()
+	stats, err := st.eng.Tick(pts)
+	var saveErr error
+	if err == nil && st.store != nil {
+		saveErr = st.store.Save("window", st.eng.WindowState())
+	}
+	st.mu.Unlock()
+
+	// Settle the quota: a rejected tick refunds the whole charge; a
+	// successful one keeps (arrivals - expiries).
+	s.mu.Lock()
+	refund := need
+	if err == nil {
+		refund = int64(stats.Expired)
+	}
+	t.tokens -= refund
+	if t.tokens < 0 {
+		t.tokens = 0
+	}
+	s.hub.Gauge("server_tenant_tokens", "tenant", tenant).Set(t.tokens)
+	s.mu.Unlock()
+	if err != nil {
+		return stream.TickStats{}, err
+	}
+	if saveErr != nil {
+		return stats, fmt.Errorf("server: checkpointing stream %s: %w", id, saveErr)
+	}
+	s.hub.Counter("server_stream_points_total", "tenant", tenant).Add(int64(len(pts)))
+	s.hub.Counter("server_stream_ticks_total", "tenant", tenant).Inc()
+	return stats, nil
+}
+
+// StreamSnapshot returns the stream's full labeled window.
+func (s *Server) StreamSnapshot(id string) (stream.Snapshot, error) {
+	st, err := s.lookupStream(id)
+	if err != nil {
+		return stream.Snapshot{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.eng.Snapshot(), nil
+}
+
+// StreamStatus returns one stream's status.
+func (s *Server) StreamStatus(id string) (StreamStatus, error) {
+	st, err := s.lookupStream(id)
+	if err != nil {
+		return StreamStatus{}, err
+	}
+	return s.streamStatus(st), nil
+}
+
+func (s *Server) streamStatus(st *streamState) StreamStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StreamStatus{
+		ID: st.id, Tenant: st.spec.Tenant, Name: st.spec.Name,
+		Eps: st.spec.Eps, MinPts: st.spec.MinPts, WindowTicks: st.spec.WindowTicks,
+		Tick:         st.eng.TickIndex(),
+		WindowPoints: st.eng.Len(),
+		NumClusters:  st.eng.NumClusters(),
+		Recovered:    st.recovered,
+	}
+}
+
+// Streams lists every stream's status, sorted by ID.
+func (s *Server) Streams() []StreamStatus {
+	s.mu.Lock()
+	states := make([]*streamState, 0, len(s.streams))
+	for _, st := range s.streams {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+	out := make([]StreamStatus, len(states))
+	for i, st := range states {
+		out[i] = s.streamStatus(st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// CloseStream tears a stream down: its quota tokens are refunded and
+// its durable state removed. Closing is allowed while draining — it
+// releases resources rather than consuming them.
+func (s *Server) CloseStream(id string) error {
+	s.mu.Lock()
+	st, ok := s.streams[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownStream, id)
+	}
+	delete(s.streams, id)
+	t := s.tenantLocked(st.spec.Tenant)
+	st.mu.Lock()
+	t.tokens -= int64(st.eng.Len())
+	st.mu.Unlock()
+	if t.tokens < 0 {
+		t.tokens = 0
+	}
+	s.hub.Gauge("server_tenant_tokens", "tenant", t.name).Set(t.tokens)
+	s.hub.Gauge("server_streams_active", "tenant", st.spec.Tenant).Add(-1)
+	s.mu.Unlock()
+
+	if s.cfg.StateDir != "" {
+		if err := os.RemoveAll(s.streamDir(id)); err != nil {
+			return fmt.Errorf("server: removing stream state: %w", err)
+		}
+	}
+	s.hub.Event(nil, "server.stream-closed", telemetry.String("tenant", st.spec.Tenant),
+		telemetry.String("stream", id))
+	return nil
+}
+
+// recoverStreams restores every stream checkpointed by a previous
+// instance on the same state directory: spec and window are loaded and
+// verified (CRC + manifest), the engine is rebuilt via stream.Restore —
+// whose labels provably equal the pre-crash labels — and the tenant's
+// quota tokens are re-acquired. A corrupt stream refuses startup
+// loudly, like interior journal corruption.
+func (s *Server) recoverStreams() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	root := filepath.Join(s.cfg.StateDir, "streams")
+	entries, err := os.ReadDir(root)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: scanning stream state: %w", err)
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		store, err := s.openStreamStore(id)
+		if err != nil {
+			return fmt.Errorf("server: recovering stream %s: %w", id, err)
+		}
+		var psp persistedStreamSpec
+		if err := store.Load("spec", &psp); err != nil {
+			return fmt.Errorf("server: recovering stream %s spec: %w", id, err)
+		}
+		sp := psp.spec()
+		var ws stream.WindowState
+		switch err := store.Load("window", &ws); {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Created but never ticked: restore an empty window.
+			ws = stream.WindowState{}
+		case err != nil:
+			return fmt.Errorf("server: recovering stream %s window: %w", id, err)
+		}
+		eng, err := stream.Restore(s.engineConfig(id, sp), ws)
+		if err != nil {
+			return fmt.Errorf("server: restoring stream %s: %w", id, err)
+		}
+		st := &streamState{id: id, spec: sp, recovered: true, eng: eng, store: store}
+		s.mu.Lock()
+		s.streams[id] = st
+		if seq := streamSeqOf(id); seq > s.streamSeq {
+			s.streamSeq = seq
+		}
+		t := s.tenantLocked(sp.Tenant)
+		t.tokens += int64(eng.Len())
+		s.hub.Gauge("server_tenant_tokens", "tenant", t.name).Set(t.tokens)
+		s.hub.Counter("server_streams_recovered_total", "tenant", sp.Tenant).Inc()
+		s.hub.Gauge("server_streams_active", "tenant", sp.Tenant).Add(1)
+		s.mu.Unlock()
+		s.hub.Event(nil, "server.stream-recovered", telemetry.String("tenant", sp.Tenant),
+			telemetry.String("stream", id))
+	}
+	return nil
+}
+
+// streamSeqOf parses the numeric suffix of a stream ID (0 if foreign).
+func streamSeqOf(id string) int {
+	var seq int
+	if _, err := fmt.Sscanf(id, "stream-%d", &seq); err != nil {
+		return 0
+	}
+	return seq
+}

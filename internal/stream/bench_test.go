@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+)
+
+// benchWindow builds a steady-state 100k-point window (20 ticks × 5k)
+// plus follow-on batches to tick through during measurement.
+func benchWindow(b *testing.B) (*Engine, [][]geom.Point) {
+	b.Helper()
+	const (
+		window  = 20
+		perTick = 5000
+	)
+	batches := dataset.Firehose(window+b.N+1, perTick, 9, dataset.DefaultFirehoseOptions())
+	e, err := New(Config{Eps: 0.12, MinPts: 8, WindowTicks: window})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches[:window] {
+		if _, err := e.Tick(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, batches[window:]
+}
+
+// BenchmarkStreamTick measures one incremental tick (5k arrivals + 5k
+// expiries) against a 100k-point steady-state window. Compare with
+// BenchmarkStreamFullRecluster: per-tick cost tracks the dirtied-cell
+// count, not the window size.
+func BenchmarkStreamTick(b *testing.B) {
+	e, batches := benchWindow(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Tick(batches[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamFullRecluster is the baseline BenchmarkStreamTick
+// beats: a from-scratch batch DBSCAN over the same 100k-point window
+// every tick.
+func BenchmarkStreamFullRecluster(b *testing.B) {
+	e, _ := benchWindow(b)
+	snap := e.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dbscan.Cluster(snap.Points, dbscan.Params{Eps: 0.12, MinPts: 8}, dbscan.IndexGrid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

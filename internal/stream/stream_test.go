@@ -1,0 +1,532 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/quality"
+	"repro/internal/telemetry"
+)
+
+func mustEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func mustTick(t *testing.T, e *Engine, batch []geom.Point) TickStats {
+	t.Helper()
+	st, err := e.Tick(batch)
+	if err != nil {
+		t.Fatalf("Tick %d: %v", e.TickIndex()+1, err)
+	}
+	return st
+}
+
+// checkSnapshot asserts the engine's current labeling is a valid DBSCAN
+// labeling of the window contents.
+func checkSnapshot(t *testing.T, e *Engine) Snapshot {
+	t.Helper()
+	snap := e.Snapshot()
+	if err := EquivalentDBSCAN(snap.Points, e.Config().Eps, e.Config().MinPts, snap.Labels); err != nil {
+		t.Fatalf("tick %d (window %d points): %v", snap.Tick, len(snap.Points), err)
+	}
+	return snap
+}
+
+// TestIncrementalMatchesBatch is the headline correctness gate: over 20
+// seeded random tick sequences (arrivals, expiries, hotspot drift), the
+// incremental labeling after every tick is cluster-isomorphic to batch
+// DBSCAN on the current window.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	const seeds = 20
+	ticks := 18
+	perTick := 60
+	if testing.Short() {
+		ticks = 10
+		perTick = 40
+	}
+	for s := 0; s < seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			opt := dataset.DefaultFirehoseOptions()
+			opt.Hotspots = 3 + s%4
+			batches := dataset.Firehose(ticks, perTick, int64(1000+s), opt)
+			e := mustEngine(t, Config{
+				Eps:         0.12,
+				MinPts:      5,
+				WindowTicks: 6,
+				Seed:        int64(s),
+			})
+			for _, b := range batches {
+				mustTick(t, e, b)
+				checkSnapshot(t, e)
+			}
+		})
+	}
+}
+
+// TestReanchorIsNoOp runs the same sequence with and without periodic
+// full re-anchoring; since incremental repair is exact, re-anchoring
+// must not change a single label.
+func TestReanchorIsNoOp(t *testing.T) {
+	batches := dataset.Firehose(15, 50, 77, dataset.DefaultFirehoseOptions())
+	a := mustEngine(t, Config{Eps: 0.12, MinPts: 5, WindowTicks: 5})
+	b := mustEngine(t, Config{Eps: 0.12, MinPts: 5, WindowTicks: 5, ReanchorEvery: 3})
+	reanchors := 0
+	for _, batch := range batches {
+		mustTick(t, a, batch)
+		st := mustTick(t, b, batch)
+		if st.Reanchored {
+			reanchors++
+		}
+		sa, sb := a.Snapshot(), b.Snapshot()
+		for i := range sa.Labels {
+			if sa.Labels[i] != sb.Labels[i] {
+				t.Fatalf("tick %d: label diverges at point %v: %d vs %d (reanchored=%v)",
+					sa.Tick, sa.Points[i], sa.Labels[i], sb.Labels[i], st.Reanchored)
+			}
+		}
+	}
+	if reanchors != 5 {
+		t.Fatalf("expected 5 re-anchors in 15 ticks at every 3, got %d", reanchors)
+	}
+}
+
+// TestWindowExpiresToEmpty feeds points then silence: after W empty
+// ticks the window must be empty with zero clusters, and the engine
+// must keep accepting points afterwards.
+func TestWindowExpiresToEmpty(t *testing.T) {
+	e := mustEngine(t, Config{Eps: 1, MinPts: 3, WindowTicks: 3})
+	pts := []geom.Point{{ID: 1, X: 0, Y: 0}, {ID: 2, X: 0.1, Y: 0}, {ID: 3, X: 0, Y: 0.1}}
+	mustTick(t, e, pts)
+	if e.Len() != 3 || e.NumClusters() != 1 {
+		t.Fatalf("after ingest: %d points, %d clusters; want 3, 1", e.Len(), e.NumClusters())
+	}
+	for i := 0; i < 3; i++ {
+		mustTick(t, e, nil)
+		checkSnapshot(t, e)
+	}
+	if e.Len() != 0 || e.NumClusters() != 0 {
+		t.Fatalf("after expiry: %d points, %d clusters; want 0, 0", e.Len(), e.NumClusters())
+	}
+	snap := e.Snapshot()
+	if len(snap.Points) != 0 || len(snap.Labels) != 0 {
+		t.Fatalf("empty window snapshot has %d points, %d labels", len(snap.Points), len(snap.Labels))
+	}
+	// The engine keeps working after going empty (IDs may be reused
+	// once their originals expired).
+	mustTick(t, e, pts)
+	checkSnapshot(t, e)
+	if e.Len() != 3 || e.NumClusters() != 1 {
+		t.Fatalf("after re-ingest: %d points, %d clusters; want 3, 1", e.Len(), e.NumClusters())
+	}
+}
+
+// TestAllDuplicatesOneCell drops many coincident points (distinct IDs,
+// identical coordinates) into one cell: with count >= MinPts all are
+// core in one cluster; below MinPts (counting self) all are noise.
+func TestAllDuplicatesOneCell(t *testing.T) {
+	dup := func(n int, base uint64) []geom.Point {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{ID: base + uint64(i), X: 0.5, Y: 0.5}
+		}
+		return pts
+	}
+	e := mustEngine(t, Config{Eps: 1, MinPts: 5, WindowTicks: 2})
+	mustTick(t, e, dup(8, 0))
+	snap := checkSnapshot(t, e)
+	if snap.NumClusters != 1 {
+		t.Fatalf("8 duplicates with MinPts=5: %d clusters, want 1", snap.NumClusters)
+	}
+	for i, l := range snap.Labels {
+		if l != 0 {
+			t.Fatalf("duplicate point %d labeled %d, want 0", i, l)
+		}
+	}
+
+	e2 := mustEngine(t, Config{Eps: 1, MinPts: 5, WindowTicks: 2})
+	mustTick(t, e2, dup(4, 100))
+	snap2 := checkSnapshot(t, e2)
+	if snap2.NumClusters != 0 {
+		t.Fatalf("4 duplicates with MinPts=5: %d clusters, want 0", snap2.NumClusters)
+	}
+	for i, l := range snap2.Labels {
+		if l != Noise {
+			t.Fatalf("sub-threshold duplicate %d labeled %d, want noise", i, l)
+		}
+	}
+}
+
+// TestBridgeExpirySplitsCluster builds two dense blobs joined by a
+// bridge; when the bridge (ingested first) expires, the cluster must
+// split in two.
+func TestBridgeExpirySplitsCluster(t *testing.T) {
+	blob := func(cx, cy float64, base uint64) []geom.Point {
+		out := make([]geom.Point, 0, 9)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				out = append(out, geom.Point{
+					ID: base + uint64(3*i+j),
+					X:  cx + float64(i)*0.02,
+					Y:  cy + float64(j)*0.02,
+				})
+			}
+		}
+		return out
+	}
+	// Blobs at x=0 and x=3, bridge points every 0.08 between them: with
+	// Eps=0.1 and MinPts=3 each interior bridge point is core through
+	// its two chain neighbors, so the chain is the only connection.
+	var bridge []geom.Point
+	id := uint64(1000)
+	for x := 0.05; x < 2.99; x += 0.08 {
+		bridge = append(bridge, geom.Point{ID: id, X: x, Y: 0.02})
+		id++
+	}
+	e := mustEngine(t, Config{Eps: 0.1, MinPts: 3, WindowTicks: 2})
+	mustTick(t, e, bridge) // tick 1: bridge
+	both := append(blob(-0.06, 0, 0), blob(3.02, 0, 100)...)
+	mustTick(t, e, both) // tick 2: blobs; bridge still live
+	snap := checkSnapshot(t, e)
+	if snap.NumClusters != 1 {
+		t.Fatalf("with bridge: %d clusters, want 1", snap.NumClusters)
+	}
+	mustTick(t, e, nil) // tick 3: bridge (tick 1) expires
+	snap = checkSnapshot(t, e)
+	if snap.NumClusters != 2 {
+		t.Fatalf("after bridge expiry: %d clusters, want 2", snap.NumClusters)
+	}
+}
+
+// TestCellBoundaryCrossing ingests points that straddle a grid cell
+// boundary in different ticks: the cross-cell Eps links must connect
+// them into one cluster, and expiry of one side must demote the rest.
+func TestCellBoundaryCrossing(t *testing.T) {
+	// Eps = 1, so x = 0.99 and x = 1.01 are in different cells but only
+	// 0.02 apart.
+	left := []geom.Point{
+		{ID: 1, X: 0.97, Y: 0.5}, {ID: 2, X: 0.98, Y: 0.5}, {ID: 3, X: 0.99, Y: 0.5},
+	}
+	right := []geom.Point{
+		{ID: 4, X: 1.01, Y: 0.5}, {ID: 5, X: 1.02, Y: 0.5}, {ID: 6, X: 1.03, Y: 0.5},
+	}
+	e := mustEngine(t, Config{Eps: 1, MinPts: 4, WindowTicks: 3})
+	mustTick(t, e, left)
+	snap := checkSnapshot(t, e)
+	if snap.NumClusters != 0 {
+		t.Fatalf("left half alone: %d clusters, want 0 (3 points < MinPts=4)", snap.NumClusters)
+	}
+	mustTick(t, e, right) // tick 2: the other side of the boundary arrives
+	snap = checkSnapshot(t, e)
+	if snap.NumClusters != 1 {
+		t.Fatalf("both halves: %d clusters, want 1", snap.NumClusters)
+	}
+	for i, l := range snap.Labels {
+		if l != 0 {
+			t.Fatalf("point %v labeled %d, want 0", snap.Points[i], l)
+		}
+	}
+	mustTick(t, e, nil)
+	mustTick(t, e, nil) // tick 4: left (tick 1) expired
+	snap = checkSnapshot(t, e)
+	if len(snap.Points) != 3 || snap.NumClusters != 0 {
+		t.Fatalf("after left expiry: %d points, %d clusters; want 3, 0", len(snap.Points), snap.NumClusters)
+	}
+}
+
+// TestRejectedBatchLeavesWindowUntouched checks batch validation is
+// atomic: a batch with a duplicate or non-finite point mutates nothing.
+func TestRejectedBatchLeavesWindowUntouched(t *testing.T) {
+	e := mustEngine(t, Config{Eps: 1, MinPts: 2, WindowTicks: 4})
+	mustTick(t, e, []geom.Point{{ID: 1, X: 0, Y: 0}, {ID: 2, X: 0.1, Y: 0}})
+	before := e.Snapshot()
+
+	cases := [][]geom.Point{
+		{{ID: 1, X: 5, Y: 5}},                      // already live
+		{{ID: 9, X: 5, Y: 5}, {ID: 9, X: 6, Y: 6}}, // duplicate within batch
+		{{ID: 10, X: math.NaN(), Y: 0}},            // NaN coordinate
+	}
+	for i, bad := range cases {
+		if _, err := e.Tick(bad); err == nil {
+			t.Fatalf("case %d: bad batch accepted", i)
+		}
+	}
+	after := e.Snapshot()
+	if after.Tick != before.Tick || len(after.Points) != len(before.Points) {
+		t.Fatalf("rejected batches mutated the window: tick %d->%d, points %d->%d",
+			before.Tick, after.Tick, len(before.Points), len(after.Points))
+	}
+	for i := range after.Labels {
+		if after.Labels[i] != before.Labels[i] || after.Points[i] != before.Points[i] {
+			t.Fatalf("rejected batches changed labeling at %d", i)
+		}
+	}
+}
+
+// TestWindowStateRoundTrip drains an engine mid-stream, restores it
+// from the WindowState, and checks the restored labels are identical —
+// then keeps ticking both and requires they stay identical.
+func TestWindowStateRoundTrip(t *testing.T) {
+	batches := dataset.Firehose(14, 45, 42, dataset.DefaultFirehoseOptions())
+	cfg := Config{Eps: 0.12, MinPts: 5, WindowTicks: 5}
+	e := mustEngine(t, cfg)
+	for _, b := range batches[:8] {
+		mustTick(t, e, b)
+	}
+	ws := e.WindowState()
+	r, err := Restore(cfg, ws)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	compare := func(stage string) {
+		t.Helper()
+		se, sr := e.Snapshot(), r.Snapshot()
+		if se.Tick != sr.Tick || len(se.Points) != len(sr.Points) {
+			t.Fatalf("%s: tick %d/%d, points %d/%d", stage, se.Tick, sr.Tick, len(se.Points), len(sr.Points))
+		}
+		for i := range se.Points {
+			if se.Points[i] != sr.Points[i] || se.Labels[i] != sr.Labels[i] {
+				t.Fatalf("%s: restored engine diverges at %v: label %d vs %d",
+					stage, se.Points[i], se.Labels[i], sr.Labels[i])
+			}
+		}
+	}
+	compare("immediately after restore")
+	for i, b := range batches[8:] {
+		mustTick(t, e, b)
+		mustTick(t, r, b)
+		compare(fmt.Sprintf("tick %d after restore", i+1))
+	}
+	checkSnapshot(t, r)
+}
+
+// TestRestoreRejectsBadState covers the WindowState validators.
+func TestRestoreRejectsBadState(t *testing.T) {
+	cfg := Config{Eps: 1, MinPts: 2, WindowTicks: 3}
+	cases := []WindowState{
+		{Tick: 5, Ticks: []TickArrivals{{Tick: 1, Points: nil}}},  // outside window
+		{Tick: 5, Ticks: []TickArrivals{{Tick: 6, Points: nil}}},  // in the future
+		{Tick: -1},                                                // negative cursor
+		{Tick: 5, Ticks: []TickArrivals{{Tick: 4}, {Tick: 4}}},    // duplicate tick
+		{Tick: 5, Ticks: []TickArrivals{{Tick: 4, Points: []geom.Point{{ID: 7}, {ID: 7, X: 1}}}}}, // duplicate ID
+	}
+	for i, ws := range cases {
+		if _, err := Restore(cfg, ws); err == nil {
+			t.Fatalf("case %d: invalid WindowState accepted", i)
+		}
+	}
+}
+
+// TestSubsampledQuality checks the approximate path: with subsampling
+// forced on, labels must still score above a quality floor against the
+// exact batch labeling (DBDC), and the subsampled path must actually
+// run.
+func TestSubsampledQuality(t *testing.T) {
+	batches := dataset.Firehose(8, 250, 7, dataset.DefaultFirehoseOptions())
+	e := mustEngine(t, Config{
+		Eps:                0.15,
+		MinPts:             5,
+		WindowTicks:        4,
+		SubsampleThreshold: 40,
+		SubsampleRate:      0.7,
+		Seed:               7,
+	})
+	sampledQueries := 0
+	for _, b := range batches {
+		st := mustTick(t, e, b)
+		sampledQueries += st.SubsampledQueries
+	}
+	if sampledQueries == 0 {
+		t.Fatal("subsampled path never triggered; threshold too high for this workload")
+	}
+	snap := e.Snapshot()
+	ref, err := dbscan.Cluster(snap.Points, dbscan.Params{Eps: 0.15, MinPts: 5}, dbscan.IndexGrid)
+	if err != nil {
+		t.Fatalf("batch oracle: %v", err)
+	}
+	score, err := quality.Score(ref.Labels, snap.Labels)
+	if err != nil {
+		t.Fatalf("quality.Score: %v", err)
+	}
+	if score < 0.9 {
+		t.Fatalf("subsampled labeling DBDC %.3f below 0.9 floor", score)
+	}
+}
+
+// TestTickStatsLocality asserts the repair bookkeeping itself is local:
+// a tick touching one cell must not recompute cells far away.
+func TestTickStatsLocality(t *testing.T) {
+	e := mustEngine(t, Config{Eps: 1, MinPts: 3, WindowTicks: 100})
+	// A 20×1 strip of well-separated dense cells.
+	var first []geom.Point
+	id := uint64(0)
+	for c := 0; c < 20; c++ {
+		for k := 0; k < 5; k++ {
+			first = append(first, geom.Point{ID: id, X: float64(c)*3 + float64(k)*0.05, Y: 0.5})
+			id++
+		}
+	}
+	mustTick(t, e, first)
+	st := mustTick(t, e, []geom.Point{{ID: id, X: 0.3, Y: 0.55}})
+	if st.DirtyCells != 1 {
+		t.Fatalf("single arrival dirtied %d cells, want 1", st.DirtyCells)
+	}
+	if st.CoreCells > 9 {
+		t.Fatalf("single arrival recomputed %d cells' core flags, want <= 9", st.CoreCells)
+	}
+	if st.FragCells > 9 || st.BorderCells > 25 {
+		t.Fatalf("single arrival rebuilt %d frag cells / %d border cells; repair is not local",
+			st.FragCells, st.BorderCells)
+	}
+	checkSnapshot(t, e)
+}
+
+// TestStreamMetrics checks the engine reports through its hub with the
+// stream label.
+func TestStreamMetrics(t *testing.T) {
+	hub := telemetry.New(nil)
+	e := mustEngine(t, Config{Eps: 1, MinPts: 2, WindowTicks: 2, Name: "t", Telemetry: hub})
+	mustTick(t, e, []geom.Point{{ID: 1, X: 0, Y: 0}, {ID: 2, X: 0.1, Y: 0}})
+	if got := hub.Counter("stream_ticks_total", "stream", "t").Value(); got != 1 {
+		t.Fatalf("stream_ticks_total = %d, want 1", got)
+	}
+	if got := hub.Counter("stream_points_ingested_total", "stream", "t").Value(); got != 2 {
+		t.Fatalf("stream_points_ingested_total = %d, want 2", got)
+	}
+	if got := hub.Gauge("stream_window_points", "stream", "t").Value(); got != 2 {
+		t.Fatalf("stream_window_points = %d, want 2", got)
+	}
+}
+
+// TestConfigValidation covers New's rejects.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Eps: 0, MinPts: 2, WindowTicks: 2},
+		{Eps: -1, MinPts: 2, WindowTicks: 2},
+		{Eps: 1, MinPts: 0, WindowTicks: 2},
+		{Eps: 1, MinPts: 2, WindowTicks: 0},
+		{Eps: 1, MinPts: 2, WindowTicks: 2, SubsampleThreshold: 10},                    // rate unset
+		{Eps: 1, MinPts: 2, WindowTicks: 2, SubsampleThreshold: 10, SubsampleRate: 2}, // rate > 1
+		{Eps: 1, MinPts: 2, WindowTicks: 2, ReanchorEvery: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestIncrementalFasterThanRecluster is an end-to-end sanity check of
+// the design's point: at a 100k-point window, an incremental tick must
+// beat a from-scratch batch recluster comfortably. The precise 5×
+// bound is measured by BenchmarkStreamTick; here we assert a generous
+// 2× so CI noise cannot flake the suite.
+func TestIncrementalFasterThanRecluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	const (
+		window  = 20
+		perTick = 5000 // 100k-point steady-state window
+	)
+	batches := dataset.Firehose(window+6, perTick, 9, dataset.DefaultFirehoseOptions())
+	e := mustEngine(t, Config{Eps: 0.12, MinPts: 8, WindowTicks: window})
+	for _, b := range batches[:window] {
+		mustTick(t, e, b)
+	}
+	var inc time.Duration
+	for _, b := range batches[window : window+3] {
+		st := mustTick(t, e, b)
+		inc += st.Elapsed
+	}
+	snap := e.Snapshot()
+	var batch time.Duration
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := dbscan.Cluster(snap.Points, dbscan.Params{Eps: 0.12, MinPts: 8}, dbscan.IndexGrid); err != nil {
+			t.Fatalf("batch recluster: %v", err)
+		}
+		batch += time.Since(start)
+	}
+	if inc*2 >= batch {
+		t.Fatalf("incremental tick (%v avg) not 2x faster than full recluster (%v avg) at %d points",
+			inc/3, batch/3, len(snap.Points))
+	}
+	t.Logf("window %d points: incremental tick %v vs full recluster %v (%.1fx)",
+		len(snap.Points), inc/3, batch/3, float64(batch)/float64(inc))
+}
+
+// TestIsomorphic covers the label-isomorphism helper directly.
+func TestIsomorphic(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{0, 0, 1, Noise}, []int{1, 1, 0, Noise}, true},
+		{[]int{0, 0, 1}, []int{0, 1, 1}, false},         // splits a cluster
+		{[]int{0, 1}, []int{0, 0}, false},               // merges clusters
+		{[]int{0, Noise}, []int{0, 0}, false},           // noise mismatch
+		{[]int{}, []int{}, true},
+		{[]int{0}, []int{0, 1}, false},                  // length mismatch
+	}
+	for i, c := range cases {
+		if got := Isomorphic(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: Isomorphic(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestDeterministicLabels runs the same sequence twice and requires
+// bit-identical labels — the determinism the restart story relies on.
+func TestDeterministicLabels(t *testing.T) {
+	batches := dataset.Firehose(10, 80, 5, dataset.DefaultFirehoseOptions())
+	run := func() []Snapshot {
+		e := mustEngine(t, Config{Eps: 0.12, MinPts: 5, WindowTicks: 4})
+		var snaps []Snapshot
+		for _, b := range batches {
+			mustTick(t, e, b)
+			snaps = append(snaps, e.Snapshot())
+		}
+		return snaps
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i].Labels {
+			if a[i].Labels[j] != b[i].Labels[j] {
+				t.Fatalf("tick %d: nondeterministic label at %v: %d vs %d",
+					a[i].Tick, a[i].Points[j], a[i].Labels[j], b[i].Labels[j])
+			}
+		}
+	}
+}
+
+// TestRandomizedChurn stresses heavier per-tick churn than the firehose
+// generator produces: uniform points in a tight box so nearly every
+// cell is dirty every tick.
+func TestRandomizedChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	e := mustEngine(t, Config{Eps: 0.25, MinPts: 4, WindowTicks: 3})
+	id := uint64(0)
+	for tick := 0; tick < 12; tick++ {
+		n := rng.Intn(120)
+		batch := make([]geom.Point, n)
+		for i := range batch {
+			batch[i] = geom.Point{ID: id, X: rng.Float64() * 2, Y: rng.Float64() * 2}
+			id++
+		}
+		mustTick(t, e, batch)
+		checkSnapshot(t, e)
+	}
+}
