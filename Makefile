@@ -20,7 +20,7 @@ vet:
 # them).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server ./internal/checkpoint ./internal/stream
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server ./internal/checkpoint ./internal/stream ./internal/partition ./internal/ptio
 
 race:
 	$(GO) test -race ./...
@@ -78,10 +78,11 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_run.json BENCH_run.txt
 
 # Regression gate: compare the latest BENCH_run.json against the
-# committed seed baseline. Fails if any Cluster, Partition, or
-# StreamTick benchmark's wall clock regressed more than 20%.
+# committed seed baseline. Fails if any Cluster, Partition (including
+# the write-stage PartitionWrite layouts), or StreamTick benchmark's
+# wall clock regressed more than 20%.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_seed.json -match '^Benchmark(Cluster|Partition|StreamTick)' BENCH_run.json
+	$(GO) run ./cmd/benchjson -compare BENCH_seed.json -match '^Benchmark(Cluster|Partition|PartitionWrite|StreamTick)' BENCH_run.json
 
 # Regenerate every evaluation artifact (measured + modeled rows).
 experiments:

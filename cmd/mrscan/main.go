@@ -40,6 +40,7 @@ func main() {
 		noise      = flag.Bool("noise", false, "include noise points (cluster -1) in the output")
 		weight     = flag.Bool("weight", false, "input records carry the weight field")
 		direct     = flag.Bool("direct", false, "send partitions over the network instead of the file system (§6 future work)")
+		writeAgg   = flag.Bool("write-aggregation", false, "log-structured partition writes: sequential per-leaf segment appends instead of small random writes (§5.1.1), pipelining the cluster phase over durable partitions")
 		hotCell    = flag.Int64("hotcell", 0, "subdivide cells holding more points than this (§5.1.2 future work; 0 = off)")
 		reclaim    = flag.Bool("reclaim", false, "feed shadow-view border observations back during the sweep (beyond-paper fix)")
 		tcpMerge   = flag.Bool("tcpmerge", false, "run the merge phase over real TCP sockets")
@@ -70,6 +71,7 @@ func main() {
 	cfg.IncludeNoise = *noise
 	cfg.HasWeight = *weight
 	cfg.DirectPartitions = *direct
+	cfg.WriteAggregation = *writeAgg
 	cfg.HotCellThreshold = *hotCell
 	cfg.ReclaimBorders = *reclaim
 	cfg.MergeOverTCP = *tcpMerge

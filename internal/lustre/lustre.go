@@ -68,6 +68,12 @@ type Stats struct {
 	BytesRead    int64
 	BytesWritten int64
 	Seeks        int64
+	// WriteSeeks counts the subset of Seeks charged to discontiguous
+	// writes — the quantity behind §5.1.1's "dominated by small random
+	// writes". A sequential (aggregated) write path keeps this near the
+	// number of writers; the legacy per-region path scales it with
+	// leaves×partitions.
+	WriteSeeks   int64
 	FilesCreated int64
 }
 
@@ -78,6 +84,7 @@ type fsMetrics struct {
 	bytesRead    *telemetry.Counter
 	bytesWritten *telemetry.Counter
 	seeks        *telemetry.Counter
+	writeSeeks   *telemetry.Counter
 	filesCreated *telemetry.Counter
 	// Durability model (see crash.go): honoured file and directory
 	// syncs.
@@ -98,6 +105,7 @@ func resolveFSMetrics(h *telemetry.Hub) fsMetrics {
 		bytesRead:     h.Counter("lustre_bytes_read_total"),
 		bytesWritten:  h.Counter("lustre_bytes_written_total"),
 		seeks:         h.Counter("lustre_seeks_total"),
+		writeSeeks:    h.Counter("lustre_write_seeks_total"),
 		filesCreated:  h.Counter("lustre_files_created_total"),
 		syncs:         h.Counter("lustre_syncs_total"),
 		dirSyncs:      h.Counter("lustre_dir_syncs_total"),
@@ -198,6 +206,7 @@ func (fs *FS) SetTelemetry(h *telemetry.Hub) {
 	fs.m.bytesRead.Add(old.bytesRead.Value())
 	fs.m.bytesWritten.Add(old.bytesWritten.Value())
 	fs.m.seeks.Add(old.seeks.Value())
+	fs.m.writeSeeks.Add(old.writeSeeks.Value())
 	fs.m.filesCreated.Add(old.filesCreated.Value())
 	fs.m.syncs.Add(old.syncs.Value())
 	fs.m.dirSyncs.Add(old.dirSyncs.Value())
@@ -234,6 +243,7 @@ func (fs *FS) Stats() Stats {
 		BytesRead:    m.bytesRead.Value(),
 		BytesWritten: m.bytesWritten.Value(),
 		Seeks:        m.seeks.Value(),
+		WriteSeeks:   m.writeSeeks.Value(),
 		FilesCreated: m.filesCreated.Value(),
 	}
 }
@@ -524,6 +534,7 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	}
 	if seek {
 		m.seeks.Inc()
+		m.writeSeeks.Inc()
 	}
 	m.writeOps.Inc()
 	m.bytesWritten.Add(int64(len(p)))

@@ -45,14 +45,24 @@ func TestCancelMidClusterReleasesDeviceBuffers(t *testing.T) {
 		done <- err
 	}()
 
-	// Wait for the partition phase to finish (its span has ended), so
-	// the cancel strikes inside the cluster phase.
+	// Wait until some device has allocated — the cluster phase is in
+	// flight — so the cancel strikes mid-cluster, while the straggler
+	// rule holds its kernel launches open.
+	allocated := func() bool {
+		for w := 0; w < leaves; w++ {
+			device := fmt.Sprintf("gpu%04d", w)
+			if hub.Gauge("gpusim_alloc_bytes", "device", device).Value() > 0 {
+				return true
+			}
+		}
+		return false
+	}
 	for start := time.Now(); ; {
-		if len(hub.Trace.FindSpans("phase:"+PhasePartition)) > 0 {
+		if allocated() {
 			break
 		}
 		if time.Since(start) > 30*time.Second {
-			t.Fatal("partition phase never completed")
+			t.Fatal("cluster phase never allocated a device buffer")
 		}
 		time.Sleep(time.Millisecond)
 	}

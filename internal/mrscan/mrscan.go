@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -109,6 +110,21 @@ type Config struct {
 	// clustering processes instead of through the parallel file system,
 	// eliminating the small random writes that dominate Figure 9a.
 	DirectPartitions bool
+
+	// WriteAggregation replaces the partition phase's small random writes
+	// — "65.2% of the partition phase" at scale (§5.1.1) — with
+	// log-structured per-leaf appends: each leaf writes its whole
+	// contribution as one sequential run into a sharded segment file, and
+	// a segment index in the partition metadata lets the cluster phase
+	// reassemble any partition. Because a partition's segments become
+	// durable before the whole phase finishes, the run also pipelines the
+	// two phases: clustering starts on partition j as soon as its
+	// segments are synced while leaves are still writing j+1. Output
+	// labels are byte-identical with the option on or off. Ignored under
+	// DirectPartitions (no files at all); pipelining is additionally
+	// disabled when phase retries or resume are in play, where the
+	// phase-barrier semantics must hold.
+	WriteAggregation bool
 
 	// MergeOverTCP runs the merge phase's tree reduction over real TCP
 	// connections on the loopback interface instead of the in-process
@@ -299,8 +315,13 @@ type PhaseTimes struct {
 	Sweep     time.Duration
 	// PartitionReadSim and PartitionWriteSim are the simulated Lustre
 	// costs of the partition phase's read and write stages — §5.1.1
-	// reports write 65.2% vs read 29.9% of the phase at scale. Zero when
-	// DirectPartitions bypasses the file system.
+	// reports write 65.2% vs read 29.9% of the phase at scale.
+	// WriteAggregation turns the write stage's small random writes into
+	// sequential appends and shrinks PartitionWriteSim. Zero when
+	// DirectPartitions bypasses the file system; the overlay transfer
+	// cost replacing the write stage is recorded on
+	// partition.DirectResult (and the phase checkpoint) instead, so the
+	// two designs still compare like-for-like.
 	PartitionReadSim  time.Duration
 	PartitionWriteSim time.Duration
 	// GPUDBSCAN is the slowest leaf's time inside the GPGPU DBSCAN —
@@ -381,13 +402,29 @@ const (
 	metadataFile  = "mrscan-partitions.json"
 )
 
+// partitionArtifacts lists the partition phase's durable files for the
+// sync-ordering barrier: in aggregated runs the sharded segment files
+// (the legacy partition file is never created), otherwise the partition
+// file itself, plus the metadata document either way.
+func partitionArtifacts(meta *ptio.PartitionMeta) []string {
+	if meta != nil && len(meta.Segments) > 0 {
+		names := make([]string, 0, len(meta.Segments)+1)
+		for _, s := range meta.Segments {
+			names = append(names, s.File)
+		}
+		return append(names, metadataFile)
+	}
+	return []string{partitionFile, metadataFile}
+}
+
 // Snapshot payloads for the checkpoint store. All fields are exported
 // for gob. The structs mirror exactly the state the next phase consumes,
 // so a restored phase is indistinguishable from an executed one.
 type partitionCkpt struct {
-	// Meta locates every partition inside partitionFile (file mode). The
-	// partition file itself stays on the FS; the snapshot holds only the
-	// index, so resuming requires both.
+	// Meta locates every partition inside partitionFile — or, when its
+	// Segments index is populated (WriteAggregation), inside the sharded
+	// segment files. The partition data itself stays on the FS; the
+	// snapshot holds only the index, so resuming requires both.
 	Meta *ptio.PartitionMeta
 	// Direct marks a DirectPartitions run, whose partition contents
 	// never touch the file system and are carried in the snapshot.
@@ -428,11 +465,12 @@ func runFingerprint(cfg *Config, fs *lustre.FS, inputFile string) string {
 		size = s
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%g|%d|%d|%d|%d|%q|%t|%t|%t|%t|%t|%t|%t|%d|%v|%d|%d|%d",
+	fmt.Fprintf(h, "%s|%d|%g|%d|%d|%d|%d|%q|%t|%t|%t|%t|%t|%t|%t|%d|%v|%d|%d|%d|%t",
 		inputFile, size, cfg.Eps, cfg.MinPts, cfg.Leaves, cfg.PartitionLeaves,
 		cfg.Fanout, cfg.Topology, cfg.DenseBox, cfg.ShadowReps, cfg.Rebalance,
 		cfg.IncludeNoise, cfg.HasWeight, cfg.DirectPartitions, cfg.ReclaimBorders,
-		cfg.HotCellThreshold, cfg.Mode, cfg.Blocks, cfg.ThreadsPerBlock, cfg.LeafSize)
+		cfg.HotCellThreshold, cfg.Mode, cfg.Blocks, cfg.ThreadsPerBlock, cfg.LeafSize,
+		cfg.WriteAggregation)
 	return fmt.Sprintf("mrscan-%016x", h.Sum64())
 }
 
@@ -551,13 +589,26 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 	var plan *partition.Plan
 	var totalPoints, writtenPoints int64
 	var partReadSim, partWriteSim time.Duration
+	// In the pipelined (WriteAggregation) path the partition phase runs
+	// concurrently with the cluster phase: gate admits cluster leaves as
+	// their partitions become durable, and finishPartition — called after
+	// the cluster compute, before the cluster checkpoint — collects the
+	// partition result, syncs its artifacts and writes its checkpoint, so
+	// the durable phase-prefix order (partition before cluster) is
+	// preserved. Both stay nil on every non-overlapped path.
+	var gate *partitionGate
+	var finishPartition func() error
 	if validPrefix >= 1 {
 		var pc partitionCkpt
 		if err := store.Load(PhasePartition, &pc); err != nil {
 			return fail(fmt.Errorf("mrscan: restoring %s phase: %w", PhasePartition, err))
 		}
 		totalPoints, writtenPoints = pc.TotalPoints, pc.WrittenPoints
-		partReadSim, partWriteSim = pc.ReadSim, pc.WriteSim
+		if !pc.Direct {
+			// Direct snapshots carry the overlay-transfer sims for parity
+			// inspection, but PhaseTimes reports Lustre costs only.
+			partReadSim, partWriteSim = pc.ReadSim, pc.WriteSim
+		}
 		if pc.Direct {
 			parts, shadows := pc.Partitions, pc.Shadows
 			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
@@ -593,85 +644,189 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 			ShadowReps:     cfg.ShadowReps,
 			HasWeight:      cfg.HasWeight,
 			SplitThreshold: cfg.HotCellThreshold,
+			Aggregate:      cfg.WriteAggregation && !cfg.DirectPartitions,
 		}
-		var pc partitionCkpt
-		err = cfg.Retry.runPhase(ctx, cfg.FaultPlan, hub, partSpan, PhasePartition, &retries.partition, func() error {
-			if cfg.DirectPartitions {
-				direct, err := partition.DistributeDirect(ctx, partNet, fs, cfg.Eps, inputFile, distOpts)
+		// Overlap the partition and cluster phases only when the
+		// aggregated writer provides per-partition durability signals and
+		// no retry policy demands a clean phase barrier (a whole-phase
+		// retry would rewrite segments the cluster phase already read).
+		if distOpts.Aggregate && cfg.Retry.MaxAttempts <= 1 {
+			gate = newPartitionGate(cfg.Leaves)
+			type distOut struct {
+				dist *partition.DistResult
+				err  error
+			}
+			distCh := make(chan distOut, 1)
+			layoutCh := make(chan *ptio.PartitionMeta, 1)
+			distOpts.OnLayout = func(m *ptio.PartitionMeta) { layoutCh <- m }
+			distOpts.OnPartitionDurable = gate.markReady
+			go func() {
+				var dist *partition.DistResult
+				err := cfg.FaultPlan.Check(PhaseSite(PhasePartition))
+				if err == nil {
+					dist, err = partition.Distribute(ctx, partNet, fs, cfg.Eps, inputFile, partitionFile, metadataFile, distOpts)
+				}
+				// The phase span ends when the writes actually finish —
+				// concurrently with the already-open cluster span, so the
+				// trace shows the overlap. endPhase's later End is a no-op.
+				partSpan.End()
+				if err != nil {
+					err = fmt.Errorf("mrscan: %s phase: %w", PhasePartition, err)
+					gate.fail(err)
+					distCh <- distOut{err: err}
+					return
+				}
+				gate.markAllReady()
+				distCh <- distOut{dist: dist}
+			}()
+			// The layout (partition bounds and counts) arrives before any
+			// data is written; it is all the cluster scheduler needs.
+			var meta *ptio.PartitionMeta
+			select {
+			case meta = <-layoutCh:
+			case out := <-distCh:
+				if out.err != nil {
+					return fail(out.err)
+				}
+				meta = out.dist.Meta
+			}
+			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+				if err := gate.wait(ctx, j); err != nil {
+					return nil, nil, err
+				}
+				return partition.ReadPartition(fs, partitionFile, meta, j)
+			}
+			partitionSize = func(j int) int64 {
+				e := meta.Partitions[j]
+				return e.Count + e.ShadowCount
+			}
+			finishPartition = func() error {
+				out := <-distCh
+				distCh <- out // re-buffer: the cluster error path may call again
+				if out.err != nil {
+					return out.err
+				}
+				dist := out.dist
+				plan = dist.Plan
+				totalPoints, writtenPoints = dist.TotalPoints, dist.WrittenPoints
+				partReadSim, partWriteSim = dist.ReadSim, dist.WriteSim
+				// Sync-ordering invariant, deferred but not weakened: the
+				// segment artifacts become durable here, before the
+				// partition checkpoint below and the cluster checkpoint
+				// after — the durable prefix never holds a later phase
+				// over torn partition data.
+				for _, name := range partitionArtifacts(dist.Meta) {
+					if err := fs.Sync(name); err != nil {
+						return fmt.Errorf("mrscan: syncing %s: %w", name, err)
+					}
+				}
+				if err := fs.SyncDir("."); err != nil {
+					return fmt.Errorf("mrscan: syncing partition output dir: %w", err)
+				}
+				if store != nil {
+					pc := partitionCkpt{
+						Meta:          dist.Meta,
+						TotalPoints:   totalPoints,
+						WrittenPoints: writtenPoints,
+						ReadSim:       partReadSim,
+						WriteSim:      partWriteSim,
+					}
+					if err := store.Save(PhasePartition, &pc); err != nil {
+						return fmt.Errorf("mrscan: checkpointing %s phase: %w", PhasePartition, err)
+					}
+				}
+				res.CompletedPhases = append(res.CompletedPhases, PhasePartition)
+				res.Times.Partition = endPhase(partSpan, PhasePartition, time.Since(partStart))
+				res.Times.PartitionReadSim = partReadSim
+				res.Times.PartitionWriteSim = partWriteSim
+				return nil
+			}
+		} else {
+			var pc partitionCkpt
+			err = cfg.Retry.runPhase(ctx, cfg.FaultPlan, hub, partSpan, PhasePartition, &retries.partition, func() error {
+				if cfg.DirectPartitions {
+					direct, err := partition.DistributeDirect(ctx, partNet, fs, cfg.Eps, inputFile, distOpts)
+					if err != nil {
+						return err
+					}
+					plan = direct.Plan
+					totalPoints = direct.TotalPoints
+					writtenPoints = direct.TransferredPoints
+					loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
+						return direct.Partitions[j], direct.Shadows[j], nil
+					}
+					partitionSize = func(j int) int64 {
+						return int64(len(direct.Partitions[j]) + len(direct.Shadows[j]))
+					}
+					// The sims are recorded for file-mode parity but stay
+					// out of PhaseTimes: the phase wrote no Lustre bytes.
+					pc = partitionCkpt{
+						Direct:        true,
+						Partitions:    direct.Partitions,
+						Shadows:       direct.Shadows,
+						TotalPoints:   totalPoints,
+						WrittenPoints: writtenPoints,
+						ReadSim:       direct.ReadSim,
+						WriteSim:      direct.WriteSim,
+					}
+					return nil
+				}
+				dist, err := partition.Distribute(ctx, partNet, fs, cfg.Eps, inputFile, partitionFile, metadataFile, distOpts)
 				if err != nil {
 					return err
 				}
-				plan = direct.Plan
-				totalPoints = direct.TotalPoints
-				writtenPoints = direct.TransferredPoints
+				plan = dist.Plan
+				totalPoints = dist.TotalPoints
+				writtenPoints = dist.WrittenPoints
+				partReadSim = dist.ReadSim
+				partWriteSim = dist.WriteSim
 				loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
-					return direct.Partitions[j], direct.Shadows[j], nil
+					return partition.ReadPartition(fs, partitionFile, dist.Meta, j)
 				}
 				partitionSize = func(j int) int64 {
-					return int64(len(direct.Partitions[j]) + len(direct.Shadows[j]))
+					e := dist.Meta.Partitions[j]
+					return e.Count + e.ShadowCount
 				}
 				pc = partitionCkpt{
-					Direct:        true,
-					Partitions:    direct.Partitions,
-					Shadows:       direct.Shadows,
+					Meta:          dist.Meta,
 					TotalPoints:   totalPoints,
 					WrittenPoints: writtenPoints,
+					ReadSim:       partReadSim,
+					WriteSim:      partWriteSim,
 				}
 				return nil
-			}
-			dist, err := partition.Distribute(ctx, partNet, fs, cfg.Eps, inputFile, partitionFile, metadataFile, distOpts)
+			})
 			if err != nil {
-				return err
+				return fail(err)
 			}
-			plan = dist.Plan
-			totalPoints = dist.TotalPoints
-			writtenPoints = dist.WrittenPoints
-			partReadSim = dist.ReadSim
-			partWriteSim = dist.WriteSim
-			loadPartition = func(j int) ([]geom.Point, []geom.Point, error) {
-				return partition.ReadPartition(fs, partitionFile, dist.Meta, j)
-			}
-			partitionSize = func(j int) int64 {
-				e := dist.Meta.Partitions[j]
-				return e.Count + e.ShadowCount
-			}
-			pc = partitionCkpt{
-				Meta:          dist.Meta,
-				TotalPoints:   totalPoints,
-				WrittenPoints: writtenPoints,
-				ReadSim:       partReadSim,
-				WriteSim:      partWriteSim,
-			}
-			return nil
-		})
-		if err != nil {
-			return fail(err)
-		}
-		if !cfg.DirectPartitions {
-			// Sync-ordering invariant: the partition artifacts must be
-			// durable before the phase checkpoint (or any later ack)
-			// references them — a resume that restores the partition
-			// checkpoint re-reads the partition file, so a crash must
-			// never leave a durable checkpoint over torn partitions.
-			for _, name := range []string{partitionFile, metadataFile} {
-				if err := fs.Sync(name); err != nil {
-					return fail(fmt.Errorf("mrscan: syncing %s: %w", name, err))
+			if !cfg.DirectPartitions {
+				// Sync-ordering invariant: the partition artifacts must be
+				// durable before the phase checkpoint (or any later ack)
+				// references them — a resume that restores the partition
+				// checkpoint re-reads the partition data, so a crash must
+				// never leave a durable checkpoint over torn partitions.
+				for _, name := range partitionArtifacts(pc.Meta) {
+					if err := fs.Sync(name); err != nil {
+						return fail(fmt.Errorf("mrscan: syncing %s: %w", name, err))
+					}
+				}
+				if err := fs.SyncDir("."); err != nil {
+					return fail(fmt.Errorf("mrscan: syncing partition output dir: %w", err))
 				}
 			}
-			if err := fs.SyncDir("."); err != nil {
-				return fail(fmt.Errorf("mrscan: syncing partition output dir: %w", err))
-			}
-		}
-		if store != nil {
-			if err := store.Save(PhasePartition, &pc); err != nil {
-				return fail(fmt.Errorf("mrscan: checkpointing %s phase: %w", PhasePartition, err))
+			if store != nil {
+				if err := store.Save(PhasePartition, &pc); err != nil {
+					return fail(fmt.Errorf("mrscan: checkpointing %s phase: %w", PhasePartition, err))
+				}
 			}
 		}
 	}
-	res.CompletedPhases = append(res.CompletedPhases, PhasePartition)
-	res.Times.Partition = endPhase(partSpan, PhasePartition, time.Since(partStart))
-	res.Times.PartitionReadSim = partReadSim
-	res.Times.PartitionWriteSim = partWriteSim
+	if finishPartition == nil {
+		res.CompletedPhases = append(res.CompletedPhases, PhasePartition)
+		res.Times.Partition = endPhase(partSpan, PhasePartition, time.Since(partStart))
+		res.Times.PartitionReadSim = partReadSim
+		res.Times.PartitionWriteSim = partWriteSim
+	}
 
 	// --- Phase 2: cluster (GPGPU DBSCAN on every leaf, §3.2) ---
 	{
@@ -703,6 +858,11 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 	}
 	clusterSpan := beginPhase(PhaseCluster)
 	clusterNet.SetTraceParent(clusterSpan)
+	if gate != nil {
+		// Partition writes are still in flight: keep FS spans parented to
+		// the run, not the cluster phase, while the two phases overlap.
+		fs.SetTraceParent(runSpan)
+	}
 	clusterStart := time.Now()
 	var states []*leafState
 	if validPrefix >= 2 {
@@ -812,12 +972,23 @@ func RunContext(ctx context.Context, fs *lustre.FS, inputFile, outputFile string
 				wstates[w].dev = newDevice(w)
 			}
 			var err error
-			states, err = runLeavesScheduled(ctx, cfg.Leaves, workers, sizes,
+			states, err = runLeavesGated(ctx, cfg.Leaves, workers, sizes, gate,
 				func(w, leaf int) (*leafState, error) {
 					return clusterLeaf(wstates[w].dev, &wstates[w].ws, leaf)
 				})
 			return err
 		})
+		if finishPartition != nil {
+			// Close out the overlapped partition phase before the cluster
+			// phase commits anything durable: its artifacts sync and its
+			// checkpoint lands first, keeping the phase-prefix order. On a
+			// cluster error the partition error (if any) is the root cause
+			// and wins.
+			if perr := finishPartition(); perr != nil {
+				return fail(perr)
+			}
+			finishPartition = nil
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -1021,5 +1192,6 @@ func LabelsByID(fs *lustre.FS, file string, pts []geom.Point) ([]int, error) {
 // to a real directory after a checkpointed run and back in before a
 // resumed one, carrying the state across process restarts.
 func IsStateFile(name string) bool {
-	return checkpoint.IsCheckpointFile(name) || name == partitionFile || name == metadataFile
+	return checkpoint.IsCheckpointFile(name) || name == partitionFile || name == metadataFile ||
+		strings.HasPrefix(name, partitionFile+".seg")
 }

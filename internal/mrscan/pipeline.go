@@ -1,0 +1,116 @@
+package mrscan
+
+import (
+	"context"
+	"sync"
+)
+
+// partitionGate coordinates the partition→cluster pipeline: the
+// aggregated partition writer marks partitions ready as their segments
+// become durable (partition.DistOptions.OnPartitionDurable), and the
+// cluster phase's scheduler and loaders admit a leaf only once its
+// partition is ready. A partition-phase failure poisons the gate so every
+// waiter aborts instead of blocking forever.
+type partitionGate struct {
+	mu    sync.Mutex
+	ready []bool
+	err   error
+	// change is closed and replaced on every state transition; waiters
+	// grab the current channel before inspecting state so no transition
+	// is missed.
+	change chan struct{}
+}
+
+func newPartitionGate(n int) *partitionGate {
+	return &partitionGate{ready: make([]bool, n), change: make(chan struct{})}
+}
+
+// bump wakes every waiter. Callers hold mu.
+func (g *partitionGate) bump() {
+	close(g.change)
+	g.change = make(chan struct{})
+}
+
+// changed returns the channel the next state transition closes.
+func (g *partitionGate) changed() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.change
+}
+
+// markReady admits partition j. Idempotent; safe from concurrent leaf
+// goroutines.
+func (g *partitionGate) markReady(j int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ready[j] || g.err != nil {
+		return
+	}
+	g.ready[j] = true
+	g.bump()
+}
+
+// markAllReady admits every partition — the safety net once the whole
+// partition phase has returned successfully.
+func (g *partitionGate) markAllReady() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	changed := false
+	for j := range g.ready {
+		if !g.ready[j] {
+			g.ready[j] = true
+			changed = true
+		}
+	}
+	if changed && g.err == nil {
+		g.bump()
+	}
+}
+
+// fail poisons the gate with the partition phase's error. First error
+// wins.
+func (g *partitionGate) fail(err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return
+	}
+	g.err = err
+	g.bump()
+}
+
+// failure returns the poisoning error, if any.
+func (g *partitionGate) failure() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// isReady reports whether partition j is admitted (non-blocking).
+func (g *partitionGate) isReady(j int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ready[j]
+}
+
+// wait blocks until partition j is ready, the gate is poisoned, or ctx
+// ends. A partition that became durable before the failure is still
+// admitted — its data is intact.
+func (g *partitionGate) wait(ctx context.Context, j int) error {
+	for {
+		g.mu.Lock()
+		ready, err, ch := g.ready[j], g.err, g.change
+		g.mu.Unlock()
+		if ready {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Work-stealing leaf scheduler for the cluster phase.
@@ -33,28 +34,33 @@ type schedQueue struct {
 	leaves []int
 }
 
-// popFront takes the owner's next (largest remaining) leaf.
-func (q *schedQueue) popFront() (int, bool) {
+// popFront takes the owner's first admitted (largest remaining ready)
+// leaf. admit == nil admits everything, so the front is taken.
+func (q *schedQueue) popFront(admit func(int) bool) (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.leaves) == 0 {
-		return 0, false
+	for i, leaf := range q.leaves {
+		if admit == nil || admit(leaf) {
+			q.leaves = append(q.leaves[:i], q.leaves[i+1:]...)
+			return leaf, true
+		}
 	}
-	leaf := q.leaves[0]
-	q.leaves = q.leaves[1:]
-	return leaf, true
+	return 0, false
 }
 
-// stealBack takes a victim's last (smallest remaining) leaf.
-func (q *schedQueue) stealBack() (int, bool) {
+// stealBack takes a victim's last admitted (smallest remaining ready)
+// leaf.
+func (q *schedQueue) stealBack(admit func(int) bool) (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.leaves) == 0 {
-		return 0, false
+	for i := len(q.leaves) - 1; i >= 0; i-- {
+		leaf := q.leaves[i]
+		if admit == nil || admit(leaf) {
+			q.leaves = append(q.leaves[:i], q.leaves[i+1:]...)
+			return leaf, true
+		}
 	}
-	leaf := q.leaves[len(q.leaves)-1]
-	q.leaves = q.leaves[:len(q.leaves)-1]
-	return leaf, true
+	return 0, false
 }
 
 func (q *schedQueue) size() int {
@@ -70,6 +76,18 @@ func (q *schedQueue) size() int {
 // error cancels the remaining leaves; ctx cancellation is honored
 // between leaves.
 func runLeavesScheduled[T any](ctx context.Context, nLeaves, workers int, sizes []int64, fn func(worker, leaf int) (T, error)) ([]T, error) {
+	return runLeavesGated(ctx, nLeaves, workers, sizes, nil, fn)
+}
+
+// runLeavesGated is runLeavesScheduled with an optional partitionGate:
+// a worker only takes leaf j once gate reports partition j ready, so the
+// cluster phase can start on durable partitions while the partition
+// phase is still writing later ones. Workers with no admitted leaf block
+// on the gate's change channel (grabbed before scanning, so no readiness
+// transition is missed) rather than spinning; a poisoned gate aborts the
+// run with the partition phase's error. gate == nil degenerates to the
+// ungated scheduler.
+func runLeavesGated[T any](ctx context.Context, nLeaves, workers int, sizes []int64, gate *partitionGate, fn func(worker, leaf int) (T, error)) ([]T, error) {
 	if workers <= 0 || workers > nLeaves {
 		workers = nLeaves
 	}
@@ -116,6 +134,16 @@ func runLeavesScheduled[T any](ctx context.Context, nLeaves, workers int, sizes 
 		errMu.Unlock()
 	}
 
+	var admit func(int) bool
+	if gate != nil {
+		admit = gate.isReady
+	}
+	// drained closes when the last leaf finishes, waking workers that
+	// blocked on the gate with no admissible work left for them.
+	drained := make(chan struct{})
+	var outstanding atomic.Int64
+	outstanding.Store(int64(nLeaves))
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -125,23 +153,52 @@ func runLeavesScheduled[T any](ctx context.Context, nLeaves, workers int, sizes 
 				if err := runCtx.Err(); err != nil {
 					return
 				}
-				leaf, ok := queues[w].popFront()
+				if gate != nil {
+					if err := gate.failure(); err != nil {
+						setErr(err)
+						return
+					}
+				}
+				// Grab the gate's change channel before scanning: a
+				// partition turning ready after the scan then closes this
+				// very channel, so the select below cannot miss it.
+				var changed <-chan struct{}
+				if gate != nil {
+					changed = gate.changed()
+				}
+				leaf, ok := queues[w].popFront(admit)
 				if !ok {
-					// Own deque empty: steal from the most-loaded victim.
-					victim, most := -1, 0
+					// Own deque has no admitted leaf: steal from victims,
+					// most-loaded first.
+					type victim struct{ v, n int }
+					var victims []victim
 					for v, q := range queues {
 						if v == w {
 							continue
 						}
-						if n := q.size(); n > most {
-							victim, most = v, n
+						if n := q.size(); n > 0 {
+							victims = append(victims, victim{v, n})
 						}
 					}
-					if victim < 0 {
-						return // no work anywhere
+					sort.Slice(victims, func(a, b int) bool { return victims[a].n > victims[b].n })
+					for _, c := range victims {
+						if leaf, ok = queues[c.v].stealBack(admit); ok {
+							break
+						}
 					}
-					if leaf, ok = queues[victim].stealBack(); !ok {
-						continue // raced with the owner; rescan
+					if !ok {
+						if len(victims) == 0 && queues[w].size() == 0 {
+							return // no work anywhere
+						}
+						// Work exists but none is admitted yet (or a steal
+						// raced): wait for the gate to change, the pool to
+						// drain, or the run to end.
+						select {
+						case <-changed:
+						case <-drained:
+						case <-runCtx.Done():
+						}
+						continue
 					}
 				}
 				out, err := fn(w, leaf)
@@ -150,6 +207,9 @@ func runLeavesScheduled[T any](ctx context.Context, nLeaves, workers int, sizes 
 					return
 				}
 				results[leaf] = out
+				if outstanding.Add(-1) == 0 {
+					close(drained)
+				}
 			}
 		}(w)
 	}

@@ -1,11 +1,14 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/grid"
+	"repro/internal/lustre"
+	"repro/internal/mrnet"
 )
 
 func BenchmarkMakePlan(b *testing.B) {
@@ -52,4 +55,68 @@ func BenchmarkQuadCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		QuadCounts(g, pts, depth)
 	}
+}
+
+// BenchmarkPartitionWrite isolates stage 3 — the write paths themselves,
+// fed identical precomputed leaf contributions — so the legacy
+// random-write layout and the log-structured aggregated layout compare
+// head to head without stage 1/2 noise (§5.1.1: the small random writes
+// are 65.2% of the phase).
+func BenchmarkPartitionWrite(b *testing.B) {
+	const leaves, parts = 8, 8
+	pts := dataset.Twitter(100_000, 4)
+	g := grid.New(eps)
+	plan, err := MakePlan(g, g.HistogramOf(pts), parts, 40, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	contribs := make([]*leafContrib, leaves)
+	allCounts := make([]leafCounts, leaves)
+	total := int64(len(pts))
+	for l := 0; l < leaves; l++ {
+		lo := total * int64(l) / leaves
+		hi := total * int64(l+1) / leaves
+		split, err := Split(plan, pts[lo:hi], SplitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		contribs[l] = &leafContrib{part: split.Partitions, shadow: split.Shadows}
+		counts := make(leafCounts, parts)
+		for j := 0; j < parts; j++ {
+			counts[j] = [2]int64{int64(len(split.Partitions[j])), int64(len(split.Shadows[j]))}
+		}
+		allCounts[l] = counts
+	}
+	env := func(b *testing.B) (*mrnet.Network, *lustre.FS) {
+		fs := lustre.New(lustre.Titan(), nil)
+		net, err := mrnet.New(leaves, mrnet.DefaultFanout, mrnet.CostModel{}, fs.Clock())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return net, fs
+	}
+	b.Run("layout=legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net, fs := env(b)
+			_, offsets := layoutRegions(eps, false, parts, allCounts)
+			b.StartTimer()
+			if err := writePartitionsLegacy(context.Background(), net, fs, "parts.bin", contribs, offsets, parts, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("layout=aggregated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net, fs := env(b)
+			meta, _ := layoutRegions(eps, false, parts, allCounts)
+			places := buildSegmentLayout(meta, allCounts, "parts.bin", parts, 0)
+			b.StartTimer()
+			opt := DistOptions{NumPartitions: parts, Aggregate: true}
+			if err := writePartitionsAggregated(context.Background(), net, fs, contribs, places, meta, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -25,6 +25,14 @@ type DirectResult struct {
 	ReadTime     time.Duration
 	PlanTime     time.Duration
 	TransferTime time.Duration
+	// ReadSim and WriteSim are the simulated-hardware costs of the read
+	// and delivery stages, the same accounting DistResult reports for the
+	// file-system path so the two designs compare like-for-like. ReadSim
+	// is Lustre traffic for the input shards; WriteSim is the overlay
+	// transfer cost of sending partition contents as messages — the cost
+	// that replaces the file path's small random writes (§6).
+	ReadSim  time.Duration
+	WriteSim time.Duration
 	// TotalPoints is the input size; TransferredPoints includes shadow
 	// duplication.
 	TotalPoints       int64
@@ -55,13 +63,10 @@ func DistributeDirect(ctx context.Context, net *mrnet.Network, fs *lustre.FS, ep
 	// --- Stage 1: leaves read shards; histogram reduction (as in
 	// Distribute) ---
 	readStart := time.Now()
-	in, err := fs.Open(inputFile)
+	simAtStart := fs.Clock().Total()
+	total, err := openInput(fs, inputFile, opt.HasWeight)
 	if err != nil {
-		return nil, fmt.Errorf("partition: opening input: %w", err)
-	}
-	total := (in.Size() - 16) / rs
-	if total < 0 {
-		return nil, fmt.Errorf("partition: input file %q too short", inputFile)
+		return nil, err
 	}
 	shard := make([][]geom.Point, leaves)
 	hist, err := mrnet.Reduce(ctx, net,
@@ -73,7 +78,7 @@ func DistributeDirect(ctx context.Context, net *mrnet.Network, fs *lustre.FS, ep
 				return nil, err
 			}
 			buf := make([]byte, (hi-lo)*rs)
-			if _, err := h.ReadAt(buf, 16+lo*rs); err != nil {
+			if _, err := h.ReadAt(buf, ptio.DatasetHeaderSize+lo*rs); err != nil {
 				return nil, fmt.Errorf("reading shard [%d,%d): %w", lo, hi, err)
 			}
 			pts, err := ptio.DecodeRecords(buf, opt.HasWeight)
@@ -96,6 +101,7 @@ func DistributeDirect(ctx context.Context, net *mrnet.Network, fs *lustre.FS, ep
 		return nil, err
 	}
 	readTime := time.Since(readStart)
+	readSim := fs.Clock().Total() - simAtStart
 
 	// --- Stage 2: serial planning at the root ---
 	planStart := time.Now()
@@ -115,6 +121,7 @@ func DistributeDirect(ctx context.Context, net *mrnet.Network, fs *lustre.FS, ep
 
 	// --- Stage 3: contributions travel the overlay as messages ---
 	transferStart := time.Now()
+	simAtTransfer := fs.Clock().Total()
 	splitOpt := SplitOptions{ShadowReps: opt.ShadowReps}
 	combined, err := mrnet.Reduce(ctx, net,
 		func(leaf int) (*SplitResult, error) {
@@ -145,6 +152,7 @@ func DistributeDirect(ctx context.Context, net *mrnet.Network, fs *lustre.FS, ep
 		return nil, err
 	}
 	transferTime := time.Since(transferStart)
+	writeSim := fs.Clock().Total() - simAtTransfer
 
 	var transferred int64
 	for j := range combined.Partitions {
@@ -157,6 +165,8 @@ func DistributeDirect(ctx context.Context, net *mrnet.Network, fs *lustre.FS, ep
 		ReadTime:          readTime,
 		PlanTime:          planTime,
 		TransferTime:      transferTime,
+		ReadSim:           readSim,
+		WriteSim:          writeSim,
 		TotalPoints:       total,
 		TransferredPoints: transferred,
 	}, nil

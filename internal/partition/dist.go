@@ -31,6 +31,33 @@ type DistOptions struct {
 	// strong-scaling limit ("we need to subdivide grid cells when they
 	// have extremely high density").
 	SplitThreshold int64
+
+	// Aggregate selects the log-structured write path for stage 3.
+	// Instead of every leaf issuing one small random write per partition
+	// region (§5.1.1's "small random writes" — 65.2% of the phase), each
+	// leaf appends its whole contribution as one sequential run into a
+	// sharded segment file, and the metadata carries a segment index from
+	// which ReadPartition (or Compact) reassembles every partition
+	// byte-identically. O(leaves×partitions) random writes become
+	// O(leaves) sequential ones.
+	Aggregate bool
+	// SegmentShards is the number of segment files the aggregated writer
+	// spreads leaves over (sharding the append logs across OSTs instead
+	// of funneling every leaf into one file). 0 picks min(leaves, 8).
+	SegmentShards int
+	// OnLayout, when set, is called once, on the caller's goroutine, as
+	// soon as the root has fixed the partition layout — after stage 2,
+	// before any partition data is written. The meta it receives is the
+	// same object the DistResult later carries, so a pipelined consumer
+	// can size partitions before they are durable.
+	OnLayout func(meta *ptio.PartitionMeta)
+	// OnPartitionDurable, when set (aggregate mode only), is called
+	// exactly once per partition index, as soon as every leaf's
+	// contribution to that partition has been written and the segment
+	// files synced — the signal a pipelined cluster phase starts
+	// clustering partition j on while leaves still write j+1. Calls come
+	// from concurrent leaf goroutines in arbitrary partition order.
+	OnPartitionDurable func(j int)
 }
 
 // resolveUnits lifts the cell histogram to ownership units. When hot
@@ -105,6 +132,54 @@ type DistResult struct {
 // counts[j] = {owned points, shadow points} destined for partition j.
 type leafCounts [][2]int64
 
+// leafContrib holds one leaf's split output: the owned and shadow points
+// it must deliver to each partition.
+type leafContrib struct {
+	part, shadow [][]geom.Point
+}
+
+// openInput validates an MRSC input file before either partitioner
+// touches a record, returning the record count. Every rejection here was
+// once silent corruption: a header-less or empty file slipped past a dead
+// `total < 0` guard (truncated division), a torn tail was dropped without
+// error, and the header's magic/version/weight bits were never checked —
+// a weight-flag mismatch misparses every record into garbage coordinates.
+func openInput(fs *lustre.FS, inputFile string, hasWeight bool) (int64, error) {
+	in, err := fs.Open(inputFile)
+	if err != nil {
+		return 0, fmt.Errorf("partition: opening input: %w", err)
+	}
+	size := in.Size()
+	if size < ptio.DatasetHeaderSize {
+		return 0, fmt.Errorf("partition: input file %q too short: %d bytes, need at least the %d-byte header",
+			inputFile, size, ptio.DatasetHeaderSize)
+	}
+	var hdr [ptio.DatasetHeaderSize]byte
+	if _, err := in.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("partition: reading input header: %w", err)
+	}
+	dh, err := ptio.ParseDatasetHeader(hdr[:])
+	if err != nil {
+		return 0, fmt.Errorf("partition: input file %q: %w", inputFile, err)
+	}
+	if dh.HasWeight != hasWeight {
+		return 0, fmt.Errorf("partition: input file %q header says hasWeight=%t but options say %t — refusing to misparse records",
+			inputFile, dh.HasWeight, hasWeight)
+	}
+	rs := int64(ptio.RecordSize(hasWeight))
+	body := size - ptio.DatasetHeaderSize
+	if body%rs != 0 {
+		return 0, fmt.Errorf("partition: input file %q is torn: %d payload bytes is not a multiple of record size %d (%d trailing bytes would be dropped)",
+			inputFile, body, rs, body%rs)
+	}
+	total := body / rs
+	if total != dh.Count {
+		return 0, fmt.Errorf("partition: input file %q holds %d records but its header declares %d",
+			inputFile, total, dh.Count)
+	}
+	return total, nil
+}
+
 // Distribute runs the distributed partition phase: the partitioner leaves
 // read shards of the input file, reduce an Eps-cell histogram to the
 // root, the root forms the plan serially (§3.1.2) and broadcasts offset
@@ -133,13 +208,9 @@ func Distribute(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps floa
 	// cell to the root" (§3.1.3).
 	readStart := time.Now()
 	simAtStart := fs.Clock().Total()
-	in, err := fs.Open(inputFile)
+	total, err := openInput(fs, inputFile, opt.HasWeight)
 	if err != nil {
-		return nil, fmt.Errorf("partition: opening input: %w", err)
-	}
-	total := (in.Size() - 16) / rs
-	if total < 0 {
-		return nil, fmt.Errorf("partition: input file %q too short", inputFile)
+		return nil, err
 	}
 	shard := make([][]geom.Point, leaves)
 	hist, err := mrnet.Reduce(ctx, net,
@@ -151,7 +222,7 @@ func Distribute(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps floa
 				return nil, err
 			}
 			buf := make([]byte, (hi-lo)*rs)
-			if _, err := h.ReadAt(buf, 16+lo*rs); err != nil {
+			if _, err := h.ReadAt(buf, ptio.DatasetHeaderSize+lo*rs); err != nil {
 				return nil, fmt.Errorf("reading shard [%d,%d): %w", lo, hi, err)
 			}
 			pts, err := ptio.DecodeRecords(buf, opt.HasWeight)
@@ -196,15 +267,14 @@ func Distribute(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps floa
 	// counts so the root can assign disjoint file offsets. (In-process,
 	// the plan reaches the leaves by reference; the sizer charges the
 	// broadcast's wire size to the simulated clock.)
-	type contrib struct{ part, shadow [][]geom.Point }
-	contribs := make([]*contrib, leaves)
+	contribs := make([]*leafContrib, leaves)
 	allCounts, err := mrnet.Reduce(ctx, net,
 		func(leaf int) ([]leafCounts, error) {
 			split, err := Split(plan, shard[leaf], splitOpt)
 			if err != nil {
 				return nil, err
 			}
-			contribs[leaf] = &contrib{part: split.Partitions, shadow: split.Shadows}
+			contribs[leaf] = &leafContrib{part: split.Partitions, shadow: split.Shadows}
 			counts := make(leafCounts, opt.NumPartitions)
 			for j := 0; j < opt.NumPartitions; j++ {
 				counts[j] = [2]int64{int64(len(split.Partitions[j])), int64(len(split.Shadows[j]))}
@@ -227,86 +297,31 @@ func Distribute(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps floa
 		return nil, fmt.Errorf("partition: gathered counts from %d leaves, want %d", len(allCounts), leaves)
 	}
 
-	// Root: region layout. The output file holds, per partition,
-	// its owned points then its shadow points.
-	partTotal := make([]int64, opt.NumPartitions)
-	shadTotal := make([]int64, opt.NumPartitions)
-	for _, lc := range allCounts {
-		for j := 0; j < opt.NumPartitions; j++ {
-			partTotal[j] += lc[j][0]
-			shadTotal[j] += lc[j][1]
-		}
-	}
-	meta := &ptio.PartitionMeta{Eps: eps, HasWeight: opt.HasWeight}
-	var cursor int64
-	for j := 0; j < opt.NumPartitions; j++ {
-		entry := ptio.PartitionEntry{
-			Offset:       cursor,
-			Count:        partTotal[j],
-			ShadowOffset: cursor + partTotal[j]*rs,
-			ShadowCount:  shadTotal[j],
-		}
-		cursor = entry.ShadowOffset + shadTotal[j]*rs
-		meta.Partitions = append(meta.Partitions, entry)
-	}
-	// Per-leaf write offsets: exclusive prefix sums within each region.
-	offsets := make([][][2]int64, leaves)
-	for l := range offsets {
-		offsets[l] = make([][2]int64, opt.NumPartitions)
-	}
-	for j := 0; j < opt.NumPartitions; j++ {
-		partCur := meta.Partitions[j].Offset
-		shadCur := meta.Partitions[j].ShadowOffset
-		for l := 0; l < leaves; l++ {
-			offsets[l][j] = [2]int64{partCur, shadCur}
-			partCur += allCounts[l][j][0] * rs
-			shadCur += allCounts[l][j][1] * rs
-		}
+	// Root: region layout, then (aggregate mode) the segment-log layout
+	// over it.
+	meta, offsets := layoutRegions(eps, opt.HasWeight, opt.NumPartitions, allCounts)
+	var places []segPlace
+	if opt.Aggregate {
+		places = buildSegmentLayout(meta, allCounts, outputFile, opt.NumPartitions, opt.SegmentShards)
 	}
 	planTime := time.Since(planStart)
+	if opt.OnLayout != nil {
+		opt.OnLayout(meta)
+	}
 
 	// --- Stage 3: leaves write partitions in parallel ---
 	// Each leaf holds a random portion of the data and "may need to
 	// contribute some point data to nearly every partition. These
 	// contributions are generally small, and each must be written at a
 	// specific offset" — the small random writes that dominate the phase.
+	// Aggregate mode replaces them with per-leaf sequential segment runs.
 	writeStart := time.Now()
 	simAtWrite := fs.Clock().Total()
-	fs.Create(outputFile)
-	err = mrnet.Multicast(ctx, net, offsets,
-		func(n *mrnet.Node, in [][][2]int64) ([][][][2]int64, error) {
-			pLo, _ := n.LeafRange()
-			out := make([][][][2]int64, len(n.Children()))
-			for i, c := range n.Children() {
-				lo, hi := c.LeafRange()
-				out[i] = in[lo-pLo : hi-pLo]
-			}
-			return out, nil
-		},
-		func(leaf int, rows [][][2]int64) error {
-			if len(rows) != 1 {
-				return fmt.Errorf("leaf %d received %d offset rows", leaf, len(rows))
-			}
-			h := fs.OpenOrCreate(outputFile)
-			c := contribs[leaf]
-			for j := 0; j < opt.NumPartitions; j++ {
-				if len(c.part[j]) > 0 {
-					data := ptio.EncodeRecords(c.part[j], opt.HasWeight)
-					if _, err := h.WriteAt(data, rows[0][j][0]); err != nil {
-						return err
-					}
-				}
-				if len(c.shadow[j]) > 0 {
-					data := ptio.EncodeRecords(c.shadow[j], opt.HasWeight)
-					if _, err := h.WriteAt(data, rows[0][j][1]); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
-		},
-		func(rows [][][2]int64) int64 { return int64(len(rows)) * int64(opt.NumPartitions) * 16 },
-	)
+	if opt.Aggregate {
+		err = writePartitionsAggregated(ctx, net, fs, contribs, places, meta, opt)
+	} else {
+		err = writePartitionsLegacy(ctx, net, fs, outputFile, contribs, offsets, opt.NumPartitions, opt.HasWeight)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -322,8 +337,8 @@ func Distribute(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps floa
 	writeSim := fs.Clock().Total() - simAtWrite
 
 	var written int64
-	for j := range partTotal {
-		written += partTotal[j] + shadTotal[j]
+	for _, e := range meta.Partitions {
+		written += e.Count + e.ShadowCount
 	}
 	return &DistResult{
 		Plan:          plan,
@@ -338,11 +353,103 @@ func Distribute(ctx context.Context, net *mrnet.Network, fs *lustre.FS, eps floa
 	}, nil
 }
 
-// ReadPartition loads partition j's owned and shadow points from a
-// partition file written by Distribute.
+// layoutRegions computes the legacy contiguous layout: the output file
+// holds, per partition, its owned points then its shadow points, and
+// offsets[l][j] = {owned, shadow} write cursors for leaf l — exclusive
+// prefix sums within each region.
+func layoutRegions(eps float64, hasWeight bool, numPartitions int, allCounts []leafCounts) (*ptio.PartitionMeta, [][][2]int64) {
+	rs := int64(ptio.RecordSize(hasWeight))
+	leaves := len(allCounts)
+	partTotal := make([]int64, numPartitions)
+	shadTotal := make([]int64, numPartitions)
+	for _, lc := range allCounts {
+		for j := 0; j < numPartitions; j++ {
+			partTotal[j] += lc[j][0]
+			shadTotal[j] += lc[j][1]
+		}
+	}
+	meta := &ptio.PartitionMeta{Eps: eps, HasWeight: hasWeight}
+	var cursor int64
+	for j := 0; j < numPartitions; j++ {
+		entry := ptio.PartitionEntry{
+			Offset:       cursor,
+			Count:        partTotal[j],
+			ShadowOffset: cursor + partTotal[j]*rs,
+			ShadowCount:  shadTotal[j],
+		}
+		cursor = entry.ShadowOffset + shadTotal[j]*rs
+		meta.Partitions = append(meta.Partitions, entry)
+	}
+	offsets := make([][][2]int64, leaves)
+	for l := range offsets {
+		offsets[l] = make([][2]int64, numPartitions)
+	}
+	for j := 0; j < numPartitions; j++ {
+		partCur := meta.Partitions[j].Offset
+		shadCur := meta.Partitions[j].ShadowOffset
+		for l := 0; l < leaves; l++ {
+			offsets[l][j] = [2]int64{partCur, shadCur}
+			partCur += allCounts[l][j][0] * rs
+			shadCur += allCounts[l][j][1] * rs
+		}
+	}
+	return meta, offsets
+}
+
+// writePartitionsLegacy is stage 3's historical write path: every leaf
+// issues one small WriteAt per partition region it contributes to,
+// O(leaves×partitions) random writes in total — the behaviour §5.1.1
+// measured at 65.2% of the phase. Kept as the default layout and the
+// baseline the aggregated writer is benchmarked against.
+func writePartitionsLegacy(ctx context.Context, net *mrnet.Network, fs *lustre.FS, outputFile string, contribs []*leafContrib, offsets [][][2]int64, numPartitions int, hasWeight bool) error {
+	fs.Create(outputFile)
+	return mrnet.Multicast(ctx, net, offsets,
+		func(n *mrnet.Node, in [][][2]int64) ([][][][2]int64, error) {
+			pLo, _ := n.LeafRange()
+			out := make([][][][2]int64, len(n.Children()))
+			for i, c := range n.Children() {
+				lo, hi := c.LeafRange()
+				out[i] = in[lo-pLo : hi-pLo]
+			}
+			return out, nil
+		},
+		func(leaf int, rows [][][2]int64) error {
+			if len(rows) != 1 {
+				return fmt.Errorf("leaf %d received %d offset rows", leaf, len(rows))
+			}
+			h := fs.OpenOrCreate(outputFile)
+			c := contribs[leaf]
+			for j := 0; j < numPartitions; j++ {
+				if len(c.part[j]) > 0 {
+					data := ptio.EncodeRecords(c.part[j], hasWeight)
+					if _, err := h.WriteAt(data, rows[0][j][0]); err != nil {
+						return err
+					}
+				}
+				if len(c.shadow[j]) > 0 {
+					data := ptio.EncodeRecords(c.shadow[j], hasWeight)
+					if _, err := h.WriteAt(data, rows[0][j][1]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		func(rows [][][2]int64) int64 { return int64(len(rows)) * int64(numPartitions) * 16 },
+	)
+}
+
+// ReadPartition loads partition j's owned and shadow points from the
+// layout meta describes: the legacy contiguous partition file, or — when
+// meta carries a segment index — the aggregated writer's segment files
+// (file is ignored then; the index names them). Both layouts return
+// byte-identical partitions.
 func ReadPartition(fs *lustre.FS, file string, meta *ptio.PartitionMeta, j int) (points, shadow []geom.Point, err error) {
 	if j < 0 || j >= len(meta.Partitions) {
 		return nil, nil, fmt.Errorf("partition: index %d out of range (%d partitions)", j, len(meta.Partitions))
+	}
+	if len(meta.Segments) > 0 {
+		return readPartitionSegments(fs, meta, j)
 	}
 	h, err := fs.Open(file)
 	if err != nil {

@@ -41,11 +41,57 @@ var (
 // Version is the current binary format version.
 const Version = 1
 
+// DatasetHeaderSize is the byte size of the MRSC (and MRSL) file header:
+// magic, version, flags, record count.
+const DatasetHeaderSize = 16
+
 // Flag bits in the dataset header.
 const (
 	// FlagWeight indicates records carry the optional weight field.
 	FlagWeight = 1 << 0
+
+	// knownFlags masks every flag bit this version understands; anything
+	// else in the flags field marks a file from a newer writer.
+	knownFlags = FlagWeight
 )
+
+// DatasetHeader is the decoded MRSC file header.
+type DatasetHeader struct {
+	// HasWeight reports whether records carry the weight field — the
+	// authoritative record format; callers must not trust out-of-band
+	// configuration over this bit.
+	HasWeight bool
+	// Count is the record count the writer declared.
+	Count int64
+}
+
+// ParseDatasetHeader validates and decodes a 16-byte MRSC header: magic,
+// version, and flag bits are all checked so a torn, foreign, or
+// newer-format file fails loudly instead of being misparsed into garbage
+// coordinates.
+func ParseDatasetHeader(hdr []byte) (DatasetHeader, error) {
+	if len(hdr) < DatasetHeaderSize {
+		return DatasetHeader{}, fmt.Errorf("ptio: dataset header is %d bytes, need %d", len(hdr), DatasetHeaderSize)
+	}
+	if [4]byte(hdr[:4]) != magicDataset {
+		return DatasetHeader{}, fmt.Errorf("ptio: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
+		return DatasetHeader{}, fmt.Errorf("ptio: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint16(hdr[6:])
+	if unknown := flags &^ knownFlags; unknown != 0 {
+		return DatasetHeader{}, fmt.Errorf("ptio: unknown header flags %#x", unknown)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	if count > math.MaxInt64 {
+		return DatasetHeader{}, fmt.Errorf("ptio: header count %d overflows int64", count)
+	}
+	return DatasetHeader{
+		HasWeight: flags&FlagWeight != 0,
+		Count:     int64(count),
+	}, nil
+}
 
 // RecordSize returns the byte size of one point record.
 func RecordSize(hasWeight bool) int {
@@ -129,18 +175,16 @@ func WriteDataset(w io.Writer, pts []geom.Point, hasWeight bool) error {
 // ReadDataset reads a complete MRSC file from r.
 func ReadDataset(r io.Reader) ([]geom.Point, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	var hdr [16]byte
+	var hdr [DatasetHeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("ptio: reading header: %w", err)
 	}
-	if [4]byte(hdr[:4]) != magicDataset {
-		return nil, fmt.Errorf("ptio: bad magic %q", hdr[:4])
+	dh, err := ParseDatasetHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
-		return nil, fmt.Errorf("ptio: unsupported version %d", v)
-	}
-	hasWeight := binary.LittleEndian.Uint16(hdr[6:])&FlagWeight != 0
-	count := binary.LittleEndian.Uint64(hdr[8:])
+	hasWeight := dh.HasWeight
+	count := uint64(dh.Count)
 	rs := RecordSize(hasWeight)
 	// The header count is untrusted input: read in bounded batches so a
 	// corrupt count cannot force a giant allocation — memory grows only
@@ -341,11 +385,44 @@ type PartitionEntry struct {
 	ShadowCount  int64 `json:"shadowCount"`
 }
 
+// SegmentRun locates one leaf's contiguous contribution to a partition
+// region inside a segment file — one entry of the aggregated writer's
+// log-structured index. A leaf's runs are laid out back to back in
+// partition order (owned before shadow), so the leaf's whole contribution
+// is a single sequential write.
+type SegmentRun struct {
+	// Leaf is the partitioner leaf that wrote the run.
+	Leaf int `json:"leaf"`
+	// Partition is the destination partition index.
+	Partition int `json:"partition"`
+	// Shadow marks a shadow-region run (owned otherwise).
+	Shadow bool `json:"shadow,omitempty"`
+	// Offset is the byte offset of the run inside the segment file.
+	Offset int64 `json:"offset"`
+	// Count is the number of point records in the run.
+	Count int64 `json:"count"`
+}
+
+// Segment is one sharded append-log file of the aggregated partition
+// writer, with the index of runs it holds (offset-ascending).
+type Segment struct {
+	File string       `json:"file"`
+	Runs []SegmentRun `json:"runs"`
+}
+
 // PartitionMeta is the metadata document the partitioner root generates.
+//
+// Two layouts exist. In the legacy layout each PartitionEntry's offsets
+// point into a single partition file holding the regions contiguously. In
+// the aggregated (log-structured) layout Segments is non-empty: partition
+// data lives as per-leaf sequential runs in the segment files and the
+// entries' Offset/ShadowOffset are -1 (Count/ShadowCount stay valid).
 type PartitionMeta struct {
 	Eps        float64          `json:"eps"`
 	HasWeight  bool             `json:"hasWeight"`
 	Partitions []PartitionEntry `json:"partitions"`
+	// Segments, when non-empty, is the aggregated writer's segment index.
+	Segments []Segment `json:"segments,omitempty"`
 }
 
 // Marshal encodes the metadata as JSON.

@@ -263,3 +263,69 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseDatasetHeaderValid(t *testing.T) {
+	for _, hasWeight := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteDataset(&buf, samplePoints(), hasWeight); err != nil {
+			t.Fatal(err)
+		}
+		dh, err := ParseDatasetHeader(buf.Bytes()[:DatasetHeaderSize])
+		if err != nil {
+			t.Fatalf("hasWeight=%v: %v", hasWeight, err)
+		}
+		if dh.HasWeight != hasWeight {
+			t.Errorf("HasWeight = %v, want %v", dh.HasWeight, hasWeight)
+		}
+		if dh.Count != int64(len(samplePoints())) {
+			t.Errorf("Count = %d, want %d", dh.Count, len(samplePoints()))
+		}
+	}
+}
+
+func TestParseDatasetHeaderRejects(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteDataset(&good, samplePoints(), false); err != nil {
+		t.Fatal(err)
+	}
+	hdr := func() []byte {
+		return append([]byte(nil), good.Bytes()[:DatasetHeaderSize]...)
+	}
+	cases := []struct {
+		name string
+		hdr  []byte
+		want string
+	}{
+		{"empty", nil, "need 16"},
+		{"one byte", hdr()[:1], "need 16"},
+		{"fifteen bytes", hdr()[:15], "need 16"},
+		{"bad magic", append([]byte("JUNK"), hdr()[4:]...), "bad magic"},
+		{"future version", func() []byte {
+			h := hdr()
+			h[4], h[5] = 0xFF, 0xFF
+			return h
+		}(), "unsupported version"},
+		{"unknown flags", func() []byte {
+			h := hdr()
+			h[6] |= 0x80
+			return h
+		}(), "unknown header flags"},
+		{"count overflow", func() []byte {
+			h := hdr()
+			for i := 8; i < 16; i++ {
+				h[i] = 0xFF
+			}
+			return h
+		}(), "overflows"},
+	}
+	for _, c := range cases {
+		_, err := ParseDatasetHeader(c.hdr)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
