@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare chaos soak crash stream experiments cover clean
+.PHONY: all build vet test race bench bench-compare chaos soak crash stream gray experiments cover clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ vet:
 # them).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server ./internal/checkpoint ./internal/stream ./internal/partition ./internal/ptio
+	$(GO) test -race -short ./internal/distrib ./internal/mrnet ./internal/mrscan ./internal/telemetry ./internal/gdbscan ./internal/gpusim ./internal/chaos ./internal/lustre ./internal/server ./internal/checkpoint ./internal/stream ./internal/partition ./internal/ptio ./internal/health
 
 race:
 	$(GO) test -race ./...
@@ -64,6 +64,17 @@ stream:
 	$(GO) test -race -short -count=1 ./internal/stream
 	$(GO) run ./cmd/chaos -mode stream -seeds 5 -out stream-report.json $(STREAMFLAGS)
 
+# Gray-failure campaign: inject faults that pass every liveness check —
+# a 20x-slow worker, a flapping tree link, a degraded OST, transient
+# phase errors under an exhausted retry budget — and audit the adaptive
+# health layer: quarantine convergence with zero false quarantines,
+# byte-identical labels, bounded retry spend, bounded wall time. The
+# JSON report lands in gray-report.json. GRAYFLAGS appends, e.g.
+# make gray GRAYFLAGS='-seeds 10 -gray-slow-factor 40'.
+GRAYFLAGS ?=
+gray:
+	$(GO) run ./cmd/chaos -mode gray -seeds 5 -out gray-report.json $(GRAYFLAGS)
+
 # Full benchmark sweep: every paper table/figure plus the ablations.
 # Results land in BENCH_run.txt (raw) and BENCH_run.json (machine-
 # readable name -> ns/op, B/op, allocs/op). BENCHFLAGS narrows the
@@ -93,4 +104,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_run.txt BENCH_run.json chaos-report.json soak-report.json crash-report.json stream-report.json
+	rm -f BENCH_run.txt BENCH_run.json chaos-report.json soak-report.json crash-report.json stream-report.json gray-report.json

@@ -39,6 +39,18 @@
 //
 //	chaos -mode stream -seeds 10
 //
+// With -mode gray it injects gray failures — faults that pass every
+// liveness check: a 20x-slow worker, a flapping tree link, a degraded
+// OST, transient phase errors under an exhausted retry budget — and
+// audits the adaptive health layer: sick components quarantined within
+// -gray-quarantine-dispatches dispatches with zero false quarantines,
+// labels byte-identical to a fault-free reference, retry spend inside
+// the shared token budget, and wall time within -gray-wall-factor of
+// the healthy baseline.
+//
+//	chaos -mode gray -seeds 5
+//	chaos -mode gray -seeds 5 -gray-workers 8 -gray-slow-factor 20
+//
 // Exit status is nonzero if any run FAILs (loud fail-stop runs are
 // acceptable; silent corruption, bad labels, or dropped jobs are not).
 package main
@@ -76,6 +88,13 @@ func main() {
 		ticks   = flag.Int("ticks", 0, "stream mode: firehose length in ticks (0 = default)")
 		perTick = flag.Int("per-tick", 0, "stream mode: points per tick (0 = default)")
 		window  = flag.Int("window-ticks", 0, "stream mode: sliding window in ticks (0 = default)")
+
+		grayWorkers    = flag.Int("gray-workers", 0, "gray mode: dispatch fleet size (0 = default 8)")
+		grayPartitions = flag.Int("gray-partitions", 0, "gray mode: partitions per dispatch (0 = default 72)")
+		graySlow       = flag.Int("gray-slow-factor", 0, "gray mode: slowdown of the limping worker (0 = default 20)")
+		grayBudget     = flag.Int("gray-retry-budget", 0, "gray mode: shared retry token budget per leg (0 = default 64)")
+		grayWall       = flag.Float64("gray-wall-factor", 0, "gray mode: wall-time bound vs healthy baseline (0 = default 1.5)")
+		grayK          = flag.Int("gray-quarantine-dispatches", 0, "gray mode: dispatches allowed before quarantine (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -173,8 +192,34 @@ func main() {
 			}
 			os.Exit(1)
 		}
+	case "gray":
+		rpt := chaos.RunGray(chaos.GrayOptions{
+			Seeds:                   chaos.Seeds(*seedBase, *seeds),
+			Workers:                 *grayWorkers,
+			Partitions:              *grayPartitions,
+			Points:                  *points,
+			SlowFactor:              *graySlow,
+			RetryBudget:             *grayBudget,
+			WallFactor:              *grayWall,
+			MaxQuarantineDispatches: *grayK,
+			RunTimeout:              *duration,
+			Logf:                    logf,
+		})
+		writeReport(*out, rpt)
+		fmt.Printf("chaos gray: %d runs: %d ok, %d FAILED\n",
+			len(rpt.Runs), rpt.OK, rpt.Failed)
+		if rpt.Failed > 0 {
+			for _, r := range rpt.Runs {
+				for _, l := range r.Legs {
+					if !l.OK {
+						fmt.Printf("  seed %d leg %s: %s\n", r.Seed, l.Name, l.Reason)
+					}
+				}
+			}
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "chaos: unknown -mode %q (want pipeline, overload, crash or stream)\n", *mode)
+		fmt.Fprintf(os.Stderr, "chaos: unknown -mode %q (want pipeline, overload, crash, stream or gray)\n", *mode)
 		os.Exit(2)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/distrib"
 	"repro/internal/faultinject"
+	"repro/internal/health"
 	"repro/internal/ptio"
 	"repro/internal/telemetry"
 )
@@ -42,6 +43,11 @@ type coordOptions struct {
 	deadline        time.Duration
 	straggler       float64
 	slowWorker      time.Duration
+	slowLimpOps     int
+	health          bool
+	healthLatFactor float64
+	healthProbe     time.Duration
+	healthBudget    int
 	traceOut        string
 	metricsOut      string
 	reportOut       string
@@ -67,13 +73,19 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "abort the dispatch after this long (0 = none)")
 		straggler  = flag.Float64("straggler-factor", 0, "hedge partitions slower than this × the running p95 service time (0 = off)")
 		slowWorker = flag.Duration("slow-worker-delay", 0, "make the last spawned worker this much slower per request (straggler demo)")
+		slowLimp   = flag.Int("slow-worker-limp-ops", 0, "the slow worker recovers after this many slow requests (0 = slow forever; gray-failure recovery demo)")
+		limpOps    = flag.Int("limp-ops", 0, "number of requests the -delay applies to (worker mode; 0 = all)")
+		healthOn   = flag.Bool("health", false, "enable adaptive worker health scoring: limping workers are quarantined on in-flight latency evidence, probed while quarantined, and re-admitted after clean probes plus clean work")
+		healthLat  = flag.Float64("health-latency-factor", 0, "quarantine a worker whose latency EWMA exceeds this x the fleet p50 (0 = default 3)")
+		healthProb = flag.Duration("health-probe-interval", 0, "probe cadence for quarantined workers (0 = default 5ms)")
+		healthBud  = flag.Int("health-retry-budget", 0, "shared retry token budget across partition redispatches (0 = unlimited); exhaustion fails the run loudly")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the dispatch (open in chrome://tracing or Perfetto)")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics in Prometheus text format")
 		reportOut  = flag.String("report-out", "", "write a structured per-run JSON report")
 	)
 	flag.Parse()
 	if *worker {
-		err := distrib.WorkerWithOptions(*connect, os.Getpid(), distrib.WorkerOptions{Delay: *delay})
+		err := distrib.WorkerWithOptions(*connect, os.Getpid(), distrib.WorkerOptions{Delay: *delay, LimpOps: *limpOps})
 		if err != nil && !distrib.IsConnClosed(err) {
 			fmt.Fprintln(os.Stderr, "mrscan-dist worker:", err)
 			os.Exit(1)
@@ -94,7 +106,9 @@ func main() {
 		input: *input, output: *output, eps: *eps, minPts: *minPts,
 		leaves: *leaves, workers: *workers, retries: *retries, noise: *noise,
 		plan: plan, ckptDir: *ckptDir, resume: *resume, deadline: *deadline,
-		straggler: *straggler, slowWorker: *slowWorker,
+		straggler: *straggler, slowWorker: *slowWorker, slowLimpOps: *slowLimp,
+		health: *healthOn, healthLatFactor: *healthLat,
+		healthProbe: *healthProb, healthBudget: *healthBud,
 		traceOut: *traceOut, metricsOut: *metricsOut, reportOut: *reportOut,
 	}
 	if err := coordinate(opt); err != nil {
@@ -126,6 +140,17 @@ func coordinate(o coordOptions) error {
 	c.RequestTimeout = 2 * time.Minute
 	c.SetFaultPlan(plan)
 	c.StragglerFactor = o.straggler
+	var tracker *health.Tracker
+	var budget *health.Budget
+	if o.health {
+		tracker = health.New(health.Config{LatencyFactor: o.healthLatFactor})
+		c.Health = tracker
+		c.ProbeInterval = o.healthProbe
+	}
+	if o.healthBudget > 0 {
+		budget = health.NewBudget(o.healthBudget, 0)
+		c.Budget = budget
+	}
 	var hub *telemetry.Hub
 	var runSpan *telemetry.Span
 	if o.traceOut != "" || o.metricsOut != "" || o.reportOut != "" {
@@ -145,6 +170,9 @@ func coordinate(o coordOptions) error {
 		args := []string{"-worker", "-connect", c.Addr()}
 		if o.slowWorker > 0 && i == workers-1 {
 			args = append(args, "-delay", o.slowWorker.String())
+			if o.slowLimpOps > 0 {
+				args = append(args, "-limp-ops", fmt.Sprint(o.slowLimpOps))
+			}
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
@@ -218,6 +246,21 @@ func coordinate(o coordOptions) error {
 	}
 	if stats.HedgesLaunched > 0 {
 		fmt.Printf("straggler hedges: %d launched, %d won\n", stats.HedgesLaunched, stats.HedgesWon)
+	}
+	if tracker != nil {
+		for _, v := range tracker.Snapshot() {
+			if v.State != health.Healthy {
+				fmt.Printf("health: %s is %s (latency EWMA %v, error rate %.2f)\n",
+					v.Component, v.State, v.Latency.Round(time.Millisecond), v.ErrorRate)
+			}
+		}
+		if q := tracker.QuarantinedComponents(); len(q) > 0 {
+			fmt.Printf("quarantined workers (served probes only): %v\n", q)
+		}
+	}
+	if budget != nil {
+		fmt.Printf("retry budget: %d spent, %d denied, %d remaining\n",
+			budget.Spent(), budget.Denied(), budget.Remaining())
 	}
 
 	var records []ptio.LabeledPoint

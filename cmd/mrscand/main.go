@@ -50,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/mrscan"
 	"repro/internal/server"
 )
@@ -71,8 +72,15 @@ func main() {
 		sampleRate   = flag.Float64("sample-rate", 0.8, "degraded-mode subsample rate in (0,1)")
 		stateDir     = flag.String("state-dir", "", "durable directory for drain/resume (empty disables)")
 		streamsCap   = flag.Int("streams-per-tenant", 4, "concurrent sliding-window streams per tenant (<0 disables the cap)")
+		retryBudget  = flag.Int("health-retry-budget", 0, "shared phase-retry token budget across all jobs (0 = unlimited); exhaustion fails jobs loudly instead of retrying")
+		retryRefill  = flag.Float64("health-retry-refill", 1, "retry-budget tokens refilled per second")
 	)
 	flag.Parse()
+
+	retry := mrscan.RetryPolicy{MaxAttempts: *retries, Backoff: 10 * time.Millisecond}
+	if *retryBudget > 0 {
+		retry.Budget = health.NewBudget(*retryBudget, *retryRefill)
+	}
 
 	s, err := server.New(server.Config{
 		Workers:           *workers,
@@ -81,7 +89,7 @@ func main() {
 		TenantQuota:       *quota,
 		JobTimeout:        *jobTimeout,
 		DrainTimeout:      *drainTimeout,
-		Retry:             mrscan.RetryPolicy{MaxAttempts: *retries, Backoff: 10 * time.Millisecond},
+		Retry:             retry,
 		BreakerThreshold:  *breaker,
 		BreakerCooldown:   *cooldown,
 		DegradeQueueDepth: *degradeDepth,

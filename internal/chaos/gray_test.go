@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// One seeded gray campaign must pass all five legs: the limping worker
+// quarantined with labels intact and wall time bounded, the transient
+// limper walking quarantine → probation → healthy, the flapping link
+// preemptively re-parented, the slow OST excluded from shard placement,
+// and the phase-retry budget enforced loudly.
+func TestGrayCampaignInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gray campaign skipped in -short mode")
+	}
+	rpt := RunGray(GrayOptions{
+		Seeds:      Seeds(1, 1),
+		Points:     3000,
+		RunTimeout: time.Minute,
+		Logf:       t.Logf,
+	})
+	if rpt.Failed != 0 {
+		for _, r := range rpt.Runs {
+			for _, l := range r.Legs {
+				if !l.OK {
+					t.Errorf("seed %d leg %s: %s", r.Seed, l.Name, l.Reason)
+				}
+			}
+		}
+	}
+	for _, r := range rpt.Runs {
+		for _, l := range r.Legs {
+			if l.OK && len(l.Quarantined) > 1 {
+				t.Errorf("seed %d leg %s: multiple quarantines %v", r.Seed, l.Name, l.Quarantined)
+			}
+		}
+	}
+}

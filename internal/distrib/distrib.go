@@ -31,6 +31,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gpusim"
 	"repro/internal/grid"
+	"repro/internal/health"
 	"repro/internal/integrity"
 	"repro/internal/merge"
 	"repro/internal/telemetry"
@@ -89,6 +90,11 @@ type WorkerOptions struct {
 	// delayed) — a simulated slow node for straggler-mitigation tests
 	// and experiments.
 	Delay time.Duration
+	// LimpOps, when positive, limits Delay to the first LimpOps work
+	// requests: the worker limps and then recovers — the gray-failure
+	// shape that exercises quarantine, probation, and re-admission.
+	// Zero keeps Delay on every request.
+	LimpOps int
 }
 
 // Worker dials the coordinator and serves work requests until a Done
@@ -120,6 +126,7 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 	// device buffer pool plus host scratch amortize across all of them
 	// exactly as on a cluster-phase leaf.
 	var scratch workerScratch
+	served := 0
 	for {
 		p, err := recvVerified(conn, &lastSent)
 		if err != nil {
@@ -136,9 +143,10 @@ func WorkerWithOptions(coordAddr string, pid int, opt WorkerOptions) error {
 		if req.Ping {
 			resp = &WorkResponse{Leaf: req.Leaf, Ping: true}
 		} else {
-			if opt.Delay > 0 {
+			if opt.Delay > 0 && (opt.LimpOps == 0 || served < opt.LimpOps) {
 				time.Sleep(opt.Delay)
 			}
+			served++
 			resp = serve(&req, &scratch)
 		}
 		out, err := gobEncode(resp)
@@ -243,7 +251,11 @@ func (r RetryPolicy) backoff(attempt int) time.Duration {
 	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
-// Stats counts fault-tolerance events on the coordinator.
+// Stats counts fault-tolerance events on the coordinator. It is a
+// read-side view over the coordinator's telemetry counters (see
+// SetTelemetry) — the registry is the single source of truth, so the
+// same numbers appear in the Prometheus exposition and the JSON run
+// report of the distributed CLIs.
 type Stats struct {
 	// Reassigned counts partitions re-queued after a worker failure.
 	Reassigned int
@@ -295,24 +307,85 @@ type Coordinator struct {
 	// calls are concurrent). The distributed CLI uses it to write
 	// per-partition checkpoints as results stream in.
 	OnResponse func(index int, resp *WorkResponse)
+	// Health, when set, scores every worker (component "worker.<idx>",
+	// class "worker"): exchange latencies against the fleet p50, errors,
+	// and verified corruption. A quarantined worker stops receiving
+	// partitions and is instead probed with cheap pings every
+	// ProbeInterval until it earns Probation; clean real work from
+	// Probation re-admits it. Set Health before SetTelemetry so its
+	// scores export on the run hub.
+	Health *health.Tracker
+	// Budget, when set, meters partition redispatches (site
+	// "distrib.redispatch") — both failure requeues and corruption
+	// redispatches. Exhaustion fails the dispatch loudly instead of
+	// letting correlated gray faults degrade into a silent retry storm.
+	Budget *health.Budget
+	// ProbeInterval spaces probes to a quarantined worker (default 5ms).
+	ProbeInterval time.Duration
 
 	ln      net.Listener
 	mu      sync.Mutex
 	workers []*workerConn
-	plan    *faultinject.Plan
-	closed  bool
-	stats   Stats
-	hub     *telemetry.Hub
-	parent  *telemetry.Span
+	// acceptSeq numbers workers in accept order across AcceptWorkers
+	// calls, so WorkerFaultSite indices stay unique for the
+	// coordinator's lifetime.
+	acceptSeq  int
+	plan       *faultinject.Plan
+	closed     bool
+	serveOrder []int
+	hub        *telemetry.Hub
+	parent     *telemetry.Span
+	cm         coordMetrics
 }
 
-// SetTelemetry installs the hub the coordinator records dispatch spans
-// and fault-tolerance events (retries, hedges, lost workers) on. A nil
-// hub (the default) disables recording.
+// coordMetrics caches the coordinator's counter handles. The hub is
+// installed at construction (a private one until SetTelemetry), so the
+// counters are always live and Stats() reads them back.
+type coordMetrics struct {
+	retries           *telemetry.Counter
+	workersLost       *telemetry.Counter
+	hedgesLaunched    *telemetry.Counter
+	hedgesWon         *telemetry.Counter
+	corruptRedispatch *telemetry.Counter
+	probes            *telemetry.Counter
+}
+
+func resolveCoordMetrics(h *telemetry.Hub) coordMetrics {
+	return coordMetrics{
+		retries:           h.Counter("distrib_retries_total"),
+		workersLost:       h.Counter("distrib_workers_lost_total"),
+		hedgesLaunched:    h.Counter("distrib_hedges_launched_total"),
+		hedgesWon:         h.Counter("distrib_hedges_won_total"),
+		corruptRedispatch: h.Counter("distrib_corrupt_redispatches_total"),
+		probes:            h.Counter("distrib_probes_total"),
+	}
+}
+
+// WorkerComponent names the health component for the i-th accepted
+// worker, as tracked by the Health field.
+func WorkerComponent(i int) string { return fmt.Sprintf("worker.%d", i) }
+
+// SetTelemetry points the coordinator's counters, dispatch spans, and
+// fault-tolerance events at a run-level hub, carrying over counts
+// accumulated on the private default hub. The Health tracker and retry
+// Budget (if installed) inherit the same hub.
 func (c *Coordinator) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
 	c.mu.Lock()
+	old := c.cm
 	c.hub = h
+	c.cm = resolveCoordMetrics(h)
+	c.cm.retries.Add(old.retries.Value())
+	c.cm.workersLost.Add(old.workersLost.Value())
+	c.cm.hedgesLaunched.Add(old.hedgesLaunched.Value())
+	c.cm.hedgesWon.Add(old.hedgesWon.Value())
+	c.cm.corruptRedispatch.Add(old.corruptRedispatch.Value())
+	c.cm.probes.Add(old.probes.Value())
 	c.mu.Unlock()
+	c.Health.SetTelemetry(h)
+	c.Budget.SetTelemetry(h)
 }
 
 // SetTraceParent nests the coordinator's spans and events under s.
@@ -343,6 +416,16 @@ type workerConn struct {
 	// exchange in the current streak (0 = clean); when the streak
 	// outlives RetryPolicy.MaxElapsed the worker is removed.
 	corruptSince atomic.Int64
+	// busySince is the UnixNano at which the worker's current real
+	// dispatch item was pulled (0 = idle). Set at pull time — before the
+	// exchange can block behind the connection mutex — so a limping
+	// worker's in-flight time is visible to the health monitor while the
+	// operation is still running.
+	busySince atomic.Int64
+	// slowCrossings counts how many multiples of the class slow
+	// threshold the current in-flight operation has already been
+	// reported at, so the monitor emits one observation per crossing.
+	slowCrossings atomic.Int64
 }
 
 var errWorkerDead = fmt.Errorf("distrib: worker connection already closed")
@@ -491,7 +574,9 @@ func NewCoordinator() (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distrib: coordinator listen: %w", err)
 	}
-	return &Coordinator{ln: ln}, nil
+	c := &Coordinator{ln: ln, hub: telemetry.New(nil)}
+	c.cm = resolveCoordMetrics(c.hub)
+	return c, nil
 }
 
 // Addr returns the address workers must dial.
@@ -517,13 +602,19 @@ func WorkerFaultSite(i int) faultinject.Site {
 	return faultinject.Site(fmt.Sprintf("distrib.worker.%d", i))
 }
 
-// Stats returns fault-tolerance counters accumulated so far.
+// Stats returns fault-tolerance counters, read back from the telemetry
+// registry.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.stats
-	st.ServeOrder = append([]int(nil), c.stats.ServeOrder...)
-	return st
+	return Stats{
+		Reassigned:             int(c.cm.retries.Value()),
+		WorkersLost:            int(c.cm.workersLost.Value()),
+		HedgesLaunched:         int(c.cm.hedgesLaunched.Value()),
+		HedgesWon:              int(c.cm.hedgesWon.Value()),
+		CorruptionRedispatches: int(c.cm.corruptRedispatch.Value()),
+		ServeOrder:             append([]int(nil), c.serveOrder...),
+	}
 }
 
 // AcceptWorkers blocks until n workers have dialed in and identified
@@ -546,7 +637,11 @@ func (c *Coordinator) AcceptWorkers(n int, timeout time.Duration) error {
 			}
 			return fmt.Errorf("distrib: accepting worker %d: %w", i, err)
 		}
-		w := &workerConn{conn: conn, idx: i}
+		c.mu.Lock()
+		seq := c.acceptSeq
+		c.acceptSeq++
+		c.mu.Unlock()
+		w := &workerConn{conn: conn, idx: seq}
 		if !deadline.IsZero() {
 			conn.SetReadDeadline(deadline)
 		}
@@ -599,11 +694,10 @@ func (c *Coordinator) removeWorker(w *workerConn) {
 			break
 		}
 	}
-	c.stats.WorkersLost++
-	hub, parent := c.hub, c.parent
+	hub, parent, cm := c.hub, c.parent, c.cm
 	c.mu.Unlock()
 	hub.Event(parent, "distrib.worker_lost", telemetry.Int("pid", w.pid))
-	hub.Counter("distrib_workers_lost_total").Inc()
+	cm.workersLost.Inc()
 }
 
 // Heartbeat pings every connected worker in parallel (bounded by
@@ -623,11 +717,11 @@ func (c *Coordinator) Heartbeat(timeout time.Duration) int {
 	sp := hub.Start(parent, "distrib.heartbeat", telemetry.Int("workers", len(workers)))
 	defer sp.End()
 	var wg sync.WaitGroup
-	for wi, w := range workers {
+	for _, w := range workers {
 		wg.Add(1)
-		go func(wi int, w *workerConn) {
+		go func(w *workerConn) {
 			defer wg.Done()
-			if err := checkConnFault(plan, wi); err != nil {
+			if err := checkConnFault(plan, w.idx); err != nil {
 				c.removeWorker(w)
 				return
 			}
@@ -635,7 +729,7 @@ func (c *Coordinator) Heartbeat(timeout time.Duration) int {
 			if err != nil || !resp.Ping {
 				c.removeWorker(w)
 			}
-		}(wi, w)
+		}(w)
 	}
 	wg.Wait()
 	return c.NumWorkers()
@@ -700,10 +794,15 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 	c.mu.Lock()
 	workers := append([]*workerConn(nil), c.workers...)
 	plan := c.plan
-	hub, parent := c.hub, c.parent
+	hub, parent, cm := c.hub, c.parent, c.cm
 	c.mu.Unlock()
 	retry := c.Retry.withDefaults()
 	timeout := c.RequestTimeout
+	tracker, budget := c.Health, c.Budget
+	probeInterval := c.ProbeInterval
+	if probeInterval <= 0 {
+		probeInterval = 5 * time.Millisecond
+	}
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("distrib: no workers connected")
 	}
@@ -763,7 +862,8 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 		failOnce.Do(func() { close(abort) })
 	}
 	// requeue hands a failed partition back to the pool after a backoff,
-	// or aborts the run when the partition is out of attempts.
+	// or aborts the run when the partition is out of attempts or the
+	// retry budget denies the redispatch.
 	requeue := func(ri int, cause error) {
 		hmu.Lock()
 		attempts[ri]++
@@ -775,12 +875,14 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 				reqs[ri].Leaf, n, cause))
 			return
 		}
-		c.mu.Lock()
-		c.stats.Reassigned++
-		c.mu.Unlock()
+		if !budget.Take("distrib.redispatch") {
+			fail(fmt.Errorf("distrib: leaf %d redispatch after %w: %w",
+				reqs[ri].Leaf, cause, health.ErrBudgetExhausted))
+			return
+		}
+		cm.retries.Inc()
 		hub.Event(dsp, "distrib.retry",
 			telemetry.Int("leaf", reqs[ri].Leaf), telemetry.Int("attempt", n))
-		hub.Counter("distrib_retries_total").Inc()
 		delay := retry.backoff(n)
 		go func() {
 			time.Sleep(delay)
@@ -840,18 +942,91 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 				}
 				hmu.Unlock()
 				if launched > 0 {
-					c.mu.Lock()
-					c.stats.HedgesLaunched += launched
-					c.mu.Unlock()
-					hub.Counter("distrib_hedges_launched_total").Add(int64(launched))
+					cm.hedgesLaunched.Add(int64(launched))
 				}
 			}
 		}()
 	}
 
-	for wi, w := range workers {
-		go func(wi int, w *workerConn) {
+	// Health monitor: while a worker's real dispatch item is in flight,
+	// emit one observation per crossing of the class slow threshold, so
+	// a limping worker accumulates evidence before its operation
+	// completes (or its hedge wins).
+	if tracker != nil {
+		go func() {
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
 			for {
+				select {
+				case <-allDone:
+					return
+				case <-abort:
+					return
+				case <-tick.C:
+				}
+				thr := tracker.SlowThreshold("worker")
+				if thr <= 0 {
+					continue
+				}
+				c.mu.Lock()
+				live := append([]*workerConn(nil), c.workers...)
+				c.mu.Unlock()
+				for _, w := range live {
+					b := w.busySince.Load()
+					if b == 0 {
+						continue
+					}
+					elapsed := time.Since(time.Unix(0, b))
+					k := w.slowCrossings.Load()
+					if elapsed > time.Duration(k+1)*thr {
+						w.slowCrossings.Add(1)
+						tracker.ObserveInFlight(WorkerComponent(w.idx), elapsed)
+					}
+				}
+			}
+		}()
+	}
+
+	// probe pings a quarantined worker so it can earn Probation; a probe
+	// that errors removes the worker like any failed exchange. Returns
+	// false when the dispatch (or the worker) is finished.
+	probe := func(w *workerConn) bool {
+		comp := WorkerComponent(w.idx)
+		begin := time.Now()
+		resp, err := c.exchange(w, &WorkRequest{Ping: true}, timeout)
+		ok := err == nil && resp.Ping
+		tracker.ObserveProbe(comp, time.Since(begin), ok)
+		cm.probes.Inc()
+		hub.Event(dsp, "distrib.probe",
+			telemetry.Int("worker", w.idx), telemetry.Bool("ok", ok))
+		if err != nil {
+			c.removeWorker(w)
+			if alive.Add(-1) == 0 {
+				fail(fmt.Errorf("distrib: no surviving workers: %w", err))
+			}
+			return false
+		}
+		select {
+		case <-abort:
+			return false
+		case <-allDone:
+			return false
+		case <-time.After(probeInterval):
+			return true
+		}
+	}
+
+	for _, w := range workers {
+		go func(w *workerConn) {
+			comp := WorkerComponent(w.idx)
+			for {
+				// A quarantined worker takes no partitions: it is probed
+				// until it earns Probation (or the dispatch ends).
+				for tracker.Quarantined(comp) {
+					if !probe(w) {
+						return
+					}
+				}
 				var it workItem
 				select {
 				case <-abort:
@@ -872,9 +1047,9 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 				}
 				hmu.Unlock()
 				c.mu.Lock()
-				c.stats.ServeOrder = append(c.stats.ServeOrder, ri)
+				c.serveOrder = append(c.serveOrder, ri)
 				c.mu.Unlock()
-				if err := checkConnFault(plan, wi); err != nil {
+				if err := checkConnFault(plan, w.idx); err != nil {
 					// Injected connection fault: sever exactly as a
 					// crashed worker node would.
 					c.removeWorker(w)
@@ -891,7 +1066,10 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					return
 				}
 				begin := time.Now()
+				w.busySince.Store(begin.UnixNano())
+				w.slowCrossings.Store(0)
 				resp, err := c.exchange(w, &reqs[ri], timeout)
+				w.busySince.Store(0)
 				if errors.Is(err, ErrPayloadCorrupt) && ctx.Err() == nil {
 					// Verified corruption: the exchange failed CRC past
 					// its retransmit budget, so nothing was trusted and
@@ -905,17 +1083,20 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 						first = now.UnixNano()
 						w.corruptSince.Store(first)
 					}
+					tracker.ObserveCorruption(comp)
 					hmu.Lock()
 					inflight[ri]--
 					covered := done[ri] || inflight[ri] > 0
 					hmu.Unlock()
-					c.mu.Lock()
-					c.stats.CorruptionRedispatches++
-					c.mu.Unlock()
+					cm.corruptRedispatch.Inc()
 					hub.Event(dsp, "distrib.corrupt_redispatch",
 						telemetry.Int("leaf", reqs[ri].Leaf), telemetry.Int("worker", w.idx))
-					hub.Counter("distrib_corrupt_redispatches_total").Inc()
 					if !covered {
+						if !budget.Take("distrib.redispatch") {
+							fail(fmt.Errorf("distrib: leaf %d redispatch after %w: %w",
+								reqs[ri].Leaf, err, health.ErrBudgetExhausted))
+							return
+						}
 						delay := retry.backoff(1)
 						go func() {
 							time.Sleep(delay)
@@ -934,6 +1115,7 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 				}
 				if err != nil {
 					c.removeWorker(w)
+					tracker.ObserveError(comp)
 					hmu.Lock()
 					inflight[ri]--
 					// Another copy in flight (or already won) covers
@@ -956,6 +1138,7 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					fail(fmt.Errorf("distrib: worker %d leaf %d: %s", w.pid, resp.Leaf, resp.Err))
 					return
 				}
+				tracker.ObserveSuccess(comp, time.Since(begin))
 				hmu.Lock()
 				inflight[ri]--
 				if done[ri] {
@@ -967,11 +1150,8 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 				hmu.Unlock()
 				responses[ri] = resp
 				if it.hedge {
-					c.mu.Lock()
-					c.stats.HedgesWon++
-					c.mu.Unlock()
+					cm.hedgesWon.Inc()
 					hub.Event(dsp, "distrib.hedge_won", telemetry.Int("leaf", reqs[ri].Leaf))
-					hub.Counter("distrib_hedges_won_total").Inc()
 				}
 				if c.OnResponse != nil {
 					c.OnResponse(ri, resp)
@@ -981,7 +1161,7 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 					return
 				}
 			}
-		}(wi, w)
+		}(w)
 	}
 	select {
 	case <-allDone:
@@ -999,12 +1179,19 @@ func (c *Coordinator) DispatchContext(ctx context.Context, reqs []WorkRequest) (
 // no-ops.
 func (c *Coordinator) Shutdown() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	c.closed = true
-	for _, w := range c.workers {
+	workers := c.workers
+	c.workers = nil
+	c.mu.Unlock()
+	// Worker mutexes are taken without c.mu held: exchange nests
+	// c.mu inside w.mu (for plan and telemetry reads), so holding
+	// c.mu here would deadlock against any in-flight exchange — a
+	// probe of a quarantined worker, a hedge, or a late original.
+	for _, w := range workers {
 		w.mu.Lock()
 		if p, err := gobEncode(&WorkRequest{Done: true}); err == nil {
 			_ = writeEnvelope(w.conn, envData, p)
@@ -1013,6 +1200,5 @@ func (c *Coordinator) Shutdown() {
 		w.mu.Unlock()
 		w.dead.Store(true)
 	}
-	c.workers = nil
 	c.ln.Close()
 }

@@ -133,6 +133,23 @@ func (e *DelayError) Error() string {
 	return fmt.Sprintf("faultinject: straggle at %s (%v)", e.Site, e.D)
 }
 
+// DegradeError is delivered to plan observers when a degrade rule
+// activates at a site. Like DelayError it never surfaces from an
+// operation: the component merely limps — every operation crossing the
+// site costs Factor x its healthy latency until the window expires.
+type DegradeError struct {
+	Site   Site
+	Factor float64
+	For    time.Duration // 0 = permanent
+}
+
+func (e *DegradeError) Error() string {
+	if e.For > 0 {
+		return fmt.Sprintf("faultinject: degrade at %s (%gx for %v)", e.Site, e.Factor, e.For)
+	}
+	return fmt.Sprintf("faultinject: degrade at %s (%gx)", e.Site, e.Factor)
+}
+
 // Rule describes one fault trigger.
 type Rule struct {
 	// After is the number of Check calls at the armed site(s) that pass
@@ -159,6 +176,23 @@ type Rule struct {
 	// the rule a straggler: a firing Check sleeps for Delay and then
 	// succeeds, modeling a slow-but-correct operation.
 	Delay time.Duration
+	// Degrade, when > 1, makes this a gray-failure rule: the component
+	// behind the site limps (every operation costs Degrade x its healthy
+	// latency) instead of dying. Degrade rules never fire from Check —
+	// simulators consult DegradeFactor and scale their own cost model.
+	// After delays activation by that many DegradeFactor calls; once
+	// active the factor holds for DegradeFor (0 = forever). Err/Fatal/
+	// Corrupt/Delay are ignored.
+	Degrade float64
+	// DegradeFor bounds how long a triggered Degrade rule stays active;
+	// 0 keeps it active forever.
+	DegradeFor time.Duration
+	// Flap, when non-empty, makes this a flapping rule: a pattern of
+	// 'u' (up: the op passes) and 'd' (down: the op fails with Err)
+	// characters cycled one per Check call at the site, modeling a link
+	// or component that oscillates between working and broken. After
+	// delays the pattern start; Times bounds the total failures injected.
+	Flap string
 }
 
 // armedRule is a Rule plus its live counters. One armedRule may be
@@ -167,6 +201,8 @@ type armedRule struct {
 	Rule
 	remaining int64 // op credits left before firing (count-triggered)
 	fired     int64
+	flapPos   int64     // next pattern index for Flap rules
+	activated time.Time // first activation time for Degrade rules
 }
 
 // Plan is a set of armed rules keyed by site. The zero value is not
@@ -178,6 +214,7 @@ type Plan struct {
 	rng       *rand.Rand
 	rules     map[Site][]*armedRule
 	observer  func(site Site, err error, fatal bool)
+	siteObs   map[Site][]func(site Site, err error, fatal bool)
 	corrupted map[Site]int64
 	log       []Corruption
 }
@@ -231,6 +268,38 @@ func (p *Plan) SetObserver(fn func(site Site, err error, fatal bool)) {
 	p.mu.Unlock()
 }
 
+// ObserveSite appends a per-site observer invoked (after the plan lock is
+// released, like the global observer) for every fault event at exactly
+// that site — errors, corruption, delays, flap firings, and degrade
+// activations. Health trackers hook these to attribute fault evidence to
+// the right component.
+func (p *Plan) ObserveSite(site Site, fn func(site Site, err error, fatal bool)) {
+	if p == nil || fn == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.siteObs == nil {
+		p.siteObs = make(map[Site][]func(Site, error, bool))
+	}
+	p.siteObs[site] = append(p.siteObs[site], fn)
+	p.mu.Unlock()
+}
+
+// observersLocked snapshots the callbacks to notify for site.
+func (p *Plan) observersLocked(site Site) []func(Site, error, bool) {
+	var out []func(Site, error, bool)
+	if p.observer != nil {
+		out = append(out, p.observer)
+	}
+	return append(out, p.siteObs[site]...)
+}
+
+func notify(obs []func(Site, error, bool), site Site, err error, fatal bool) {
+	for _, fn := range obs {
+		fn(site, err, fatal)
+	}
+}
+
 // Check consumes one operation at the site and returns the injected
 // error if any armed (non-corrupt) rule fires. A firing Delay rule
 // sleeps instead of erroring. A nil plan or an unarmed site always
@@ -242,16 +311,14 @@ func (p *Plan) Check(site Site) error {
 	}
 	p.mu.Lock()
 	ar := p.evalLocked(site, false)
-	obs := p.observer
+	obs := p.observersLocked(site)
 	p.mu.Unlock()
 	if ar == nil {
 		return nil
 	}
-	if ar.Err == nil && !ar.Fatal && ar.Delay > 0 {
+	if ar.Err == nil && !ar.Fatal && ar.Flap == "" && ar.Delay > 0 {
 		// Straggler: the op completes, just late.
-		if obs != nil {
-			obs(site, &DelayError{Site: site, D: ar.Delay}, false)
-		}
+		notify(obs, site, &DelayError{Site: site, D: ar.Delay}, false)
 		time.Sleep(ar.Delay)
 		return nil
 	}
@@ -259,9 +326,7 @@ func (p *Plan) Check(site Site) error {
 	if err == nil {
 		err = ErrInjected
 	}
-	if obs != nil {
-		obs(site, err, ar.Fatal)
-	}
+	notify(obs, site, err, ar.Fatal)
 	if ar.Fatal {
 		return &FatalError{Cause: err}
 	}
@@ -272,11 +337,26 @@ func (p *Plan) Check(site Site) error {
 // (corrupt or not) under the plan lock, returning the firing rule.
 func (p *Plan) evalLocked(site Site, corrupt bool) *armedRule {
 	for _, ar := range p.rules[site] {
-		if ar.Corrupt != corrupt {
-			continue
+		if ar.Corrupt != corrupt || ar.Degrade > 1 {
+			continue // degrade rules only answer DegradeFactor
 		}
 		if ar.Times > 0 && ar.fired >= ar.Times {
 			continue // exhausted: transient fault has passed
+		}
+		if ar.Flap != "" {
+			// Flapping: cycle the up/down pattern one step per op
+			// (after the op-count trigger has been consumed).
+			if ar.remaining > 0 {
+				ar.remaining--
+				continue
+			}
+			pos := ar.flapPos
+			ar.flapPos++
+			if ar.Flap[pos%int64(len(ar.Flap))] != 'd' {
+				continue // link is up for this op
+			}
+			ar.fired++
+			return ar
 		}
 		if ar.Prob > 0 {
 			if p.rng.Float64() >= ar.Prob {
@@ -290,6 +370,49 @@ func (p *Plan) evalLocked(site Site, corrupt bool) *armedRule {
 		return ar
 	}
 	return nil
+}
+
+// DegradeFactor consumes one operation at the site for degrade rules and
+// reports the latency multiplier currently in force: 1 when healthy, the
+// largest active Degrade factor otherwise. Simulators multiply their own
+// cost model by it, so a degraded component limps instead of dying. The
+// first activation of each rule is reported to observers as a
+// DegradeError.
+func (p *Plan) DegradeFactor(site Site) float64 {
+	if p == nil {
+		return 1
+	}
+	p.mu.Lock()
+	factor := 1.0
+	var fireObs []func(Site, error, bool)
+	var fireErr *DegradeError
+	now := time.Now()
+	for _, ar := range p.rules[site] {
+		if ar.Degrade <= 1 {
+			continue
+		}
+		if ar.activated.IsZero() {
+			if ar.remaining > 0 {
+				ar.remaining--
+				continue
+			}
+			ar.activated = now
+			ar.fired++
+			fireObs = p.observersLocked(site)
+			fireErr = &DegradeError{Site: site, Factor: ar.Degrade, For: ar.DegradeFor}
+		}
+		if ar.DegradeFor > 0 && now.Sub(ar.activated) >= ar.DegradeFor {
+			continue // window expired: back to healthy
+		}
+		if ar.Degrade > factor {
+			factor = ar.Degrade
+		}
+	}
+	p.mu.Unlock()
+	if fireErr != nil {
+		notify(fireObs, site, fireErr, false)
+	}
+	return factor
 }
 
 // CorruptData consumes one operation at the site for corruption rules
@@ -308,9 +431,7 @@ func (p *Plan) CorruptData(site Site, data []byte) *Corruption {
 		return nil
 	}
 	data[c.Offset] ^= 1 << c.Bit
-	if obs != nil {
-		obs(site, &CorruptionError{Corruption: *c}, false)
-	}
+	notify(obs, site, &CorruptionError{Corruption: *c}, false)
 	return c
 }
 
@@ -330,15 +451,13 @@ func (p *Plan) CorruptCheck(site Site, n int64) *Corruption {
 	if c == nil {
 		return nil
 	}
-	if obs != nil {
-		obs(site, &CorruptionError{Corruption: *c}, false)
-	}
+	notify(obs, site, &CorruptionError{Corruption: *c}, false)
 	return c
 }
 
 // corrupt evaluates corruption rules at the site and draws the flip
 // position for an n-byte payload.
-func (p *Plan) corrupt(site Site, n int64) (*Corruption, func(Site, error, bool)) {
+func (p *Plan) corrupt(site Site, n int64) (*Corruption, []func(Site, error, bool)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.evalLocked(site, true) == nil {
@@ -353,7 +472,7 @@ func (p *Plan) corrupt(site Site, n int64) (*Corruption, func(Site, error, bool)
 	if len(p.log) < maxCorruptionLog {
 		p.log = append(p.log, *c)
 	}
-	return c, p.observer
+	return c, p.observersLocked(site)
 }
 
 // CorruptionsInjected returns how many corruptions have been injected
@@ -462,8 +581,12 @@ func (p *Plan) Sites() []Site {
 // permanent), prob=P (probability trigger), msg=S (error text), fatal=B
 // (kill the run instead of erroring — see FatalError), corrupt=B (flip
 // a payload bit instead of erroring — see CorruptData), delay=D (a
-// straggle duration, e.g. 50ms). The pseudo-site lustre.io arms a
-// shared rule over lustre.read and lustre.write. Example:
+// straggle duration, e.g. 50ms), degrade=FxD (limp at F x healthy
+// latency for duration D, e.g. 20x500ms; bare degrade=F limps forever —
+// see DegradeFactor), flap=PATTERN (a string of 'u'/'d' characters
+// cycled one per op, e.g. flap=uud — see Rule.Flap). The pseudo-site
+// lustre.io arms a shared rule over lustre.read and lustre.write.
+// Example:
 //
 //	lustre.io:after=100,times=2;mrnet.node:times=1;mrnet.hop:prob=0.001
 //	lustre.read:corrupt=true,times=2;distrib.response:corrupt=true,prob=0.01
@@ -533,6 +656,25 @@ func Parse(spec string, seed int64) (*Plan, error) {
 					return nil, fmt.Errorf("faultinject: entry %q: bad delay=%q", entry, v)
 				}
 				r.Delay = d
+			case "degrade":
+				fs, ds, hasDur := strings.Cut(v, "x")
+				f, err := strconv.ParseFloat(fs, 64)
+				if err != nil || f <= 1 {
+					return nil, fmt.Errorf("faultinject: entry %q: bad degrade=%q (want FACTOR or FACTORxDUR, factor > 1)", entry, v)
+				}
+				r.Degrade = f
+				if hasDur {
+					d, err := time.ParseDuration(ds)
+					if err != nil || d <= 0 {
+						return nil, fmt.Errorf("faultinject: entry %q: bad degrade=%q (bad duration)", entry, v)
+					}
+					r.DegradeFor = d
+				}
+			case "flap":
+				if v == "" || strings.Trim(v, "ud") != "" {
+					return nil, fmt.Errorf("faultinject: entry %q: bad flap=%q (want a string of 'u'/'d')", entry, v)
+				}
+				r.Flap = v
 			default:
 				return nil, fmt.Errorf("faultinject: entry %q: unknown key %q", entry, k)
 			}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDegradeFactorPermanent(t *testing.T) {
+	p := New(1).Arm("lustre.ost.0", Rule{Degrade: 20})
+	for i := 0; i < 5; i++ {
+		if f := p.DegradeFactor("lustre.ost.0"); f != 20 {
+			t.Fatalf("call %d: factor = %v, want 20", i, f)
+		}
+	}
+	if f := p.DegradeFactor("lustre.ost.1"); f != 1 {
+		t.Fatalf("unarmed site factor = %v, want 1", f)
+	}
+	if f := (*Plan)(nil).DegradeFactor("lustre.ost.0"); f != 1 {
+		t.Fatalf("nil plan factor = %v, want 1", f)
+	}
+}
+
+func TestDegradeFactorAfterAndWindow(t *testing.T) {
+	p := New(1).Arm("s", Rule{Degrade: 4, After: 2, DegradeFor: 30 * time.Millisecond})
+	if f := p.DegradeFactor("s"); f != 1 {
+		t.Fatalf("factor before trigger = %v, want 1", f)
+	}
+	if f := p.DegradeFactor("s"); f != 1 {
+		t.Fatalf("factor before trigger = %v, want 1", f)
+	}
+	if f := p.DegradeFactor("s"); f != 4 {
+		t.Fatalf("factor at trigger = %v, want 4", f)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if f := p.DegradeFactor("s"); f != 1 {
+		t.Fatalf("factor after window = %v, want 1", f)
+	}
+}
+
+func TestDegradeNeverFiresFromCheck(t *testing.T) {
+	p := New(1).Arm("s", Rule{Degrade: 8})
+	for i := 0; i < 10; i++ {
+		if err := p.Check("s"); err != nil {
+			t.Fatalf("Check returned %v for a degrade-only rule", err)
+		}
+	}
+}
+
+func TestDegradeObserver(t *testing.T) {
+	p := New(1).Arm("s", Rule{Degrade: 8, DegradeFor: time.Second})
+	var got []error
+	p.ObserveSite("s", func(_ Site, err error, _ bool) { got = append(got, err) })
+	p.DegradeFactor("s")
+	p.DegradeFactor("s") // activation reported once
+	if len(got) != 1 {
+		t.Fatalf("observer fired %d times, want 1", len(got))
+	}
+	var de *DegradeError
+	if !errors.As(got[0], &de) || de.Factor != 8 {
+		t.Fatalf("observer got %v, want DegradeError{Factor: 8}", got[0])
+	}
+}
+
+func TestFlapPattern(t *testing.T) {
+	p := New(1).Arm("s", Rule{Flap: "dud"})
+	want := []bool{true, false, true, true, false, true} // pattern cycles
+	for i, wantErr := range want {
+		err := p.Check("s")
+		if (err != nil) != wantErr {
+			t.Fatalf("op %d: err=%v, want error=%v", i, err, wantErr)
+		}
+	}
+	if n := p.Fired("s"); n != 4 {
+		t.Fatalf("fired = %d, want 4", n)
+	}
+}
+
+func TestFlapAfterAndTimes(t *testing.T) {
+	p := New(1).Arm("s", Rule{Flap: "d", After: 2, Times: 3})
+	var fails int
+	for i := 0; i < 10; i++ {
+		if p.Check("s") != nil {
+			fails++
+		}
+	}
+	// Two ops pass on the After credit, then 'd' fires until Times runs out.
+	if fails != 3 {
+		t.Fatalf("failures = %d, want 3", fails)
+	}
+}
+
+func TestPerSiteObserverScoping(t *testing.T) {
+	p := New(1).
+		Arm("a", Rule{Times: 1}).
+		Arm("b", Rule{Times: 1})
+	var aEvents, global int
+	p.ObserveSite("a", func(Site, error, bool) { aEvents++ })
+	p.SetObserver(func(Site, error, bool) { global++ })
+	p.Check("a")
+	p.Check("b")
+	if aEvents != 1 {
+		t.Fatalf("site observer fired %d times, want 1 (site b must not reach it)", aEvents)
+	}
+	if global != 2 {
+		t.Fatalf("global observer fired %d times, want 2", global)
+	}
+}
+
+func TestParseDegradeAndFlap(t *testing.T) {
+	p, err := Parse("lustre.ost.3:degrade=20x500ms;mrnet.nic.2:flap=uud,times=5;s:degrade=8", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.DegradeFactor("lustre.ost.3"); f != 20 {
+		t.Fatalf("parsed degrade factor = %v, want 20", f)
+	}
+	if f := p.DegradeFactor("s"); f != 8 {
+		t.Fatalf("parsed permanent degrade factor = %v, want 8", f)
+	}
+	// flap=uud: ops 1,2 pass, op 3 fails.
+	if err := p.Check("mrnet.nic.2"); err != nil {
+		t.Fatalf("flap op 1: %v", err)
+	}
+	if err := p.Check("mrnet.nic.2"); err != nil {
+		t.Fatalf("flap op 2: %v", err)
+	}
+	if err := p.Check("mrnet.nic.2"); err == nil {
+		t.Fatal("flap op 3: want injected error")
+	}
+
+	for _, bad := range []string{
+		"s:degrade=1",       // factor must exceed 1
+		"s:degrade=2xoops",  // bad duration
+		"s:flap=",           // empty pattern
+		"s:flap=up",         // invalid characters
+		"s:degrade=0.5x1ms", // factor must exceed 1
+	} {
+		if _, err := Parse(bad, 7); err == nil {
+			t.Fatalf("Parse(%q) accepted invalid spec", bad)
+		}
+	}
+}

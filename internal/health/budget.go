@@ -1,0 +1,130 @@
+package health
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ErrBudgetExhausted is returned (wrapped) by retry paths when the shared
+// retry budget denies a token. It turns a potential retry storm under
+// correlated gray faults into a loud partial failure.
+var ErrBudgetExhausted = errors.New("health: retry budget exhausted")
+
+// Budget is a token bucket shared by every retry path in the stack
+// (distrib redispatch, mrnet retransmit, lustre reread, mrscan phase
+// retries). Each retry spends one token; when the bucket is empty the
+// retry is denied and the caller must fail loudly instead of retrying.
+//
+// A nil *Budget always grants tokens, so callers thread it through without
+// nil checks.
+type Budget struct {
+	mu       sync.Mutex
+	capacity float64
+	tokens   float64
+	refill   float64 // tokens per second; 0 = no refill
+	last     time.Time
+	spent    int64
+	denied   int64
+
+	hub *telemetry.Hub
+}
+
+// NewBudget returns a budget holding capacity tokens, refilled at
+// refillPerSec tokens per second (0 disables refill) up to capacity.
+func NewBudget(capacity int, refillPerSec float64) *Budget {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Budget{
+		capacity: float64(capacity),
+		tokens:   float64(capacity),
+		refill:   refillPerSec,
+		last:     time.Now(),
+	}
+}
+
+// SetTelemetry installs a hub for spend/denial counters.
+func (b *Budget) SetTelemetry(h *telemetry.Hub) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.hub = h
+	b.mu.Unlock()
+}
+
+func (b *Budget) refillLocked(now time.Time) {
+	if b.refill <= 0 {
+		return
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.refill
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+	}
+	b.last = now
+}
+
+// Take spends one retry token attributed to site (e.g. "distrib.redispatch",
+// "mrnet.retransmit", "lustre.reread"). It reports false when the budget is
+// exhausted; the caller must then stop retrying and surface the failure.
+func (b *Budget) Take(site string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	b.refillLocked(time.Now())
+	ok := b.tokens >= 1
+	var h *telemetry.Hub
+	if ok {
+		b.tokens--
+		b.spent++
+	} else {
+		b.denied++
+	}
+	h = b.hub
+	b.mu.Unlock()
+	if h != nil {
+		if ok {
+			h.Counter("health_retry_tokens_spent_total", "site", site).Inc()
+		} else {
+			h.Counter("health_retry_denied_total", "site", site).Inc()
+		}
+	}
+	return ok
+}
+
+// Spent reports the total tokens granted so far.
+func (b *Budget) Spent() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
+
+// Denied reports the total requests refused so far.
+func (b *Budget) Denied() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}
+
+// Remaining reports the tokens currently available (after refill).
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return int(^uint(0) >> 1)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(time.Now())
+	return int(b.tokens)
+}

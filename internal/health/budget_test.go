@@ -1,0 +1,87 @@
+package health
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestNilBudgetAlwaysAllows(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 100; i++ {
+		if !b.Take("x") {
+			t.Fatal("nil budget denied a token")
+		}
+	}
+	if b.Spent() != 0 || b.Denied() != 0 {
+		t.Fatal("nil budget should report zero counters")
+	}
+	b.SetTelemetry(nil)
+	if b.Remaining() <= 0 {
+		t.Fatal("nil budget remaining should be unbounded")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	b := NewBudget(3, 0)
+	for i := 0; i < 3; i++ {
+		if !b.Take("distrib.redispatch") {
+			t.Fatalf("token %d denied with budget remaining", i)
+		}
+	}
+	if b.Take("distrib.redispatch") {
+		t.Fatal("token granted past capacity with no refill")
+	}
+	if b.Spent() != 3 || b.Denied() != 1 {
+		t.Fatalf("spent=%d denied=%d, want 3/1", b.Spent(), b.Denied())
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", b.Remaining())
+	}
+}
+
+func TestBudgetTelemetry(t *testing.T) {
+	hub := telemetry.New(nil)
+	b := NewBudget(1, 0)
+	b.SetTelemetry(hub)
+	b.Take("mrnet.retransmit")
+	b.Take("mrnet.retransmit")
+	var spent, denied int64
+	for _, mv := range hub.Metrics.Snapshot() {
+		switch mv.Name {
+		case "health_retry_tokens_spent_total":
+			spent = mv.Value
+		case "health_retry_denied_total":
+			denied = mv.Value
+		}
+	}
+	if spent != 1 || denied != 1 {
+		t.Fatalf("telemetry spent=%d denied=%d, want 1/1", spent, denied)
+	}
+}
+
+func TestBudgetConcurrentTake(t *testing.T) {
+	b := NewBudget(100, 0)
+	var wg sync.WaitGroup
+	granted := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if b.Take("t") {
+					granted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range granted {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("granted %d tokens from capacity 100", total)
+	}
+}

@@ -1,0 +1,504 @@
+// Package health tracks per-component health for gray-failure detection.
+//
+// A gray failure is a component that passes liveness checks but degrades
+// the fleet: a worker computing 20x slow, a NIC corrupting a fraction of
+// frames, an OST serving reads at a crawl. Fail-stop machinery (heartbeats,
+// timeouts) never fires for these, so the pipeline silently runs at the
+// speed of its sickest member.
+//
+// The Tracker keeps an EWMA health profile per component — latency relative
+// to the fleet p50 of its class, error rate, and verified-corruption rate —
+// and drives a quarantine state machine with hysteresis:
+//
+//	Healthy -> Suspect -> Quarantined -> Probation -> Healthy
+//	              ^                          |
+//	              +------ (relapse) ---------+
+//
+// Quarantined components stop receiving real work but may be handed cheap
+// probe work; enough clean probes move them to Probation, and clean real
+// work from Probation re-admits them. A bad observation in Probation
+// relapses straight back to Quarantined.
+//
+// Components are keyed by strings like "worker.3", "nic.5", or "ost.0".
+// The prefix before the first dot is the component's class; fleet-relative
+// latency comparisons only consider components of the same class, so a
+// uniformly slow fleet is never quarantined.
+package health
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// State is a component's position in the quarantine state machine.
+type State int32
+
+const (
+	// Healthy components receive real work.
+	Healthy State = iota
+	// Suspect components still receive real work while evidence accumulates.
+	Suspect
+	// Quarantined components receive only probe work.
+	Quarantined
+	// Probation components receive real work again but relapse on any bad
+	// observation.
+	Probation
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Probation:
+		return "probation"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the tracker. Zero values take the defaults noted per field.
+type Config struct {
+	// Alpha is the EWMA smoothing factor in (0,1]. Default 0.3.
+	Alpha float64
+	// LatencyFactor marks a component unhealthy when its EWMA latency
+	// exceeds LatencyFactor x the class p50. Default 3.
+	LatencyFactor float64
+	// ErrorRate marks a component unhealthy when its error EWMA exceeds
+	// this fraction. Default 0.4.
+	ErrorRate float64
+	// CorruptionRate marks a component unhealthy when its verified-
+	// corruption EWMA exceeds this fraction. Default 0.25.
+	CorruptionRate float64
+	// SuspectAfter is the consecutive unhealthy verdicts needed to move
+	// Healthy -> Suspect. Default 2.
+	SuspectAfter int
+	// QuarantineAfter is the further consecutive unhealthy verdicts needed
+	// to move Suspect -> Quarantined. Default 2.
+	QuarantineAfter int
+	// RecoverAfter is the consecutive healthy verdicts needed to step back
+	// toward health (Suspect -> Healthy, Quarantined -> Probation via
+	// probes, Probation -> Healthy). Default 3.
+	RecoverAfter int
+	// MinObservations is the number of verdicts required before a component
+	// may leave Healthy. Guards against quarantining on a single sample.
+	// Default 2.
+	MinObservations int
+	// MinActive floors the number of non-quarantined components per class;
+	// quarantine requests that would drop a class below it are refused
+	// (the component stays Suspect). Default 1.
+	MinActive int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.LatencyFactor <= 1 {
+		c.LatencyFactor = 3
+	}
+	if c.ErrorRate <= 0 {
+		c.ErrorRate = 0.4
+	}
+	if c.CorruptionRate <= 0 {
+		c.CorruptionRate = 0.25
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 3
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 2
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	return c
+}
+
+// component is the per-component mutable profile. Guarded by Tracker.mu.
+type component struct {
+	name  string
+	class string
+	state State
+
+	ewmaLatency time.Duration // 0 until first latency sample
+	ewmaErr     float64       // EWMA of {0 clean, 1 error}
+	ewmaCorrupt float64       // EWMA of {0 clean, 1 corrupt}
+
+	observations int64 // total verdicts rendered
+	badStreak    int
+	goodStreak   int
+	probeStreak  int // clean probes while Quarantined
+
+	transitions int64
+}
+
+// Transition describes one state-machine edge, as delivered to OnTransition.
+type Transition struct {
+	Component string
+	From, To  State
+}
+
+// View is a read-only snapshot of one component.
+type View struct {
+	Component    string
+	Class        string
+	State        State
+	Score        float64 // 1 = perfectly healthy, 0 = fully degraded
+	Latency      time.Duration
+	ErrorRate    float64
+	CorruptRate  float64
+	Observations int64
+}
+
+// Tracker scores components and runs the quarantine state machine.
+// All methods are safe for concurrent use and nil-safe: a nil *Tracker
+// observes nothing and reports every component Healthy.
+type Tracker struct {
+	cfg Config
+
+	mu    sync.Mutex
+	comps map[string]*component
+
+	onTransition func(Transition)
+
+	hubMu sync.Mutex
+	hub   *telemetry.Hub
+}
+
+// New returns a Tracker with cfg (zero fields defaulted).
+func New(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), comps: make(map[string]*component)}
+}
+
+// Config reports the tracker's effective (defaulted) configuration.
+func (t *Tracker) Config() Config {
+	if t == nil {
+		return Config{}.withDefaults()
+	}
+	return t.cfg
+}
+
+// SetTelemetry installs a hub for score gauges and transition counters.
+func (t *Tracker) SetTelemetry(h *telemetry.Hub) {
+	if t == nil {
+		return
+	}
+	t.hubMu.Lock()
+	t.hub = h
+	t.hubMu.Unlock()
+}
+
+// OnTransition installs a callback invoked (outside the tracker lock) for
+// every state-machine edge.
+func (t *Tracker) OnTransition(fn func(Transition)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onTransition = fn
+	t.mu.Unlock()
+}
+
+func (t *Tracker) telemetry() *telemetry.Hub {
+	t.hubMu.Lock()
+	defer t.hubMu.Unlock()
+	return t.hub
+}
+
+func classOf(comp string) string {
+	if i := strings.IndexByte(comp, '.'); i > 0 {
+		return comp[:i]
+	}
+	return comp
+}
+
+func (t *Tracker) get(comp string) *component {
+	c, ok := t.comps[comp]
+	if !ok {
+		c = &component{name: comp, class: classOf(comp)}
+		t.comps[comp] = c
+	}
+	return c
+}
+
+// ObserveSuccess records a clean operation with its latency.
+func (t *Tracker) ObserveSuccess(comp string, latency time.Duration) {
+	t.observe(comp, latency, false, false, false)
+}
+
+// ObserveError records a failed operation.
+func (t *Tracker) ObserveError(comp string) {
+	t.observe(comp, 0, true, false, false)
+}
+
+// ObserveCorruption records an operation whose payload failed verification.
+func (t *Tracker) ObserveCorruption(comp string) {
+	t.observe(comp, 0, false, true, false)
+}
+
+// ObserveInFlight records evidence from an operation that is still running
+// but has already exceeded the class slow threshold. It lets the tracker
+// act on a limping component before its operation completes.
+func (t *Tracker) ObserveInFlight(comp string, elapsed time.Duration) {
+	t.observe(comp, elapsed, false, false, false)
+}
+
+// ObserveProbe records the result of a probe issued to a component. Probes
+// are the only observations that advance Quarantined -> Probation.
+func (t *Tracker) ObserveProbe(comp string, latency time.Duration, ok bool) {
+	t.observe(comp, latency, !ok, false, true)
+}
+
+func (t *Tracker) observe(comp string, latency time.Duration, isErr, isCorrupt, isProbe bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	c := t.get(comp)
+	a := t.cfg.Alpha
+
+	if latency > 0 {
+		if c.ewmaLatency == 0 {
+			c.ewmaLatency = latency
+		} else {
+			c.ewmaLatency = time.Duration((1-a)*float64(c.ewmaLatency) + a*float64(latency))
+		}
+	}
+	errV, corV := 0.0, 0.0
+	if isErr {
+		errV = 1
+	}
+	if isCorrupt {
+		corV = 1
+	}
+	c.ewmaErr = (1-a)*c.ewmaErr + a*errV
+	c.ewmaCorrupt = (1-a)*c.ewmaCorrupt + a*corV
+	c.observations++
+
+	p50 := t.classP50Locked(c.class, c.name)
+	bad := isErr || isCorrupt ||
+		c.ewmaErr > t.cfg.ErrorRate ||
+		c.ewmaCorrupt > t.cfg.CorruptionRate ||
+		(p50 > 0 && c.ewmaLatency > time.Duration(t.cfg.LatencyFactor*float64(p50)))
+
+	tr, fired := t.advanceLocked(c, bad, isProbe)
+	score := c.scoreLocked(t.cfg, p50)
+	cb := t.onTransition
+	t.mu.Unlock()
+
+	t.export(comp, score, tr, fired)
+	if fired && cb != nil {
+		cb(tr)
+	}
+}
+
+// classP50Locked computes the median EWMA latency over non-quarantined
+// members of class that have at least one latency sample. self is included
+// if it qualifies, so a two-member class still yields a meaningful median.
+func (t *Tracker) classP50Locked(class, self string) time.Duration {
+	lats := make([]time.Duration, 0, 8)
+	for _, c := range t.comps {
+		if c.class != class || c.ewmaLatency == 0 {
+			continue
+		}
+		if c.state == Quarantined && c.name != self {
+			continue
+		}
+		lats = append(lats, c.ewmaLatency)
+	}
+	if len(lats) < 2 {
+		return 0 // not enough fleet context for a relative comparison
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[(len(lats)-1)/2]
+}
+
+// advanceLocked applies one verdict to the state machine.
+func (t *Tracker) advanceLocked(c *component, bad, isProbe bool) (Transition, bool) {
+	from := c.state
+	if bad {
+		c.goodStreak = 0
+		c.probeStreak = 0
+		c.badStreak++
+	} else {
+		c.badStreak = 0
+		c.goodStreak++
+		if isProbe {
+			c.probeStreak++
+		}
+	}
+
+	switch c.state {
+	case Healthy:
+		if bad && c.observations >= int64(t.cfg.MinObservations) && c.badStreak >= t.cfg.SuspectAfter {
+			c.state = Suspect
+		}
+	case Suspect:
+		if bad && c.badStreak >= t.cfg.SuspectAfter+t.cfg.QuarantineAfter {
+			if t.activeInClassLocked(c.class, c.name) >= t.cfg.MinActive {
+				c.state = Quarantined
+			}
+		} else if !bad && c.goodStreak >= t.cfg.RecoverAfter {
+			c.state = Healthy
+		}
+	case Quarantined:
+		if !bad && c.probeStreak >= t.cfg.RecoverAfter {
+			c.state = Probation
+		}
+	case Probation:
+		if bad {
+			c.state = Quarantined
+		} else if !isProbe && c.goodStreak >= t.cfg.RecoverAfter {
+			c.state = Healthy
+		}
+	}
+
+	if c.state == from {
+		return Transition{}, false
+	}
+	c.badStreak, c.goodStreak, c.probeStreak = 0, 0, 0
+	c.transitions++
+	return Transition{Component: c.name, From: from, To: c.state}, true
+}
+
+// activeInClassLocked counts non-quarantined members of class other than self.
+func (t *Tracker) activeInClassLocked(class, self string) int {
+	n := 0
+	for _, c := range t.comps {
+		if c.class == class && c.name != self && c.state != Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// scoreLocked folds the EWMA profile into a single [0,1] health score.
+func (c *component) scoreLocked(cfg Config, p50 time.Duration) float64 {
+	worst := c.ewmaErr
+	if c.ewmaCorrupt > worst {
+		worst = c.ewmaCorrupt
+	}
+	if p50 > 0 && c.ewmaLatency > p50 {
+		// Normalize latency excess so hitting LatencyFactor x p50 costs
+		// the full score.
+		ex := (float64(c.ewmaLatency)/float64(p50) - 1) / (cfg.LatencyFactor - 1)
+		if ex > worst {
+			worst = ex
+		}
+	}
+	if worst > 1 {
+		worst = 1
+	}
+	return 1 - worst
+}
+
+func (t *Tracker) export(comp string, score float64, tr Transition, fired bool) {
+	h := t.telemetry()
+	if h == nil {
+		return
+	}
+	h.Gauge("health_score_millis", "component", comp).Set(int64(score * 1000))
+	if fired {
+		h.Gauge("health_state", "component", comp).Set(int64(tr.To))
+		h.Counter("health_transitions_total", "component", comp, "to", tr.To.String()).Inc()
+	}
+}
+
+// State reports comp's current state. Unknown components are Healthy.
+func (t *Tracker) State(comp string) State {
+	if t == nil {
+		return Healthy
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.comps[comp]; ok {
+		return c.state
+	}
+	return Healthy
+}
+
+// Quarantined reports whether comp is currently quarantined.
+func (t *Tracker) Quarantined(comp string) bool {
+	return t.State(comp) == Quarantined
+}
+
+// Score reports comp's latest health score in [0,1]; unknown components
+// score 1.
+func (t *Tracker) Score(comp string) float64 {
+	if t == nil {
+		return 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.comps[comp]
+	if !ok {
+		return 1
+	}
+	return c.scoreLocked(t.cfg, t.classP50Locked(c.class, c.name))
+}
+
+// SlowThreshold reports the latency above which an in-flight operation on a
+// member of class counts as slow (LatencyFactor x class p50), or 0 when the
+// class lacks enough samples for a fleet-relative comparison.
+func (t *Tracker) SlowThreshold(class string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p50 := t.classP50Locked(class, "")
+	if p50 <= 0 {
+		return 0
+	}
+	return time.Duration(t.cfg.LatencyFactor * float64(p50))
+}
+
+// Snapshot returns a point-in-time view of every tracked component, sorted
+// by component name.
+func (t *Tracker) Snapshot() []View {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	views := make([]View, 0, len(t.comps))
+	for _, c := range t.comps {
+		views = append(views, View{
+			Component:    c.name,
+			Class:        c.class,
+			State:        c.state,
+			Score:        c.scoreLocked(t.cfg, t.classP50Locked(c.class, c.name)),
+			Latency:      c.ewmaLatency,
+			ErrorRate:    c.ewmaErr,
+			CorruptRate:  c.ewmaCorrupt,
+			Observations: c.observations,
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].Component < views[j].Component })
+	return views
+}
+
+// QuarantinedComponents lists currently quarantined components, sorted.
+func (t *Tracker) QuarantinedComponents() []string {
+	var out []string
+	for _, v := range t.Snapshot() {
+		if v.State == Quarantined {
+			out = append(out, v.Component)
+		}
+	}
+	return out
+}

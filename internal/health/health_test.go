@@ -1,0 +1,264 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func feedFleet(t *Tracker, n int, lat time.Duration, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			t.ObserveSuccess(compName(i), lat)
+		}
+	}
+}
+
+func compName(i int) string {
+	return "worker." + string(rune('0'+i))
+}
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.ObserveSuccess("worker.0", time.Millisecond)
+	tr.ObserveError("worker.0")
+	tr.ObserveCorruption("worker.0")
+	tr.ObserveProbe("worker.0", time.Millisecond, true)
+	tr.SetTelemetry(nil)
+	tr.OnTransition(nil)
+	if got := tr.State("worker.0"); got != Healthy {
+		t.Fatalf("nil tracker state = %v, want Healthy", got)
+	}
+	if got := tr.Score("worker.0"); got != 1 {
+		t.Fatalf("nil tracker score = %v, want 1", got)
+	}
+	if tr.Snapshot() != nil || tr.QuarantinedComponents() != nil {
+		t.Fatal("nil tracker snapshots should be nil")
+	}
+	if tr.SlowThreshold("worker") != 0 {
+		t.Fatal("nil tracker SlowThreshold should be 0")
+	}
+}
+
+func TestSlowComponentQuarantined(t *testing.T) {
+	tr := New(Config{})
+	// Establish a healthy fleet baseline.
+	feedFleet(tr, 4, 10*time.Millisecond, 3)
+	// worker.9 limps at 20x.
+	for i := 0; i < 10; i++ {
+		tr.ObserveSuccess("worker.9", 200*time.Millisecond)
+		if tr.Quarantined("worker.9") {
+			break
+		}
+	}
+	if !tr.Quarantined("worker.9") {
+		t.Fatalf("slow worker not quarantined; snapshot=%+v", tr.Snapshot())
+	}
+	// No false quarantines.
+	if q := tr.QuarantinedComponents(); len(q) != 1 || q[0] != "worker.9" {
+		t.Fatalf("quarantined = %v, want [worker.9]", q)
+	}
+	for i := 0; i < 4; i++ {
+		if st := tr.State(compName(i)); st != Healthy {
+			t.Fatalf("healthy worker %d state = %v", i, st)
+		}
+	}
+}
+
+func TestUniformlySlowFleetStaysHealthy(t *testing.T) {
+	tr := New(Config{})
+	// Everyone is equally slow: relative comparison must not fire.
+	feedFleet(tr, 4, 500*time.Millisecond, 10)
+	for i := 0; i < 4; i++ {
+		if st := tr.State(compName(i)); st != Healthy {
+			t.Fatalf("worker %d state = %v, want Healthy", i, st)
+		}
+	}
+}
+
+func TestErrorRateQuarantines(t *testing.T) {
+	tr := New(Config{})
+	feedFleet(tr, 3, 10*time.Millisecond, 2)
+	for i := 0; i < 8; i++ {
+		tr.ObserveError("worker.9")
+	}
+	if !tr.Quarantined("worker.9") {
+		t.Fatalf("erroring worker not quarantined; state=%v", tr.State("worker.9"))
+	}
+}
+
+func TestCorruptionRateQuarantines(t *testing.T) {
+	tr := New(Config{})
+	feedFleet(tr, 3, 10*time.Millisecond, 2)
+	// Alternating corrupt/clean keeps the corruption EWMA above threshold.
+	// A healthy sibling NIC keeps the class above the MinActive floor.
+	for i := 0; i < 16 && !tr.Quarantined("nic.1"); i++ {
+		tr.ObserveSuccess("nic.0", 10*time.Millisecond)
+		tr.ObserveCorruption("nic.1")
+		tr.ObserveSuccess("nic.1", 10*time.Millisecond)
+	}
+	if !tr.Quarantined("nic.1") {
+		t.Fatalf("corrupting nic not quarantined; snapshot=%+v", tr.Snapshot())
+	}
+	// The nic class is independent of the worker class.
+	for i := 0; i < 3; i++ {
+		if st := tr.State(compName(i)); st != Healthy {
+			t.Fatalf("worker %d affected by nic corruption: %v", i, st)
+		}
+	}
+}
+
+func TestProbationAndReadmission(t *testing.T) {
+	tr := New(Config{})
+	feedFleet(tr, 4, 10*time.Millisecond, 3)
+	for i := 0; i < 10 && !tr.Quarantined("worker.9"); i++ {
+		tr.ObserveSuccess("worker.9", 300*time.Millisecond)
+	}
+	if !tr.Quarantined("worker.9") {
+		t.Fatal("setup: worker.9 not quarantined")
+	}
+	// Clean probes at fleet speed decay the latency EWMA and earn Probation.
+	for i := 0; i < 50 && tr.State("worker.9") == Quarantined; i++ {
+		tr.ObserveProbe("worker.9", 10*time.Millisecond, true)
+	}
+	if st := tr.State("worker.9"); st != Probation {
+		t.Fatalf("after clean probes state = %v, want Probation", st)
+	}
+	// Clean real work from Probation re-admits.
+	for i := 0; i < 10 && tr.State("worker.9") == Probation; i++ {
+		tr.ObserveSuccess("worker.9", 10*time.Millisecond)
+	}
+	if st := tr.State("worker.9"); st != Healthy {
+		t.Fatalf("after clean real work state = %v, want Healthy", st)
+	}
+}
+
+func TestProbeFailureKeepsQuarantine(t *testing.T) {
+	tr := New(Config{})
+	feedFleet(tr, 4, 10*time.Millisecond, 3)
+	for i := 0; i < 10 && !tr.Quarantined("worker.9"); i++ {
+		tr.ObserveSuccess("worker.9", 300*time.Millisecond)
+	}
+	if !tr.Quarantined("worker.9") {
+		t.Fatal("setup: worker.9 not quarantined")
+	}
+	// Probes that are still slow must not earn probation.
+	for i := 0; i < 20; i++ {
+		tr.ObserveProbe("worker.9", 300*time.Millisecond, true)
+	}
+	if st := tr.State("worker.9"); st != Quarantined {
+		t.Fatalf("slow probes advanced state to %v", st)
+	}
+}
+
+func TestProbationRelapse(t *testing.T) {
+	tr := New(Config{})
+	feedFleet(tr, 4, 10*time.Millisecond, 3)
+	for i := 0; i < 10 && !tr.Quarantined("worker.9"); i++ {
+		tr.ObserveSuccess("worker.9", 300*time.Millisecond)
+	}
+	for i := 0; i < 50 && tr.State("worker.9") == Quarantined; i++ {
+		tr.ObserveProbe("worker.9", 10*time.Millisecond, true)
+	}
+	if st := tr.State("worker.9"); st != Probation {
+		t.Fatalf("setup: state = %v, want Probation", st)
+	}
+	tr.ObserveError("worker.9")
+	if st := tr.State("worker.9"); st != Quarantined {
+		t.Fatalf("bad observation in probation left state %v, want Quarantined", st)
+	}
+}
+
+func TestMinActiveGuard(t *testing.T) {
+	tr := New(Config{MinActive: 1})
+	// Two-member class: one slow. Quarantining it is allowed (1 survivor)...
+	feedFleet(tr, 2, 10*time.Millisecond, 3)
+	for i := 0; i < 10; i++ {
+		tr.ObserveSuccess("worker.8", 300*time.Millisecond)
+	}
+	if !tr.Quarantined("worker.8") {
+		t.Fatalf("worker.8 not quarantined: %v", tr.State("worker.8"))
+	}
+	// ...but the survivors can never all be quarantined: errors on every
+	// remaining member leave at least MinActive active.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 20; j++ {
+			tr.ObserveError(compName(i))
+		}
+	}
+	active := 0
+	for _, v := range tr.Snapshot() {
+		if v.Class == "worker" && v.State != Quarantined {
+			active++
+		}
+	}
+	if active < 1 {
+		t.Fatalf("MinActive violated: %d active workers", active)
+	}
+}
+
+func TestMinObservationsGuard(t *testing.T) {
+	tr := New(Config{MinObservations: 5})
+	feedFleet(tr, 3, 10*time.Millisecond, 3)
+	// Fewer than MinObservations verdicts: must stay Healthy even if slow.
+	tr.ObserveSuccess("worker.9", time.Second)
+	tr.ObserveSuccess("worker.9", time.Second)
+	if st := tr.State("worker.9"); st != Healthy {
+		t.Fatalf("left Healthy after %d observations: %v", 2, st)
+	}
+}
+
+func TestTransitionCallbackAndTelemetry(t *testing.T) {
+	hub := telemetry.New(nil)
+	tr := New(Config{})
+	tr.SetTelemetry(hub)
+	var trans []Transition
+	tr.OnTransition(func(x Transition) { trans = append(trans, x) })
+
+	feedFleet(tr, 4, 10*time.Millisecond, 3)
+	for i := 0; i < 10 && !tr.Quarantined("worker.9"); i++ {
+		tr.ObserveSuccess("worker.9", 300*time.Millisecond)
+	}
+	if len(trans) < 2 {
+		t.Fatalf("transitions = %v, want at least Healthy->Suspect->Quarantined", trans)
+	}
+	if trans[0].To != Suspect || trans[len(trans)-1].To != Quarantined {
+		t.Fatalf("unexpected transition sequence %v", trans)
+	}
+	found := false
+	for _, mv := range hub.Metrics.Snapshot() {
+		if mv.Name == "health_transitions_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("health_transitions_total not exported to hub")
+	}
+}
+
+func TestSlowThreshold(t *testing.T) {
+	tr := New(Config{LatencyFactor: 3})
+	if tr.SlowThreshold("worker") != 0 {
+		t.Fatal("threshold without samples should be 0")
+	}
+	feedFleet(tr, 4, 10*time.Millisecond, 2)
+	th := tr.SlowThreshold("worker")
+	if th != 30*time.Millisecond {
+		t.Fatalf("SlowThreshold = %v, want 30ms", th)
+	}
+}
+
+func TestScoreDegrades(t *testing.T) {
+	tr := New(Config{})
+	feedFleet(tr, 4, 10*time.Millisecond, 3)
+	if s := tr.Score("worker.0"); s != 1 {
+		t.Fatalf("healthy score = %v, want 1", s)
+	}
+	for i := 0; i < 6; i++ {
+		tr.ObserveSuccess("worker.9", 300*time.Millisecond)
+	}
+	if s := tr.Score("worker.9"); s > 0.5 {
+		t.Fatalf("slow worker score = %v, want <= 0.5", s)
+	}
+}

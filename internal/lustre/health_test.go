@@ -1,0 +1,166 @@
+package lustre
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/health"
+)
+
+// smallStripes returns a config whose tiny stripes spread even small
+// files over every OST, so each OST accumulates observations quickly.
+func smallStripes() Config {
+	return Config{OSTs: 4, StripeSize: 1024, OSTBandwidth: 100e6, SeekPenalty: time.Millisecond}
+}
+
+func TestDegradeInflatesOSTCost(t *testing.T) {
+	mk := func(plan *faultinject.Plan) time.Duration {
+		fs := New(smallStripes(), nil)
+		fs.SetFaultPlan(plan)
+		h := fs.Create("f")
+		buf := make([]byte, 16*1024)
+		if _, err := h.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		return fs.Clock().Total()
+	}
+	healthy := mk(nil)
+	degraded := mk(faultinject.New(1).Arm(OSTFaultSite(0), faultinject.Rule{Degrade: 10}))
+	if degraded <= healthy {
+		t.Fatalf("degraded cost %v not above healthy %v", degraded, healthy)
+	}
+	// One of four OSTs at 10x: total byte cost should be about
+	// (3 + 10)/4 = 3.25x the healthy byte cost, well below a global 10x.
+	if degraded >= 10*healthy {
+		t.Fatalf("degrade of one OST inflated total cost %v >= 10x healthy %v", degraded, healthy)
+	}
+}
+
+func TestSlowOSTQuarantinedAndAvoided(t *testing.T) {
+	fs := New(smallStripes(), nil)
+	fs.SetFaultPlan(faultinject.New(1).Arm(OSTFaultSite(2), faultinject.Rule{Degrade: 16}))
+	tracker := fs.EnableOSTHealth(health.Config{SuspectAfter: 2, QuarantineAfter: 1, MinObservations: 2})
+
+	h := fs.Create("input")
+	buf := make([]byte, 64*1024)
+	for i := 0; i < 4; i++ {
+		if _, err := h.WriteAt(buf, int64(i*len(buf))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tracker.Quarantined("ost.2") {
+		t.Fatalf("slow OST not quarantined; snapshot=%+v", tracker.Snapshot())
+	}
+	if q := tracker.QuarantinedComponents(); len(q) != 1 {
+		t.Fatalf("false quarantines: %v", q)
+	}
+	healthy := fs.HealthyOSTs()
+	want := []int{0, 1, 3}
+	if len(healthy) != len(want) {
+		t.Fatalf("HealthyOSTs = %v, want %v", healthy, want)
+	}
+	for i := range want {
+		if healthy[i] != want[i] {
+			t.Fatalf("HealthyOSTs = %v, want %v", healthy, want)
+		}
+	}
+}
+
+func TestHealthyOSTsWithoutTracking(t *testing.T) {
+	fs := New(smallStripes(), nil)
+	if got := fs.HealthyOSTs(); got != nil {
+		t.Fatalf("HealthyOSTs without tracking = %v, want nil", got)
+	}
+}
+
+func TestCreateWithOSTsLayout(t *testing.T) {
+	fs := New(smallStripes(), nil)
+	h := fs.CreateWithOSTs("seg", []int{1, 3})
+	data := make([]byte, 8*1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := h.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round-trip mismatch under explicit OST layout")
+	}
+	if l := fs.FileOSTs("seg"); len(l) != 2 || l[0] != 1 || l[1] != 3 {
+		t.Fatalf("FileOSTs = %v, want [1 3]", l)
+	}
+	// Traffic must only land on the listed OSTs.
+	for _, probe := range []struct {
+		ost  int
+		want bool
+	}{{0, false}, {1, true}, {2, false}, {3, true}} {
+		cost := fs.Clock().Resource("lustre/ost" + string(rune('0'+probe.ost)))
+		if (cost > 0) != probe.want {
+			t.Fatalf("ost %d charged %v, want charged=%v", probe.ost, cost, probe.want)
+		}
+	}
+	// Out-of-range entries drop; an empty result falls back to default.
+	h2 := fs.CreateWithOSTs("bad", []int{-1, 99})
+	if h2.f.osts != nil {
+		t.Fatalf("invalid layout kept: %v", h2.f.osts)
+	}
+}
+
+func TestRereadBudgetDenialFailsLoud(t *testing.T) {
+	fs := New(smallStripes(), nil)
+	fs.EnableIntegrity()
+	fs.SetRetryBudget(health.NewBudget(0, 0))
+	plan := faultinject.New(1).Arm(faultinject.LustreRead, faultinject.Rule{Corrupt: true, Times: 1})
+	fs.SetFaultPlan(plan)
+
+	h := fs.Create("f")
+	if _, err := h.WriteAt(bytes.Repeat([]byte{7}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	_, err := h.ReadAt(buf, 0)
+	if err == nil {
+		t.Fatal("corrupt read healed with an exhausted retry budget")
+	}
+	if !errors.Is(err, ErrCorruptData) || !errors.Is(err, health.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrCorruptData wrapping ErrBudgetExhausted", err)
+	}
+	// Ledger stays balanced: the injection was still detected.
+	if fs.Stats().ReadOps == 0 {
+		t.Fatal("read op not counted")
+	}
+	if got := plan.CorruptionsInjected(faultinject.LustreRead); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+}
+
+func TestRereadBudgetGrantedStillHeals(t *testing.T) {
+	fs := New(smallStripes(), nil)
+	fs.EnableIntegrity()
+	b := health.NewBudget(4, 0)
+	fs.SetRetryBudget(b)
+	fs.SetFaultPlan(faultinject.New(1).Arm(faultinject.LustreRead, faultinject.Rule{Corrupt: true, Times: 1}))
+
+	h := fs.Create("f")
+	want := bytes.Repeat([]byte{9}, 4096)
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatalf("read with budget available: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("healed read returned wrong bytes")
+	}
+	if b.Spent() != 1 {
+		t.Fatalf("budget spent = %d, want 1", b.Spent())
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/health"
 	"repro/internal/integrity"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
@@ -138,11 +139,21 @@ type FS struct {
 	// cs holds the durability / power-failure model; nil (the default)
 	// disables it entirely (see crash.go / EnableCrashSim).
 	cs *crashState
+	// ostHealth, when non-nil, scores per-OST read/write latency for
+	// gray-failure detection (see health.go / EnableOSTHealth).
+	ostHealth *health.Tracker
+	// budget, when non-nil, meters integrity rereads (see SetRetryBudget).
+	budget *health.Budget
 }
 
 type file struct {
 	mu   sync.RWMutex
 	data []byte
+
+	// osts, when non-nil, is the explicit OST list this file stripes
+	// over (CreateWithOSTs); nil files round-robin over all OSTs.
+	// Immutable after creation.
+	osts []int
 
 	// Durability model (crash.go), tracked only while crash simulation
 	// is enabled: durable is the image on stable storage as of the last
@@ -214,6 +225,8 @@ func (fs *FS) SetTelemetry(h *telemetry.Hub) {
 	fs.m.corruptWrites.Add(old.corruptWrites.Value())
 	fs.m.corruptMasked.Add(old.corruptMasked.Value())
 	fs.m.rereads.Add(old.rereads.Value())
+	fs.ostHealth.SetTelemetry(h)
+	fs.budget.SetTelemetry(h)
 }
 
 // SetTraceParent nests the file system's I/O spans under s — the span
@@ -401,11 +414,17 @@ func (fs *FS) List() []string {
 	return names
 }
 
-// chargeIO charges stripe traffic for [off, off+n) to the OSTs it lands
-// on, plus a seek penalty when the handle moved discontiguously. It
-// returns the total simulated cost so callers can record the operation
-// as a trace span.
-func (fs *FS) chargeIO(off, n int64, seek bool) time.Duration {
+// chargeIO charges stripe traffic for [off, off+n) to the OSTs the
+// file's layout lands it on, plus a seek penalty when the handle moved
+// discontiguously. A degrade rule armed at an OST's fault site inflates
+// that OST's cost (the OST limps), and when OST health tracking is
+// enabled every chunk feeds the per-OST latency score. It returns the
+// total simulated cost so callers can record the operation as a trace
+// span.
+func (fs *FS) chargeIO(f *file, off, n int64, seek bool) time.Duration {
+	fs.mu.Lock()
+	plan, tracker := fs.plan, fs.ostHealth
+	fs.mu.Unlock()
 	var total time.Duration
 	if seek {
 		fs.clock.Charge("lustre/seek", fs.cfg.SeekPenalty)
@@ -413,19 +432,40 @@ func (fs *FS) chargeIO(off, n int64, seek bool) time.Duration {
 	}
 	for n > 0 {
 		stripe := off / fs.cfg.StripeSize
-		ost := int(stripe) % fs.cfg.OSTs
+		ost := fs.ostFor(f, stripe)
 		inStripe := fs.cfg.StripeSize - off%fs.cfg.StripeSize
 		chunk := n
 		if chunk > inStripe {
 			chunk = inStripe
 		}
 		cost := simclock.BytesDuration(chunk, fs.cfg.OSTBandwidth)
+		if plan != nil {
+			if factor := plan.DegradeFactor(OSTFaultSite(ost)); factor > 1 {
+				cost = time.Duration(float64(cost) * factor)
+			}
+		}
 		fs.clock.Charge(fmt.Sprintf("lustre/ost%d", ost), cost)
+		if tracker != nil && cost > 0 {
+			// Normalize to cost per MiB so chunk size doesn't skew the
+			// fleet-relative comparison: healthy OSTs all observe the
+			// same value, a degraded OST observes factor x it.
+			tracker.ObserveSuccess(ostComponent(ost), time.Duration(float64(cost)*float64(1<<20)/float64(chunk)))
+		}
 		total += cost
 		off += chunk
 		n -= chunk
 	}
 	return total
+}
+
+// ostFor maps a stripe index to an OST under the file's layout: the
+// default round-robin over all OSTs, or the explicit OST list given to
+// CreateWithOSTs.
+func (fs *FS) ostFor(f *file, stripe int64) int {
+	if f != nil && len(f.osts) > 0 {
+		return f.osts[int(stripe)%len(f.osts)]
+	}
+	return int(stripe) % fs.cfg.OSTs
 }
 
 // Handle is an open file descriptor with its own seek tracking. Handles
@@ -524,7 +564,7 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	h.lastOff = end
 	h.mu.Unlock()
 
-	cost := h.fs.chargeIO(off, int64(len(p)), seek)
+	cost := h.fs.chargeIO(h.f, off, int64(len(p)), seek)
 	hub, parent, m, spans := h.fs.telemetry()
 	if spans {
 		hub.RecordSim(parent, "lustre.write", cost, telemetry.Int64("bytes", int64(len(p))))
@@ -553,7 +593,7 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("lustre: read %q at %d: %w", h.name, off, err)
 	}
 	h.fs.mu.Lock()
-	plan, withIntegrity := h.fs.plan, h.fs.integrity
+	plan, withIntegrity, budget := h.fs.plan, h.fs.integrity, h.fs.budget
 	h.fs.mu.Unlock()
 
 	h.f.mu.RLock()
@@ -570,18 +610,25 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 		rereads      int64
 		storedTaints int64
 		corruptBlock int64 = -1
+		budgetDenied bool
 	)
 	if withIntegrity && n > 0 {
 		h.f.ensureSums()
 		corrupt := h.f.verifyRead(p[:n], off, n)
 		if len(corrupt) > 0 && injected != nil {
-			// Transient: refetch the whole range from the store (no
-			// second injection — one op, one corruption) and reverify.
-			copy(p[:n], h.f.data[off:off+int64(n)])
-			rereads++
-			corrupt = h.f.verifyRead(p[:n], off, n)
+			if budget.Take("lustre.reread") {
+				// Transient: refetch the whole range from the store (no
+				// second injection — one op, one corruption) and reverify.
+				copy(p[:n], h.f.data[off:off+int64(n)])
+				rereads++
+				corrupt = h.f.verifyRead(p[:n], off, n)
+			} else {
+				// Retry budget exhausted: the heal is denied, so the
+				// detected wire corruption degrades to a loud failure.
+				budgetDenied = true
+			}
 		}
-		if len(corrupt) > 0 {
+		if len(corrupt) > 0 && !budgetDenied {
 			// Persistent: the stored bytes are wrong.
 			storedTaints = h.f.retireTaints(corrupt)
 			corruptBlock = corrupt[0]
@@ -594,9 +641,9 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	h.lastOff = off + int64(n)
 	h.mu.Unlock()
 
-	cost := h.fs.chargeIO(off, int64(n), seek)
+	cost := h.fs.chargeIO(h.f, off, int64(n), seek)
 	if rereads > 0 {
-		cost += h.fs.chargeIO(off, int64(n), false) // the reread pays the wire again
+		cost += h.fs.chargeIO(h.f, off, int64(n), false) // the reread pays the wire again
 		h.fs.detect(faultinject.LustreRead, h.name, off+injected.Offset, true, 1)
 	}
 	hub, parent, m, spans := h.fs.telemetry()
@@ -609,6 +656,10 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	}
 	m.readOps.Inc()
 	m.bytesRead.Add(int64(n))
+	if budgetDenied {
+		h.fs.detect(faultinject.LustreRead, h.name, off+injected.Offset, false, 1)
+		return 0, fmt.Errorf("lustre: read %q at %d: %w (%w)", h.name, off, ErrCorruptData, health.ErrBudgetExhausted)
+	}
 	if corruptBlock >= 0 {
 		if storedTaints > 0 {
 			h.fs.detect(faultinject.LustreWrite, h.name, corruptBlock*integrityBlock, false, storedTaints)

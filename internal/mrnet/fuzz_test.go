@@ -1,0 +1,63 @@
+package mrnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/integrity"
+)
+
+// FuzzReadFrame drives the wire-frame decoder with torn, bit-flipped,
+// and hostile inputs. Two properties must hold: the decoder never
+// panics, and every failure is one of the documented typed modes (EOF,
+// ErrFrameTorn, ErrFrameTooLarge, ErrFrameCorrupt, or a ProtocolError)
+// — the NACK/retransmit protocol in recv dispatches on these types, so
+// an untyped error would silently disable frame healing. A successful
+// decode must round-trip: re-encoding (ftype, payload) reproduces the
+// consumed prefix byte for byte.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(encodeFrame(frameUp, []byte("leaf payload")))
+	f.Add(encodeFrame(frameDown, nil))
+	f.Add(encodeFrame(frameNack, nil))
+	hello := encodeFrame(frameHello, []byte{7, 0, 0, 0})
+	f.Add(hello)
+	f.Add(hello[:frameHdrLen-3]) // torn mid-header
+	f.Add(hello[:frameHdrLen+1]) // torn mid-payload
+	flipped := encodeFrame(frameUp, []byte("corrupt me"))
+	flipped[frameHdrLen+2] ^= 0x08 // payload bit flip: CRC must catch it
+	f.Add(flipped)
+	oversized := encodeFrame(frameUp, nil)
+	binary.LittleEndian.PutUint32(oversized[4:8], maxFrame+1)
+	f.Add(oversized)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ftype, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			var pe *integrity.ProtocolError
+			switch {
+			case errors.Is(err, io.EOF),
+				errors.Is(err, ErrFrameTorn),
+				errors.Is(err, ErrFrameTooLarge),
+				errors.Is(err, ErrFrameCorrupt),
+				errors.As(err, &pe):
+			default:
+				t.Fatalf("untyped readFrame error: %v", err)
+			}
+			// The heal protocol depends on torn and corrupt staying
+			// distinct: corrupt is NACKable, torn means a dead peer.
+			if errors.Is(err, ErrFrameTorn) && errors.Is(err, ErrFrameCorrupt) {
+				t.Fatalf("error is both torn and corrupt: %v", err)
+			}
+			return
+		}
+		enc := encodeFrame(ftype, payload)
+		if len(data) < len(enc) || !bytes.Equal(data[:len(enc)], enc) {
+			t.Fatalf("accepted frame (type %d, %d-byte payload) does not re-encode to the consumed bytes",
+				ftype, len(payload))
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package mrnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/health"
+	"repro/internal/integrity"
+	"repro/internal/telemetry"
+)
+
+// linkHealthConfig is tight enough that a flapping link quarantines
+// within a couple of collectives, while MinObservations still guards
+// against single-sample verdicts.
+func linkHealthConfig() health.Config {
+	return health.Config{SuspectAfter: 2, QuarantineAfter: 1, MinObservations: 2}
+}
+
+// TestFlappingLinkQuarantinedAndReparented: a flapping uplink on an
+// internal node must be quarantined by the health tracker and converted
+// into a preemptive re-parent of that node — before any collective
+// hard-fails — while every reduction keeps returning the exact sum.
+func TestFlappingLinkQuarantinedAndReparented(t *testing.T) {
+	net, err := New(16, 4, CostModel{HopLatency: time.Microsecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := telemetry.New(net.Clock())
+	net.SetTelemetry(h, "t")
+	tracker := health.New(linkHealthConfig())
+	net.SetHealth(tracker)
+	budget := health.NewBudget(64, 0)
+	net.SetRetryBudget(budget)
+
+	victim := net.Root().Children()[1]
+	if victim.IsLeaf() {
+		t.Fatal("expected an internal child of the root")
+	}
+	// Every frame over the victim's uplink is dropped twice then passes:
+	// two error observations plus a success whose error EWMA stays high.
+	net.SetFaultPlan(faultinject.New(7).Arm(NICFaultSite(victim.ID()), faultinject.Rule{Flap: "ddu"}))
+
+	want := 16 * 15 / 2
+	for round := 0; round < 4; round++ {
+		if got := reduceSum(t, net); got != want {
+			t.Fatalf("round %d: reduce = %d, want %d", round, got, want)
+		}
+	}
+	comp := "nic." + itoa(victim.ID())
+	if !tracker.Quarantined(comp) {
+		t.Fatalf("%s not quarantined; snapshot=%+v", comp, tracker.Snapshot())
+	}
+	if q := tracker.QuarantinedComponents(); len(q) != 1 {
+		t.Fatalf("false quarantines: %v", q)
+	}
+	if got := net.Recoveries(); got != 1 {
+		t.Fatalf("Recoveries = %d, want 1 (preemptive re-parent)", got)
+	}
+	if budget.Spent() == 0 {
+		t.Fatal("retransmits consumed no retry-budget tokens")
+	}
+
+	// The sick link is out of the tree: further rounds neither retransmit
+	// nor spend budget.
+	retransmits := h.Counter("mrnet_retransmits_total", "net", "t").Value()
+	spent := budget.Spent()
+	for round := 0; round < 3; round++ {
+		if got := reduceSum(t, net); got != want {
+			t.Fatalf("post-recovery round %d: reduce = %d, want %d", round, got, want)
+		}
+	}
+	if got := h.Counter("mrnet_retransmits_total", "net", "t").Value(); got != retransmits {
+		t.Fatalf("retransmits kept growing after re-parent: %d -> %d", retransmits, got)
+	}
+	if got := budget.Spent(); got != spent {
+		t.Fatalf("budget kept draining after re-parent: %d -> %d", spent, got)
+	}
+}
+
+// TestFlappingLinkMulticastReparent: the same preemptive re-parent path
+// must work for downstream traffic, with every leaf still delivered.
+func TestFlappingLinkMulticastReparent(t *testing.T) {
+	net, err := New(16, 4, CostModel{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := health.New(linkHealthConfig())
+	net.SetHealth(tracker)
+	victim := net.Root().Children()[2]
+	net.SetFaultPlan(faultinject.New(11).Arm(NICFaultSite(victim.ID()), faultinject.Rule{Flap: "ddu"}))
+
+	got := make([]int, net.NumLeaves())
+	for round := 0; round < 4; round++ {
+		payload := 100 + round
+		err := Multicast(context.Background(), net, payload, nil,
+			func(leaf int, v int) error { got[leaf] = v; return nil },
+			func(int) int64 { return 8 })
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for leaf, v := range got {
+			if v != payload {
+				t.Fatalf("round %d: leaf %d got %d, want %d", round, leaf, v, payload)
+			}
+		}
+	}
+	if !tracker.Quarantined("nic." + itoa(victim.ID())) {
+		t.Fatalf("flapping multicast link not quarantined; snapshot=%+v", tracker.Snapshot())
+	}
+	if got := net.Recoveries(); got != 1 {
+		t.Fatalf("Recoveries = %d, want 1", got)
+	}
+}
+
+// TestRetransmitBudgetDenialFailsLoud: with the retry budget exhausted,
+// a lost frame must surface ErrBudgetExhausted instead of silently
+// retrying.
+func TestRetransmitBudgetDenialFailsLoud(t *testing.T) {
+	net, err := New(4, 4, CostModel{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetRetryBudget(health.NewBudget(0, 0))
+	leaf := net.Root().Children()[0]
+	net.SetFaultPlan(faultinject.New(3).Arm(NICFaultSite(leaf.ID()), faultinject.Rule{Flap: "du"}))
+
+	_, err = Reduce(context.Background(), net,
+		func(leaf int) (int, error) { return leaf, nil },
+		func(_ *Node, in []int) (int, error) {
+			s := 0
+			for _, v := range in {
+				s += v
+			}
+			return s, nil
+		},
+		nil)
+	if err == nil {
+		t.Fatal("reduce succeeded with a dropped frame and no retry budget")
+	}
+	if !errors.Is(err, health.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestNICCorruptionLedgerBalances: corruption injected at a per-link NIC
+// site is detected under that site's own label, healed by retransmit,
+// and — being transient — never quarantines the link under the default
+// hysteresis.
+func TestNICCorruptionLedgerBalances(t *testing.T) {
+	net, err := New(4, 4, CostModel{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := telemetry.New(net.Clock())
+	net.SetTelemetry(h, "t")
+	tracker := health.New(health.Config{})
+	net.SetHealth(tracker)
+	leaf := net.Root().Children()[1]
+	site := NICFaultSite(leaf.ID())
+	plan := faultinject.New(5).Arm(site, faultinject.Rule{Corrupt: true, Times: 2})
+	net.SetFaultPlan(plan)
+
+	want := 4 * 3 / 2
+	for round := 0; round < 3; round++ {
+		got, err := Reduce(context.Background(), net,
+			func(leaf int) (int, error) { return leaf, nil },
+			func(_ *Node, in []int) (int, error) {
+				s := 0
+				for _, v := range in {
+					s += v
+				}
+				return s, nil
+			},
+			func(int) int64 { return 64 })
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got != want {
+			t.Fatalf("round %d: reduce = %d, want %d", round, got, want)
+		}
+	}
+	injected := plan.CorruptionsInjected(site)
+	if injected != 2 {
+		t.Fatalf("injected = %d, want 2", injected)
+	}
+	if detected := h.Counter(integrity.MetricDetected, "site", string(site)).Value(); detected != injected {
+		t.Fatalf("ledger unbalanced: injected %d, detected %d", injected, detected)
+	}
+	if q := tracker.QuarantinedComponents(); len(q) != 0 {
+		t.Fatalf("transient corruption quarantined %v", q)
+	}
+}
+
+// TestHealthyFleetNoFalseQuarantines: with tracking on and no faults,
+// repeated collectives must leave every link healthy.
+func TestHealthyFleetNoFalseQuarantines(t *testing.T) {
+	net, err := New(16, 4, CostModel{HopLatency: time.Microsecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := health.New(linkHealthConfig())
+	net.SetHealth(tracker)
+	want := 16 * 15 / 2
+	for round := 0; round < 5; round++ {
+		if got := reduceSum(t, net); got != want {
+			t.Fatalf("round %d: reduce = %d, want %d", round, got, want)
+		}
+	}
+	for _, v := range tracker.Snapshot() {
+		if v.State != health.Healthy {
+			t.Fatalf("link %s is %v on a healthy fleet", v.Component, v.State)
+		}
+	}
+}
+
+// itoa avoids strconv for tiny non-negative ints in test labels.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/health"
 	"repro/internal/integrity"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
@@ -165,6 +166,12 @@ type Network struct {
 	// spans gates per-hop/per-filter span recording: off on the private
 	// default hub, on once a run-level hub is installed via SetTelemetry.
 	spans bool
+	// linkHealth scores each tree edge (keyed by its child endpoint's
+	// NIC) so a flapping or frame-corrupting link re-parents the child
+	// before the link hard-fails a collective. Nil disables scoring.
+	linkHealth *health.Tracker
+	// budget meters retransmits; nil grants every retransmit.
+	budget *health.Budget
 }
 
 // New builds a balanced tree with the given number of leaves and maximum
@@ -287,7 +294,54 @@ func (net *Network) SetTelemetry(h *telemetry.Hub, name string) {
 	net.m.recoveries.Add(old.recoveries.Value())
 	net.m.corruptHops.Add(old.corruptHops.Value())
 	net.m.retransmits.Add(old.retransmits.Value())
+	net.linkHealth.SetTelemetry(h)
+	net.budget.SetTelemetry(h)
 }
+
+// SetHealth installs a link-health tracker: every frame crossing a tree
+// edge is scored against the NIC of the edge's child endpoint (component
+// "nic.<id>", class "nic"). When the tracker quarantines an internal
+// node's NIC, the next frame over that edge is converted into a
+// NodeFailedError and the collective re-parents the node's children via
+// the ordinary FailNode recovery path — a preemptive re-parent, before
+// the link degrades into a hard frame loss. Leaf NICs cannot be
+// re-parented (leaves hold partition data); a quarantined leaf link
+// keeps transmitting and simply keeps paying retransmits. The tracker
+// inherits the network's telemetry hub.
+func (net *Network) SetHealth(t *health.Tracker) {
+	net.topoMu.Lock()
+	net.linkHealth = t
+	t.SetTelemetry(net.hub)
+	net.topoMu.Unlock()
+}
+
+// SetRetryBudget meters frame retransmits (site "mrnet.retransmit")
+// against a shared token bucket; exhaustion turns the next retransmit
+// into a loud failure instead of silent retry churn. Nil removes the cap.
+func (net *Network) SetRetryBudget(b *health.Budget) {
+	net.topoMu.Lock()
+	net.budget = b
+	b.SetTelemetry(net.hub)
+	net.topoMu.Unlock()
+}
+
+// healthState snapshots the link tracker and retry budget.
+func (net *Network) healthState() (*health.Tracker, *health.Budget) {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	return net.linkHealth, net.budget
+}
+
+// NICFaultSite returns the per-link fault site for the tree edge whose
+// child endpoint is node id. Rules armed here (error, flap, corrupt,
+// delay) afflict only that edge, unlike the shared mrnet.hop site which
+// fires across the whole tree.
+func NICFaultSite(id int) faultinject.Site {
+	return faultinject.Site(fmt.Sprintf("mrnet.nic.%d", id))
+}
+
+// nicComponent names the health component for node id's uplink NIC.
+func nicComponent(id int) string { return fmt.Sprintf("nic.%d", id) }
 
 // SetTraceParent nests the network's hop/filter spans under s — the
 // span of the phase currently using the tree. Pass nil to detach.
@@ -332,32 +386,111 @@ func (net *Network) chargeHop(level int, bytes int64) {
 const maxHopRetransmits = 3
 
 // ErrHopCorrupt reports a tree edge that kept corrupting a frame past
-// the retransmit budget.
+// the retransmit cap.
 var ErrHopCorrupt = errors.New("mrnet: frame corrupt after retransmits")
 
-// transmitHop models one checksummed frame crossing a tree edge: a
-// corrupt rule firing at mrnet.hop means the frame's bits flipped on
-// the wire, the CRC32C trailer catches it at the receiving process, and
-// the frame is retransmitted — charging the edge again. In-process
-// payloads move by reference, so the flip itself is modeled; what is
-// real is the detection accounting and the retransmit cost.
-func (net *Network) transmitHop(level int, bytes int64) error {
+// ErrFrameLost reports a tree edge that kept dropping a frame (link
+// error or flap) past the retransmit cap.
+var ErrFrameLost = errors.New("mrnet: frame lost after retransmits")
+
+// ErrNICQuarantined is the cause carried by the NodeFailedError that a
+// quarantined link raises to trigger preemptive re-parenting.
+var ErrNICQuarantined = errors.New("mrnet: link quarantined by health tracker")
+
+// quarantinedLink converts a quarantined child NIC into the failure of
+// the child itself, steering the collective into the existing FailNode
+// re-parenting machinery before the link hard-fails a frame. Leaf links
+// return nil: leaves hold partition data and cannot be re-parented away.
+func quarantinedLink(tracker *health.Tracker, c *Node) error {
+	if tracker == nil || c.IsLeaf() || !tracker.Quarantined(nicComponent(c.id)) {
+		return nil
+	}
+	return &NodeFailedError{ID: c.id, cause: ErrNICQuarantined}
+}
+
+// transmitHop models one checksummed frame crossing the tree edge whose
+// child endpoint is c (frames travel child->parent in Reduce and
+// parent->child in Multicast; either way the edge is named by c's NIC).
+//
+// Two fault sites afflict the frame: the shared mrnet.hop site and the
+// per-link NICFaultSite(c.id). A corrupt rule means the frame's bits
+// flipped on the wire, the CRC32C trailer catches it at the receiver,
+// and the frame is retransmitted — charging the edge again. An error or
+// flap rule at the NIC site means the frame was dropped outright and is
+// likewise retransmitted. In-process payloads move by reference, so the
+// flip itself is not destructive; what is real is the detection
+// accounting, the retransmit cost, and the health evidence: every
+// outcome feeds the link tracker, and a quarantined internal NIC turns
+// into a NodeFailedError so the child re-parents preemptively. Each
+// retransmit beyond the first transmission spends a retry-budget token;
+// denial fails the frame loudly.
+func (net *Network) transmitHop(c *Node, bytes int64) error {
+	plan := net.faultPlan()
+	tracker, budget := net.healthState()
+	site := NICFaultSite(c.id)
+	comp := nicComponent(c.id)
+	cost := net.costs.HopLatency + simclock.BytesDuration(bytes, net.costs.BytesPerSec)
 	for attempt := 0; ; attempt++ {
-		c := net.faultPlan().CorruptCheck(faultinject.MRNetHop, bytes)
-		net.chargeHop(level, bytes)
-		if c == nil {
-			return nil
+		if ferr := plan.Check(site); ferr != nil {
+			if faultinject.IsFatal(ferr) {
+				return fmt.Errorf("mrnet: link to node %d: %w", c.id, ferr)
+			}
+			// The frame crossed the wire and was lost: the edge is
+			// still charged, the sender times out and retransmits.
+			net.chargeHop(c.level, bytes)
+			hub, parent, m, _ := net.telemetry()
+			m.retransmits.Inc()
+			hub.Event(parent, "mrnet.frame_lost",
+				telemetry.Int("node", c.id),
+				telemetry.Int("level", c.level),
+				telemetry.Bool("healed", attempt+1 < maxHopRetransmits))
+			tracker.ObserveError(comp)
+			if nf := quarantinedLink(tracker, c); nf != nil {
+				return nf
+			}
+			if attempt+1 >= maxHopRetransmits {
+				return fmt.Errorf("mrnet: link to node %d: %w", c.id, ErrFrameLost)
+			}
+			if !budget.Take("mrnet.retransmit") {
+				return fmt.Errorf("mrnet: link to node %d retransmit denied: %w", c.id, health.ErrBudgetExhausted)
+			}
+			continue
+		}
+		corr := plan.CorruptCheck(faultinject.MRNetHop, bytes)
+		detSite := faultinject.MRNetHop
+		if corr == nil {
+			corr = plan.CorruptCheck(site, bytes)
+			detSite = site
+		}
+		net.chargeHop(c.level, bytes)
+		if corr == nil {
+			tracker.ObserveSuccess(comp, cost)
+			return quarantinedLink(tracker, c)
 		}
 		hub, parent, m, _ := net.telemetry()
-		m.corruptHops.Inc()
+		if detSite == faultinject.MRNetHop {
+			m.corruptHops.Inc()
+		} else {
+			// NIC-localized corruption keeps its own detection label so
+			// the integrity ledger balances per site.
+			hub.Counter(integrity.MetricDetected, "site", string(detSite)).Inc()
+		}
 		m.retransmits.Inc()
 		hub.Event(parent, "integrity.corruption.detected",
-			telemetry.String("site", string(faultinject.MRNetHop)),
-			telemetry.Int("level", level),
-			telemetry.Int64("offset", c.Offset),
+			telemetry.String("site", string(detSite)),
+			telemetry.Int("node", c.id),
+			telemetry.Int("level", c.level),
+			telemetry.Int64("offset", corr.Offset),
 			telemetry.Bool("healed", attempt+1 < maxHopRetransmits))
+		tracker.ObserveCorruption(comp)
+		if nf := quarantinedLink(tracker, c); nf != nil {
+			return nf
+		}
 		if attempt+1 >= maxHopRetransmits {
-			return ErrHopCorrupt
+			return fmt.Errorf("mrnet: link to node %d: %w", c.id, ErrHopCorrupt)
+		}
+		if !budget.Take("mrnet.retransmit") {
+			return fmt.Errorf("mrnet: link to node %d retransmit denied: %w", c.id, health.ErrBudgetExhausted)
 		}
 	}
 }
@@ -618,7 +751,12 @@ func reduceAt[T any](net *Network, n *Node, leafFn func(int) (T, error), combine
 				if size != nil {
 					b = size(v)
 				}
-				if ferr := net.transmitHop(c.level, b); ferr != nil {
+				if ferr := net.transmitHop(c, b); ferr != nil {
+					var nf *NodeFailedError
+					if errors.As(ferr, &nf) {
+						errs[i] = ferr // preemptive re-parent, not fatal
+						return
+					}
 					err = fmt.Errorf("mrnet: hop from node %d to node %d: %w", c.id, n.id, ferr)
 					op.fail(err)
 					errs[i] = err
@@ -758,7 +896,12 @@ func multicastAt[T any](net *Network, n *Node, payload T, split func(*Node, T) (
 				if size != nil {
 					b = size(parts[i])
 				}
-				if ferr := net.transmitHop(c.level, b); ferr != nil {
+				if ferr := net.transmitHop(c, b); ferr != nil {
+					var nf *NodeFailedError
+					if errors.As(ferr, &nf) {
+						errs[i] = ferr // preemptive re-parent, not fatal
+						return
+					}
 					err := fmt.Errorf("mrnet: hop from node %d to node %d: %w", n.id, c.id, ferr)
 					op.fail(err)
 					errs[i] = err

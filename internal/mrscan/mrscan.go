@@ -31,6 +31,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gpusim"
 	"repro/internal/grid"
+	"repro/internal/health"
 	"repro/internal/lustre"
 	"repro/internal/merge"
 	"repro/internal/mrnet"
@@ -203,6 +204,12 @@ type RetryPolicy struct {
 	// simulated in-process, so the default of 0 is usually right; set it
 	// when the fault plan models time-correlated outages.
 	Backoff time.Duration
+	// Budget, when non-nil, is the shared retry token bucket: every
+	// re-attempt first takes a token at site "mrscan.phase". A denial
+	// makes the transient fault terminal — under correlated gray faults
+	// the run degrades into a loud partial failure instead of a silent
+	// retry storm.
+	Budget *health.Budget
 }
 
 // Phase names, in pipeline order. These are the snapshot keys on the
@@ -251,6 +258,10 @@ func (r RetryPolicy) runPhase(ctx context.Context, plan *faultinject.Plan, hub *
 			break
 		}
 		if a < attempts {
+			if !r.Budget.Take("mrscan.phase") {
+				err = fmt.Errorf("%w (retry denied: %w)", err, health.ErrBudgetExhausted)
+				break
+			}
 			*retries++
 			hub.Event(sp, "mrscan.retry",
 				telemetry.String("phase", name), telemetry.Int("attempt", a))

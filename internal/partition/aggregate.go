@@ -110,9 +110,22 @@ func buildSegmentLayout(meta *ptio.PartitionMeta, allCounts []leafCounts, output
 func writePartitionsAggregated(ctx context.Context, net *mrnet.Network, fs *lustre.FS, contribs []*leafContrib, places []segPlace, meta *ptio.PartitionMeta, opt DistOptions) error {
 	hasWeight := meta.HasWeight
 	segNames := make([]string, len(meta.Segments))
+	// OST-aware placement: with OST health tracking enabled, each shard
+	// stripes only over currently healthy OSTs, rotated per shard so the
+	// shards spread the load. Without tracking (nil HealthyOSTs) the
+	// legacy all-OST layout — and its simulated costs — are unchanged.
+	healthy := fs.HealthyOSTs()
 	for i, seg := range meta.Segments {
 		segNames[i] = seg.File
-		fs.Create(seg.File)
+		if len(healthy) > 0 {
+			osts := make([]int, len(healthy))
+			for j := range healthy {
+				osts[j] = healthy[(i+j)%len(healthy)]
+			}
+			fs.CreateWithOSTs(seg.File, osts)
+		} else {
+			fs.Create(seg.File)
+		}
 	}
 	// Redelivery guard: overlay crash recovery may re-run deliver at a
 	// leaf; the claim makes the write and the countdown once-per-leaf so

@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/health"
+	"repro/internal/lustre"
+	"repro/internal/mrnet"
+)
+
+// TestSegmentShardsAvoidQuarantinedOST: with OST health tracking on and
+// one OST limping hard enough to be quarantined during the input read,
+// every aggregated segment shard must be placed on healthy OSTs only —
+// the ROADMAP's OST-aware shard placement — while the partition contents
+// stay identical to a run on a healthy file system.
+func TestSegmentShardsAvoidQuarantinedOST(t *testing.T) {
+	pts := dataset.Twitter(12000, 5)
+	opt := DistOptions{NumPartitions: 8, MinPts: 4, Aggregate: true, SegmentShards: 3}
+
+	// Reference: healthy fleet.
+	ref, refFS := aggEnv(t, pts, 4, opt)
+
+	// Gray run: tiny stripes so the input read touches every OST, OST 1
+	// degraded 16x.
+	cfg := lustre.Config{OSTs: 4, StripeSize: 4096, OSTBandwidth: 200e6, SeekPenalty: lustre.Titan().SeekPenalty}
+	fs := lustre.New(cfg, nil)
+	fs.SetFaultPlan(faultinject.New(1).Arm(lustre.OSTFaultSite(1), faultinject.Rule{Degrade: 16}))
+	tracker := fs.EnableOSTHealth(health.Config{SuspectAfter: 2, QuarantineAfter: 1, MinObservations: 2})
+	net, err := mrnet.New(4, mrnet.DefaultFanout, mrnet.CostModel{}, fs.Clock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeInput(t, fs, "in.mrsc", pts, false)
+	if !tracker.Quarantined("ost.1") {
+		t.Fatalf("setup: slow OST not quarantined after input write; snapshot=%+v", tracker.Snapshot())
+	}
+
+	res, err := Distribute(context.Background(), net, fs, eps, "in.mrsc", "parts.bin", "parts.json", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every segment shard must carry an explicit healthy-only layout.
+	for _, seg := range res.Meta.Segments {
+		osts := fs.FileOSTs(seg.File)
+		if osts == nil {
+			t.Fatalf("segment %s has no explicit OST layout", seg.File)
+		}
+		for _, o := range osts {
+			if o == 1 {
+				t.Fatalf("segment %s placed on quarantined OST 1 (layout %v)", seg.File, osts)
+			}
+		}
+	}
+
+	// Placement must not change bytes: partitions match the reference.
+	if len(res.Meta.Partitions) != len(ref.Meta.Partitions) {
+		t.Fatalf("partition count %d != reference %d", len(res.Meta.Partitions), len(ref.Meta.Partitions))
+	}
+	for j := range res.Meta.Partitions {
+		got, _, err := ReadPartition(fs, "parts.bin", res.Meta, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ReadPartition(refFS, "parts.bin", ref.Meta, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("partition %d: %d points, reference %d", j, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("partition %d point %d differs: %+v vs %+v", j, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package ptio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/geom"
@@ -39,6 +40,54 @@ func FuzzReadDataset(f *testing.F) {
 		}
 		if len(again) != len(pts) {
 			t.Fatalf("round trip changed count: %d -> %d", len(pts), len(again))
+		}
+	})
+}
+
+// rawDatasetHeader assembles a 16-byte MRSC header with arbitrary
+// version/flags/count, so seeds can sit just outside the valid space.
+func rawDatasetHeader(version, flags uint16, count uint64) []byte {
+	hdr := make([]byte, DatasetHeaderSize)
+	copy(hdr, magicDataset[:])
+	binary.LittleEndian.PutUint16(hdr[4:], version)
+	binary.LittleEndian.PutUint16(hdr[6:], flags)
+	binary.LittleEndian.PutUint64(hdr[8:], count)
+	return hdr
+}
+
+// FuzzParseDatasetHeader throws torn, bit-flipped, and foreign headers
+// at the MRSC header parser directly. It must never panic, and any
+// header it accepts must round-trip: re-encoding the decoded header
+// reproduces the accepted bytes exactly, so no two distinct wire
+// headers collapse into the same meaning and nothing invalid — unknown
+// flags, a foreign version, an overflowing count — sneaks through.
+func FuzzParseDatasetHeader(f *testing.F) {
+	f.Add(rawDatasetHeader(Version, 0, 0))
+	f.Add(rawDatasetHeader(Version, FlagWeight, 1<<40))
+	f.Add(rawDatasetHeader(Version, 0, 1<<63))      // count overflows int64
+	f.Add(rawDatasetHeader(Version, 0xfffe, 42))    // unknown flag bits
+	f.Add(rawDatasetHeader(Version+1, 0, 7))        // newer writer
+	f.Add(rawDatasetHeader(Version, FlagWeight, 5)[:7]) // torn mid-header
+	flipped := rawDatasetHeader(Version, 0, 99)
+	flipped[0] ^= 0x40 // single-bit magic flip
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseDatasetHeader(data)
+		if err != nil {
+			return
+		}
+		if h.Count < 0 {
+			t.Fatalf("accepted header decoded to negative count %d", h.Count)
+		}
+		var flags uint16
+		if h.HasWeight {
+			flags = FlagWeight
+		}
+		want := rawDatasetHeader(Version, flags, uint64(h.Count))
+		if !bytes.Equal(data[:DatasetHeaderSize], want) {
+			t.Fatalf("accepted header % x decodes to %+v, which re-encodes to % x",
+				data[:DatasetHeaderSize], h, want)
 		}
 	})
 }
